@@ -1,0 +1,94 @@
+"""A1 — Ablation: value of the exact search's pruning components.
+
+The paper motivates three ingredients of the exact best-rule search
+(Section 5.2): the rule-based upper bound ``rub`` (subtree pruning), the
+quick bound ``qub`` (skipping gain evaluations), and the descending-``tub``
+item ordering (finding good rules early).  This benchmark runs the first
+best-rule search on a planted dataset with each ingredient toggled and
+reports nodes visited, evaluations and runtime.
+
+All variants must return the same optimal gain (exactness is unaffected);
+full pruning must visit no more nodes than no pruning.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.search import ExactRuleSearch
+from repro.core.state import CoverState
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.eval.tables import format_table
+
+VARIANTS = {
+    "full (rub+qub+order)": dict(use_rub=True, use_qub=True, order_items=True),
+    "no rub": dict(use_rub=False, use_qub=True, order_items=True),
+    "no qub": dict(use_rub=True, use_qub=False, order_items=True),
+    "no ordering": dict(use_rub=True, use_qub=True, order_items=False),
+    "no pruning at all": dict(use_rub=False, use_qub=False, order_items=False),
+}
+
+
+def make_state() -> CoverState:
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=150,
+            n_left=9,
+            n_right=9,
+            density_left=0.18,
+            density_right=0.18,
+            n_rules=4,
+            seed=21,
+        )
+    )
+    return CoverState(dataset)
+
+
+def run_ablation():
+    rows = []
+    gains = {}
+    for label, flags in VARIANTS.items():
+        state = make_state()
+        start = time.perf_counter()
+        __, gain, stats = ExactRuleSearch(state, **flags).find_best_rule()
+        elapsed = time.perf_counter() - start
+        gains[label] = gain
+        rows.append(
+            {
+                "variant": label,
+                "nodes": stats.nodes_visited,
+                "pruned (rub)": stats.nodes_pruned_rub,
+                "evaluations": stats.evaluations,
+                "skipped (qub)": stats.evaluations_skipped_qub,
+                "runtime_s": round(elapsed, 3),
+                "best gain": round(gain, 2),
+            }
+        )
+    return rows, gains
+
+
+def test_ablation_pruning(benchmark, report):
+    rows, gains = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report("A1 — pruning ablation of the exact best-rule search", format_table(rows))
+    reference = gains["full (rub+qub+order)"]
+    # Exactness: every variant finds the same optimal gain.
+    for label, gain in gains.items():
+        assert gain == pytest.approx(reference, abs=1e-9), label
+    by_variant = {row["variant"]: row for row in rows}
+    # rub pruning strictly reduces the nodes explored.
+    assert (
+        by_variant["full (rub+qub+order)"]["nodes"]
+        <= by_variant["no rub"]["nodes"]
+    )
+    # qub skips gain evaluations.
+    assert (
+        by_variant["full (rub+qub+order)"]["evaluations"]
+        <= by_variant["no qub"]["evaluations"]
+    )
+    # Full pruning visits no more nodes than no pruning at all.
+    assert (
+        by_variant["full (rub+qub+order)"]["nodes"]
+        <= by_variant["no pruning at all"]["nodes"]
+    )

@@ -1,0 +1,61 @@
+"""A7 — Extension: the four search strategies head to head.
+
+Compares the paper's three TRANSLATOR variants plus the beam-search
+extension (``repro.core.beam``) on one planted dataset: rules,
+compression, runtime.  BEAM needs no candidate mining and no minsup, so
+it is the interesting fourth point on the compression/runtime frontier.
+"""
+
+from __future__ import annotations
+
+from repro.core.beam import TranslatorBeam
+from repro.core.translator import TranslatorExact, TranslatorGreedy, TranslatorSelect
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.eval.tables import format_table
+
+
+def make_data():
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=300, n_left=10, n_right=10,
+            density_left=0.12, density_right=0.12,
+            n_rules=4, confidence=(0.9, 1.0), activation=(0.15, 0.3), seed=81,
+        )
+    )
+    return dataset
+
+
+def run_strategies():
+    dataset = make_data()
+    methods = {
+        "exact": TranslatorExact(max_rule_size=5),
+        "select(1)": TranslatorSelect(k=1, minsup=3),
+        "greedy": TranslatorGreedy(minsup=3),
+        "beam(8)": TranslatorBeam(beam_width=8, max_rule_size=5),
+    }
+    rows = []
+    for label, translator in methods.items():
+        result = translator.fit(dataset)
+        rows.append(
+            {
+                "method": label,
+                "|T|": result.n_rules,
+                "L%": round(100 * result.compression_ratio, 2),
+                "avg rule len": round(result.table.average_length, 2),
+                "runtime_s": round(result.runtime_seconds, 2),
+            }
+        )
+    return rows
+
+
+def test_ablation_strategies(benchmark, report):
+    rows = benchmark.pedantic(run_strategies, rounds=1, iterations=1)
+    report("A7 — search strategies incl. beam extension", format_table(rows))
+    by_method = {row["method"]: row for row in rows}
+    # EXACT is the compression lower bound among the four (small slack for
+    # its rule-size cap).
+    exact_ratio = float(by_method["exact"]["L%"])
+    for label, row in by_method.items():
+        assert float(row["L%"]) >= exact_ratio - 2.0, label
+    # BEAM lands at-or-better than GREEDY.
+    assert float(by_method["beam(8)"]["L%"]) <= float(by_method["greedy"]["L%"]) + 2.0

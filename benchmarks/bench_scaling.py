@@ -1,0 +1,80 @@
+"""A3 — Scaling: runtime vs dataset size and vocabulary size.
+
+The paper reports wall-clock runtimes per dataset but no controlled
+scaling study; this benchmark adds one on the planted generator, fixing
+the structure and sweeping (a) the number of transactions and (b) the
+vocabulary size, for TRANSLATOR-SELECT(1) and TRANSLATOR-GREEDY.
+
+Checked shape: runtime grows no worse than mildly super-linearly in the
+number of transactions (the cover state is vectorised per column), and
+GREEDY is consistently faster than SELECT.
+"""
+
+from __future__ import annotations
+
+from repro.core.translator import TranslatorGreedy, TranslatorSelect
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.eval.tables import format_table
+
+TRANSACTION_SWEEP = (200, 400, 800)
+ITEM_SWEEP = (10, 16, 24)
+
+
+def run_sweep():
+    rows = []
+    for n in TRANSACTION_SWEEP:
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=n, n_left=12, n_right=12,
+                density_left=0.15, density_right=0.15, n_rules=5, seed=55,
+            )
+        )
+        minsup = max(2, n // 50)
+        select = TranslatorSelect(k=1, minsup=minsup, max_candidates=5_000).fit(dataset)
+        greedy = TranslatorGreedy(minsup=minsup, max_candidates=5_000).fit(dataset)
+        rows.append(
+            {
+                "sweep": "transactions",
+                "n": n,
+                "items": 24,
+                "select_s": round(select.runtime_seconds, 2),
+                "greedy_s": round(greedy.runtime_seconds, 2),
+                "select L%": round(100 * select.compression_ratio, 1),
+                "greedy L%": round(100 * greedy.compression_ratio, 1),
+            }
+        )
+    for items in ITEM_SWEEP:
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=400, n_left=items, n_right=items,
+                density_left=0.15, density_right=0.15, n_rules=5, seed=56,
+            )
+        )
+        select = TranslatorSelect(k=1, minsup=8, max_candidates=5_000).fit(dataset)
+        greedy = TranslatorGreedy(minsup=8, max_candidates=5_000).fit(dataset)
+        rows.append(
+            {
+                "sweep": "items",
+                "n": 400,
+                "items": 2 * items,
+                "select_s": round(select.runtime_seconds, 2),
+                "greedy_s": round(greedy.runtime_seconds, 2),
+                "select L%": round(100 * select.compression_ratio, 1),
+                "greedy L%": round(100 * greedy.compression_ratio, 1),
+            }
+        )
+    return rows
+
+
+def test_scaling(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("A3 — runtime scaling of SELECT(1) and GREEDY", format_table(rows))
+    transaction_rows = [row for row in rows if row["sweep"] == "transactions"]
+    # GREEDY is at most as slow as SELECT on every configuration.
+    for row in rows:
+        assert row["greedy_s"] <= row["select_s"] + 0.5
+    # Mild growth: 4x transactions must not cost more than ~40x runtime
+    # (generous bound: candidate counts also grow with n).
+    first, last = transaction_rows[0], transaction_rows[-1]
+    if first["select_s"] > 0.05:
+        assert last["select_s"] / first["select_s"] < 40.0

@@ -1,0 +1,105 @@
+"""E2 — Table 2 (top half): search strategy comparison, small datasets.
+
+Runs TRANSLATOR-EXACT, TRANSLATOR-SELECT(1), TRANSLATOR-SELECT(25) and
+TRANSLATOR-GREEDY on the seven "small" datasets of Table 2 and reports
+``|T|``, ``L%`` and runtime next to the paper's published values.
+
+Deviations (documented in DESIGN.md / EXPERIMENTS.md):
+
+* stand-ins are scaled by ``REPRO_BENCH_SCALE`` (with a floor of ~150
+  transactions so planted structure survives scaling);
+* EXACT runs with an anytime node budget per search — the paper's C++
+  implementation spends hours to days on these searches; convergence is
+  reported per dataset;
+* SELECT uses minsup=1 like the paper where candidate mining stays within
+  budget, otherwise the auto-tuned threshold (reported).
+
+Expected shape: EXACT <= SELECT(1) ~= SELECT(25) < GREEDY in compression
+(lower is better), GREEDY fastest — matching the paper's reading of
+Table 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.translator import TranslatorExact, TranslatorGreedy, TranslatorSelect
+from repro.data.registry import make_dataset, paper_stats
+from repro.eval.tables import format_table
+from benchmarks.paper_reference import TABLE2_SMALL
+
+DATASETS = sorted(TABLE2_SMALL)
+MIN_TRANSACTIONS = 150
+# Python-scale envelope for EXACT: the paper's C++ implementation spends
+# hours to days per dataset here.  The node budget scales down with the
+# dataset size so per-node vector costs stay bounded; the iteration cap
+# keeps total bench time in minutes.  Both are reported in the output.
+EXACT_NODE_BUDGET = 30_000
+EXACT_MAX_ITERATIONS = 40
+
+
+def effective_scale(name: str, bench_scale: float) -> float:
+    stats = paper_stats(name)
+    floor = min(1.0, MIN_TRANSACTIONS / stats.n_transactions)
+    return max(bench_scale, floor)
+
+
+def run_dataset(name: str, bench_scale: float) -> list[dict[str, object]]:
+    dataset = make_dataset(name, scale=effective_scale(name, bench_scale))
+    paper = TABLE2_SMALL[name]
+    rows = []
+    node_budget = max(2_000, int(EXACT_NODE_BUDGET * 500 / max(500, dataset.n_transactions)))
+    methods = {
+        # max_rule_size spreads the anytime node budget across the breadth
+        # of the search instead of one deep subtree; paper rules rarely
+        # exceed 5 items.
+        "exact": TranslatorExact(
+            max_nodes_per_search=node_budget,
+            max_iterations=EXACT_MAX_ITERATIONS,
+            max_rule_size=5,
+        ),
+        "select1": TranslatorSelect(k=1, minsup=1, max_candidates=5_000),
+        "select25": TranslatorSelect(k=25, minsup=1, max_candidates=5_000),
+        "greedy": TranslatorGreedy(minsup=1, max_candidates=5_000),
+    }
+    for key, translator in methods.items():
+        try:
+            result = translator.fit(dataset)
+            note = "" if getattr(result, "converged", True) else "node budget hit"
+        except RuntimeError:
+            # minsup=1 exploded: fall back to the auto-tuned threshold.
+            fallback = type(translator)() if key != "exact" else translator
+            result = fallback.fit(dataset)
+            note = "auto minsup fallback"
+        paper_t, paper_l, paper_runtime = paper[key]
+        rows.append(
+            {
+                "dataset": name,
+                "method": key,
+                "|T|": result.n_rules,
+                "L%": round(100 * result.compression_ratio, 2),
+                "runtime_s": round(result.runtime_seconds, 2),
+                "paper |T|": paper_t,
+                "paper L%": paper_l,
+                "paper runtime": paper_runtime,
+                "notes": note,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_table2_small(benchmark, report, bench_scale, name):
+    rows = benchmark.pedantic(run_dataset, args=(name, bench_scale), rounds=1, iterations=1)
+    report(
+        f"E2 / Table 2 (top) — search strategies on {name} "
+        f"(scale={effective_scale(name, bench_scale):.2f})",
+        format_table(rows),
+    )
+    by_method = {row["method"]: row for row in rows}
+    # Paper's shape: GREEDY never beats SELECT(1) by a meaningful margin,
+    # and the candidate-based methods approximate EXACT closely.
+    assert float(by_method["greedy"]["L%"]) >= float(by_method["select1"]["L%"]) - 2.0
+    # All methods actually compress structured data (or at worst break even).
+    for row in rows:
+        assert float(row["L%"]) <= 101.0

@@ -1,0 +1,107 @@
+"""E5 — Table 3: TRANSLATOR vs MAGNUM OPUS vs REREMI vs KRIMP.
+
+The paper's Table 3 compares, per dataset, the number of rules ``|T|``,
+their average length ``l``, the relative correction-table size ``|C|%``,
+the average maximum confidence ``c+`` and the compression ratio ``L%`` of
+the four methods.  Table 3's per-cell numbers are published as an image
+(not recoverable from the text), so this benchmark asserts the claims the
+paper's text makes about it (see ``paper_reference.TABLE3_CLAIMS``):
+
+* TRANSLATOR produces the most compact-and-complete models — best ``L%``;
+* significant rule discovery finds (often many) more rules whose
+  correction tables are larger;
+* REREMI outputs only bidirectional rules and fails to explain all the
+  structure (worse ``L%``, sometimes above 100%);
+* KRIMP-as-translation-table compresses badly (the paper reports
+  inflation up to 816%).
+
+Additionally reproduces the raw association-rule explosion comparison
+(Section 6.3, first paragraph): tuned-threshold association rule mining
+yields orders of magnitude more rules than TRANSLATOR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.assoc import merge_bidirectional, mine_crossview_rules
+from repro.data.registry import make_dataset, paper_stats
+from repro.eval.comparison import compare_methods
+from repro.eval.metrics import max_confidence
+from repro.eval.tables import format_table
+from benchmarks.paper_reference import TABLE3_CLAIMS
+
+DATASETS = ["house", "cal500", "wine", "mammals"]
+MIN_TRANSACTIONS = 150
+
+
+def run_comparison(name: str, bench_scale: float):
+    stats = paper_stats(name)
+    scale = max(bench_scale, min(1.0, MIN_TRANSACTIONS / stats.n_transactions))
+    dataset = make_dataset(name, scale=scale)
+    minsup = max(3, int(0.02 * dataset.n_transactions))
+    return dataset, compare_methods(dataset, minsup=minsup)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_table3_method_comparison(benchmark, report, bench_scale, name):
+    dataset, results = benchmark.pedantic(
+        run_comparison, args=(name, bench_scale), rounds=1, iterations=1
+    )
+    rows = [result.as_row() for result in results]
+    claims = "\n".join(f"  - {claim}" for claim in TABLE3_CLAIMS)
+    report(
+        f"E5 / Table 3 — method comparison on {name}",
+        format_table(rows) + "\n\npaper claims checked:\n" + claims,
+    )
+    by_method = {result.method.split(" ")[0]: result for result in results}
+    translator = by_method["translator-select(1)"]
+
+    # Claim 1: TRANSLATOR attains the best compression ratio.
+    for key, result in by_method.items():
+        if key != "translator-select(1)":
+            assert translator.compression_ratio <= result.compression_ratio + 0.03, key
+
+    # Claim 2: the significant-rule miner has a larger correction table.
+    significant = by_method["significant"]
+    assert significant.correction_fraction >= translator.correction_fraction - 0.02
+
+    # Claim 3: REREMI rules are all bidirectional.
+    reremi = by_method["redescription"]
+    assert all(rule.direction.value == "<->" for rule in reremi.table)
+    assert reremi.compression_ratio >= translator.compression_ratio - 0.02
+
+    # Claim 4: KRIMP-as-table compresses (much) worse than TRANSLATOR.
+    krimp = by_method["krimp"]
+    assert krimp.compression_ratio > translator.compression_ratio
+
+
+def test_association_rule_explosion(benchmark, report, bench_scale):
+    """Section 6.3: tuned association rule mining explodes vs TRANSLATOR."""
+
+    def run():
+        dataset, results = run_comparison("house", bench_scale)
+        translator = results[0]
+        # Tune thresholds from the translation table as the paper does:
+        # lowest c+ and |supp| of any rule in the table.
+        confidences = [max_confidence(dataset, rule) for rule in translator.table]
+        supports = [
+            int(dataset.joint_support_mask(rule.lhs, rule.rhs).sum())
+            for rule in translator.table
+        ]
+        minconf = min(confidences) if confidences else 0.5
+        minsup = max(1, min(supports)) if supports else 2
+        rules = mine_crossview_rules(
+            dataset, minsup=minsup, minconf=minconf, max_size=5, max_rules=500_000
+        )
+        return translator.n_rules, len(merge_bidirectional(rules))
+
+    n_translator, n_assoc = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E5b / Section 6.3 — association rule explosion on house",
+        f"translator rules: {n_translator}\n"
+        f"association rules at tuned thresholds (<=5 items): {n_assoc}\n"
+        f"ratio: {n_assoc / max(1, n_translator):.0f}x "
+        "(paper: up to 153,609 rules vs <=311 translator rules)",
+    )
+    assert n_assoc > 10 * n_translator

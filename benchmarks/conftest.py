@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the
+synthetic registry stand-ins.  ``REPRO_BENCH_SCALE`` (default ``0.1``)
+rescales the number of transactions so the whole suite finishes on a
+laptop in minutes; set it to ``1.0`` for full-size runs.  Printed reports
+always show the paper's published values next to the measured ones.
+
+Reports are (a) written immediately to ``benchmarks/_reports/*.txt`` so
+they survive crashes and feed EXPERIMENTS.md, and (b) echoed in the
+terminal summary after the pytest-benchmark table.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+REPORT_DIR = Path(__file__).parent / "_reports"
+
+_reports: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Transaction-count scale used by all benchmark datasets."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Record a titled report block: persisted to disk and echoed at exit."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def emit(title: str, body: str) -> None:
+        _reports.append((title, body))
+        slug = re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_")[:80]
+        (REPORT_DIR / f"{slug}.txt").write_text(
+            f"{title}\n{'=' * len(title)}\n{body}\n", encoding="utf-8"
+        )
+
+    return emit
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _reports:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for title, body in _reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        terminalreporter.write_line("-" * min(78, len(title)))
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

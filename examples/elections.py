@@ -1,0 +1,113 @@
+"""Candidate profiles vs. political views (the paper's Elections scenario).
+
+Demonstrates the *full pre-processing pipeline* the paper applies to the
+2011 Finnish parliamentary election data: tabular candidate data (party,
+age, education) on one side and multiple-choice questionnaire answers on
+the other, Booleanised with one-hot encoding, frequent items dropped
+(items in more than half of the transactions "would result in many rules
+of little interest"), then mined with TRANSLATOR-SELECT(1).
+
+The underlying table is synthesised with planted dependencies between
+parties and answers, standing in for the real (offline-unavailable)
+www.vaalikone.fi data.
+
+Run with::
+
+    python examples/elections.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TranslatorSelect
+from repro.data.preprocessing import frame_to_two_view
+from repro.eval.metrics import max_confidence
+
+PARTIES = ["Greens", "Conservatives", "SocialDemocrats", "Centre", "Change2011"]
+EDUCATION = ["basic", "vocational", "bachelor", "master"]
+QUESTIONS = {
+    "Q_defense_spending": ["increase", "keep", "decrease"],
+    "Q_nuclear_energy": ["more", "same", "phase-out"],
+    "Q_development_aid": ["raise", "keep", "cut"],
+    "Q_immigration_policy": ["looser", "current", "tighter"],
+    "Q_income_taxes": ["raise", "keep", "cut"],
+}
+
+# Planted party-line tendencies: party -> {question: preferred answer}.
+PARTY_LINES = {
+    "Greens": {
+        "Q_nuclear_energy": "phase-out",
+        "Q_development_aid": "raise",
+        "Q_defense_spending": "decrease",
+    },
+    "Conservatives": {
+        "Q_income_taxes": "cut",
+        "Q_nuclear_energy": "more",
+    },
+    "Change2011": {
+        "Q_immigration_policy": "tighter",
+    },
+    "SocialDemocrats": {
+        "Q_income_taxes": "raise",
+        "Q_development_aid": "keep",
+    },
+    "Centre": {
+        "Q_defense_spending": "keep",
+    },
+}
+PARTY_DISCIPLINE = 0.85  # probability a candidate follows the party line
+
+
+def synthesise_candidates(n: int, seed: int = 0):
+    """Generate a tabular candidate dataset with party-driven answers."""
+    rng = np.random.default_rng(seed)
+    profile = {
+        "party": [],
+        "age": [],
+        "education": [],
+    }
+    answers: dict[str, list[str]] = {question: [] for question in QUESTIONS}
+    for __ in range(n):
+        party = PARTIES[int(rng.integers(len(PARTIES)))]
+        profile["party"].append(party)
+        profile["age"].append(float(rng.integers(22, 70)))
+        profile["education"].append(EDUCATION[int(rng.integers(len(EDUCATION)))])
+        line = PARTY_LINES[party]
+        for question, choices in QUESTIONS.items():
+            if question in line and rng.random() < PARTY_DISCIPLINE:
+                answers[question].append(line[question])
+            else:
+                answers[question].append(choices[int(rng.integers(len(choices)))])
+    return profile, answers
+
+
+def main() -> None:
+    profile, answers = synthesise_candidates(1200, seed=3)
+    data = frame_to_two_view(
+        profile, answers, n_bins=5, max_frequency=0.5, name="elections-demo"
+    )
+    print(data)
+    print()
+
+    result = TranslatorSelect(k=1, minsup=20).fit(data)
+    print(
+        f"translator-select(1): {result.n_rules} rules, "
+        f"L% = {result.compression_ratio:.1%}"
+    )
+    print()
+    print("Party-to-views associations discovered (Fig. 7 style):")
+    for record in result.history[:10]:
+        rule = record.rule
+        confidence = max_confidence(data, rule)
+        print(f"  [{confidence:.2f}] {rule.render(data)}")
+    print()
+    print(
+        "Note how unidirectional rules appear where an opinion is shared\n"
+        "beyond one party (the paper's Change 2011 example): the rule\n"
+        "'party -> opinion' holds, but 'opinion -> party' does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Full method comparison on one dataset (the paper's Table 3, in small).
+
+Runs TRANSLATOR-SELECT(1), significant rule discovery (the MAGNUM OPUS
+stand-in), redescription mining (the REREMI stand-in) and KRIMP on the
+House stand-in, scores everything with the paper's MDL criterion, and
+prints the Table 3 row block.
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import make_dataset
+from repro.eval.comparison import compare_methods
+from repro.eval.tables import format_table
+from repro.eval.visualize import graph_statistics, rule_graph
+
+
+def main() -> None:
+    data = make_dataset("house", scale=0.5)
+    print(data)
+    print()
+
+    results = compare_methods(data, minsup=5)
+    print(
+        format_table(
+            [result.as_row() for result in results],
+            title=f"Method comparison on {data.name} (Table 3 style)",
+        )
+    )
+    print()
+
+    print("Rule-graph statistics (Fig. 3 style):")
+    rows = []
+    for result in results:
+        stats = graph_statistics(rule_graph(data, result.table))
+        stats_row = {"method": result.method}
+        stats_row.update(stats)
+        rows.append(stats_row)
+    print(
+        format_table(
+            rows,
+            columns=[
+                "method",
+                "n_rules",
+                "n_left_items_used",
+                "n_right_items_used",
+                "bidirectional_share",
+                "average_items_per_rule",
+            ],
+        )
+    )
+    print()
+    print(
+        "Expected shape (paper, Section 6.3): TRANSLATOR yields the\n"
+        "smallest rule set with the best compression; significant-rule\n"
+        "mining yields many short high-confidence rules with larger\n"
+        "correction tables; redescriptions are all bidirectional but\n"
+        "incomplete; KRIMP's itemsets do not capture cross-view structure\n"
+        "and inflate the encoding when forced into a translation table."
+    )
+
+
+if __name__ == "__main__":
+    main()

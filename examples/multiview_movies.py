@@ -1,0 +1,91 @@
+"""Multi-view association discovery (beyond two views).
+
+The paper's introduction motivates movies with "properties like genres
+and actors on one hand and collectively obtained tags on the other"; its
+future-work section asks for the extension to more than two views.  This
+example builds a three-view movie dataset — content attributes, audience
+tags, and viewing-context signals — and fits the pairwise multi-view
+TRANSLATOR, showing which *pairs* of views actually share structure.
+
+Run with::
+
+    python examples/multiview_movies.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.eval.tables import format_table
+from repro.multiview import MultiViewDataset, MultiViewTranslator
+
+CONTENT = [
+    "genre=action", "genre=comedy", "genre=drama", "genre=scifi",
+    "star-cast", "sequel", "big-budget", "award-winner",
+]
+TAGS = [
+    "tag=explosions", "tag=funny", "tag=tear-jerker", "tag=mind-bending",
+    "tag=date-night", "tag=family", "tag=cult-classic", "tag=slow-burn",
+]
+CONTEXT = [
+    "watched=cinema", "watched=home", "watched=late-night",
+    "watched=weekend", "watched=with-kids", "watched=alone",
+]
+
+
+def main() -> None:
+    # Views 0 and 1 (content/tags) share planted structure; the context
+    # view is generated independently.
+    base, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=600,
+            n_left=len(CONTENT),
+            n_right=len(TAGS),
+            density_left=0.18,
+            density_right=0.18,
+            n_rules=4,
+            confidence=(0.9, 1.0),
+            activation=(0.15, 0.3),
+            seed=8,
+        )
+    )
+    rng = np.random.default_rng(9)
+    context = rng.random((600, len(CONTEXT))) < 0.2
+    movies = MultiViewDataset(
+        [base.left, base.right, context],
+        view_names=["content", "tags", "context"],
+        item_names=[CONTENT, TAGS, CONTEXT],
+        name="movies",
+    )
+    print(movies)
+    print()
+
+    result = MultiViewTranslator(k=1, minsup=10).fit(movies)
+    rows = []
+    for (first, second), pair_result in result.pair_results.items():
+        rows.append(
+            {
+                "pair": f"{movies.view_names[first]} ~ {movies.view_names[second]}",
+                "|T|": pair_result.n_rules,
+                "L%": f"{100 * pair_result.compression_ratio:.1f}",
+            }
+        )
+    print(format_table(rows, title="Pairwise translation tables"))
+    print()
+
+    content_tags = result.pair_results[(0, 1)]
+    print("Top content ~ tags rules:")
+    pair_data = movies.pair(0, 1)
+    for record in content_tags.history[:4]:
+        print(f"  {record.rule.render(pair_data)}")
+    print()
+    print(
+        "The content~tags pair compresses well (planted structure found);\n"
+        "pairs involving the independent context view stay near 100%,\n"
+        "so the model correctly localises where cross-view structure lives."
+    )
+
+
+if __name__ == "__main__":
+    main()

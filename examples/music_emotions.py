@@ -1,0 +1,55 @@
+"""Music features vs. evoked emotions (the paper's CAL500 scenario).
+
+The paper's running example: a set of music tracks with audio-side
+attributes (genres, instruments, vocals — the right view) and human
+annotations (emotions, usages, song qualities — the left view).  The task:
+which emotions are evoked by which types of music?
+
+This example uses the CAL500 stand-in from the dataset registry, induces a
+translation table with TRANSLATOR-SELECT(1) and then, like the paper's
+Fig. 6, inspects all rules mentioning one focus item (``Genre:Rock``).
+
+Run with::
+
+    python examples/music_emotions.py
+"""
+
+from __future__ import annotations
+
+from repro import Side, TranslatorSelect, make_dataset
+from repro.eval.metrics import max_confidence
+
+
+def main() -> None:
+    data = make_dataset("cal500", scale=0.5)
+    print(data)
+    print()
+
+    result = TranslatorSelect(k=1).fit(data)
+    print(
+        f"translator-select(1): {result.n_rules} rules, "
+        f"L% = {result.compression_ratio:.1%}, "
+        f"runtime = {result.runtime_seconds:.1f}s"
+    )
+    print()
+
+    print("Top rules by compression gain:")
+    for record in result.history[:8]:
+        confidence = max_confidence(data, record.rule)
+        print(f"  [gain {record.gain:7.1f}, c+ {confidence:.2f}]  "
+              f"{record.rule.render(data)}")
+    print()
+
+    # Fig. 6 style: every rule involving the focus item 'Genre:Rock'.
+    focus = "Genre:Rock"
+    focus_index = data.item_index(Side.RIGHT, focus)
+    focus_rules = result.table.rules_with_item(focus_index, left=False)
+    print(f"Rules mentioning {focus!r} ({len(focus_rules)}):")
+    if not focus_rules:
+        print("  (none in this synthetic stand-in — planted structure is random)")
+    for rule in focus_rules:
+        print(f"  {rule.render(data)}   [c+ = {max_confidence(data, rule):.2f}]")
+
+
+if __name__ == "__main__":
+    main()

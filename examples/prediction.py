@@ -1,0 +1,59 @@
+"""Using a translation table as a cross-view predictor.
+
+Translation tables are generative mappings between views, so beyond
+*describing* a dataset they can *predict*: given the left view of a new
+object, TRANSLATE produces an estimate of its right view.  This example
+fits a table on a training split of a products-like dataset and measures
+prediction quality on held-out data — and contrasts it with the same
+pipeline on structureless noise.
+
+Run with::
+
+    python examples/prediction.py
+"""
+
+from __future__ import annotations
+
+from repro import TranslatorSelect
+from repro.core.predict import holdout_evaluation
+from repro.data.synthetic import SyntheticSpec, generate_planted, random_dataset
+
+
+def main() -> None:
+    # Products described by two views: catalogue attributes on the left,
+    # aggregated customer behaviour on the right (the paper's motivating
+    # product scenario), with planted attribute->behaviour dependencies.
+    products, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=800,
+            n_left=15,
+            n_right=15,
+            density_left=0.12,
+            density_right=0.12,
+            n_rules=6,
+            confidence=(0.9, 1.0),
+            activation=(0.15, 0.3),
+            seed=42,
+        )
+    )
+    noise = random_dataset(800, 15, 15, 0.12, 0.12, seed=43)
+
+    translator = TranslatorSelect(k=1, minsup=8)
+    for label, dataset in (("products (planted)", products), ("pure noise", noise)):
+        scores = holdout_evaluation(dataset, translator, train_fraction=0.7, rng=0)
+        print(f"{label}:")
+        for direction, score in scores.items():
+            print(
+                f"  {direction:>14}: precision {score.precision:.2f}, "
+                f"recall {score.recall:.2f}, F1 {score.f1:.2f}"
+            )
+        print()
+    print(
+        "Structured data is predictable across views; on independent\n"
+        "views the MDL selection keeps the table small and the predictor\n"
+        "abstains — low recall instead of confident noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""How robust are the discovered associations?  Bootstrap stability.
+
+MDL model selection returns one translation table, but an analyst acting
+on its rules should know which of them are robust properties of the
+domain and which are artefacts of the particular sample.  This example
+fits TRANSLATOR-SELECT(1) on a movies-like dataset (properties vs. tags,
+the paper's motivating movie scenario), then refits on bootstrap
+resamples and reports:
+
+* rule-set level agreement (exact Jaccard and soft matching), and
+* per-rule recovery rates separating robust from unstable rules,
+
+and contrasts the numbers against pure noise of the same shape, where
+every "discovery" churns.
+
+Run with::
+
+    python examples/stability_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TranslatorSelect, TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.eval.stability import bootstrap_stability
+
+
+def main() -> None:
+    # Movies: genres/actors on the left, collectively obtained tags on
+    # the right, with planted genre->tag dependencies.
+    movies, planted = generate_planted(
+        SyntheticSpec(
+            n_transactions=500,
+            n_left=14,
+            n_right=14,
+            density_left=0.12,
+            density_right=0.12,
+            n_rules=3,
+            confidence=(0.9, 1.0),
+            seed=17,
+        )
+    )
+    print(f"dataset: {movies}")
+    print(f"planted rules: {len(planted)}")
+    print()
+
+    translator = TranslatorSelect(k=1)
+    report = bootstrap_stability(movies, translator, n_resamples=12, rng=0)
+    print("=== planted structure ===")
+    print(report.render(movies))
+    print()
+    robust = report.stable_rules(threshold=0.75)
+    print(f"{len(robust)} of {len(report.reference_rules)} rules are robust "
+          f"(soft recovery >= 75%)")
+    print()
+
+    # The same analysis on structure-free noise of identical shape.
+    rng = np.random.default_rng(1)
+    noise = TwoViewDataset(
+        rng.random(movies.left.shape) < movies.density_left,
+        rng.random(movies.right.shape) < movies.density_right,
+        name="noise",
+    )
+    noise_report = bootstrap_stability(noise, translator, n_resamples=12, rng=2)
+    print("=== structure-free noise ===")
+    print(f"rules found on full noise data: {len(noise_report.reference_rules)}")
+    print(f"mean exact rule-set Jaccard:    {noise_report.mean_exact_jaccard:.3f}")
+    print(f"mean soft match score:          {noise_report.mean_soft_score:.3f}")
+    print(f"robust rules:                   "
+          f"{len(noise_report.stable_rules(threshold=0.75))}")
+    print()
+    print("Reading: high recovery on the planted data pins down genuine")
+    print("cross-view structure; the churn on noise shows stability analysis")
+    print("correctly flags unstable discoveries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of *Association Discovery in Two-View Data*.
+
+Translation tables, MDL-based model selection and the TRANSLATOR
+algorithms of van Leeuwen & Galbrun (IEEE TKDE 27(12), 2015), plus the
+baselines the paper compares against (cross-view association rules,
+significant rule discovery, redescription mining, KRIMP) and a benchmark
+harness regenerating every table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import TwoViewDataset, TranslatorSelect
+
+    data = TwoViewDataset.from_transactions(
+        [({"rock"}, {"loud"}), ({"rock", "fast"}, {"loud", "energy"})])
+    result = TranslatorSelect(k=1).fit(data)
+    print(result.table.render(data))
+    print(f"compression: {result.compression_ratio:.1%}")
+"""
+
+from repro.data import (
+    PAPER_DATASETS,
+    Side,
+    SyntheticSpec,
+    TwoViewDataset,
+    dataset_names,
+    generate_planted,
+    load_dataset,
+    make_dataset,
+    save_dataset,
+)
+from repro.core import (
+    CodeLengthModel,
+    TranslatorBeam,
+    CorrectionTables,
+    CoverState,
+    Direction,
+    ExactRuleSearch,
+    TranslationRule,
+    TranslationTable,
+    TranslatorExact,
+    TranslatorGreedy,
+    TranslatorResult,
+    TranslatorSelect,
+    corrections,
+    reconstruct,
+    translate_transaction,
+    translate_view,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_DATASETS",
+    "Side",
+    "SyntheticSpec",
+    "TwoViewDataset",
+    "dataset_names",
+    "generate_planted",
+    "load_dataset",
+    "make_dataset",
+    "save_dataset",
+    "CodeLengthModel",
+    "CorrectionTables",
+    "CoverState",
+    "Direction",
+    "ExactRuleSearch",
+    "TranslationRule",
+    "TranslationTable",
+    "TranslatorBeam",
+    "TranslatorExact",
+    "TranslatorGreedy",
+    "TranslatorResult",
+    "TranslatorSelect",
+    "corrections",
+    "reconstruct",
+    "translate_transaction",
+    "translate_view",
+    "__version__",
+]

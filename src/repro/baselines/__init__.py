@@ -1,0 +1,37 @@
+"""Baselines the paper compares TRANSLATOR against (Section 6.3).
+
+* :mod:`~repro.baselines.assoc` — plain cross-view association rule
+  mining (Agrawal et al., 1993), demonstrating the pattern explosion.
+* :mod:`~repro.baselines.significant` — significant rule discovery in the
+  style of MAGNUM OPUS (Webb, "Discovering significant patterns", 2007):
+  Fisher exact tests, multiple-testing correction, optional holdout
+  assessment, and merging of both directions into bidirectional rules.
+* :mod:`~repro.baselines.redescription` — a REREMI-style redescription
+  miner (Galbrun & Miettinen, 2012) restricted to monotone conjunctions.
+* :mod:`~repro.baselines.krimp` — the KRIMP code-table algorithm (Vreeken
+  et al., 2011) run on the joined two-view data.
+* :mod:`~repro.baselines.convert` — interpreting baseline outputs as
+  translation tables so they can be scored with the paper's MDL criterion
+  (the Table 3 comparison).
+"""
+
+from repro.baselines.assoc import AssociationRule, mine_crossview_rules
+from repro.baselines.significant import SignificantRuleMiner
+from repro.baselines.redescription import Redescription, ReremiMiner
+from repro.baselines.krimp import CodeTable, Krimp
+from repro.baselines.convert import (
+    krimp_to_translation_table,
+    rules_to_translation_table,
+)
+
+__all__ = [
+    "AssociationRule",
+    "mine_crossview_rules",
+    "SignificantRuleMiner",
+    "Redescription",
+    "ReremiMiner",
+    "CodeTable",
+    "Krimp",
+    "krimp_to_translation_table",
+    "rules_to_translation_table",
+]

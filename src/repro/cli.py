@@ -1,0 +1,393 @@
+"""Command-line interface.
+
+Subcommands mirroring the library's main entry points::
+
+    repro-translator stats [dataset ...]          Table 1 statistics
+    repro-translator fit DATASET [options]        induce a translation table
+    repro-translator compare DATASET [options]    Table 3 comparison
+    repro-translator trace DATASET [options]      Fig. 2 construction trace
+    repro-translator predict DATASET [options]    held-out prediction
+    repro-translator randomize DATASET [options]  swap-randomization test
+    repro-translator describe DATASET [options]   full model report
+    repro-translator stability DATASET [options]  bootstrap stability
+    repro-translator encoding DATASET [options]   refined-encoding check
+    repro-translator cluster DATASET [options]    k-tables clustering
+    repro-translator convert SRC DST              .2v <-> ARFF conversion
+
+``DATASET`` is either a registry name (``house``, ``cal500``, ...) or a
+path to a ``.2v`` file.  Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.data.arff import arff_to_two_view, load_arff, save_arff, two_view_to_arff
+from repro.data.dataset import TwoViewDataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.registry import dataset_names, make_dataset, paper_stats
+from repro.core.encoding import CodeLengthModel
+from repro.core.predict import holdout_evaluation
+from repro.core.clustering import cluster_two_view
+from repro.core.pruning import prune_table
+from repro.core.refined import refined_lengths
+from repro.core.beam import TranslatorBeam
+from repro.core.translator import TranslatorExact, TranslatorGreedy, TranslatorSelect
+from repro.eval.comparison import compare_methods
+from repro.eval.randomization import randomization_test
+from repro.eval.report import describe_result
+from repro.eval.stability import bootstrap_stability
+from repro.eval.tables import format_table
+from repro.eval.trace import format_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_dataset(spec: str, scale: float | None) -> TwoViewDataset:
+    if Path(spec).exists():
+        return load_dataset(spec)
+    return make_dataset(spec, scale=scale)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    names = args.datasets or dataset_names()
+    rows = []
+    for name in names:
+        dataset = _resolve_dataset(name, args.scale)
+        codes = CodeLengthModel(dataset)
+        row = dataset.summary()
+        row["L(D,empty)"] = round(codes.baseline_length(), 0)
+        if name in dataset_names():
+            stats = paper_stats(name)
+            row["paper_n"] = stats.n_transactions
+            row["paper_L(D,empty)"] = stats.baseline_bits
+        rows.append(row)
+    print(format_table(rows, float_digits=3, title="Dataset statistics (Table 1)"))
+    return 0
+
+
+def _make_translator(args: argparse.Namespace):
+    if args.method == "exact":
+        return TranslatorExact(
+            max_iterations=args.max_iterations, max_rule_size=args.max_rule_size
+        )
+    if args.method == "select":
+        return TranslatorSelect(
+            k=args.k, minsup=args.minsup, max_iterations=args.max_iterations
+        )
+    if args.method == "greedy":
+        return TranslatorGreedy(minsup=args.minsup)
+    if args.method == "beam":
+        return TranslatorBeam(
+            max_iterations=args.max_iterations,
+            max_rule_size=args.max_rule_size or 6,
+        )
+    raise ValueError(f"unknown method {args.method!r}")
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    translator = _make_translator(args)
+    result = translator.fit(dataset)
+    print(f"# {result.method} on {dataset.name}")
+    print(
+        f"# |T|={result.n_rules}  L%={100 * result.compression_ratio:.2f}  "
+        f"|C|%={100 * result.correction_fraction:.2f}  "
+        f"runtime={result.runtime_seconds:.2f}s"
+    )
+    table = result.table
+    if args.prune:
+        pruned = prune_table(dataset, table)
+        table = pruned.table
+        print(
+            f"# pruned {len(pruned.removed)} rule(s), "
+            f"saving {pruned.improvement_bits:.1f} bits"
+        )
+    print(table.render(dataset, limit=args.limit))
+    if args.output:
+        table.save(args.output)
+        print(f"# table written to {args.output}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    translator = _make_translator(args)
+    scores = holdout_evaluation(
+        dataset, translator, train_fraction=args.train_fraction, rng=args.seed
+    )
+    print(f"# held-out prediction on {dataset.name} "
+          f"(train fraction {args.train_fraction})")
+    rows = [
+        {
+            "direction": direction,
+            "precision": score.precision,
+            "recall": score.recall,
+            "f1": score.f1,
+        }
+        for direction, score in scores.items()
+    ]
+    print(format_table(rows, float_digits=3))
+    return 0
+
+
+def _cmd_randomize(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    translator = _make_translator(args)
+    result = randomization_test(
+        dataset, translator, n_permutations=args.permutations, rng=args.seed
+    )
+    print(f"# swap-randomization test on {dataset.name}")
+    print(f"observed L%:  {100 * result.observed_ratio:.2f}")
+    null_mean = sum(result.null_ratios) / len(result.null_ratios)
+    print(f"null mean L%: {100 * null_mean:.2f} over {args.permutations} permutations")
+    print(f"empirical p-value: {result.p_value:.3f}   z-score: {result.z_score:.2f}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    translator = _make_translator(args)
+    result = translator.fit(dataset)
+    print(describe_result(dataset, result, max_rules=args.limit))
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    translator = _make_translator(args)
+    report = bootstrap_stability(
+        dataset,
+        translator,
+        n_resamples=args.resamples,
+        sample_fraction=args.sample_fraction,
+        replace=not args.no_replacement,
+        rng=args.seed,
+    )
+    print(f"# bootstrap stability on {dataset.name}")
+    print(report.render(dataset))
+    return 0
+
+
+def _cmd_encoding(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    translator = _make_translator(args)
+    result = translator.fit(dataset)
+    report = refined_lengths(dataset, result.table)
+    print(f"# encoding comparison on {dataset.name} ({result.method})")
+    print(format_table([report.summary()]))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    result = cluster_two_view(
+        dataset,
+        k=args.k_components,
+        translator_factory=lambda: _make_translator(args),
+        n_restarts=args.restarts,
+        rng=args.seed,
+    )
+    print(f"# compression-based clustering of {dataset.name} "
+          f"(k={result.k}, {'converged' if result.converged else 'round cap hit'})")
+    print(f"total bits: {result.total_bits:.1f} "
+          f"(labels {result.label_bits:.1f})")
+    for component in range(result.k):
+        size = int((result.labels == component).sum())
+        print(f"\ncomponent {component}: {size} transactions, "
+              f"{result.component_bits[component]:.1f} bits")
+        print(result.tables[component].render(dataset, limit=args.limit))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    source, destination = Path(args.source), Path(args.destination)
+    if source.suffix == ".2v" and destination.suffix == ".arff":
+        save_arff(two_view_to_arff(load_dataset(source)), destination)
+    elif source.suffix == ".arff" and destination.suffix == ".2v":
+        relation = load_arff(source)
+        left = [a.name for a in relation.attributes if a.name.startswith("L:")]
+        right = [a.name for a in relation.attributes if a.name.startswith("R:")]
+        if left and right:
+            dataset = arff_to_two_view(
+                relation, left_attributes=left, right_attributes=right
+            )
+        else:
+            dataset = arff_to_two_view(relation)
+        save_dataset(dataset, destination)
+    else:
+        print(
+            "convert requires a .2v -> .arff or .arff -> .2v pair", file=sys.stderr
+        )
+        return 2
+    print(f"# wrote {destination}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    results = compare_methods(dataset, minsup=args.minsup)
+    print(
+        format_table(
+            [result.as_row() for result in results],
+            title=f"Method comparison on {dataset.name} (Table 3)",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    result = TranslatorSelect(k=1, minsup=args.minsup).fit(dataset)
+    print(f"# construction trace of translator-select(1) on {dataset.name} (Fig. 2)")
+    print(format_trace(result, every=args.every))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-translator",
+        description="Association discovery in two-view data (TRANSLATOR reproduction)",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="transaction-count scale for registry datasets (default: REPRO_SCALE or 1.0)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser(
+        "stats", help="dataset statistics (Table 1)", parents=[common]
+    )
+    stats.add_argument("datasets", nargs="*", help="registry names or .2v paths")
+    stats.set_defaults(handler=_cmd_stats)
+
+    method_options = argparse.ArgumentParser(add_help=False)
+    method_options.add_argument(
+        "--method", choices=("exact", "select", "greedy", "beam"), default="select"
+    )
+    method_options.add_argument(
+        "--k", type=int, default=1, help="rules per iteration (select)"
+    )
+    method_options.add_argument(
+        "--minsup", type=int, default=None, help="absolute minimum support"
+    )
+    method_options.add_argument("--max-iterations", type=int, default=None)
+    method_options.add_argument("--max-rule-size", type=int, default=None)
+
+    fit = subparsers.add_parser(
+        "fit", help="induce a translation table", parents=[common, method_options]
+    )
+    fit.add_argument("dataset")
+    fit.add_argument("--limit", type=int, default=30, help="rules to print")
+    fit.add_argument("--output", type=Path, default=None, help="write table JSON here")
+    fit.add_argument(
+        "--prune", action="store_true", help="post-hoc prune the fitted table"
+    )
+    fit.set_defaults(handler=_cmd_fit)
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="held-out cross-view prediction",
+        parents=[common, method_options],
+    )
+    predict.add_argument("dataset")
+    predict.add_argument("--train-fraction", type=float, default=0.7)
+    predict.add_argument("--seed", type=int, default=0)
+    predict.set_defaults(handler=_cmd_predict)
+
+    randomize = subparsers.add_parser(
+        "randomize",
+        help="swap-randomization significance test",
+        parents=[common, method_options],
+    )
+    randomize.add_argument("dataset")
+    randomize.add_argument("--permutations", type=int, default=19)
+    randomize.add_argument("--seed", type=int, default=0)
+    randomize.set_defaults(handler=_cmd_randomize)
+
+    describe = subparsers.add_parser(
+        "describe",
+        help="full model report for a fitted table",
+        parents=[common, method_options],
+    )
+    describe.add_argument("dataset")
+    describe.add_argument("--limit", type=int, default=25, help="rules to print")
+    describe.set_defaults(handler=_cmd_describe)
+
+    stability = subparsers.add_parser(
+        "stability",
+        help="bootstrap stability of the fitted table",
+        parents=[common, method_options],
+    )
+    stability.add_argument("dataset")
+    stability.add_argument("--resamples", type=int, default=10)
+    stability.add_argument("--sample-fraction", type=float, default=1.0)
+    stability.add_argument(
+        "--no-replacement",
+        action="store_true",
+        help="subsample without replacement (requires --sample-fraction < 1)",
+    )
+    stability.add_argument("--seed", type=int, default=0)
+    stability.set_defaults(handler=_cmd_stability)
+
+    encoding = subparsers.add_parser(
+        "encoding",
+        help="compare the paper's encoding to the refined (optimal) one",
+        parents=[common, method_options],
+    )
+    encoding.add_argument("dataset")
+    encoding.set_defaults(handler=_cmd_encoding)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="compression-based clustering (k translation tables)",
+        parents=[common, method_options],
+    )
+    cluster.add_argument("dataset")
+    cluster.add_argument(
+        "--k-components", type=int, default=2, help="number of components"
+    )
+    cluster.add_argument("--restarts", type=int, default=1)
+    cluster.add_argument("--limit", type=int, default=10, help="rules to print per component")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.set_defaults(handler=_cmd_cluster)
+
+    convert = subparsers.add_parser(
+        "convert", help="convert between .2v and ARFF formats"
+    )
+    convert.add_argument("source")
+    convert.add_argument("destination")
+    convert.set_defaults(handler=_cmd_convert)
+
+    compare = subparsers.add_parser(
+        "compare", help="method comparison (Table 3)", parents=[common]
+    )
+    compare.add_argument("dataset")
+    compare.add_argument("--minsup", type=int, default=None)
+    compare.set_defaults(handler=_cmd_compare)
+
+    trace = subparsers.add_parser(
+        "trace", help="construction trace (Fig. 2)", parents=[common]
+    )
+    trace.add_argument("dataset")
+    trace.add_argument("--minsup", type=int, default=None)
+    trace.add_argument("--every", type=int, default=1, help="print every n-th iteration")
+    trace.set_defaults(handler=_cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

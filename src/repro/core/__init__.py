@@ -1,0 +1,90 @@
+"""The paper's contribution: translation models for Boolean two-view data.
+
+* :mod:`~repro.core.rules` / :mod:`~repro.core.table` — translation rules
+  ``X -> Y`` / ``X <- Y`` / ``X <-> Y`` and translation tables (Section 3).
+* :mod:`~repro.core.translate` — the TRANSLATE scheme and correction
+  tables providing lossless translation (Algorithm 1).
+* :mod:`~repro.core.encoding` — MDL encoded lengths: per-item Shannon
+  codes, ``L(X|D)``, ``L(T)``, ``L(C|T)`` (Section 4).
+* :mod:`~repro.core.state` — incremental cover state with vectorised rule
+  gains Δ (Section 5.1).
+* :mod:`~repro.core.search` — exact best-rule search with the paper's
+  ``tub`` / ``rub`` / ``qub`` pruning (Section 5.2).
+* :mod:`~repro.core.translator` — TRANSLATOR-EXACT, TRANSLATOR-SELECT(k)
+  and TRANSLATOR-GREEDY (Algorithms 2-3).
+* :mod:`~repro.core.refined` — the "optimal" refined encoding used to
+  verify the paper's Section 4.1 claim (diagnostic only).
+"""
+
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.encoding import CodeLengthModel
+from repro.core.translate import (
+    CorrectionTables,
+    corrections,
+    reconstruct,
+    translate_transaction,
+    translate_view,
+)
+from repro.core.beam import TranslatorBeam
+from repro.core.predict import (
+    PredictionScores,
+    holdout_evaluation,
+    predict_view,
+    prediction_scores,
+)
+from repro.core.pruning import PruneResult, prune_table
+from repro.core.clustering import (
+    ClusteringResult,
+    cluster_two_view,
+    select_k,
+    transaction_bits,
+)
+from repro.core.refined import (
+    RefinedEncodingReport,
+    plugin_codelength,
+    refined_lengths,
+)
+from repro.core.state import CoverState
+from repro.core.search import ExactRuleSearch, SearchStats
+from repro.core.translator import (
+    IterationRecord,
+    TranslatorExact,
+    TranslatorGreedy,
+    TranslatorResult,
+    TranslatorSelect,
+)
+
+__all__ = [
+    "Direction",
+    "TranslationRule",
+    "TranslationTable",
+    "CodeLengthModel",
+    "CorrectionTables",
+    "corrections",
+    "reconstruct",
+    "translate_transaction",
+    "translate_view",
+    "PredictionScores",
+    "holdout_evaluation",
+    "predict_view",
+    "prediction_scores",
+    "PruneResult",
+    "prune_table",
+    "ClusteringResult",
+    "cluster_two_view",
+    "select_k",
+    "transaction_bits",
+    "RefinedEncodingReport",
+    "plugin_codelength",
+    "refined_lengths",
+    "CoverState",
+    "ExactRuleSearch",
+    "SearchStats",
+    "IterationRecord",
+    "TranslatorBeam",
+    "TranslatorExact",
+    "TranslatorGreedy",
+    "TranslatorResult",
+    "TranslatorSelect",
+]

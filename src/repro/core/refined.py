@@ -1,0 +1,190 @@
+"""Refined ("optimal") encoded lengths — verifying a paper claim.
+
+Section 4.1 of the paper fixes the per-item code lengths to the empirical
+distribution of the *complete dataset* and remarks:
+
+    "using the empirical data distribution of the complete dataset for
+    the encoding of both the translation and correction tables may lead
+    to an encoding that is not completely optimal [...] as we will show
+    later, translation tables are relatively small, hence using the
+    optimal encoding would hardly change the results in practice."
+
+This module implements that *optimal* (refined) encoding so the claim can
+be tested: after a table is fitted, the items appearing in the
+translation table and in each correction table are re-encoded with
+Shannon codes derived from their own empirical distributions (the
+plug-in, or maximum-likelihood, codelength of the item multiset):
+
+    L_refined(entity) = Σ_I  n_I * -log2(n_I / N)
+
+where ``n_I`` counts occurrences of item ``I`` inside the entity and
+``N = Σ n_I``.  By Gibbs' inequality this is the shortest item-identity
+code for the entity's actual contents among all codes derived from a
+*normalized* item distribution.  (The paper's code lengths come from
+per-transaction occurrence probabilities, which do not sum to one across
+items, so neither encoding dominates the other in general — which is
+exactly why the comparison is informative.)  Benchmark A9 confirms the
+claim: the compression-ratio difference between the two encodings stays
+within a few percentage points on planted and registry data.
+
+Note the refined encoding is *diagnostic only*: optimising the search
+against it would let corrections exploit within-view structure, which
+the paper explicitly rules out ("we want compression to be the result
+only of structure captured by the rules").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.encoding import CodeLengthModel
+from repro.core.rules import TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translate import corrections
+from repro.data.dataset import Side, TwoViewDataset
+
+__all__ = ["RefinedEncodingReport", "plugin_codelength", "refined_lengths"]
+
+
+def plugin_codelength(counts: Iterable[int]) -> float:
+    """Plug-in Shannon codelength of a multiset given its item counts.
+
+    ``Σ n_I * -log2(n_I / N)`` in bits — i.e. ``N`` times the empirical
+    entropy of the item distribution.  An empty multiset costs 0 bits.
+    """
+    values = np.asarray([count for count in counts if count > 0], dtype=float)
+    if values.size == 0:
+        return 0.0
+    total = values.sum()
+    return float(np.sum(values * -np.log2(values / total)))
+
+
+def _correction_bits_refined(correction: np.ndarray) -> float:
+    """Refined encoded size of one correction matrix."""
+    return plugin_codelength(correction.sum(axis=0).astype(int).tolist())
+
+
+def _table_bits_refined(table: Iterable[TranslationRule]) -> float:
+    """Refined encoded size of a translation table's itemsets + directions.
+
+    Item identities on each side are encoded against the within-table item
+    distribution; direction markers keep the paper's 1/2-bit scheme (they
+    are already a fixed two-symbol code).
+    """
+    left_counts: Counter[int] = Counter()
+    right_counts: Counter[int] = Counter()
+    direction_bits = 0.0
+    for rule in table:
+        left_counts.update(rule.lhs)
+        right_counts.update(rule.rhs)
+        direction_bits += rule.direction.encoded_bits
+    return (
+        plugin_codelength(left_counts.values())
+        + plugin_codelength(right_counts.values())
+        + direction_bits
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RefinedEncodingReport:
+    """Baseline (paper) versus refined encoded lengths of one model.
+
+    All lengths in bits.  ``*_ratio`` values are ``L(D, T) / L(D, ∅)``
+    fractions under the respective encoding, where both numerator and
+    denominator use that same encoding (so the two ratios are
+    comparable).
+    """
+
+    table_bits: float
+    table_bits_refined: float
+    correction_bits_left: float
+    correction_bits_left_refined: float
+    correction_bits_right: float
+    correction_bits_right_refined: float
+    baseline_bits: float
+    baseline_bits_refined: float
+
+    @property
+    def total_bits(self) -> float:
+        """``L(D, T)`` under the paper's encoding."""
+        return self.table_bits + self.correction_bits_left + self.correction_bits_right
+
+    @property
+    def total_bits_refined(self) -> float:
+        """``L(D, T)`` under the refined encoding."""
+        return (
+            self.table_bits_refined
+            + self.correction_bits_left_refined
+            + self.correction_bits_right_refined
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        """``L%`` under the paper's encoding (fraction)."""
+        return self.total_bits / self.baseline_bits if self.baseline_bits else 1.0
+
+    @property
+    def compression_ratio_refined(self) -> float:
+        """``L%`` under the refined encoding (fraction)."""
+        if not self.baseline_bits_refined:
+            return 1.0
+        return self.total_bits_refined / self.baseline_bits_refined
+
+    @property
+    def ratio_difference(self) -> float:
+        """``L%_paper - L%_refined`` in percentage points (of ratios*100)."""
+        return 100.0 * (self.compression_ratio - self.compression_ratio_refined)
+
+    def summary(self) -> dict[str, float]:
+        """Flat report row for benchmark tables."""
+        return {
+            "L(T)": round(self.table_bits, 1),
+            "L(T) refined": round(self.table_bits_refined, 1),
+            "L(C) total": round(
+                self.correction_bits_left + self.correction_bits_right, 1
+            ),
+            "L(C) refined": round(
+                self.correction_bits_left_refined
+                + self.correction_bits_right_refined,
+                1,
+            ),
+            "L% paper": round(100 * self.compression_ratio, 2),
+            "L% refined": round(100 * self.compression_ratio_refined, 2),
+            "diff (pp)": round(self.ratio_difference, 2),
+        }
+
+
+def refined_lengths(
+    dataset: TwoViewDataset,
+    table: TranslationTable | Iterable[TranslationRule],
+    codes: CodeLengthModel | None = None,
+) -> RefinedEncodingReport:
+    """Compute paper-encoding and refined-encoding lengths side by side.
+
+    The refined baseline re-encodes the raw views (the corrections of the
+    empty table) with their own per-view plug-in codes, so both ratios
+    normalise against the same kind of encoding.
+    """
+    rules = list(table)
+    model = codes if codes is not None else CodeLengthModel(dataset)
+    tables = corrections(dataset, rules)
+    correction_left = tables.correction_left
+    correction_right = tables.correction_right
+    baseline = model.baseline_length()
+    baseline_refined = _correction_bits_refined(dataset.left) + _correction_bits_refined(
+        dataset.right
+    )
+    return RefinedEncodingReport(
+        table_bits=model.table_length(rules),
+        table_bits_refined=_table_bits_refined(rules),
+        correction_bits_left=model.correction_length(Side.LEFT, correction_left),
+        correction_bits_left_refined=_correction_bits_refined(correction_left),
+        correction_bits_right=model.correction_length(Side.RIGHT, correction_right),
+        correction_bits_right_refined=_correction_bits_refined(correction_right),
+        baseline_bits=baseline,
+        baseline_bits_refined=baseline_refined,
+    )

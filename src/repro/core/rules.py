@@ -1,0 +1,142 @@
+"""Translation rules.
+
+A translation rule ``X ⇒ Y`` consists of a non-empty antecedent itemset
+``X`` over the left vocabulary, a direction in ``{->, <-, <->}``, and a
+non-empty consequent itemset ``Y`` over the right vocabulary (paper,
+Definition 1).  Rules are immutable value objects; item indices are column
+positions within their respective view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable
+
+from repro.data.dataset import Side, TwoViewDataset
+
+__all__ = ["Direction", "TranslationRule"]
+
+
+class Direction(enum.Enum):
+    """Rule direction: which translations the rule participates in."""
+
+    FORWARD = "->"  # left to right only
+    BACKWARD = "<-"  # right to left only
+    BOTH = "<->"  # bidirectional
+
+    @property
+    def encoded_bits(self) -> int:
+        """``L(dir)``: 1 bit for bidirectional, 2 bits otherwise (Section 4.1)."""
+        return 1 if self is Direction.BOTH else 2
+
+    @property
+    def applies_forward(self) -> bool:
+        """Whether the rule fires when translating left to right."""
+        return self in (Direction.FORWARD, Direction.BOTH)
+
+    @property
+    def applies_backward(self) -> bool:
+        """Whether the rule fires when translating right to left."""
+        return self in (Direction.BACKWARD, Direction.BOTH)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Direction":
+        """Parse ``'->'``, ``'<-'`` or ``'<->'``."""
+        for member in cls:
+            if member.value == text:
+                return member
+        raise ValueError(f"invalid direction {text!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def _normalise_itemset(items: Iterable[int], what: str) -> tuple[int, ...]:
+    itemset = tuple(sorted(set(int(item) for item in items)))
+    if not itemset:
+        raise ValueError(f"{what} must be non-empty")
+    if itemset[0] < 0:
+        raise ValueError(f"{what} contains a negative item index")
+    return itemset
+
+
+@dataclasses.dataclass(frozen=True)
+class TranslationRule:
+    """An immutable translation rule ``X ⇒ Y``.
+
+    Attributes
+    ----------
+    lhs:
+        Sorted left-view column indices of the antecedent ``X``.
+    rhs:
+        Sorted right-view column indices of the consequent ``Y``.
+    direction:
+        The rule's :class:`Direction`.
+    """
+
+    lhs: tuple[int, ...]
+    rhs: tuple[int, ...]
+    direction: Direction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", _normalise_itemset(self.lhs, "lhs"))
+        object.__setattr__(self, "rhs", _normalise_itemset(self.rhs, "rhs"))
+        if not isinstance(self.direction, Direction):
+            object.__setattr__(self, "direction", Direction.from_string(self.direction))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of items in the rule."""
+        return len(self.lhs) + len(self.rhs)
+
+    def antecedent(self, target: Side) -> tuple[int, ...]:
+        """The itemset matched when translating *towards* ``target``."""
+        return self.lhs if target is Side.RIGHT else self.rhs
+
+    def consequent(self, target: Side) -> tuple[int, ...]:
+        """The itemset emitted when translating *towards* ``target``."""
+        return self.rhs if target is Side.RIGHT else self.lhs
+
+    def applies_towards(self, target: Side) -> bool:
+        """Whether the rule fires when translating towards ``target``."""
+        if target is Side.RIGHT:
+            return self.direction.applies_forward
+        return self.direction.applies_backward
+
+    def with_direction(self, direction: Direction) -> "TranslationRule":
+        """Return a copy of the rule with a different direction."""
+        return TranslationRule(self.lhs, self.rhs, direction)
+
+    # ------------------------------------------------------------------
+    def render(self, dataset: TwoViewDataset | None = None) -> str:
+        """Human-readable form, with item names when a dataset is given."""
+        if dataset is None:
+            left = ", ".join(map(str, self.lhs))
+            right = ", ".join(map(str, self.rhs))
+        else:
+            left = ", ".join(dataset.left_names[item] for item in self.lhs)
+            right = ", ".join(dataset.right_names[item] for item in self.rhs)
+        return f"{{{left}}} {self.direction} {{{right}}}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "lhs": list(self.lhs),
+            "rhs": list(self.rhs),
+            "direction": self.direction.value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TranslationRule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            tuple(payload["lhs"]),  # type: ignore[arg-type]
+            tuple(payload["rhs"]),  # type: ignore[arg-type]
+            Direction.from_string(str(payload["direction"])),
+        )

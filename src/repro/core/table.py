@@ -1,0 +1,132 @@
+"""Translation tables.
+
+A translation table is a set of translation rules (paper, Definition 2).
+Rule order never influences translation (Algorithm 1 unions all matching
+consequents), so the table behaves as an ordered container purely for
+reporting purposes: rules keep the order in which the search added them,
+which is also the order of decreasing compression gain for the greedy
+algorithms.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.data.dataset import TwoViewDataset
+from repro.core.rules import Direction, TranslationRule
+
+__all__ = ["TranslationTable"]
+
+
+class TranslationTable:
+    """An ordered collection of unique translation rules."""
+
+    def __init__(self, rules: Iterable[TranslationRule] = ()) -> None:
+        self._rules: list[TranslationRule] = []
+        self._seen: set[TranslationRule] = set()
+        for rule in rules:
+            self.add(rule)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def add(self, rule: TranslationRule) -> None:
+        """Append ``rule``; duplicate rules are rejected."""
+        if not isinstance(rule, TranslationRule):
+            raise TypeError(f"expected TranslationRule, got {type(rule).__name__}")
+        if rule in self._seen:
+            raise ValueError(f"duplicate rule {rule}")
+        self._rules.append(rule)
+        self._seen.add(rule)
+
+    def __iter__(self) -> Iterator[TranslationRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __getitem__(self, index: int) -> TranslationRule:
+        return self._rules[index]
+
+    def __contains__(self, rule: object) -> bool:
+        return rule in self._seen
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TranslationTable):
+            return NotImplemented
+        return set(self._rules) == set(other._rules)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_bidirectional(self) -> int:
+        """Number of ``<->`` rules."""
+        return sum(1 for rule in self._rules if rule.direction is Direction.BOTH)
+
+    @property
+    def n_unidirectional(self) -> int:
+        """Number of ``->`` or ``<-`` rules."""
+        return len(self._rules) - self.n_bidirectional
+
+    @property
+    def average_length(self) -> float:
+        """Average number of items per rule (the ``l`` column of Table 3)."""
+        if not self._rules:
+            return 0.0
+        return sum(rule.size for rule in self._rules) / len(self._rules)
+
+    def items_used(self) -> tuple[set[int], set[int]]:
+        """Distinct left and right items appearing in any rule."""
+        left: set[int] = set()
+        right: set[int] = set()
+        for rule in self._rules:
+            left.update(rule.lhs)
+            right.update(rule.rhs)
+        return left, right
+
+    def rules_with_item(
+        self, item: int, left: bool
+    ) -> list[TranslationRule]:
+        """All rules containing a given item on the given side (Fig. 6)."""
+        if left:
+            return [rule for rule in self._rules if item in rule.lhs]
+        return [rule for rule in self._rules if item in rule.rhs]
+
+    # ------------------------------------------------------------------
+    # Rendering / serialisation
+    # ------------------------------------------------------------------
+    def render(self, dataset: TwoViewDataset | None = None, limit: int | None = None) -> str:
+        """Multi-line human-readable listing of the rules."""
+        rows = self._rules if limit is None else self._rules[:limit]
+        lines = [rule.render(dataset) for rule in rows]
+        if limit is not None and len(self._rules) > limit:
+            lines.append(f"... ({len(self._rules) - limit} more rules)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"TranslationTable({len(self._rules)} rules, "
+            f"{self.n_bidirectional} bidirectional)"
+        )
+
+    def to_json(self) -> str:
+        """Serialise the table to a JSON string."""
+        return json.dumps([rule.to_dict() for rule in self._rules], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TranslationTable":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(TranslationRule.from_dict(entry) for entry in payload)
+
+    def save(self, path: str | Path) -> None:
+        """Write the table to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TranslationTable":
+        """Read a table previously written with :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,75 @@
+"""Two-view Boolean data: model, I/O, pre-processing and generators.
+
+This subpackage provides every data-facing substrate required by the
+reproduction of *Association Discovery in Two-View Data*:
+
+* :class:`~repro.data.dataset.TwoViewDataset` — the Boolean two-view data
+  model used throughout the library (paper, Section 3).
+* :mod:`~repro.data.io` — a small native text format plus CSV and FIMI
+  import.
+* :mod:`~repro.data.arff` — ARFF reading/writing (the UCI and MULAN
+  interchange format) and the ARFF-to-two-view pipeline.
+* :mod:`~repro.data.preprocessing` — the paper's pre-processing pipeline
+  (equal-height discretisation, one-hot encoding, frequent-item filtering,
+  density-balanced view splitting; Section 6, "Data pre-processing").
+* :mod:`~repro.data.synthetic` — planted-rule generators used as offline
+  stand-ins for the paper's benchmark datasets.
+* :mod:`~repro.data.registry` — shape-matched stand-ins for the 14 datasets
+  of Table 1, addressable by name.
+"""
+
+from repro.data.arff import (
+    ArffAttribute,
+    ArffError,
+    ArffRelation,
+    arff_to_frame,
+    arff_to_two_view,
+    load_arff,
+    loads_arff,
+    save_arff,
+    two_view_to_arff,
+)
+from repro.data.dataset import Side, TwoViewDataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.preprocessing import (
+    boolean_frame,
+    discretize_equal_height,
+    drop_frequent_items,
+    one_hot,
+    split_views,
+)
+from repro.data.registry import (
+    PAPER_DATASETS,
+    dataset_names,
+    make_dataset,
+    paper_stats,
+)
+from repro.data.synthetic import PlantedRule, SyntheticSpec, generate_planted
+
+__all__ = [
+    "ArffAttribute",
+    "ArffError",
+    "ArffRelation",
+    "arff_to_frame",
+    "arff_to_two_view",
+    "load_arff",
+    "loads_arff",
+    "save_arff",
+    "two_view_to_arff",
+    "Side",
+    "TwoViewDataset",
+    "load_dataset",
+    "save_dataset",
+    "boolean_frame",
+    "discretize_equal_height",
+    "drop_frequent_items",
+    "one_hot",
+    "split_views",
+    "PAPER_DATASETS",
+    "dataset_names",
+    "make_dataset",
+    "paper_stats",
+    "PlantedRule",
+    "SyntheticSpec",
+    "generate_planted",
+]

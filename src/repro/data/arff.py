@@ -1,0 +1,476 @@
+"""Reading and writing ARFF files (the UCI / MULAN interchange format).
+
+The paper draws its datasets from the LUCS/KDD, UCI and MULAN
+repositories; UCI and MULAN distribute data as ARFF (Attribute-Relation
+File Format).  This module implements the subset of ARFF needed to ingest
+those datasets offline:
+
+* ``@relation``, ``@attribute`` and ``@data`` sections,
+* ``numeric``/``real``/``integer`` attributes,
+* ``nominal`` attributes (``{a, b, c}``), including quoted values,
+* ``string`` attributes (kept as categorical),
+* sparse data rows (``{index value, ...}``) as used by MULAN,
+* ``?`` missing values (surfaced as ``None``),
+* ``%`` comments and blank lines.
+
+Date attributes and relational attributes are intentionally not
+supported — none of the paper's datasets use them — and are rejected
+with a clear error.
+
+The result of :func:`load_arff` is an :class:`ArffRelation`: an ordered
+list of attributes plus row-major values.  :func:`arff_to_frame` converts
+a relation into the column-mapping "frame" consumed by
+:mod:`repro.data.preprocessing`, so the full paper pipeline becomes::
+
+    relation = load_arff("emotions.arff")
+    frame = arff_to_frame(relation)
+    dataset = frame_to_two_view(single_frame=frame, name=relation.name)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import TwoViewDataset
+from repro.data.preprocessing import frame_to_two_view
+
+__all__ = [
+    "ArffAttribute",
+    "ArffRelation",
+    "ArffError",
+    "load_arff",
+    "loads_arff",
+    "save_arff",
+    "arff_to_frame",
+    "arff_to_two_view",
+    "two_view_to_arff",
+]
+
+
+class ArffError(ValueError):
+    """Raised when an ARFF document cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+@dataclass(frozen=True)
+class ArffAttribute:
+    """One ``@attribute`` declaration.
+
+    ``kind`` is ``"numeric"``, ``"nominal"`` or ``"string"``; ``values``
+    lists the admissible categories for nominal attributes (empty
+    otherwise).
+    """
+
+    name: str
+    kind: str
+    values: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "nominal", "string"):
+            raise ValueError(f"unsupported attribute kind {self.kind!r}")
+        if self.kind == "nominal" and not self.values:
+            raise ValueError("nominal attribute requires at least one value")
+
+    @property
+    def is_binary_nominal(self) -> bool:
+        """True for two-valued nominal attributes (e.g. ``{0, 1}``)."""
+        return self.kind == "nominal" and len(self.values) == 2
+
+
+@dataclass
+class ArffRelation:
+    """A parsed ARFF document: relation name, attributes and data rows.
+
+    Rows are stored row-major; missing values are ``None``, numeric cells
+    are ``float`` and nominal/string cells are ``str``.
+    """
+
+    name: str
+    attributes: list[ArffAttribute]
+    rows: list[list[object]] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows."""
+        return len(self.rows)
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of declared attributes."""
+        return len(self.attributes)
+
+    def attribute_index(self, name: str) -> int:
+        """Return the position of attribute ``name`` (KeyError if absent)."""
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return index
+        raise KeyError(f"unknown attribute {name!r}")
+
+    def column(self, name: str) -> list[object]:
+        """Return one attribute's values across all rows."""
+        index = self.attribute_index(name)
+        return [row[index] for row in self.rows]
+
+
+_ATTRIBUTE_RE = re.compile(r"@attribute\s+", re.IGNORECASE)
+_RELATION_RE = re.compile(r"@relation\s+", re.IGNORECASE)
+_DATA_RE = re.compile(r"@data\s*$", re.IGNORECASE)
+_NUMERIC_KINDS = {"numeric", "real", "integer"}
+_UNSUPPORTED_KINDS = {"date", "relational"}
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``%`` comment that is not inside quotes."""
+    in_single = in_double = False
+    for position, char in enumerate(line):
+        if char == "'" and not in_double:
+            in_single = not in_single
+        elif char == '"' and not in_single:
+            in_double = not in_double
+        elif char == "%" and not in_single and not in_double:
+            return line[:position]
+    return line
+
+
+def _read_token(text: str) -> tuple[str, str]:
+    """Read one (possibly quoted) token; return ``(token, rest)``."""
+    text = text.lstrip()
+    if not text:
+        return "", ""
+    quote = text[0]
+    if quote in ("'", '"'):
+        end = text.find(quote, 1)
+        while end != -1 and end + 1 < len(text) and text[end - 1] == "\\":
+            end = text.find(quote, end + 1)
+        if end == -1:
+            raise ArffError(f"unterminated quote in {text!r}")
+        return text[1:end].replace(f"\\{quote}", quote), text[end + 1 :]
+    match = re.match(r"[^\s,{}]+", text)
+    if match is None:
+        raise ArffError(f"cannot read token from {text!r}")
+    return match.group(0), text[match.end() :]
+
+
+def _split_csv(text: str) -> list[str]:
+    """Split a data line on commas, honouring quoted cells."""
+    cells: list[str] = []
+    current: list[str] = []
+    in_single = in_double = False
+    for char in text:
+        if char == "'" and not in_double:
+            in_single = not in_single
+            current.append(char)
+        elif char == '"' and not in_single:
+            in_double = not in_double
+            current.append(char)
+        elif char == "," and not in_single and not in_double:
+            cells.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    cells.append("".join(current).strip())
+    return cells
+
+
+def _unquote(cell: str) -> str:
+    if len(cell) >= 2 and cell[0] == cell[-1] and cell[0] in ("'", '"'):
+        quote = cell[0]
+        return cell[1:-1].replace(f"\\{quote}", quote)
+    return cell
+
+
+def _parse_attribute(line: str, line_number: int) -> ArffAttribute:
+    rest = _ATTRIBUTE_RE.sub("", line, count=1)
+    try:
+        name, rest = _read_token(rest)
+    except ArffError as error:
+        raise ArffError(str(error), line_number) from None
+    rest = rest.strip()
+    if not name:
+        raise ArffError("attribute without a name", line_number)
+    if rest.startswith("{"):
+        if not rest.endswith("}"):
+            raise ArffError("unterminated nominal value list", line_number)
+        body = rest[1:-1]
+        values = tuple(_unquote(cell) for cell in _split_csv(body) if cell)
+        if not values:
+            raise ArffError("empty nominal value list", line_number)
+        return ArffAttribute(name, "nominal", values)
+    kind = rest.lower().split()[0] if rest else ""
+    if kind in _NUMERIC_KINDS:
+        return ArffAttribute(name, "numeric")
+    if kind == "string":
+        return ArffAttribute(name, "string")
+    if kind in _UNSUPPORTED_KINDS:
+        raise ArffError(f"unsupported attribute type {kind!r}", line_number)
+    raise ArffError(f"unknown attribute type {rest!r}", line_number)
+
+
+def _parse_cell(cell: str, attribute: ArffAttribute, line_number: int) -> object:
+    cell = _unquote(cell)
+    if cell == "?":
+        return None
+    if attribute.kind == "numeric":
+        try:
+            return float(cell)
+        except ValueError:
+            raise ArffError(
+                f"invalid numeric value {cell!r} for attribute {attribute.name!r}",
+                line_number,
+            ) from None
+    if attribute.kind == "nominal" and cell not in attribute.values:
+        raise ArffError(
+            f"value {cell!r} not among nominal values of {attribute.name!r}",
+            line_number,
+        )
+    return cell
+
+
+def _parse_sparse_row(
+    body: str, attributes: Sequence[ArffAttribute], line_number: int
+) -> list[object]:
+    """Parse a MULAN-style sparse row ``{index value, index value}``.
+
+    Unmentioned cells take the attribute's implicit default: 0 for numeric
+    attributes and the *first* nominal value for nominal ones (the ARFF
+    sparse-format convention).
+    """
+    row: list[object] = []
+    for attribute in attributes:
+        if attribute.kind == "numeric":
+            row.append(0.0)
+        elif attribute.kind == "nominal":
+            row.append(attribute.values[0])
+        else:
+            row.append("")
+    body = body.strip()
+    if not body:
+        return row
+    for cell in _split_csv(body):
+        if not cell:
+            continue
+        parts = cell.split(None, 1)
+        if len(parts) != 2:
+            raise ArffError(f"malformed sparse cell {cell!r}", line_number)
+        index_text, value_text = parts
+        try:
+            index = int(index_text)
+        except ValueError:
+            raise ArffError(f"invalid sparse index {index_text!r}", line_number) from None
+        if not 0 <= index < len(attributes):
+            raise ArffError(f"sparse index {index} out of range", line_number)
+        row[index] = _parse_cell(value_text, attributes[index], line_number)
+    return row
+
+
+def loads_arff(text: str, name: str | None = None) -> ArffRelation:
+    """Parse an ARFF document from a string. See :func:`load_arff`."""
+    relation_name = name or "unnamed"
+    attributes: list[ArffAttribute] = []
+    rows: list[list[object]] = []
+    in_data = False
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if not in_data:
+            if _RELATION_RE.match(line):
+                token, __ = _read_token(_RELATION_RE.sub("", line, count=1))
+                if name is None and token:
+                    relation_name = token
+                continue
+            if _ATTRIBUTE_RE.match(line):
+                attributes.append(_parse_attribute(line, line_number))
+                continue
+            if _DATA_RE.match(line):
+                if not attributes:
+                    raise ArffError("@data before any @attribute", line_number)
+                in_data = True
+                continue
+            raise ArffError(f"unexpected header line {line!r}", line_number)
+        if line.startswith("{"):
+            if not line.endswith("}"):
+                raise ArffError("unterminated sparse row", line_number)
+            rows.append(_parse_sparse_row(line[1:-1], attributes, line_number))
+            continue
+        cells = _split_csv(line)
+        if len(cells) != len(attributes):
+            raise ArffError(
+                f"row has {len(cells)} cells, expected {len(attributes)}",
+                line_number,
+            )
+        rows.append(
+            [
+                _parse_cell(cell, attribute, line_number)
+                for cell, attribute in zip(cells, attributes)
+            ]
+        )
+    if not attributes:
+        raise ArffError("document declares no attributes")
+    return ArffRelation(relation_name, attributes, rows)
+
+
+def load_arff(path: str | Path, name: str | None = None) -> ArffRelation:
+    """Load an ARFF file.
+
+    ``name`` overrides the ``@relation`` name.  Raises :class:`ArffError`
+    with a line number on malformed input.
+    """
+    path = Path(path)
+    return loads_arff(path.read_text(encoding="utf-8"), name=name)
+
+
+def _quote_if_needed(token: str) -> str:
+    if token == "" or re.search(r"[\s,{}%'\"]", token):
+        escaped = token.replace("'", "\\'")
+        return f"'{escaped}'"
+    return token
+
+
+def save_arff(relation: ArffRelation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` in dense ARFF format."""
+    lines = [f"@relation {_quote_if_needed(relation.name)}", ""]
+    for attribute in relation.attributes:
+        if attribute.kind == "numeric":
+            spec = "numeric"
+        elif attribute.kind == "string":
+            spec = "string"
+        else:
+            spec = "{" + ",".join(_quote_if_needed(value) for value in attribute.values) + "}"
+        lines.append(f"@attribute {_quote_if_needed(attribute.name)} {spec}")
+    lines.extend(["", "@data"])
+    for row in relation.rows:
+        cells = []
+        for value, attribute in zip(row, relation.attributes):
+            if value is None:
+                cells.append("?")
+            elif attribute.kind == "numeric":
+                number = float(value)
+                cells.append(str(int(number)) if number.is_integer() else repr(number))
+            else:
+                cells.append(_quote_if_needed(str(value)))
+        lines.append(",".join(cells))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def arff_to_frame(
+    relation: ArffRelation,
+    include: Iterable[str] | None = None,
+    exclude: Iterable[str] | None = None,
+) -> dict[str, list[object]]:
+    """Convert a relation into the frame mapping used by preprocessing.
+
+    Numeric columns stay numeric (``float``); binary ``{0,1}`` nominal
+    columns become Boolean; other nominal and string columns stay
+    categorical strings.  Missing numeric values are imputed with the
+    column median and missing categoricals with the ``"?"`` category, so
+    downstream one-hot encoding keeps every row.
+
+    ``include``/``exclude`` select attributes by name (mutually
+    exclusive).
+    """
+    if include is not None and exclude is not None:
+        raise ValueError("pass include or exclude, not both")
+    if include is not None:
+        wanted = list(include)
+        unknown = [name for name in wanted if name not in {a.name for a in relation.attributes}]
+        if unknown:
+            raise KeyError(f"unknown attributes: {unknown}")
+        selected = [a for a in relation.attributes if a.name in set(wanted)]
+    elif exclude is not None:
+        dropped = set(exclude)
+        selected = [a for a in relation.attributes if a.name not in dropped]
+    else:
+        selected = list(relation.attributes)
+    frame: dict[str, list[object]] = {}
+    for attribute in selected:
+        values = relation.column(attribute.name)
+        if attribute.kind == "numeric":
+            present = [value for value in values if value is not None]
+            median = float(np.median(present)) if present else 0.0
+            frame[attribute.name] = [
+                float(value) if value is not None else median for value in values
+            ]
+        elif attribute.is_binary_nominal and set(attribute.values) == {"0", "1"}:
+            frame[attribute.name] = [value == "1" for value in values]
+        else:
+            frame[attribute.name] = [
+                str(value) if value is not None else "?" for value in values
+            ]
+    return frame
+
+
+def arff_to_two_view(
+    relation: ArffRelation,
+    left_attributes: Sequence[str] | None = None,
+    right_attributes: Sequence[str] | None = None,
+    n_bins: int = 5,
+    max_frequency: float | None = None,
+    name: str | None = None,
+) -> TwoViewDataset:
+    """Full ARFF-to-two-view pipeline (paper, Section 6 pre-processing).
+
+    When ``left_attributes``/``right_attributes`` are given, they define
+    the natural view split (e.g. CAL500's genre/instrument/vocal columns on
+    the right).  Otherwise the Booleanised attributes are split
+    automatically into two views of similar size and density.
+    """
+    dataset_name = name or relation.name
+    if (left_attributes is None) != (right_attributes is None):
+        raise ValueError("pass both left_attributes and right_attributes, or neither")
+    if left_attributes is not None and right_attributes is not None:
+        overlap = set(left_attributes) & set(right_attributes)
+        if overlap:
+            raise ValueError(f"attributes in both views: {sorted(overlap)}")
+        left_frame = arff_to_frame(relation, include=left_attributes)
+        right_frame = arff_to_frame(relation, include=right_attributes)
+        return frame_to_two_view(
+            left_frame,
+            right_frame,
+            n_bins=n_bins,
+            max_frequency=max_frequency,
+            name=dataset_name,
+        )
+    frame = arff_to_frame(relation)
+    return frame_to_two_view(
+        None,
+        None,
+        single_frame=frame,
+        n_bins=n_bins,
+        max_frequency=max_frequency,
+        name=dataset_name,
+    )
+
+
+def two_view_to_arff(dataset: TwoViewDataset) -> ArffRelation:
+    """Export a Boolean two-view dataset as a (dense) ARFF relation.
+
+    Every item becomes a ``{0,1}`` nominal attribute prefixed with its
+    view (``L:`` / ``R:``), which round-trips through
+    :func:`arff_to_two_view` with the corresponding attribute lists.
+    """
+    attributes = [
+        ArffAttribute(f"L:{name}", "nominal", ("0", "1")) for name in dataset.left_names
+    ] + [
+        ArffAttribute(f"R:{name}", "nominal", ("0", "1")) for name in dataset.right_names
+    ]
+    rows: list[list[object]] = []
+    for row in range(dataset.n_transactions):
+        cells: list[object] = [
+            "1" if dataset.left[row, column] else "0" for column in range(dataset.n_left)
+        ]
+        cells.extend(
+            "1" if dataset.right[row, column] else "0" for column in range(dataset.n_right)
+        )
+        rows.append(cells)
+    return ArffRelation(dataset.name, attributes, rows)

@@ -1,0 +1,367 @@
+"""The Boolean two-view data model.
+
+A two-view dataset ``D`` is a bag of transactions over two disjoint item
+vocabularies ``I_L`` (left) and ``I_R`` (right).  Each transaction ``t`` is
+a pair of itemsets ``(t_L, t_R)`` describing the same object (paper,
+Section 3).  Internally both views are stored as dense ``numpy`` Boolean
+matrices with one row per transaction and one column per item; this is the
+representation all mining and scoring code in the library operates on.
+
+Items are addressed by ``(side, index)`` where ``side`` is
+:data:`Side.LEFT` or :data:`Side.RIGHT` and ``index`` is the column in the
+corresponding view.  Human-readable item names are kept alongside so rules
+can be rendered for inspection (paper, Figs. 4-7).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Side", "TwoViewDataset"]
+
+
+class Side(enum.Enum):
+    """Identifies one of the two views of a dataset."""
+
+    LEFT = "L"
+    RIGHT = "R"
+
+    @property
+    def opposite(self) -> "Side":
+        """Return the other view."""
+        return Side.RIGHT if self is Side.LEFT else Side.LEFT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _as_bool_matrix(matrix: object, what: str) -> np.ndarray:
+    """Validate and normalise a view matrix to a 2-D Boolean array."""
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError(f"{what} must be 2-dimensional, got shape {array.shape}")
+    if array.dtype != bool:
+        if not np.isin(array, (0, 1)).all():
+            raise ValueError(f"{what} must be Boolean (0/1 valued)")
+        array = array.astype(bool)
+    return np.ascontiguousarray(array)
+
+
+def _default_names(prefix: str, count: int) -> list[str]:
+    return [f"{prefix}{index}" for index in range(count)]
+
+
+class TwoViewDataset:
+    """A Boolean dataset whose attributes are split into two views.
+
+    Parameters
+    ----------
+    left, right:
+        Boolean matrices of shape ``(n, |I_L|)`` and ``(n, |I_R|)``; row ``t``
+        of each matrix is the transaction ``t`` projected on that view.
+    left_names, right_names:
+        Optional item names (column labels).  Defaults to ``L0, L1, ...`` and
+        ``R0, R1, ...``.
+    name:
+        Optional dataset name used in reports.
+
+    Examples
+    --------
+    >>> data = TwoViewDataset.from_transactions(
+    ...     [({"a"}, {"x"}), ({"a", "b"}, {"x", "y"})],
+    ...     left_names=["a", "b"], right_names=["x", "y"])
+    >>> data.n_transactions, data.n_left, data.n_right
+    (2, 2, 2)
+    """
+
+    def __init__(
+        self,
+        left: object,
+        right: object,
+        left_names: Sequence[str] | None = None,
+        right_names: Sequence[str] | None = None,
+        name: str = "unnamed",
+    ) -> None:
+        self.left = _as_bool_matrix(left, "left view")
+        self.right = _as_bool_matrix(right, "right view")
+        if self.left.shape[0] != self.right.shape[0]:
+            raise ValueError(
+                "views must have the same number of transactions: "
+                f"{self.left.shape[0]} != {self.right.shape[0]}"
+            )
+        self.left_names = list(
+            left_names
+            if left_names is not None
+            else _default_names("L", self.left.shape[1])
+        )
+        self.right_names = list(
+            right_names
+            if right_names is not None
+            else _default_names("R", self.right.shape[1])
+        )
+        if len(self.left_names) != self.left.shape[1]:
+            raise ValueError("left_names length does not match left view width")
+        if len(self.right_names) != self.right.shape[1]:
+            raise ValueError("right_names length does not match right view width")
+        if len(set(self.left_names)) != len(self.left_names):
+            raise ValueError("left item names must be unique")
+        if len(set(self.right_names)) != len(self.right_names):
+            raise ValueError("right item names must be unique")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Iterable[tuple[Iterable[str], Iterable[str]]],
+        left_names: Sequence[str] | None = None,
+        right_names: Sequence[str] | None = None,
+        name: str = "unnamed",
+    ) -> "TwoViewDataset":
+        """Build a dataset from ``(left_items, right_items)`` name pairs.
+
+        When vocabularies are not given they are inferred from the data, in
+        first-appearance order.
+        """
+        pairs = [
+            (frozenset(left_part), frozenset(right_part))
+            for left_part, right_part in transactions
+        ]
+        if left_names is None:
+            seen: dict[str, None] = {}
+            for left_part, _ in pairs:
+                for item in sorted(left_part):
+                    seen.setdefault(item, None)
+            left_names = list(seen)
+        if right_names is None:
+            seen = {}
+            for _, right_part in pairs:
+                for item in sorted(right_part):
+                    seen.setdefault(item, None)
+            right_names = list(seen)
+        left_index = {item: column for column, item in enumerate(left_names)}
+        right_index = {item: column for column, item in enumerate(right_names)}
+        left = np.zeros((len(pairs), len(left_names)), dtype=bool)
+        right = np.zeros((len(pairs), len(right_names)), dtype=bool)
+        for row, (left_part, right_part) in enumerate(pairs):
+            for item in left_part:
+                if item not in left_index:
+                    raise ValueError(f"unknown left item {item!r}")
+                left[row, left_index[item]] = True
+            for item in right_part:
+                if item not in right_index:
+                    raise ValueError(f"unknown right item {item!r}")
+                right[row, right_index[item]] = True
+        return cls(left, right, left_names, right_names, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_transactions(self) -> int:
+        """Number of transactions ``|D|``."""
+        return self.left.shape[0]
+
+    @property
+    def n_left(self) -> int:
+        """Size of the left item vocabulary ``|I_L|``."""
+        return self.left.shape[1]
+
+    @property
+    def n_right(self) -> int:
+        """Size of the right item vocabulary ``|I_R|``."""
+        return self.right.shape[1]
+
+    @property
+    def n_items(self) -> int:
+        """Total vocabulary size ``|I_L| + |I_R|``."""
+        return self.n_left + self.n_right
+
+    @property
+    def density_left(self) -> float:
+        """Fraction of ones in the left view (``d_L`` in Table 1)."""
+        return float(self.left.mean()) if self.left.size else 0.0
+
+    @property
+    def density_right(self) -> float:
+        """Fraction of ones in the right view (``d_R`` in Table 1)."""
+        return float(self.right.mean()) if self.right.size else 0.0
+
+    def view(self, side: Side) -> np.ndarray:
+        """Return the Boolean matrix of ``side``."""
+        return self.left if side is Side.LEFT else self.right
+
+    def names(self, side: Side) -> list[str]:
+        """Return the item names of ``side``."""
+        return self.left_names if side is Side.LEFT else self.right_names
+
+    def n_side(self, side: Side) -> int:
+        """Return the vocabulary size of ``side``."""
+        return self.n_left if side is Side.LEFT else self.n_right
+
+    # ------------------------------------------------------------------
+    # Item-level queries
+    # ------------------------------------------------------------------
+    def item_counts(self, side: Side) -> np.ndarray:
+        """Per-item occurrence counts in ``side`` (over all transactions)."""
+        return self.view(side).sum(axis=0)
+
+    def item_index(self, side: Side, item_name: str) -> int:
+        """Return the column index of ``item_name`` in ``side``.
+
+        Raises ``KeyError`` when the name is unknown.
+        """
+        try:
+            return self.names(side).index(item_name)
+        except ValueError:
+            raise KeyError(f"unknown {side.value}-side item {item_name!r}") from None
+
+    def support_mask(self, side: Side, items: Iterable[int]) -> np.ndarray:
+        """Boolean mask of the transactions containing all ``items`` in ``side``.
+
+        An empty itemset is contained in every transaction, mirroring the
+        convention used by the paper's upper bounds (Section 5.2).
+        """
+        columns = list(items)
+        matrix = self.view(side)
+        if not columns:
+            return np.ones(self.n_transactions, dtype=bool)
+        return matrix[:, columns].all(axis=1)
+
+    def support_count(self, side: Side, items: Iterable[int]) -> int:
+        """``|supp(X)|`` of an itemset within one view."""
+        return int(self.support_mask(side, items).sum())
+
+    def joint_support_mask(
+        self, left_items: Iterable[int], right_items: Iterable[int]
+    ) -> np.ndarray:
+        """Mask of transactions containing ``X`` in the left view and ``Y`` in the right."""
+        return self.support_mask(Side.LEFT, left_items) & self.support_mask(
+            Side.RIGHT, right_items
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction-level access
+    # ------------------------------------------------------------------
+    def transaction(self, row: int) -> tuple[frozenset[int], frozenset[int]]:
+        """Return transaction ``row`` as a pair of item-index sets."""
+        return (
+            frozenset(np.flatnonzero(self.left[row]).tolist()),
+            frozenset(np.flatnonzero(self.right[row]).tolist()),
+        )
+
+    def transaction_names(self, row: int) -> tuple[frozenset[str], frozenset[str]]:
+        """Return transaction ``row`` as a pair of item-name sets."""
+        left_part, right_part = self.transaction(row)
+        return (
+            frozenset(self.left_names[column] for column in left_part),
+            frozenset(self.right_names[column] for column in right_part),
+        )
+
+    def iter_transactions(self):
+        """Yield every transaction as a pair of item-index frozensets."""
+        for row in range(self.n_transactions):
+            yield self.transaction(row)
+
+    # ------------------------------------------------------------------
+    # Derived datasets
+    # ------------------------------------------------------------------
+    def subset(self, rows: Sequence[int] | np.ndarray, name: str | None = None) -> "TwoViewDataset":
+        """Return a dataset restricted to the given transaction rows."""
+        rows = np.asarray(rows)
+        return TwoViewDataset(
+            self.left[rows],
+            self.right[rows],
+            self.left_names,
+            self.right_names,
+            name=name if name is not None else f"{self.name}[subset]",
+        )
+
+    def sample(
+        self, n_rows: int, rng: np.random.Generator | int | None = None
+    ) -> "TwoViewDataset":
+        """Return a uniform random sample (without replacement) of transactions."""
+        if n_rows > self.n_transactions:
+            raise ValueError("cannot sample more transactions than available")
+        generator = np.random.default_rng(rng)
+        rows = generator.choice(self.n_transactions, size=n_rows, replace=False)
+        return self.subset(np.sort(rows), name=f"{self.name}[sample{n_rows}]")
+
+    def split(
+        self, fraction: float, rng: np.random.Generator | int | None = None
+    ) -> tuple["TwoViewDataset", "TwoViewDataset"]:
+        """Random split into two datasets (e.g. exploratory/holdout).
+
+        ``fraction`` is the share of transactions in the first part.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        generator = np.random.default_rng(rng)
+        order = generator.permutation(self.n_transactions)
+        cut = int(round(fraction * self.n_transactions))
+        cut = min(max(cut, 1), self.n_transactions - 1)
+        first = self.subset(np.sort(order[:cut]), name=f"{self.name}[explore]")
+        second = self.subset(np.sort(order[cut:]), name=f"{self.name}[holdout]")
+        return first, second
+
+    def swapped(self) -> "TwoViewDataset":
+        """Return the dataset with the two views exchanged."""
+        return TwoViewDataset(
+            self.right,
+            self.left,
+            self.right_names,
+            self.left_names,
+            name=f"{self.name}[swapped]",
+        )
+
+    def joined(self) -> tuple[np.ndarray, list[str]]:
+        """Concatenate the two views into one matrix (used by KRIMP).
+
+        Returns the joint Boolean matrix and the joint item-name list; left
+        items come first, so joint column ``j`` is left item ``j`` when
+        ``j < n_left`` and right item ``j - n_left`` otherwise.
+        """
+        joint = np.concatenate([self.left, self.right], axis=1)
+        names = [f"L:{name}" for name in self.left_names] + [
+            f"R:{name}" for name in self.right_names
+        ]
+        return joint, names
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_transactions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TwoViewDataset):
+            return NotImplemented
+        return (
+            self.left_names == other.left_names
+            and self.right_names == other.right_names
+            and np.array_equal(self.left, other.left)
+            and np.array_equal(self.right, other.right)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoViewDataset(name={self.name!r}, n={self.n_transactions}, "
+            f"|I_L|={self.n_left}, |I_R|={self.n_right}, "
+            f"d_L={self.density_left:.3f}, d_R={self.density_right:.3f})"
+        )
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Return the Table-1 style statistics of the dataset."""
+        return {
+            "name": self.name,
+            "n_transactions": self.n_transactions,
+            "n_left": self.n_left,
+            "n_right": self.n_right,
+            "density_left": self.density_left,
+            "density_right": self.density_right,
+        }

@@ -1,0 +1,194 @@
+"""Serialisation of two-view datasets.
+
+Two formats are supported:
+
+* The native ``.2v`` text format: a self-describing, line-oriented format
+  storing both vocabularies followed by one sparse transaction per line.
+  This is the format used by the examples and the CLI.
+* Dense CSV export (one file per view) for interoperability with external
+  tools.
+
+The ``.2v`` format::
+
+    #2v <name>
+    #left <item> <item> ...
+    #right <item> <item> ...
+    <left indices> | <right indices>
+    ...
+
+Indices are 0-based within their view and space-separated; an empty side is
+written as an empty index list.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import TwoViewDataset
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_csv",
+    "load_csv",
+    "load_fimi",
+    "load_fimi_pair",
+]
+
+_MAGIC = "#2v"
+
+
+def save_dataset(dataset: TwoViewDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in the native ``.2v`` format."""
+    path = Path(path)
+    lines = [
+        f"{_MAGIC} {dataset.name}",
+        "#left " + " ".join(dataset.left_names),
+        "#right " + " ".join(dataset.right_names),
+    ]
+    for row in range(dataset.n_transactions):
+        left_part = " ".join(map(str, np.flatnonzero(dataset.left[row]).tolist()))
+        right_part = " ".join(map(str, np.flatnonzero(dataset.right[row]).tolist()))
+        lines.append(f"{left_part} | {right_part}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_dataset(path: str | Path) -> TwoViewDataset:
+    """Load a dataset previously written with :func:`save_dataset`."""
+    path = Path(path)
+    with path.open(encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_MAGIC):
+            raise ValueError(f"{path} is not a .2v file (missing {_MAGIC} header)")
+        name = header[len(_MAGIC) :].strip() or "unnamed"
+        left_line = handle.readline().rstrip("\n")
+        right_line = handle.readline().rstrip("\n")
+        if not left_line.startswith("#left") or not right_line.startswith("#right"):
+            raise ValueError(f"{path} is missing vocabulary headers")
+        left_names = left_line.split()[1:]
+        right_names = right_line.split()[1:]
+        left_rows: list[list[int]] = []
+        right_rows: list[list[int]] = []
+        for line_number, line in enumerate(handle, start=4):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "|" not in line:
+                raise ValueError(f"{path}:{line_number}: missing '|' separator")
+            left_part, right_part = line.split("|", 1)
+            left_rows.append([int(token) for token in left_part.split()])
+            right_rows.append([int(token) for token in right_part.split()])
+    left = np.zeros((len(left_rows), len(left_names)), dtype=bool)
+    right = np.zeros((len(right_rows), len(right_names)), dtype=bool)
+    for row, columns in enumerate(left_rows):
+        left[row, columns] = True
+    for row, columns in enumerate(right_rows):
+        right[row, columns] = True
+    return TwoViewDataset(left, right, left_names, right_names, name=name)
+
+
+def save_csv(dataset: TwoViewDataset, left_path: str | Path, right_path: str | Path) -> None:
+    """Export both views as dense 0/1 CSV files with a header row."""
+    for path, names, matrix in (
+        (left_path, dataset.left_names, dataset.left),
+        (right_path, dataset.right_names, dataset.right),
+    ):
+        with Path(path).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for row in matrix.astype(int):
+                writer.writerow(row.tolist())
+
+
+def load_csv(
+    left_path: str | Path, right_path: str | Path, name: str = "csv"
+) -> TwoViewDataset:
+    """Load a dataset from two dense 0/1 CSV files written by :func:`save_csv`."""
+
+    def read_view(path: str | Path) -> tuple[list[str], np.ndarray]:
+        with Path(path).open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            rows = [[int(value) for value in row] for row in reader]
+        return header, np.array(rows, dtype=bool)
+
+    left_names, left = read_view(left_path)
+    right_names, right = read_view(right_path)
+    return TwoViewDataset(left, right, left_names, right_names, name=name)
+
+
+def _read_fimi_rows(path: str | Path) -> list[list[int]]:
+    rows: list[list[int]] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            rows.append([int(token) for token in line.split()])
+    return rows
+
+
+def load_fimi(
+    path: str | Path,
+    n_left: int,
+    n_items: int | None = None,
+    name: str | None = None,
+) -> TwoViewDataset:
+    """Load a FIMI-style transaction file and split it into two views.
+
+    FIMI files (the format of the LUCS/KDD repository the paper draws
+    from) hold one transaction per line as space-separated item ids.
+    Items ``0 .. n_left-1`` form the left view, the rest the right view;
+    ``n_items`` fixes the total vocabulary when trailing items never
+    occur.
+    """
+    rows = _read_fimi_rows(path)
+    max_item = max((max(row) for row in rows if row), default=-1)
+    total = max_item + 1 if n_items is None else n_items
+    if total < n_left:
+        raise ValueError("n_left exceeds the number of items in the file")
+    left = np.zeros((len(rows), n_left), dtype=bool)
+    right = np.zeros((len(rows), total - n_left), dtype=bool)
+    for row_index, row in enumerate(rows):
+        for item in row:
+            if item >= total:
+                raise ValueError(f"item id {item} exceeds n_items={total}")
+            if item < n_left:
+                left[row_index, item] = True
+            else:
+                right[row_index, item - n_left] = True
+    return TwoViewDataset(
+        left, right, name=name or Path(path).stem
+    )
+
+
+def load_fimi_pair(
+    left_path: str | Path, right_path: str | Path, name: str | None = None
+) -> TwoViewDataset:
+    """Load a two-view dataset from two aligned FIMI files.
+
+    Both files must have the same number of transactions; line ``i`` of
+    each file describes the same object (the format the original
+    TRANSLATOR release uses for its view splits).
+    """
+    left_rows = _read_fimi_rows(left_path)
+    right_rows = _read_fimi_rows(right_path)
+    if len(left_rows) != len(right_rows):
+        raise ValueError(
+            "view files have different transaction counts: "
+            f"{len(left_rows)} != {len(right_rows)}"
+        )
+    n_left = max((max(row) for row in left_rows if row), default=-1) + 1
+    n_right = max((max(row) for row in right_rows if row), default=-1) + 1
+    left = np.zeros((len(left_rows), n_left), dtype=bool)
+    right = np.zeros((len(right_rows), n_right), dtype=bool)
+    for row_index, row in enumerate(left_rows):
+        left[row_index, row] = True
+    for row_index, row in enumerate(right_rows):
+        right[row_index, row] = True
+    return TwoViewDataset(
+        left, right, name=name or f"{Path(left_path).stem}+{Path(right_path).stem}"
+    )

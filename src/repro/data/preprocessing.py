@@ -1,0 +1,248 @@
+"""Pre-processing pipeline turning tabular data into Boolean two-view data.
+
+This mirrors the paper's "Data pre-processing" paragraph (Section 6):
+
+* numerical attributes are discretised using **five equal-height bins**
+  (:func:`discretize_equal_height`),
+* each categorical attribute-value pair is converted into an item
+  (:func:`one_hot`),
+* items that occur in more than a frequency threshold may be discarded, as
+  done for the Elections dataset (:func:`drop_frequent_items`),
+* attributes are split over two views such that the views have similar
+  sizes and densities (:func:`split_views`).
+
+A "frame" here is simply a mapping ``{column_name: list_of_values}`` with
+equal-length columns; no external dataframe library is required.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import TwoViewDataset
+
+__all__ = [
+    "discretize_equal_height",
+    "one_hot",
+    "boolean_frame",
+    "drop_frequent_items",
+    "split_views",
+    "frame_to_two_view",
+]
+
+
+def discretize_equal_height(
+    values: Sequence[float], n_bins: int = 5, attribute: str = "attr"
+) -> tuple[list[str], list[str]]:
+    """Discretise numeric ``values`` into ``n_bins`` equal-height bins.
+
+    Returns ``(labels, bin_names)`` where ``labels[i]`` is the bin item name
+    assigned to ``values[i]`` and ``bin_names`` lists the distinct item
+    names in bin order.  Bin boundaries are empirical quantiles, so each
+    bin receives approximately the same number of values ("equal-height",
+    a.k.a. equal-frequency binning).  Ties at boundaries collapse bins,
+    which matches the behaviour of standard discretisers on skewed data.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError("values must be 1-dimensional")
+    if array.size == 0:
+        return [], []
+    if np.isnan(array).any():
+        raise ValueError("values must not contain NaN")
+    quantiles = np.quantile(array, np.linspace(0, 1, n_bins + 1))
+    # Collapse duplicate boundaries caused by ties so bins stay well defined.
+    edges = np.unique(quantiles)
+    if edges.size < 2:
+        labels = [f"{attribute}=bin0"] * array.size
+        return labels, [f"{attribute}=bin0"]
+    inner = edges[1:-1]
+    assignments = np.searchsorted(inner, array, side="right")
+    bin_names = [f"{attribute}=bin{bin_id}" for bin_id in range(edges.size - 1)]
+    labels = [bin_names[bin_id] for bin_id in assignments]
+    used = [name for name in bin_names if name in set(labels)]
+    return labels, used
+
+
+def one_hot(
+    values: Sequence[object], attribute: str = "attr"
+) -> tuple[np.ndarray, list[str]]:
+    """One-hot encode a categorical column.
+
+    Returns a Boolean matrix of shape ``(len(values), n_categories)`` and
+    the item names ``attribute=value`` in first-appearance order.
+    """
+    categories: dict[object, int] = {}
+    for value in values:
+        categories.setdefault(value, len(categories))
+    matrix = np.zeros((len(values), len(categories)), dtype=bool)
+    for row, value in enumerate(values):
+        matrix[row, categories[value]] = True
+    names = [f"{attribute}={value}" for value in categories]
+    return matrix, names
+
+
+def _is_numeric_column(column: Sequence[object]) -> bool:
+    return all(isinstance(value, (int, float)) and not isinstance(value, bool) for value in column)
+
+
+def boolean_frame(
+    frame: Mapping[str, Sequence[object]], n_bins: int = 5
+) -> tuple[np.ndarray, list[str], list[str]]:
+    """Booleanise a tabular frame.
+
+    Numeric columns are discretised into ``n_bins`` equal-height bins and
+    then one-hot encoded; all other columns are one-hot encoded directly.
+    Boolean columns become a single item (true/occurrence only).
+
+    Returns ``(matrix, item_names, item_attribute)`` where
+    ``item_attribute[j]`` is the source column of item ``j`` (used by
+    :func:`split_views` to keep items of one attribute in the same view).
+    """
+    columns = list(frame)
+    if not columns:
+        return np.zeros((0, 0), dtype=bool), [], []
+    length = len(frame[columns[0]])
+    blocks: list[np.ndarray] = []
+    names: list[str] = []
+    origins: list[str] = []
+    for column in columns:
+        values = frame[column]
+        if len(values) != length:
+            raise ValueError(f"column {column!r} has inconsistent length")
+        if all(isinstance(value, bool) for value in values):
+            blocks.append(np.asarray(values, dtype=bool).reshape(-1, 1))
+            names.append(column)
+            origins.append(column)
+            continue
+        if _is_numeric_column(values):
+            labels, __ = discretize_equal_height(values, n_bins=n_bins, attribute=column)
+            block, block_names = one_hot(labels, attribute=column)
+            # one_hot already prefixes with `column=`, labels carry it too;
+            # strip the duplicated prefix for readability.
+            block_names = [name.split("=", 1)[1] for name in block_names]
+        else:
+            block, block_names = one_hot(values, attribute=column)
+        blocks.append(block)
+        names.extend(block_names)
+        origins.extend([column] * block.shape[1])
+    matrix = np.concatenate(blocks, axis=1) if blocks else np.zeros((length, 0), dtype=bool)
+    return matrix, names, origins
+
+
+def drop_frequent_items(
+    matrix: np.ndarray, names: Sequence[str], max_frequency: float = 0.5
+) -> tuple[np.ndarray, list[str]]:
+    """Drop items occurring in more than ``max_frequency`` of transactions.
+
+    The paper applies this to the Elections dataset ("items that occurred
+    in more than half of the transactions were discarded because they would
+    result in many rules of little interest").
+    """
+    if matrix.shape[1] != len(names):
+        raise ValueError("names length does not match matrix width")
+    if matrix.shape[0] == 0:
+        return matrix, list(names)
+    frequency = matrix.mean(axis=0)
+    keep = frequency <= max_frequency
+    return matrix[:, keep], [name for name, kept in zip(names, keep) if kept]
+
+
+def split_views(
+    matrix: np.ndarray,
+    names: Sequence[str],
+    origins: Sequence[str] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[list[int], list[int]]:
+    """Split item columns into two views of similar size and density.
+
+    Mirrors the paper's treatment of single-view repository datasets: "the
+    attributes were split such that the items were evenly distributed over
+    two views having similar densities".  When ``origins`` is given, all
+    items derived from one source attribute stay in the same view.
+
+    The split is a greedy balanced partition: attributes (or single items)
+    are sorted by their total one-count and assigned to the view that keeps
+    the (item count, one count) pair most balanced.  Returns the two lists
+    of column indices.
+    """
+    if matrix.shape[1] != len(names):
+        raise ValueError("names length does not match matrix width")
+    if origins is None:
+        origins = list(names)
+    if len(origins) != len(names):
+        raise ValueError("origins length does not match names length")
+    groups: dict[str, list[int]] = {}
+    for column, origin in enumerate(origins):
+        groups.setdefault(origin, []).append(column)
+    ones_per_group = {
+        origin: int(matrix[:, columns].sum()) for origin, columns in groups.items()
+    }
+    # Deterministic order unless an RNG is supplied for tie-breaking jitter.
+    order = sorted(groups, key=lambda origin: (-ones_per_group[origin], origin))
+    if rng is not None:
+        generator = np.random.default_rng(rng)
+        order = list(generator.permutation(order))
+        order.sort(key=lambda origin: -ones_per_group[origin])
+    left: list[int] = []
+    right: list[int] = []
+    left_ones = right_ones = 0
+    for origin in order:
+        columns = groups[origin]
+        ones = ones_per_group[origin]
+        # Assign to the lighter side; on equal weight, to the smaller side.
+        if (left_ones, len(left)) <= (right_ones, len(right)):
+            left.extend(columns)
+            left_ones += ones
+        else:
+            right.extend(columns)
+            right_ones += ones
+    return sorted(left), sorted(right)
+
+
+def frame_to_two_view(
+    left_frame: Mapping[str, Sequence[object]] | None,
+    right_frame: Mapping[str, Sequence[object]] | None = None,
+    single_frame: Mapping[str, Sequence[object]] | None = None,
+    n_bins: int = 5,
+    max_frequency: float | None = None,
+    name: str = "frame",
+    rng: np.random.Generator | int | None = None,
+) -> TwoViewDataset:
+    """End-to-end pre-processing into a :class:`TwoViewDataset`.
+
+    Either supply ``left_frame`` and ``right_frame`` (natural two-view data
+    such as CAL500 or Elections), or ``single_frame`` alone, in which case
+    the Booleanised attributes are split over two views with
+    :func:`split_views` (as done for the repository datasets in the paper).
+    """
+    if single_frame is not None:
+        if left_frame is not None or right_frame is not None:
+            raise ValueError("pass either single_frame or left/right frames, not both")
+        matrix, names, origins = boolean_frame(single_frame, n_bins=n_bins)
+        if max_frequency is not None:
+            keep_mask = matrix.mean(axis=0) <= max_frequency if len(matrix) else np.ones(len(names), bool)
+            matrix = matrix[:, keep_mask]
+            names = [item for item, kept in zip(names, keep_mask) if kept]
+            origins = [origin for origin, kept in zip(origins, keep_mask) if kept]
+        left_columns, right_columns = split_views(matrix, names, origins, rng=rng)
+        return TwoViewDataset(
+            matrix[:, left_columns],
+            matrix[:, right_columns],
+            [names[column] for column in left_columns],
+            [names[column] for column in right_columns],
+            name=name,
+        )
+    if left_frame is None or right_frame is None:
+        raise ValueError("both left_frame and right_frame are required")
+    left_matrix, left_names, __ = boolean_frame(left_frame, n_bins=n_bins)
+    right_matrix, right_names, __ = boolean_frame(right_frame, n_bins=n_bins)
+    if max_frequency is not None:
+        left_matrix, left_names = drop_frequent_items(left_matrix, left_names, max_frequency)
+        right_matrix, right_names = drop_frequent_items(right_matrix, right_names, max_frequency)
+    return TwoViewDataset(left_matrix, right_matrix, left_names, right_names, name=name)

@@ -1,0 +1,87 @@
+"""Evaluation: metrics, method comparison, traces and visualisation.
+
+* :mod:`~repro.eval.metrics` — the paper's evaluation criteria: ``L%``,
+  ``|C|%``, confidence, maximum confidence ``c+``, rule-set summaries.
+* :mod:`~repro.eval.comparison` — the Table 3 harness comparing
+  TRANSLATOR with the three baselines under the MDL criterion.
+* :mod:`~repro.eval.trace` — Fig. 2 construction traces.
+* :mod:`~repro.eval.visualize` — Fig. 3 bipartite rule graphs (networkx),
+  graph statistics, DOT and ASCII rendering.
+* :mod:`~repro.eval.stability` — bootstrap stability analysis of
+  translation tables (an extension; per-rule recovery rates).
+* :mod:`~repro.eval.tables` — plain-text table formatting for reports.
+"""
+
+from repro.eval.metrics import (
+    confidence,
+    evaluate_table,
+    max_confidence,
+    rule_set_summary,
+)
+from repro.eval.comparison import MethodResult, compare_methods
+from repro.eval.trace import construction_trace, format_trace
+from repro.eval.visualize import (
+    graph_statistics,
+    render_ascii,
+    rule_graph,
+    to_dot,
+)
+from repro.eval.report import describe_result
+from repro.eval.redundancy import (
+    item_coverage,
+    redundancy_report,
+    redundancy_score,
+    rule_overlap,
+)
+from repro.eval.randomization import (
+    RandomizationResult,
+    permute_pairing,
+    randomization_test,
+)
+from repro.eval.ranking import (
+    RuleStats,
+    focus_item_rules,
+    rank_rules,
+    rule_stats,
+)
+from repro.eval.stability import (
+    RuleRecovery,
+    StabilityReport,
+    bootstrap_stability,
+    rule_overlap_score,
+    soft_match_score,
+)
+from repro.eval.tables import format_table
+
+__all__ = [
+    "confidence",
+    "evaluate_table",
+    "max_confidence",
+    "rule_set_summary",
+    "MethodResult",
+    "compare_methods",
+    "construction_trace",
+    "format_trace",
+    "graph_statistics",
+    "render_ascii",
+    "rule_graph",
+    "to_dot",
+    "describe_result",
+    "item_coverage",
+    "redundancy_report",
+    "redundancy_score",
+    "rule_overlap",
+    "RandomizationResult",
+    "permute_pairing",
+    "randomization_test",
+    "RuleStats",
+    "focus_item_rules",
+    "rank_rules",
+    "rule_stats",
+    "RuleRecovery",
+    "StabilityReport",
+    "bootstrap_stability",
+    "rule_overlap_score",
+    "soft_match_score",
+    "format_table",
+]

@@ -1,0 +1,87 @@
+"""Full-model text reports.
+
+Bundles everything an analyst would want to see after fitting a
+translation table — dataset summary, encoded-length breakdown, rule
+listing with confidences, coverage and redundancy — into one plain-text
+report.  Used by the ``repro-translator describe`` CLI command and handy
+in notebooks.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import TwoViewDataset
+from repro.core.translator import TranslatorResult
+from repro.eval.metrics import max_confidence
+from repro.eval.redundancy import item_coverage, redundancy_score
+from repro.eval.tables import format_table
+
+__all__ = ["describe_result"]
+
+
+def describe_result(
+    dataset: TwoViewDataset,
+    result: TranslatorResult,
+    max_rules: int = 25,
+) -> str:
+    """Render a complete model report for a translator run."""
+    state = result.state
+    lines: list[str] = []
+    lines.append(f"model report — {result.method} on {dataset.name}")
+    lines.append("=" * len(lines[0]))
+    lines.append("")
+    lines.append("dataset")
+    lines.append(
+        f"  |D| = {dataset.n_transactions}   |I_L| = {dataset.n_left}   "
+        f"|I_R| = {dataset.n_right}"
+    )
+    lines.append(
+        f"  d_L = {dataset.density_left:.3f}   d_R = {dataset.density_right:.3f}"
+    )
+    lines.append("")
+    lines.append("encoded lengths (bits)")
+    lines.append(f"  L(D, empty)    = {state.baseline_bits:12.1f}")
+    lines.append(f"  L(T)           = {state.table_bits:12.1f}")
+    lines.append(f"  L(C_L | T)     = {state.correction_bits_left:12.1f}")
+    lines.append(f"  L(C_R | T)     = {state.correction_bits_right:12.1f}")
+    lines.append(f"  L(D, T)        = {state.total_length():12.1f}")
+    lines.append(
+        f"  compression L% = {100 * result.compression_ratio:11.2f}%   "
+        f"|C|% = {100 * result.correction_fraction:.2f}%"
+    )
+    lines.append("")
+    coverage = item_coverage(dataset, result.table)
+    lines.append("coverage")
+    lines.append(
+        f"  items used:  left {100 * float(coverage['items_used_left']):.0f}%   "
+        f"right {100 * float(coverage['items_used_right']):.0f}%"
+    )
+    lines.append(
+        f"  ones covered: left {100 * float(coverage['ones_covered_left']):.0f}%   "
+        f"right {100 * float(coverage['ones_covered_right']):.0f}%   "
+        f"errors introduced: {coverage['errors_introduced']}"
+    )
+    lines.append(
+        f"  rule-set redundancy (mean pairwise firing overlap): "
+        f"{redundancy_score(dataset, result.table):.3f}"
+    )
+    lines.append("")
+    lines.append(
+        f"rules ({result.n_rules} total, "
+        f"{result.table.n_bidirectional} bidirectional, "
+        f"average length {result.table.average_length:.2f})"
+    )
+    rows = []
+    for record in result.history[:max_rules]:
+        rows.append(
+            {
+                "#": record.index,
+                "rule": record.rule.render(dataset),
+                "gain": round(record.gain, 1),
+                "c+": round(max_confidence(dataset, record.rule), 2),
+            }
+        )
+    if rows:
+        lines.append(format_table(rows))
+    if result.n_rules > max_rules:
+        lines.append(f"... ({result.n_rules - max_rules} more rules)")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for experiment reports.
+
+All benchmark harnesses print their results as aligned text tables so the
+reproduction output can be compared side by side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def _format_value(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_digits: int = 2,
+    title: str | None = None,
+) -> str:
+    """Format dict rows as an aligned text table.
+
+    ``columns`` selects and orders the columns; by default the keys of the
+    first row are used.  Missing values render as empty cells.
+    """
+    if not rows:
+        return title or "(empty table)"
+    if columns is None:
+        columns = list(rows[0])
+    cells = [
+        [_format_value(row.get(column, ""), float_digits) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(row[index]) for row in cells))
+        for index, column in enumerate(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)

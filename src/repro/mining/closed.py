@@ -1,0 +1,103 @@
+"""Closed frequent itemset mining.
+
+An itemset is *closed* when no proper superset has the same support.
+TRANSLATOR-SELECT and TRANSLATOR-GREEDY consume closed frequent two-view
+itemsets as candidates (paper, Section 5.3), so this miner is a core
+substrate of the reproduction.
+
+The implementation uses prefix-preserving closure extension (the scheme of
+LCM / CHARM descendants): every closed set is generated exactly once, from
+its unique parent, so no duplicate-detection hash table over all results
+is needed and memory stays linear in the recursion depth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["closed_itemsets", "closure"]
+
+Itemset = tuple[int, ...]
+
+
+def closure(matrix: np.ndarray, tid_mask: np.ndarray) -> np.ndarray:
+    """Return the closure of a transaction set as a Boolean item mask.
+
+    The closure is the set of items contained in *every* transaction of
+    ``tid_mask``.  For an empty transaction set the closure is the full
+    item universe by convention.
+    """
+    if not tid_mask.any():
+        return np.ones(matrix.shape[1], dtype=bool)
+    return matrix[tid_mask].all(axis=0)
+
+
+def closed_itemsets(
+    matrix: np.ndarray,
+    minsup: int,
+    max_size: int | None = None,
+    items: Sequence[int] | None = None,
+    max_itemsets: int | None = None,
+) -> list[tuple[Itemset, int]]:
+    """Mine all closed frequent itemsets of ``matrix``.
+
+    Parameters mirror :func:`repro.mining.eclat.eclat`.  The empty itemset
+    is reported only when it is closed (i.e. no item occurs in every
+    transaction) — callers interested in rules ignore it anyway.
+
+    Returns ``(itemset, support)`` pairs; itemsets are sorted index tuples.
+    """
+    array = np.asarray(matrix)
+    if array.dtype != bool:
+        array = array.astype(bool)
+    if array.ndim != 2:
+        raise ValueError("matrix must be 2-dimensional")
+    if minsup < 1:
+        raise ValueError("minsup must be at least 1 (absolute support)")
+    n_transactions, n_items = array.shape
+    universe = np.zeros(n_items, dtype=bool)
+    universe[list(range(n_items)) if items is None else list(items)] = True
+
+    results: list[tuple[Itemset, int]] = []
+
+    def check_budget() -> None:
+        if max_itemsets is not None and len(results) > max_itemsets:
+            raise RuntimeError(
+                f"closed_itemsets exceeded max_itemsets={max_itemsets}; raise minsup"
+            )
+
+    item_masks = [array[:, item] for item in range(n_items)]
+    supports = array.sum(axis=0)
+
+    def expand(closure_mask: np.ndarray, tid_mask: np.ndarray, core_item: int) -> None:
+        """Recurse over prefix-preserving closure extensions of the current set."""
+        itemset = tuple(np.flatnonzero(closure_mask).tolist())
+        if itemset and (max_size is None or len(itemset) <= max_size):
+            results.append((itemset, int(tid_mask.sum())))
+            check_budget()
+        if max_size is not None and len(itemset) >= max_size:
+            return
+        for item in range(core_item + 1, n_items):
+            if closure_mask[item] or not universe[item]:
+                continue
+            if supports[item] < minsup:
+                continue
+            new_tids = tid_mask & item_masks[item]
+            if int(new_tids.sum()) < minsup:
+                continue
+            new_closure = closure(array, new_tids) & universe
+            # Prefix-preserving test: the closure must not add any item
+            # smaller than the extension item that was not already present.
+            prefix_items = new_closure[:item] & ~closure_mask[:item]
+            if prefix_items.any():
+                continue
+            expand(new_closure, new_tids, item)
+
+    all_tids = np.ones(n_transactions, dtype=bool)
+    if n_transactions < minsup:
+        return []
+    root_closure = closure(array, all_tids) & universe
+    expand(root_closure, all_tids, -1)
+    return results

@@ -1,0 +1,171 @@
+"""FP-Growth frequent itemset mining (Han, Pei & Yin, 2000).
+
+Pattern-growth mining without candidate generation: transactions are
+compressed into an FP-tree (a prefix tree over items sorted by descending
+frequency, with per-item node chains), and frequent itemsets are grown by
+recursively building *conditional* FP-trees for each item's prefix paths.
+
+Provided as the third interchangeable mining backend next to ECLAT and
+Apriori (the test suite asserts all three agree); FP-Growth is typically
+the fastest of the three on dense data with long patterns, which is
+exactly the regime of the paper's denser datasets (House, Tictactoe).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["fpgrowth"]
+
+Itemset = tuple[int, ...]
+
+
+@dataclasses.dataclass
+class _Node:
+    """One FP-tree node: an item with a count, parent link and children."""
+
+    item: int
+    count: int
+    parent: "_Node | None"
+    children: dict[int, "_Node"] = dataclasses.field(default_factory=dict)
+
+
+class _FPTree:
+    """An FP-tree with its header table (item -> list of nodes)."""
+
+    def __init__(self) -> None:
+        self.root = _Node(item=-1, count=0, parent=None)
+        self.header: dict[int, list[_Node]] = {}
+
+    def insert(self, items: Sequence[int], count: int) -> None:
+        """Insert an ordered transaction with multiplicity ``count``."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item=item, count=0, parent=node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base of ``item``: (path, count) pairs."""
+        paths: list[tuple[list[int], int]] = []
+        for node in self.header.get(item, []):
+            path: list[int] = []
+            ancestor = node.parent
+            while ancestor is not None and ancestor.item != -1:
+                path.append(ancestor.item)
+                ancestor = ancestor.parent
+            path.reverse()
+            if path:
+                paths.append((path, node.count))
+        return paths
+
+    def item_counts(self) -> dict[int, int]:
+        """Total count per item over all node chains."""
+        return {
+            item: sum(node.count for node in nodes)
+            for item, nodes in self.header.items()
+        }
+
+
+def _build_tree(
+    transactions: list[tuple[list[int], int]],
+    counts: dict[int, int],
+    minsup: int,
+) -> _FPTree:
+    """Build an FP-tree keeping only frequent items, ordered by frequency."""
+    frequent = {item for item, count in counts.items() if count >= minsup}
+    order = {
+        item: rank
+        for rank, item in enumerate(
+            sorted(frequent, key=lambda item: (-counts[item], item))
+        )
+    }
+    tree = _FPTree()
+    for items, count in transactions:
+        kept = sorted(
+            (item for item in items if item in frequent),
+            key=lambda item: order[item],
+        )
+        if kept:
+            tree.insert(kept, count)
+    return tree
+
+
+def _mine_tree(
+    tree: _FPTree,
+    suffix: Itemset,
+    minsup: int,
+    max_size: int | None,
+    results: list[tuple[Itemset, int]],
+    max_itemsets: int | None,
+) -> None:
+    counts = tree.item_counts()
+    for item in sorted(counts, key=lambda item: (counts[item], -item)):
+        support = counts[item]
+        if support < minsup:
+            continue
+        itemset = tuple(sorted(suffix + (item,)))
+        results.append((itemset, support))
+        if max_itemsets is not None and len(results) > max_itemsets:
+            raise RuntimeError(
+                f"fpgrowth exceeded max_itemsets={max_itemsets}; raise minsup"
+            )
+        if max_size is not None and len(itemset) >= max_size:
+            continue
+        conditional_base = tree.prefix_paths(item)
+        if not conditional_base:
+            continue
+        conditional_counts: dict[int, int] = {}
+        for path, count in conditional_base:
+            for path_item in path:
+                conditional_counts[path_item] = (
+                    conditional_counts.get(path_item, 0) + count
+                )
+        conditional_tree = _build_tree(conditional_base, conditional_counts, minsup)
+        _mine_tree(
+            conditional_tree, itemset, minsup, max_size, results, max_itemsets
+        )
+
+
+def fpgrowth(
+    matrix: np.ndarray,
+    minsup: int,
+    max_size: int | None = None,
+    items: Sequence[int] | None = None,
+    max_itemsets: int | None = None,
+) -> list[tuple[Itemset, int]]:
+    """Mine all frequent itemsets with pattern growth.
+
+    Parameters and output mirror :func:`repro.mining.eclat.eclat`; results
+    are returned sorted by itemset for deterministic comparisons.
+    """
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError("matrix must be 2-dimensional")
+    if array.dtype != bool:
+        array = array.astype(bool)
+    if minsup < 1:
+        raise ValueError("minsup must be at least 1 (absolute support)")
+    universe = set(range(array.shape[1])) if items is None else set(items)
+
+    transactions: list[tuple[list[int], int]] = []
+    counts: dict[int, int] = {}
+    for row in array:
+        present = [int(item) for item in np.flatnonzero(row) if item in universe]
+        if present:
+            transactions.append((present, 1))
+            for item in present:
+                counts[item] = counts.get(item, 0) + 1
+
+    tree = _build_tree(transactions, counts, minsup)
+    results: list[tuple[Itemset, int]] = []
+    _mine_tree(tree, (), minsup, max_size, results, max_itemsets)
+    results.sort()
+    return results

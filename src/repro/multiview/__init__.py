@@ -1,0 +1,21 @@
+"""Multi-view extension (the paper's future-work direction).
+
+The paper concludes: "Directions for future work include, for instance,
+extending this approach to ... cases with more than two views.  This
+requires designing a suitable pattern based encoding for the data, and a
+procedure to enumerate the corresponding search space."
+
+This subpackage implements the natural pairwise instantiation of that
+programme: a :class:`~repro.multiview.dataset.MultiViewDataset` over ``k``
+views, and a :class:`~repro.multiview.translator.MultiViewTranslator`
+that models the data as one translation table per unordered view pair,
+each selected with the two-view MDL criterion.  The total encoded length
+is the sum over all pairwise bidirectional translations — a direct
+generalisation of ``L(D_{L<->R}, T)`` that reduces to the paper's score
+for ``k = 2``.
+"""
+
+from repro.multiview.dataset import MultiViewDataset
+from repro.multiview.translator import MultiViewResult, MultiViewTranslator
+
+__all__ = ["MultiViewDataset", "MultiViewResult", "MultiViewTranslator"]

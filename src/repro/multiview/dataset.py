@@ -1,0 +1,109 @@
+"""Boolean datasets with an arbitrary number of views."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.dataset import TwoViewDataset
+
+__all__ = ["MultiViewDataset"]
+
+
+class MultiViewDataset:
+    """A Boolean dataset whose attributes split into ``k >= 2`` views.
+
+    Parameters
+    ----------
+    views:
+        Boolean matrices, one per view, all with the same number of rows.
+    view_names:
+        Optional names of the views (defaults to ``view0, view1, ...``).
+    item_names:
+        Optional per-view item name lists.
+    name:
+        Dataset name for reports.
+    """
+
+    def __init__(
+        self,
+        views: Sequence[object],
+        view_names: Sequence[str] | None = None,
+        item_names: Sequence[Sequence[str]] | None = None,
+        name: str = "multiview",
+    ) -> None:
+        if len(views) < 2:
+            raise ValueError("a multi-view dataset needs at least two views")
+        matrices = []
+        for index, view in enumerate(views):
+            array = np.asarray(view)
+            if array.ndim != 2:
+                raise ValueError(f"view {index} must be 2-dimensional")
+            if array.dtype != bool:
+                if not np.isin(array, (0, 1)).all():
+                    raise ValueError(f"view {index} must be Boolean")
+                array = array.astype(bool)
+            matrices.append(np.ascontiguousarray(array))
+        n = matrices[0].shape[0]
+        if any(matrix.shape[0] != n for matrix in matrices):
+            raise ValueError("all views must have the same number of transactions")
+        self.views = matrices
+        self.view_names = (
+            list(view_names)
+            if view_names is not None
+            else [f"view{index}" for index in range(len(matrices))]
+        )
+        if len(self.view_names) != len(matrices):
+            raise ValueError("view_names length does not match view count")
+        if item_names is None:
+            self.item_names = [
+                [f"{view_name}:{column}" for column in range(matrix.shape[1])]
+                for view_name, matrix in zip(self.view_names, matrices)
+            ]
+        else:
+            self.item_names = [list(names) for names in item_names]
+            for index, (names, matrix) in enumerate(zip(self.item_names, matrices)):
+                if len(names) != matrix.shape[1]:
+                    raise ValueError(f"item_names[{index}] length mismatch")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_transactions(self) -> int:
+        """Number of transactions shared by all views."""
+        return self.views[0].shape[0]
+
+    @property
+    def n_views(self) -> int:
+        """Number of views ``k``."""
+        return len(self.views)
+
+    def view_pairs(self) -> list[tuple[int, int]]:
+        """All unordered view index pairs ``(i, j)`` with ``i < j``."""
+        return [
+            (first, second)
+            for first in range(self.n_views)
+            for second in range(first + 1, self.n_views)
+        ]
+
+    def pair(self, first: int, second: int) -> TwoViewDataset:
+        """Project onto one view pair as a :class:`TwoViewDataset`."""
+        if not 0 <= first < self.n_views or not 0 <= second < self.n_views:
+            raise IndexError("view index out of range")
+        if first == second:
+            raise ValueError("a pair needs two distinct views")
+        return TwoViewDataset(
+            self.views[first],
+            self.views[second],
+            self.item_names[first],
+            self.item_names[second],
+            name=f"{self.name}[{self.view_names[first]}~{self.view_names[second]}]",
+        )
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(
+            f"{name}:{matrix.shape[1]}"
+            for name, matrix in zip(self.view_names, self.views)
+        )
+        return f"MultiViewDataset(name={self.name!r}, n={self.n_transactions}, views=[{shapes}])"

@@ -1,0 +1,107 @@
+"""Pairwise multi-view TRANSLATOR.
+
+Models a :class:`~repro.multiview.dataset.MultiViewDataset` as one
+translation table per unordered view pair, each induced with a two-view
+TRANSLATOR.  The total encoded length is the sum of the pairwise
+bidirectional translation lengths
+
+    L(D, {T_ij}) = sum_{i<j}  L(T_ij) + L(C_i | T_ij) + L(C_j | T_ij),
+
+which reduces exactly to the paper's score for two views.  The pairwise
+decomposition keeps the search space tractable (the paper's noted
+obstacle for the multi-view generalisation) at the cost of not sharing
+rules across pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.translator import TranslatorResult, TranslatorSelect
+from repro.multiview.dataset import MultiViewDataset
+
+__all__ = ["MultiViewResult", "MultiViewTranslator"]
+
+
+@dataclasses.dataclass
+class MultiViewResult:
+    """Outcome of fitting the pairwise multi-view translator."""
+
+    dataset_name: str
+    pair_results: dict[tuple[int, int], TranslatorResult]
+    runtime_seconds: float
+
+    @property
+    def n_rules(self) -> int:
+        """Total number of rules over all pairwise tables."""
+        return sum(result.n_rules for result in self.pair_results.values())
+
+    @property
+    def total_bits(self) -> float:
+        """Total encoded length over all pairwise translations."""
+        return sum(result.total_bits for result in self.pair_results.values())
+
+    @property
+    def baseline_bits(self) -> float:
+        """Total encoded length under empty tables."""
+        return sum(
+            result.state.baseline_bits for result in self.pair_results.values()
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        """Aggregate ``L%`` over all pairs."""
+        baseline = self.baseline_bits
+        return self.total_bits / baseline if baseline else 1.0
+
+    def summary(self) -> dict[str, object]:
+        """Per-pair and aggregate statistics."""
+        return {
+            "dataset": self.dataset_name,
+            "n_pairs": len(self.pair_results),
+            "n_rules": self.n_rules,
+            "compression_ratio": self.compression_ratio,
+            "per_pair": {
+                pair: {
+                    "n_rules": result.n_rules,
+                    "compression_ratio": result.compression_ratio,
+                }
+                for pair, result in self.pair_results.items()
+            },
+        }
+
+
+class MultiViewTranslator:
+    """Fit one two-view TRANSLATOR per view pair.
+
+    Parameters mirror :class:`~repro.core.translator.TranslatorSelect`,
+    which is used as the underlying per-pair algorithm (the paper's best
+    compression/runtime trade-off).
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        minsup: int | None = None,
+        max_candidates: int = 10_000,
+    ) -> None:
+        self.k = k
+        self.minsup = minsup
+        self.max_candidates = max_candidates
+
+    def fit(self, dataset: MultiViewDataset) -> MultiViewResult:
+        """Induce pairwise translation tables for all view pairs."""
+        start = time.perf_counter()
+        pair_results: dict[tuple[int, int], TranslatorResult] = {}
+        for first, second in dataset.view_pairs():
+            pair_data = dataset.pair(first, second)
+            translator = TranslatorSelect(
+                k=self.k, minsup=self.minsup, max_candidates=self.max_candidates
+            )
+            pair_results[(first, second)] = translator.fit(pair_data)
+        return MultiViewResult(
+            dataset_name=dataset.name,
+            pair_results=pair_results,
+            runtime_seconds=time.perf_counter() - start,
+        )

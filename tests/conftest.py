@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted
+
+
+@pytest.fixture
+def toy_dataset() -> TwoViewDataset:
+    """A small handcrafted dataset in the spirit of the paper's Fig. 1.
+
+    Five transactions over left items {a, b, c, d} and right items
+    {p, q, s, u}; transactions 0, 3, 4 share the pattern {a, b} on the
+    left and {u} on the right, transactions 1, 2 share {c} -> {s}.
+    """
+    return TwoViewDataset.from_transactions(
+        [
+            ({"a", "b"}, {"u", "p"}),
+            ({"c", "d"}, {"s"}),
+            ({"c"}, {"s", "q"}),
+            ({"a", "b", "d"}, {"u"}),
+            ({"a", "b"}, {"u", "q"}),
+        ],
+        left_names=["a", "b", "c", "d"],
+        right_names=["p", "q", "s", "u"],
+        name="toy",
+    )
+
+
+@pytest.fixture
+def planted_dataset() -> TwoViewDataset:
+    """A small planted dataset with clear cross-view structure."""
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=150,
+            n_left=10,
+            n_right=10,
+            density_left=0.15,
+            density_right=0.15,
+            n_rules=3,
+            seed=42,
+        )
+    )
+    return dataset
+
+
+@pytest.fixture
+def planted_with_truth() -> tuple[TwoViewDataset, list]:
+    """Planted dataset together with its ground-truth rules."""
+    return generate_planted(
+        SyntheticSpec(
+            n_transactions=250,
+            n_left=12,
+            n_right=12,
+            density_left=0.12,
+            density_right=0.12,
+            n_rules=4,
+            confidence=(0.95, 1.0),
+            activation=(0.15, 0.3),
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded random generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+def random_two_view(
+    rng: np.random.Generator,
+    n: int = 30,
+    n_left: int = 6,
+    n_right: int = 6,
+    density: float = 0.3,
+) -> TwoViewDataset:
+    """Helper: a random (unstructured) dataset for brute-force checks."""
+    left = rng.random((n, n_left)) < density
+    right = rng.random((n, n_right)) < density
+    # Guarantee every item occurs at least once so code lengths are finite.
+    for column in range(n_left):
+        if not left[:, column].any():
+            left[int(rng.integers(n)), column] = True
+    for column in range(n_right):
+        if not right[:, column].any():
+            right[int(rng.integers(n)), column] = True
+    return TwoViewDataset(left, right, name="random")

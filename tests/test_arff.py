@@ -1,0 +1,316 @@
+"""Tests for the ARFF reader/writer (repro.data.arff)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.arff import (
+    ArffAttribute,
+    ArffError,
+    ArffRelation,
+    arff_to_frame,
+    arff_to_two_view,
+    load_arff,
+    loads_arff,
+    save_arff,
+    two_view_to_arff,
+)
+from repro.data.dataset import TwoViewDataset
+
+DENSE_DOC = """\
+% A small weather-style relation
+@relation weather
+
+@attribute temperature numeric
+@attribute outlook {sunny, overcast, rainy}
+@attribute windy {0, 1}
+@attribute play {yes, no}
+
+@data
+30.5, sunny, 0, yes
+% a comment between rows
+21, overcast, 1, no
+?, rainy, 1, yes
+"""
+
+SPARSE_DOC = """\
+@relation tags
+@attribute t0 {0, 1}
+@attribute t1 {0, 1}
+@attribute t2 {0, 1}
+@attribute score numeric
+@data
+{0 1, 3 2.5}
+{}
+{1 1, 2 1}
+"""
+
+
+class TestParsing:
+    def test_relation_name(self):
+        relation = loads_arff(DENSE_DOC)
+        assert relation.name == "weather"
+
+    def test_attribute_kinds(self):
+        relation = loads_arff(DENSE_DOC)
+        kinds = [attribute.kind for attribute in relation.attributes]
+        assert kinds == ["numeric", "nominal", "nominal", "nominal"]
+
+    def test_nominal_values(self):
+        relation = loads_arff(DENSE_DOC)
+        assert relation.attributes[1].values == ("sunny", "overcast", "rainy")
+
+    def test_row_count_and_cells(self):
+        relation = loads_arff(DENSE_DOC)
+        assert relation.n_rows == 3
+        assert relation.rows[0] == [30.5, "sunny", "0", "yes"]
+        assert relation.rows[1] == [21.0, "overcast", "1", "no"]
+
+    def test_missing_value_is_none(self):
+        relation = loads_arff(DENSE_DOC)
+        assert relation.rows[2][0] is None
+
+    def test_integer_and_real_are_numeric(self):
+        doc = "@relation r\n@attribute a integer\n@attribute b real\n@data\n1, 2.5\n"
+        relation = loads_arff(doc)
+        assert all(attribute.kind == "numeric" for attribute in relation.attributes)
+        assert relation.rows[0] == [1.0, 2.5]
+
+    def test_quoted_attribute_names_and_values(self):
+        doc = (
+            "@relation 'my data'\n"
+            "@attribute 'a name' {'v 1', \"v,2\"}\n"
+            "@data\n"
+            "'v 1'\n"
+            '"v,2"\n'
+        )
+        relation = loads_arff(doc)
+        assert relation.name == "my data"
+        assert relation.attributes[0].name == "a name"
+        assert relation.attributes[0].values == ("v 1", "v,2")
+        assert relation.column("a name") == ["v 1", "v,2"]
+
+    def test_case_insensitive_keywords(self):
+        doc = "@RELATION r\n@ATTRIBUTE a NUMERIC\n@DATA\n1\n"
+        relation = loads_arff(doc)
+        assert relation.n_attributes == 1
+        assert relation.rows == [[1.0]]
+
+    def test_string_attribute(self):
+        doc = "@relation r\n@attribute note string\n@data\nhello\n"
+        relation = loads_arff(doc)
+        assert relation.attributes[0].kind == "string"
+        assert relation.rows == [["hello"]]
+
+    def test_name_override(self):
+        relation = loads_arff(DENSE_DOC, name="other")
+        assert relation.name == "other"
+
+    def test_trailing_comment_stripped(self):
+        doc = "@relation r\n@attribute a numeric\n@data\n1 % trailing\n"
+        relation = loads_arff(doc)
+        assert relation.rows == [[1.0]]
+
+    def test_percent_inside_quotes_kept(self):
+        doc = "@relation r\n@attribute a string\n@data\n'50% off'\n"
+        relation = loads_arff(doc)
+        assert relation.rows == [["50% off"]]
+
+
+class TestSparseRows:
+    def test_sparse_defaults(self):
+        relation = loads_arff(SPARSE_DOC)
+        # Unmentioned nominal cells default to the first declared value.
+        assert relation.rows[1] == ["0", "0", "0", 0.0]
+
+    def test_sparse_explicit_cells(self):
+        relation = loads_arff(SPARSE_DOC)
+        assert relation.rows[0] == ["1", "0", "0", 2.5]
+        assert relation.rows[2] == ["0", "1", "1", 0.0]
+
+    def test_sparse_index_out_of_range(self):
+        doc = "@relation r\n@attribute a numeric\n@data\n{5 1}\n"
+        with pytest.raises(ArffError, match="out of range"):
+            loads_arff(doc)
+
+    def test_sparse_malformed_cell(self):
+        doc = "@relation r\n@attribute a numeric\n@data\n{0}\n"
+        with pytest.raises(ArffError, match="malformed sparse cell"):
+            loads_arff(doc)
+
+
+class TestErrors:
+    def test_wrong_cell_count(self):
+        doc = "@relation r\n@attribute a numeric\n@attribute b numeric\n@data\n1\n"
+        with pytest.raises(ArffError, match="expected 2"):
+            loads_arff(doc)
+
+    def test_bad_numeric(self):
+        doc = "@relation r\n@attribute a numeric\n@data\nnot-a-number\n"
+        with pytest.raises(ArffError, match="invalid numeric"):
+            loads_arff(doc)
+
+    def test_unknown_nominal_value(self):
+        doc = "@relation r\n@attribute a {x, y}\n@data\nz\n"
+        with pytest.raises(ArffError, match="not among nominal values"):
+            loads_arff(doc)
+
+    def test_date_attribute_rejected(self):
+        doc = "@relation r\n@attribute when date\n@data\n"
+        with pytest.raises(ArffError, match="unsupported attribute type"):
+            loads_arff(doc)
+
+    def test_data_before_attributes(self):
+        doc = "@relation r\n@data\n1\n"
+        with pytest.raises(ArffError, match="@data before any @attribute"):
+            loads_arff(doc)
+
+    def test_no_attributes(self):
+        with pytest.raises(ArffError, match="no attributes"):
+            loads_arff("@relation r\n")
+
+    def test_unexpected_header_line(self):
+        doc = "@relation r\nsurprise\n"
+        with pytest.raises(ArffError, match="unexpected header"):
+            loads_arff(doc)
+
+    def test_error_carries_line_number(self):
+        doc = "@relation r\n@attribute a numeric\n@data\nbad\n"
+        with pytest.raises(ArffError) as excinfo:
+            loads_arff(doc)
+        assert excinfo.value.line_number == 4
+
+    def test_empty_nominal_list(self):
+        doc = "@relation r\n@attribute a {}\n@data\n"
+        with pytest.raises(ArffError, match="empty nominal"):
+            loads_arff(doc)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        relation = loads_arff(DENSE_DOC)
+        path = tmp_path / "weather.arff"
+        save_arff(relation, path)
+        reread = load_arff(path)
+        assert reread.name == relation.name
+        assert reread.attributes == relation.attributes
+        assert reread.rows == relation.rows
+
+    def test_save_quotes_special_names(self, tmp_path):
+        relation = ArffRelation(
+            "spaced name",
+            [ArffAttribute("a b", "nominal", ("x y", "z"))],
+            [["x y"], ["z"]],
+        )
+        path = tmp_path / "quoted.arff"
+        save_arff(relation, path)
+        reread = load_arff(path)
+        assert reread.attributes[0].name == "a b"
+        assert reread.rows == relation.rows
+
+    def test_missing_value_round_trip(self, tmp_path):
+        relation = loads_arff(DENSE_DOC)
+        path = tmp_path / "missing.arff"
+        save_arff(relation, path)
+        assert load_arff(path).rows[2][0] is None
+
+
+class TestFrameConversion:
+    def test_binary_nominal_becomes_boolean(self):
+        relation = loads_arff(DENSE_DOC)
+        frame = arff_to_frame(relation)
+        assert frame["windy"] == [False, True, True]
+
+    def test_numeric_stays_numeric_with_median_imputation(self):
+        relation = loads_arff(DENSE_DOC)
+        frame = arff_to_frame(relation)
+        # Median of the two present values 30.5 and 21.
+        assert frame["temperature"] == [30.5, 21.0, pytest.approx(25.75)]
+
+    def test_nonbinary_nominal_stays_categorical(self):
+        relation = loads_arff(DENSE_DOC)
+        frame = arff_to_frame(relation)
+        assert frame["outlook"] == ["sunny", "overcast", "rainy"]
+
+    def test_include_selects_columns(self):
+        relation = loads_arff(DENSE_DOC)
+        frame = arff_to_frame(relation, include=["play"])
+        assert list(frame) == ["play"]
+
+    def test_exclude_drops_columns(self):
+        relation = loads_arff(DENSE_DOC)
+        frame = arff_to_frame(relation, exclude=["temperature"])
+        assert "temperature" not in frame
+
+    def test_include_and_exclude_conflict(self):
+        relation = loads_arff(DENSE_DOC)
+        with pytest.raises(ValueError, match="not both"):
+            arff_to_frame(relation, include=["play"], exclude=["windy"])
+
+    def test_include_unknown_attribute(self):
+        relation = loads_arff(DENSE_DOC)
+        with pytest.raises(KeyError, match="unknown attributes"):
+            arff_to_frame(relation, include=["nope"])
+
+    def test_missing_categorical_becomes_question_mark(self):
+        doc = "@relation r\n@attribute a {x, y}\n@data\n?\nx\n"
+        frame = arff_to_frame(loads_arff(doc))
+        assert frame["a"] == ["?", "x"]
+
+
+class TestTwoViewPipeline:
+    def test_natural_split(self):
+        relation = loads_arff(DENSE_DOC)
+        dataset = arff_to_two_view(
+            relation,
+            left_attributes=["temperature", "outlook"],
+            right_attributes=["windy", "play"],
+        )
+        assert isinstance(dataset, TwoViewDataset)
+        assert dataset.n_transactions == 3
+        # Right view: windy (1 Boolean item) + play (2 one-hot items).
+        assert dataset.n_right == 3
+
+    def test_automatic_split_covers_all_items(self):
+        relation = loads_arff(DENSE_DOC)
+        dataset = arff_to_two_view(relation)
+        one_hot_width = dataset.n_left + dataset.n_right
+        assert one_hot_width >= 4
+        assert dataset.n_left >= 1 and dataset.n_right >= 1
+
+    def test_overlapping_views_rejected(self):
+        relation = loads_arff(DENSE_DOC)
+        with pytest.raises(ValueError, match="both views"):
+            arff_to_two_view(
+                relation,
+                left_attributes=["windy"],
+                right_attributes=["windy", "play"],
+            )
+
+    def test_one_sided_split_rejected(self):
+        relation = loads_arff(DENSE_DOC)
+        with pytest.raises(ValueError, match="or neither"):
+            arff_to_two_view(relation, left_attributes=["windy"], right_attributes=None)
+
+    def test_two_view_to_arff_round_trip(self, toy_dataset):
+        relation = two_view_to_arff(toy_dataset)
+        assert relation.n_rows == toy_dataset.n_transactions
+        rebuilt = arff_to_two_view(
+            relation,
+            left_attributes=[f"L:{name}" for name in toy_dataset.left_names],
+            right_attributes=[f"R:{name}" for name in toy_dataset.right_names],
+        )
+        # One-hot of a {0,1} binary Boolean column keeps the occurrence item
+        # only, so the reconstructed matrices must match the original.
+        assert rebuilt.n_transactions == toy_dataset.n_transactions
+        assert np.array_equal(rebuilt.left, toy_dataset.left)
+        assert np.array_equal(rebuilt.right, toy_dataset.right)
+
+    def test_arff_round_trip_through_disk(self, tmp_path, toy_dataset):
+        relation = two_view_to_arff(toy_dataset)
+        path = tmp_path / "toy.arff"
+        save_arff(relation, path)
+        reread = load_arff(path)
+        assert reread.n_rows == toy_dataset.n_transactions
+        assert [a.name for a in reread.attributes] == [a.name for a in relation.attributes]

@@ -1,0 +1,85 @@
+"""Unit tests for the beam-search TRANSLATOR extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_planted, random_dataset
+from repro.core.beam import TranslatorBeam
+from repro.core.translator import TranslatorExact, TranslatorSelect
+
+
+class TestValidation:
+    def test_rejects_bad_beam_width(self):
+        with pytest.raises(ValueError, match="beam_width"):
+            TranslatorBeam(beam_width=0)
+
+    def test_rejects_bad_rule_size(self):
+        with pytest.raises(ValueError, match="max_rule_size"):
+            TranslatorBeam(max_rule_size=1)
+
+
+class TestBehaviour:
+    def test_compresses_structured_data(self, planted_dataset):
+        result = TranslatorBeam().fit(planted_dataset)
+        assert result.n_rules > 0
+        assert result.compression_ratio < 1.0
+        assert result.method.startswith("translator-beam")
+
+    def test_all_gains_positive_and_decreasing_total(self, planted_dataset):
+        result = TranslatorBeam().fit(planted_dataset)
+        assert all(record.gain > 0 for record in result.history)
+        totals = [record.total_bits for record in result.history]
+        assert all(later < earlier for earlier, later in zip(totals, totals[1:]))
+
+    def test_max_iterations(self, planted_dataset):
+        result = TranslatorBeam(max_iterations=2).fit(planted_dataset)
+        assert result.n_rules <= 2
+
+    def test_respects_max_rule_size(self, planted_dataset):
+        result = TranslatorBeam(max_rule_size=3).fit(planted_dataset)
+        assert all(rule.size <= 3 for rule in result.table)
+
+    def test_noise_yields_near_baseline(self):
+        noise = random_dataset(200, 8, 8, 0.12, 0.12, seed=31)
+        result = TranslatorBeam().fit(noise)
+        assert result.compression_ratio > 0.9
+
+    def test_deterministic(self, planted_dataset):
+        first = TranslatorBeam().fit(planted_dataset)
+        second = TranslatorBeam().fit(planted_dataset)
+        assert list(first.table) == list(second.table)
+
+
+class TestQuality:
+    @pytest.fixture(scope="class")
+    def easy_dataset(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=250, n_left=9, n_right=9,
+                density_left=0.1, density_right=0.1,
+                n_rules=3, confidence=(0.95, 1.0), activation=(0.2, 0.3), seed=37,
+            )
+        )
+        return dataset
+
+    def test_close_to_exact_on_easy_data(self, easy_dataset):
+        exact = TranslatorExact(max_rule_size=5).fit(easy_dataset)
+        beam = TranslatorBeam(beam_width=8, max_rule_size=5).fit(easy_dataset)
+        assert beam.compression_ratio <= exact.compression_ratio + 0.08
+
+    def test_competitive_with_select(self, easy_dataset):
+        select = TranslatorSelect(k=1, minsup=2).fit(easy_dataset)
+        beam = TranslatorBeam(beam_width=8).fit(easy_dataset)
+        assert beam.compression_ratio <= select.compression_ratio + 0.08
+
+    def test_wider_beam_no_worse(self, easy_dataset):
+        narrow = TranslatorBeam(beam_width=1).fit(easy_dataset)
+        wide = TranslatorBeam(beam_width=12).fit(easy_dataset)
+        assert wide.compression_ratio <= narrow.compression_ratio + 0.02
+
+    def test_first_rule_never_beats_exact(self, easy_dataset):
+        exact = TranslatorExact(max_iterations=1).fit(easy_dataset)
+        beam = TranslatorBeam(max_iterations=1).fit(easy_dataset)
+        if beam.history and exact.history:
+            assert beam.history[0].gain <= exact.history[0].gain + 1e-9

@@ -1,0 +1,171 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import save_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.datasets == []
+
+    def test_fit_options(self):
+        args = build_parser().parse_args(
+            ["fit", "house", "--method", "greedy", "--minsup", "5", "--scale", "0.1"]
+        )
+        assert args.method == "greedy"
+        assert args.minsup == 5
+        assert args.scale == 0.1
+
+
+class TestCommands:
+    def test_stats_on_registry(self, capsys):
+        assert main(["stats", "wine", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "wine" in out
+        assert "paper_n" in out
+
+    def test_stats_on_file(self, toy_dataset, tmp_path, capsys):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        assert main(["stats", str(path)]) == 0
+        assert "toy" in capsys.readouterr().out
+
+    def test_fit_select(self, toy_dataset, tmp_path, capsys):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        out_path = tmp_path / "table.json"
+        assert main(["fit", str(path), "--minsup", "1", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "translator-select" in out
+        assert out_path.exists()
+
+    def test_fit_exact(self, toy_dataset, tmp_path, capsys):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        assert main(["fit", str(path), "--method", "exact"]) == 0
+        assert "translator-exact" in capsys.readouterr().out
+
+    def test_fit_greedy(self, toy_dataset, tmp_path, capsys):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        assert main(["fit", str(path), "--method", "greedy", "--minsup", "1"]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_compare(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main(["compare", str(path), "--minsup", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "krimp" in out
+        assert "redescription" in out
+
+    def test_trace(self, toy_dataset, tmp_path, capsys):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        assert main(["trace", str(path), "--minsup", "1"]) == 0
+        assert "iter" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_fit_with_prune(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main(["fit", str(path), "--minsup", "2", "--prune"]) == 0
+        assert "pruned" in capsys.readouterr().out
+
+    def test_predict(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main(["predict", str(path), "--minsup", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "left_to_right" in out
+
+    def test_randomize(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main([
+            "randomize", str(path), "--method", "greedy",
+            "--minsup", "5", "--permutations", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p-value" in out
+
+
+    def test_describe(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main(["describe", str(path), "--minsup", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "model report" in out
+        assert "encoded lengths" in out
+        assert "redundancy" in out
+
+    def test_stability(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main([
+            "stability", str(path), "--minsup", "3", "--resamples", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap stability" in out
+        assert "mean exact rule-set Jaccard" in out
+
+    def test_stability_subsampling(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main([
+            "stability", str(path), "--minsup", "3", "--resamples", "2",
+            "--sample-fraction", "0.7", "--no-replacement",
+        ]) == 0
+        assert "resamples: 2" in capsys.readouterr().out
+
+    def test_encoding(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main(["encoding", str(path), "--minsup", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "L% paper" in out
+        assert "L% refined" in out
+
+    def test_cluster(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main([
+            "cluster", str(path), "--minsup", "3", "--k-components", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compression-based clustering" in out
+        assert "component 0" in out and "component 1" in out
+
+
+class TestConvertCommand:
+    def test_round_trip_via_arff(self, toy_dataset, tmp_path, capsys):
+        from repro.data.io import load_dataset
+
+        native = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, native)
+        arff = tmp_path / "toy.arff"
+        assert main(["convert", str(native), str(arff)]) == 0
+        assert arff.exists()
+        back = tmp_path / "back.2v"
+        assert main(["convert", str(arff), str(back)]) == 0
+        rebuilt = load_dataset(back)
+        assert rebuilt.n_transactions == toy_dataset.n_transactions
+        assert rebuilt.n_left == toy_dataset.n_left
+        assert rebuilt.n_right == toy_dataset.n_right
+
+    def test_unsupported_pair_fails(self, tmp_path, capsys):
+        src = tmp_path / "a.txt"
+        src.write_text("x")
+        assert main(["convert", str(src), str(tmp_path / "b.txt")]) == 2
+        assert "requires" in capsys.readouterr().err

@@ -1,0 +1,273 @@
+"""Tests for compression-based clustering (repro.core.clustering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ClusteringResult, cluster_two_view, transaction_bits
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorGreedy, TranslatorSelect
+from repro.data.dataset import TwoViewDataset
+
+
+def _conflict_component(
+    consequent_columns: list[int], seed: int, n: int = 120
+) -> tuple[np.ndarray, np.ndarray]:
+    """One component: antecedent {0, 1} maps to ``consequent_columns``."""
+    rng = np.random.default_rng(seed)
+    left = rng.random((n, 10)) < 0.05
+    right = rng.random((n, 10)) < 0.05
+    fire = rng.random(n) < 0.9
+    left[fire, 0] = True
+    left[fire, 1] = True
+    for column in consequent_columns:
+        right[fire, column] = True
+    return left, right
+
+
+def two_component_dataset() -> tuple[TwoViewDataset, np.ndarray]:
+    """A dataset whose two components carry *conflicting* structure.
+
+    Both components fire the same left antecedent {0, 1}, but it implies
+    right items {0, 1} in the first component and {4, 5} in the second.
+    A single union table must pay error corrections on every firing row,
+    which is exactly the regime where the generating partition is
+    MDL-identifiable (see the module docstring of
+    ``repro.core.clustering``).
+    """
+    left_a, right_a = _conflict_component([0, 1], seed=1)
+    left_b, right_b = _conflict_component([4, 5], seed=2)
+    merged = TwoViewDataset(
+        np.concatenate([left_a, left_b]),
+        np.concatenate([right_a, right_b]),
+        name="two-components",
+    )
+    truth = np.concatenate(
+        [np.zeros(len(left_a), dtype=int), np.ones(len(left_b), dtype=int)]
+    )
+    return merged, truth
+
+
+def pair_agreement(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Rand-index style pairwise agreement between two labelings."""
+    n = len(labels)
+    same_pred = labels[:, None] == labels[None, :]
+    same_true = truth[:, None] == truth[None, :]
+    mask = ~np.eye(n, dtype=bool)
+    return float((same_pred == same_true)[mask].mean())
+
+
+class TestSelectK:
+    def test_noise_selects_one_component(self):
+        rng = np.random.default_rng(8)
+        noise = TwoViewDataset(
+            rng.random((150, 8)) < 0.15,
+            rng.random((150, 8)) < 0.15,
+            name="noise",
+        )
+        from repro.core.clustering import select_k
+
+        best = select_k(
+            noise, translator_factory=lambda: TranslatorSelect(k=1), max_k=3, rng=0
+        )
+        assert best.k == 1
+
+    def test_conflicting_data_selects_two(self):
+        from repro.core.clustering import select_k
+
+        dataset, __ = two_component_dataset()
+        best = select_k(
+            dataset,
+            translator_factory=lambda: TranslatorSelect(k=1),
+            max_k=3,
+            n_restarts=2,
+            rng=0,
+        )
+        assert best.k >= 2
+
+    def test_invalid_max_k(self, toy_dataset):
+        from repro.core.clustering import select_k
+
+        with pytest.raises(ValueError, match="max_k"):
+            select_k(toy_dataset, translator_factory=lambda: TranslatorSelect(k=1), max_k=0)
+
+    def test_max_k_capped_by_transactions(self, toy_dataset):
+        from repro.core.clustering import select_k
+
+        best = select_k(
+            toy_dataset,
+            translator_factory=lambda: TranslatorSelect(k=1, minsup=1),
+            max_k=50,
+            rng=0,
+        )
+        assert 1 <= best.k <= toy_dataset.n_transactions
+
+
+class TestTransactionBits:
+    def test_empty_table_prices_all_ones(self, toy_dataset):
+        lengths_left = np.ones(toy_dataset.n_left)
+        lengths_right = np.ones(toy_dataset.n_right)
+        bits = transaction_bits(
+            toy_dataset, TranslationTable(), lengths_left, lengths_right
+        )
+        expected = toy_dataset.left.sum(axis=1) + toy_dataset.right.sum(axis=1)
+        assert np.allclose(bits, expected)
+
+    def test_perfect_rule_removes_cost(self):
+        left = np.array([[True], [True], [False]])
+        right = np.array([[True], [True], [False]])
+        dataset = TwoViewDataset(left, right)
+        table = TranslationTable()
+        table.add(TranslationRule((0,), (0,), Direction.BOTH))
+        bits = transaction_bits(dataset, table, np.ones(1), np.ones(1))
+        assert np.allclose(bits, 0.0)
+
+    def test_wrong_rule_adds_error_cost(self):
+        left = np.array([[True]])
+        right = np.array([[False]])
+        dataset = TwoViewDataset(left, right)
+        table = TranslationTable()
+        table.add(TranslationRule((0,), (0,), Direction.FORWARD))
+        bits = transaction_bits(dataset, table, np.full(1, 2.0), np.full(1, 3.0))
+        # Left item uncovered (2.0) + right error introduced (3.0).
+        assert bits[0] == pytest.approx(5.0)
+
+
+class TestClusterTwoView:
+    def test_result_shape(self):
+        dataset, __ = two_component_dataset()
+        result = cluster_two_view(
+            dataset, k=2, translator_factory=lambda: TranslatorSelect(k=1), rng=0
+        )
+        assert isinstance(result, ClusteringResult)
+        assert result.k == 2
+        assert len(result.labels) == dataset.n_transactions
+        assert set(result.labels) <= {0, 1}
+        assert len(result.component_bits) == 2
+        assert sum(result.sizes()) == dataset.n_transactions
+
+    def test_recovers_planted_components(self):
+        dataset, truth = two_component_dataset()
+        result = cluster_two_view(
+            dataset,
+            k=2,
+            translator_factory=lambda: TranslatorSelect(k=1),
+            n_restarts=2,
+            rng=0,
+        )
+        assert pair_agreement(result.labels, truth) >= 0.8
+
+    def test_homogeneous_noise_prefers_one_component(self):
+        """On i.i.d. noise, the parameter cost makes splitting a net loss."""
+        rng = np.random.default_rng(4)
+        noise = TwoViewDataset(
+            rng.random((200, 10)) < 0.15,
+            rng.random((200, 10)) < 0.15,
+            name="noise",
+        )
+        factory = lambda: TranslatorSelect(k=1)  # noqa: E731
+        single = cluster_two_view(noise, k=1, translator_factory=factory, rng=0)
+        double = cluster_two_view(noise, k=2, translator_factory=factory, rng=0)
+        assert single.total_bits <= double.total_bits
+
+    def test_parameter_cost_charged_per_nonempty_component(self):
+        dataset, __ = two_component_dataset()
+        factory = lambda: TranslatorSelect(k=1)  # noqa: E731
+        result = cluster_two_view(dataset, k=2, translator_factory=factory, rng=0)
+        from repro.core.clustering import _parameter_bits
+
+        for component in range(result.k):
+            size = int((result.labels == component).sum())
+            if size:
+                assert result.component_bits[component] >= _parameter_bits(
+                    size, dataset.n_items
+                )
+
+    def test_restarts_never_hurt(self):
+        dataset, __ = two_component_dataset()
+        factory = lambda: TranslatorGreedy(minsup=2)  # noqa: E731
+        one = cluster_two_view(dataset, k=2, translator_factory=factory, rng=9)
+        many = cluster_two_view(
+            dataset, k=2, translator_factory=factory, n_restarts=3, rng=9
+        )
+        assert many.total_bits <= one.total_bits + 1e-9
+
+    def test_invalid_restarts(self, toy_dataset):
+        with pytest.raises(ValueError, match="n_restarts"):
+            cluster_two_view(
+                toy_dataset,
+                k=1,
+                translator_factory=lambda: TranslatorSelect(k=1),
+                n_restarts=0,
+            )
+
+    def test_two_components_beat_one(self):
+        dataset, __ = two_component_dataset()
+        single = cluster_two_view(
+            dataset, k=1, translator_factory=lambda: TranslatorSelect(k=1), rng=0
+        )
+        double = cluster_two_view(
+            dataset, k=2, translator_factory=lambda: TranslatorSelect(k=1), rng=0
+        )
+        assert double.total_bits < single.total_bits
+
+    def test_k1_is_plain_fit(self, planted_dataset):
+        result = cluster_two_view(
+            planted_dataset, k=1, translator_factory=lambda: TranslatorSelect(k=1), rng=0
+        )
+        assert result.k == 1
+        assert result.converged
+        assert (result.labels == 0).all()
+
+    def test_reproducible_with_seed(self):
+        dataset, __ = two_component_dataset()
+        first = cluster_two_view(
+            dataset, k=2, translator_factory=lambda: TranslatorGreedy(minsup=2), rng=5
+        )
+        second = cluster_two_view(
+            dataset, k=2, translator_factory=lambda: TranslatorGreedy(minsup=2), rng=5
+        )
+        assert np.array_equal(first.labels, second.labels)
+        assert first.total_bits == pytest.approx(second.total_bits)
+
+    def test_members_partition(self):
+        dataset, __ = two_component_dataset()
+        result = cluster_two_view(
+            dataset, k=3, translator_factory=lambda: TranslatorGreedy(minsup=2), rng=1
+        )
+        all_members = np.concatenate([result.members(c) for c in range(result.k)])
+        assert sorted(all_members.tolist()) == list(range(dataset.n_transactions))
+
+    def test_invalid_parameters(self, toy_dataset):
+        factory = lambda: TranslatorSelect(k=1)  # noqa: E731
+        with pytest.raises(ValueError, match="k must be positive"):
+            cluster_two_view(toy_dataset, k=0, translator_factory=factory)
+        with pytest.raises(ValueError, match="max_rounds"):
+            cluster_two_view(toy_dataset, k=1, translator_factory=factory, max_rounds=0)
+        with pytest.raises(ValueError, match="more components"):
+            cluster_two_view(toy_dataset, k=99, translator_factory=factory)
+
+    def test_empty_dataset_rejected(self):
+        empty = TwoViewDataset(
+            np.zeros((0, 2), dtype=bool), np.zeros((0, 2), dtype=bool)
+        )
+        with pytest.raises(ValueError, match="empty dataset"):
+            cluster_two_view(empty, k=1, translator_factory=lambda: TranslatorSelect(k=1))
+
+    def test_total_bits_is_components_plus_labels(self):
+        dataset, __ = two_component_dataset()
+        result = cluster_two_view(
+            dataset, k=2, translator_factory=lambda: TranslatorGreedy(minsup=2), rng=2
+        )
+        assert result.total_bits == pytest.approx(
+            sum(result.component_bits) + result.label_bits
+        )
+        assert result.label_bits > 0
+
+    def test_single_component_pays_no_label_bits(self, planted_dataset):
+        result = cluster_two_view(
+            planted_dataset, k=1, translator_factory=lambda: TranslatorSelect(k=1), rng=0
+        )
+        assert result.label_bits == 0.0

@@ -1,0 +1,211 @@
+"""Unit tests for the two-view data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Side, TwoViewDataset
+
+
+class TestConstruction:
+    def test_from_matrices(self):
+        left = np.array([[1, 0], [0, 1]], dtype=bool)
+        right = np.array([[1], [0]], dtype=bool)
+        data = TwoViewDataset(left, right)
+        assert data.n_transactions == 2
+        assert data.n_left == 2
+        assert data.n_right == 1
+
+    def test_accepts_int_matrices(self):
+        data = TwoViewDataset([[1, 0]], [[0, 1]])
+        assert data.left.dtype == bool
+        assert data.right.dtype == bool
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="Boolean"):
+            TwoViewDataset([[2, 0]], [[0, 1]])
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError, match="same number of transactions"):
+            TwoViewDataset([[1], [0]], [[1]])
+
+    def test_rejects_bad_name_lengths(self):
+        with pytest.raises(ValueError, match="left_names"):
+            TwoViewDataset([[1, 0]], [[1]], left_names=["a"])
+        with pytest.raises(ValueError, match="right_names"):
+            TwoViewDataset([[1, 0]], [[1]], right_names=["x", "y"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            TwoViewDataset([[1, 0]], [[1]], left_names=["a", "a"])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            TwoViewDataset([1, 0], [[1]])
+
+    def test_default_names(self):
+        data = TwoViewDataset([[1, 0]], [[1]])
+        assert data.left_names == ["L0", "L1"]
+        assert data.right_names == ["R0"]
+
+    def test_from_transactions_infers_vocabulary(self):
+        data = TwoViewDataset.from_transactions(
+            [({"a"}, {"x"}), ({"b"}, {"x", "y"})]
+        )
+        assert set(data.left_names) == {"a", "b"}
+        assert set(data.right_names) == {"x", "y"}
+        assert data.n_transactions == 2
+
+    def test_from_transactions_rejects_unknown_item(self):
+        with pytest.raises(ValueError, match="unknown left item"):
+            TwoViewDataset.from_transactions(
+                [({"a"}, {"x"})], left_names=["b"], right_names=["x"]
+            )
+
+    def test_from_transactions_respects_given_order(self):
+        data = TwoViewDataset.from_transactions(
+            [({"b"}, {"y"})], left_names=["a", "b"], right_names=["x", "y"]
+        )
+        assert data.left_names == ["a", "b"]
+        assert bool(data.left[0, 1]) is True
+        assert bool(data.left[0, 0]) is False
+
+
+class TestProperties:
+    def test_densities(self, toy_dataset):
+        expected_left = toy_dataset.left.sum() / toy_dataset.left.size
+        assert toy_dataset.density_left == pytest.approx(expected_left)
+        expected_right = toy_dataset.right.sum() / toy_dataset.right.size
+        assert toy_dataset.density_right == pytest.approx(expected_right)
+
+    def test_len(self, toy_dataset):
+        assert len(toy_dataset) == 5
+
+    def test_view_and_names(self, toy_dataset):
+        assert toy_dataset.view(Side.LEFT) is toy_dataset.left
+        assert toy_dataset.view(Side.RIGHT) is toy_dataset.right
+        assert toy_dataset.names(Side.LEFT) == ["a", "b", "c", "d"]
+        assert toy_dataset.n_side(Side.RIGHT) == 4
+
+    def test_side_opposite(self):
+        assert Side.LEFT.opposite is Side.RIGHT
+        assert Side.RIGHT.opposite is Side.LEFT
+
+    def test_summary(self, toy_dataset):
+        summary = toy_dataset.summary()
+        assert summary["name"] == "toy"
+        assert summary["n_transactions"] == 5
+
+    def test_repr(self, toy_dataset):
+        text = repr(toy_dataset)
+        assert "toy" in text
+        assert "n=5" in text
+
+    def test_item_counts(self, toy_dataset):
+        counts = toy_dataset.item_counts(Side.LEFT)
+        assert counts[toy_dataset.item_index(Side.LEFT, "a")] == 3
+
+    def test_item_index_unknown(self, toy_dataset):
+        with pytest.raises(KeyError, match="unknown"):
+            toy_dataset.item_index(Side.LEFT, "zzz")
+
+
+class TestSupport:
+    def test_support_mask_single(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        mask = toy_dataset.support_mask(Side.LEFT, [a])
+        assert mask.tolist() == [True, False, False, True, True]
+
+    def test_support_mask_itemset(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        d = toy_dataset.item_index(Side.LEFT, "d")
+        mask = toy_dataset.support_mask(Side.LEFT, [a, d])
+        assert mask.tolist() == [False, False, False, True, False]
+
+    def test_empty_itemset_supported_everywhere(self, toy_dataset):
+        assert toy_dataset.support_mask(Side.LEFT, []).all()
+
+    def test_support_count(self, toy_dataset):
+        c = toy_dataset.item_index(Side.LEFT, "c")
+        assert toy_dataset.support_count(Side.LEFT, [c]) == 2
+
+    def test_joint_support(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        u = toy_dataset.item_index(Side.RIGHT, "u")
+        mask = toy_dataset.joint_support_mask([a], [u])
+        assert mask.tolist() == [True, False, False, True, True]
+
+
+class TestTransactions:
+    def test_transaction(self, toy_dataset):
+        left, right = toy_dataset.transaction(1)
+        c = toy_dataset.item_index(Side.LEFT, "c")
+        d = toy_dataset.item_index(Side.LEFT, "d")
+        s = toy_dataset.item_index(Side.RIGHT, "s")
+        assert left == {c, d}
+        assert right == {s}
+
+    def test_transaction_names(self, toy_dataset):
+        left, right = toy_dataset.transaction_names(0)
+        assert left == {"a", "b"}
+        assert right == {"u", "p"}
+
+    def test_iter_transactions(self, toy_dataset):
+        transactions = list(toy_dataset.iter_transactions())
+        assert len(transactions) == 5
+        assert all(isinstance(pair, tuple) for pair in transactions)
+
+
+class TestDerived:
+    def test_subset(self, toy_dataset):
+        sub = toy_dataset.subset([0, 2])
+        assert sub.n_transactions == 2
+        assert sub.left_names == toy_dataset.left_names
+        np.testing.assert_array_equal(sub.left[1], toy_dataset.left[2])
+
+    def test_sample(self, toy_dataset):
+        sample = toy_dataset.sample(3, rng=0)
+        assert sample.n_transactions == 3
+
+    def test_sample_too_large(self, toy_dataset):
+        with pytest.raises(ValueError, match="sample"):
+            toy_dataset.sample(99)
+
+    def test_split(self, toy_dataset):
+        first, second = toy_dataset.split(0.6, rng=0)
+        assert first.n_transactions + second.n_transactions == 5
+        assert first.n_transactions >= 1
+        assert second.n_transactions >= 1
+
+    def test_split_bad_fraction(self, toy_dataset):
+        with pytest.raises(ValueError, match="fraction"):
+            toy_dataset.split(1.5)
+
+    def test_swapped(self, toy_dataset):
+        swapped = toy_dataset.swapped()
+        assert swapped.n_left == toy_dataset.n_right
+        np.testing.assert_array_equal(swapped.left, toy_dataset.right)
+        assert swapped.left_names == toy_dataset.right_names
+
+    def test_swapped_twice_is_identity(self, toy_dataset):
+        double = toy_dataset.swapped().swapped()
+        assert double == toy_dataset
+
+    def test_joined(self, toy_dataset):
+        joint, names = toy_dataset.joined()
+        assert joint.shape == (5, 8)
+        assert names[0] == "L:a"
+        assert names[4] == "R:p"
+        np.testing.assert_array_equal(joint[:, :4], toy_dataset.left)
+
+    def test_equality(self, toy_dataset):
+        same = TwoViewDataset(
+            toy_dataset.left.copy(),
+            toy_dataset.right.copy(),
+            toy_dataset.left_names,
+            toy_dataset.right_names,
+            name="other-name",
+        )
+        assert same == toy_dataset  # name not part of equality
+        assert toy_dataset != "not a dataset"

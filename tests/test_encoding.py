@@ -1,0 +1,122 @@
+"""Unit tests for the MDL encoding (paper, Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Side, TwoViewDataset
+from repro.core.encoding import CodeLengthModel
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+
+
+@pytest.fixture
+def codes(toy_dataset) -> CodeLengthModel:
+    return CodeLengthModel(toy_dataset)
+
+
+class TestItemCodes:
+    def test_code_length_matches_probability(self, toy_dataset, codes):
+        # Item 'a' occurs in 3 of 5 transactions.
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        assert codes.item_length(Side.LEFT, a) == pytest.approx(-math.log2(3 / 5))
+
+    def test_rare_items_cost_more(self, toy_dataset, codes):
+        a = toy_dataset.item_index(Side.LEFT, "a")  # support 3
+        d = toy_dataset.item_index(Side.LEFT, "d")  # support 2
+        assert codes.item_length(Side.LEFT, d) > codes.item_length(Side.LEFT, a)
+
+    def test_zero_support_item_is_infinite(self):
+        data = TwoViewDataset([[1, 0]], [[1]])
+        codes = CodeLengthModel(data)
+        assert math.isinf(codes.item_length(Side.LEFT, 1))
+
+    def test_full_support_item_is_free(self):
+        data = TwoViewDataset([[1], [1]], [[1], [0]])
+        codes = CodeLengthModel(data)
+        assert codes.item_length(Side.LEFT, 0) == 0.0
+
+    def test_empty_dataset_rejected(self):
+        data = TwoViewDataset(np.zeros((0, 2), bool), np.zeros((0, 1), bool))
+        with pytest.raises(ValueError, match="empty"):
+            CodeLengthModel(data)
+
+
+class TestItemsetAndRuleLengths:
+    def test_itemset_length_additive(self, toy_dataset, codes):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        b = toy_dataset.item_index(Side.LEFT, "b")
+        total = codes.itemset_length(Side.LEFT, [a, b])
+        assert total == pytest.approx(
+            codes.item_length(Side.LEFT, a) + codes.item_length(Side.LEFT, b)
+        )
+
+    def test_empty_itemset_free(self, codes):
+        assert codes.itemset_length(Side.LEFT, []) == 0.0
+
+    def test_direction_length(self, codes):
+        assert codes.direction_length(Direction.BOTH) == 1.0
+        assert codes.direction_length(Direction.FORWARD) == 2.0
+
+    def test_rule_length(self, toy_dataset, codes):
+        rule = TranslationRule((0,), (3,), Direction.BOTH)
+        expected = (
+            codes.itemset_length(Side.LEFT, (0,))
+            + 1.0
+            + codes.itemset_length(Side.RIGHT, (3,))
+        )
+        assert codes.rule_length(rule) == pytest.approx(expected)
+
+    def test_bidirectional_cheaper_than_unidirectional(self, codes):
+        rule = TranslationRule((0,), (3,), Direction.BOTH)
+        assert codes.rule_length(rule) < codes.rule_length(
+            rule.with_direction(Direction.FORWARD)
+        )
+
+    def test_table_length_sums_rules(self, codes):
+        rules = [
+            TranslationRule((0,), (3,), Direction.BOTH),
+            TranslationRule((1,), (2,), Direction.FORWARD),
+        ]
+        table = TranslationTable(rules)
+        assert codes.table_length(table) == pytest.approx(
+            sum(codes.rule_length(rule) for rule in rules)
+        )
+
+    def test_empty_table_free(self, codes):
+        assert codes.table_length(TranslationTable()) == 0.0
+
+
+class TestCorrectionLengths:
+    def test_correction_length_counts_cells(self, toy_dataset, codes):
+        correction = np.zeros_like(toy_dataset.right)
+        u = toy_dataset.item_index(Side.RIGHT, "u")
+        correction[0, u] = True
+        correction[3, u] = True
+        expected = 2 * codes.item_length(Side.RIGHT, u)
+        assert codes.correction_length(Side.RIGHT, correction) == pytest.approx(expected)
+
+    def test_empty_correction_is_free(self, toy_dataset, codes):
+        correction = np.zeros_like(toy_dataset.left)
+        assert codes.correction_length(Side.LEFT, correction) == 0.0
+
+    def test_shape_mismatch_rejected(self, toy_dataset, codes):
+        with pytest.raises(ValueError, match="shape"):
+            codes.correction_length(Side.LEFT, np.zeros((1, 1), bool))
+
+    def test_baseline_length(self, toy_dataset, codes):
+        # L(D, empty) = encoding of the data itself in both directions.
+        expected = codes.correction_length(
+            Side.LEFT, toy_dataset.left
+        ) + codes.correction_length(Side.RIGHT, toy_dataset.right)
+        assert codes.baseline_length() == pytest.approx(expected)
+        assert codes.baseline_length() > 0
+
+    def test_zero_support_correction_infinite(self):
+        data = TwoViewDataset([[1, 0]], [[1]])
+        codes = CodeLengthModel(data)
+        correction = np.array([[1, 1]], dtype=bool)
+        assert math.isinf(codes.correction_length(Side.LEFT, correction))

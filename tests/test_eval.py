@@ -1,0 +1,151 @@
+"""Unit tests for comparison harness, trace, visualisation and tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorSelect
+from repro.eval.comparison import compare_methods
+from repro.eval.tables import format_table
+from repro.eval.trace import construction_trace, format_trace
+from repro.eval.visualize import graph_statistics, render_ascii, rule_graph, to_dot
+
+
+class TestComparison:
+    def test_four_methods(self, planted_dataset):
+        results = compare_methods(planted_dataset, minsup=5)
+        assert len(results) == 4
+        methods = {result.method for result in results}
+        assert any("translator" in method for method in methods)
+        assert any("krimp" in method for method in methods)
+
+    def test_translator_wins_on_planted_data(self, planted_dataset):
+        results = compare_methods(planted_dataset, minsup=5)
+        by_method = {result.method: result for result in results}
+        translator = by_method["translator-select(1)"]
+        # Paper, Table 3: TRANSLATOR attains the best compression ratio.
+        for method, result in by_method.items():
+            if method != "translator-select(1)":
+                assert translator.compression_ratio <= result.compression_ratio + 0.02
+
+    def test_rows_formattable(self, planted_dataset):
+        results = compare_methods(planted_dataset, minsup=5)
+        text = format_table([result.as_row() for result in results])
+        assert "L%" in text
+
+
+class TestTrace:
+    def test_series_lengths(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        series = construction_trace(result)
+        expected_length = result.n_rules + 1
+        assert all(len(values) == expected_length for values in series.values())
+
+    def test_uncovered_monotone_decreasing(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        series = construction_trace(result)
+        for key in ("uncovered_left", "uncovered_right"):
+            values = series[key]
+            assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_errors_monotone_increasing(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        series = construction_trace(result)
+        for key in ("errors_left", "errors_right"):
+            values = series[key]
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_total_strictly_decreasing(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        values = construction_trace(result)["L_total"]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_total_is_sum_of_parts(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        series = construction_trace(result)
+        for index in range(len(series["L_total"])):
+            assert series["L_total"][index] == pytest.approx(
+                series["L_left_to_right"][index]
+                + series["L_right_to_left"][index]
+                + series["L_table"][index]
+            )
+
+    def test_format_trace(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        text = format_trace(result)
+        assert "iter" in text
+        assert str(result.n_rules) in text
+
+
+class TestVisualize:
+    @pytest.fixture
+    def table(self):
+        return TranslationTable(
+            [
+                TranslationRule((0, 1), (2,), Direction.BOTH),
+                TranslationRule((2,), (0, 1), Direction.FORWARD),
+            ]
+        )
+
+    def test_graph_structure(self, toy_dataset, table):
+        graph = rule_graph(toy_dataset, table)
+        kinds = {data["kind"] for __, data in graph.nodes(data=True)}
+        assert kinds == {"left_item", "rule", "right_item"}
+        # Each rule connects to exactly its items.
+        assert graph.degree("rule:0") == 3
+        assert graph.degree("rule:1") == 3
+
+    def test_bidirectional_edges(self, toy_dataset, table):
+        graph = rule_graph(toy_dataset, table)
+        edge_flags = {
+            tuple(sorted((source, target))): data["bidirectional"]
+            for source, target, data in graph.edges(data=True)
+        }
+        assert any(edge_flags.values())
+        assert not all(edge_flags.values())
+
+    def test_statistics(self, toy_dataset, table):
+        stats = graph_statistics(rule_graph(toy_dataset, table))
+        assert stats["n_rules"] == 2
+        assert stats["n_bidirectional_rules"] == 1
+        assert stats["bidirectional_share"] == pytest.approx(0.5)
+        assert stats["average_items_per_rule"] == pytest.approx(3.0)
+
+    def test_dot_output(self, toy_dataset, table):
+        dot = to_dot(rule_graph(toy_dataset, table))
+        assert dot.startswith("graph rules {")
+        assert dot.rstrip().endswith("}")
+        assert "color=grey" in dot and "color=black" in dot
+
+    def test_ascii_rendering(self, toy_dataset, table):
+        text = render_ascii(toy_dataset, table)
+        assert "<=>" in text
+        assert "==>" in text
+
+    def test_ascii_limit(self, toy_dataset, table):
+        text = render_ascii(toy_dataset, table, limit=1)
+        assert "..." in text
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+        assert format_table([], title="T") == "T"
+
+    def test_missing_values(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text

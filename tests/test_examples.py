@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in a subprocess exactly as a user would run it
+(``python examples/<name>.py``).  The slowest two are marked ``slow`` so
+they can be excluded with ``-m 'not slow'`` during quick iterations; the
+full suite runs everything.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SLOW = {"method_comparison.py", "music_emotions.py"}
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", [name for name in EXAMPLES if name not in SLOW])
+def test_example_runs(name):
+    completed = run_example(name)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{name} produced no output"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SLOW))
+def test_slow_example_runs(name):
+    completed = run_example(name)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_demonstrates_lossless_translation():
+    completed = run_example("quickstart.py")
+    assert completed.returncode == 0, completed.stderr
+    assert "lossless" in completed.stdout.lower()
+
+
+def test_stability_example_contrasts_noise():
+    completed = run_example("stability_analysis.py")
+    assert completed.returncode == 0, completed.stderr
+    assert "noise" in completed.stdout
+    assert "robust" in completed.stdout

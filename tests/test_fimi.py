@@ -1,0 +1,94 @@
+"""Tests for FIMI / LUCS-KDD transaction-file loading (repro.data.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_fimi, load_fimi_pair
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "data.num"
+    path.write_text(
+        "# items 0-2 left, 3-5 right\n"
+        "0 1 3\n"
+        "2 4 5\n"
+        "\n"
+        "% another comment style\n"
+        "0 3 5\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestLoadFimi:
+    def test_splits_items_by_n_left(self, fimi_file):
+        dataset = load_fimi(fimi_file, n_left=3)
+        assert dataset.n_transactions == 3
+        assert dataset.n_left == 3
+        assert dataset.n_right == 3
+        assert bool(dataset.left[0, 0]) and bool(dataset.left[0, 1])
+        assert bool(dataset.right[0, 0])  # item 3 -> right column 0
+
+    def test_comments_and_blank_lines_skipped(self, fimi_file):
+        dataset = load_fimi(fimi_file, n_left=3)
+        assert dataset.n_transactions == 3
+
+    def test_n_items_fixes_vocabulary(self, tmp_path):
+        path = tmp_path / "short.num"
+        path.write_text("0 1\n", encoding="utf-8")
+        dataset = load_fimi(path, n_left=1, n_items=5)
+        assert dataset.n_left == 1
+        assert dataset.n_right == 4
+
+    def test_item_exceeding_n_items_rejected(self, tmp_path):
+        path = tmp_path / "bad.num"
+        path.write_text("0 9\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="exceeds n_items"):
+            load_fimi(path, n_left=1, n_items=5)
+
+    def test_n_left_exceeding_vocabulary_rejected(self, tmp_path):
+        path = tmp_path / "tiny.num"
+        path.write_text("0 1\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="n_left exceeds"):
+            load_fimi(path, n_left=10)
+
+    def test_default_name_is_stem(self, fimi_file):
+        assert load_fimi(fimi_file, n_left=3).name == "data"
+
+
+class TestLoadFimiPair:
+    def test_aligned_views(self, tmp_path):
+        left = tmp_path / "left.num"
+        right = tmp_path / "right.num"
+        left.write_text("0 1\n2\n", encoding="utf-8")
+        right.write_text("0\n1 2\n", encoding="utf-8")
+        dataset = load_fimi_pair(left, right)
+        assert dataset.n_transactions == 2
+        assert dataset.n_left == 3 and dataset.n_right == 3
+        assert bool(dataset.left[1, 2])
+        assert bool(dataset.right[1, 1]) and bool(dataset.right[1, 2])
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        left = tmp_path / "left.num"
+        right = tmp_path / "right.num"
+        left.write_text("0\n1\n", encoding="utf-8")
+        right.write_text("0\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="different transaction counts"):
+            load_fimi_pair(left, right)
+
+    def test_matrix_contents_round(self, tmp_path):
+        rng = np.random.default_rng(0)
+        left_rows = [sorted(rng.choice(6, size=rng.integers(1, 4), replace=False).tolist()) for __ in range(20)]
+        right_rows = [sorted(rng.choice(5, size=rng.integers(1, 3), replace=False).tolist()) for __ in range(20)]
+        left = tmp_path / "l.num"
+        right = tmp_path / "r.num"
+        left.write_text("\n".join(" ".join(map(str, row)) for row in left_rows), encoding="utf-8")
+        right.write_text("\n".join(" ".join(map(str, row)) for row in right_rows), encoding="utf-8")
+        dataset = load_fimi_pair(left, right)
+        for index, row in enumerate(left_rows):
+            assert set(np.flatnonzero(dataset.left[index]).tolist()) == set(row)
+        for index, row in enumerate(right_rows):
+            assert set(np.flatnonzero(dataset.right[index]).tolist()) == set(row)

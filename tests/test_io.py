@@ -1,0 +1,93 @@
+"""Unit tests for dataset I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TwoViewDataset
+from repro.data.io import load_csv, load_dataset, save_csv, save_dataset
+
+
+class TestNativeFormat:
+    def test_roundtrip(self, toy_dataset, tmp_path):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded == toy_dataset
+        assert loaded.name == "toy"
+
+    def test_roundtrip_empty_sides(self, tmp_path):
+        data = TwoViewDataset.from_transactions(
+            [({"a"}, set()), (set(), {"x"})],
+            left_names=["a"],
+            right_names=["x"],
+            name="sparse",
+        )
+        path = tmp_path / "sparse.2v"
+        save_dataset(data, path)
+        assert load_dataset(path) == data
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.2v"
+        path.write_text("not a 2v file\n")
+        with pytest.raises(ValueError, match="missing"):
+            load_dataset(path)
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.2v"
+        path.write_text("#2v x\nno left header\nno right header\n")
+        with pytest.raises(ValueError, match="vocabulary"):
+            load_dataset(path)
+
+    def test_rejects_missing_separator(self, tmp_path):
+        path = tmp_path / "bad.2v"
+        path.write_text("#2v x\n#left a\n#right b\n0 0\n")
+        with pytest.raises(ValueError, match="separator"):
+            load_dataset(path)
+
+    def test_skips_comments_and_blank_lines(self, toy_dataset, tmp_path):
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        text = path.read_text()
+        lines = text.splitlines()
+        lines.insert(4, "# a comment")
+        lines.insert(5, "")
+        path.write_text("\n".join(lines) + "\n")
+        assert load_dataset(path) == toy_dataset
+
+
+class TestCsv:
+    def test_roundtrip(self, toy_dataset, tmp_path):
+        left_path = tmp_path / "left.csv"
+        right_path = tmp_path / "right.csv"
+        save_csv(toy_dataset, left_path, right_path)
+        loaded = load_csv(left_path, right_path, name="toy")
+        assert loaded == toy_dataset
+
+    def test_csv_contains_header(self, toy_dataset, tmp_path):
+        left_path = tmp_path / "left.csv"
+        right_path = tmp_path / "right.csv"
+        save_csv(toy_dataset, left_path, right_path)
+        header = left_path.read_text().splitlines()[0]
+        assert header == "a,b,c,d"
+
+    def test_csv_binary_cells(self, toy_dataset, tmp_path):
+        left_path = tmp_path / "left.csv"
+        right_path = tmp_path / "right.csv"
+        save_csv(toy_dataset, left_path, right_path)
+        body = left_path.read_text().splitlines()[1:]
+        cells = {cell for line in body for cell in line.split(",")}
+        assert cells <= {"0", "1"}
+
+
+class TestLargeRoundtrip:
+    def test_random_roundtrip(self, rng, tmp_path):
+        left = rng.random((50, 8)) < 0.3
+        right = rng.random((50, 5)) < 0.4
+        data = TwoViewDataset(left, right, name="rand")
+        path = tmp_path / "rand.2v"
+        save_dataset(data, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.left, data.left)
+        np.testing.assert_array_equal(loaded.right, data.right)

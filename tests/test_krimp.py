@@ -1,0 +1,112 @@
+"""Unit tests for the KRIMP baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.baselines.convert import krimp_to_translation_table
+from repro.baselines.krimp import CodeTable, Krimp
+
+
+@pytest.fixture
+def structured_matrix() -> np.ndarray:
+    """A matrix with one strong embedded itemset {0,1,2}."""
+    rng = np.random.default_rng(0)
+    matrix = rng.random((200, 8)) < 0.15
+    pattern_rows = rng.random(200) < 0.4
+    matrix[np.ix_(pattern_rows, [0, 1, 2])] = True
+    return matrix
+
+
+class TestCodeTable:
+    def test_initial_cover_is_singletons(self, structured_matrix):
+        table = CodeTable(structured_matrix)
+        total_usage = sum(table.usage.values())
+        assert total_usage == int(structured_matrix.sum())
+
+    def test_cover_partitions_transaction(self, structured_matrix):
+        table = CodeTable(structured_matrix)
+        table.insert(frozenset((0, 1, 2)), 50)
+        for row in range(20):
+            transaction = frozenset(np.flatnonzero(structured_matrix[row]).tolist())
+            cover = table.cover(transaction)
+            covered = set()
+            for itemset in cover:
+                assert itemset <= transaction
+                assert not (itemset & covered)  # non-overlapping
+                covered |= itemset
+            assert covered == transaction  # complete
+
+    def test_inserting_pattern_reduces_size(self, structured_matrix):
+        table = CodeTable(structured_matrix)
+        before = table.total_size()
+        table.insert(frozenset((0, 1, 2)), 80)
+        assert table.total_size() < before
+
+    def test_inserting_noise_pattern_grows_size(self, structured_matrix):
+        table = CodeTable(structured_matrix)
+        before = table.total_size()
+        table.insert(frozenset((5, 6, 7)), 1)
+        assert table.total_size() >= before
+
+    def test_remove_restores_size(self, structured_matrix):
+        table = CodeTable(structured_matrix)
+        before = table.total_size()
+        table.insert(frozenset((0, 1)), 50)
+        table.remove(frozenset((0, 1)))
+        assert table.total_size() == pytest.approx(before)
+
+    def test_cannot_remove_singleton(self, structured_matrix):
+        table = CodeTable(structured_matrix)
+        with pytest.raises(ValueError, match="singleton"):
+            table.remove(frozenset((0,)))
+
+
+class TestKrimp:
+    def test_accepts_planted_pattern(self, structured_matrix):
+        result = Krimp(minsup=10, max_size=4).fit(structured_matrix)
+        assert result.compression_ratio < 1.0
+        accepted = result.itemsets()
+        assert any(set((0, 1, 2)) <= set(itemset) for itemset in accepted)
+
+    def test_random_data_compresses_little(self):
+        rng = np.random.default_rng(1)
+        noise = rng.random((150, 8)) < 0.2
+        result = Krimp(minsup=5, max_size=4).fit(noise)
+        assert result.compression_ratio > 0.85
+
+    def test_final_bits_consistent(self, structured_matrix):
+        result = Krimp(minsup=10, max_size=4).fit(structured_matrix)
+        assert result.final_bits == pytest.approx(result.code_table.total_size())
+
+    def test_pruning_never_hurts(self, structured_matrix):
+        pruned = Krimp(minsup=10, max_size=4, prune=True).fit(structured_matrix)
+        unpruned = Krimp(minsup=10, max_size=4, prune=False).fit(structured_matrix)
+        assert pruned.final_bits <= unpruned.final_bits + 1e-6
+
+    def test_counts_reported(self, structured_matrix):
+        result = Krimp(minsup=10, max_size=4).fit(structured_matrix)
+        assert result.n_candidates > 0
+        assert result.n_accepted == len(result.itemsets())
+
+
+class TestConversion:
+    def test_spanning_itemsets_become_rules(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=200, n_left=6, n_right=6,
+                density_left=0.1, density_right=0.1,
+                n_rules=2, confidence=(1.0, 1.0), activation=(0.3, 0.4), seed=2,
+            )
+        )
+        joint, __ = dataset.joined()
+        result = Krimp(minsup=5, max_size=5).fit(joint)
+        table, dropped = krimp_to_translation_table(result, dataset.n_left)
+        assert len(table) + dropped == len(result.itemsets())
+        for rule in table:
+            assert rule.lhs and rule.rhs
+            assert rule.direction.value == "<->"
+            assert all(item < dataset.n_left for item in rule.lhs)
+            assert all(item < dataset.n_right for item in rule.rhs)

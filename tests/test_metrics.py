@@ -1,0 +1,86 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import Side
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorSelect
+from repro.eval.metrics import (
+    confidence,
+    evaluate_table,
+    max_confidence,
+    rule_set_summary,
+)
+
+
+class TestConfidence:
+    def test_forward_confidence_by_hand(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        u = toy_dataset.item_index(Side.RIGHT, "u")
+        # a occurs in 3 transactions, a&u in 3.
+        assert confidence(toy_dataset, (a,), (u,), forward=True) == pytest.approx(1.0)
+
+    def test_backward_confidence_by_hand(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        q = toy_dataset.item_index(Side.RIGHT, "q")
+        # q occurs in transactions 2 and 4; a occurs in 4 only -> 1/2.
+        assert confidence(toy_dataset, (a,), (q,), forward=False) == pytest.approx(0.5)
+
+    def test_zero_support_antecedent(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        c = toy_dataset.item_index(Side.LEFT, "c")
+        assert confidence(toy_dataset, (a, c), (0,), forward=True) == 0.0
+
+    def test_max_confidence(self, toy_dataset):
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        q = toy_dataset.item_index(Side.RIGHT, "q")
+        rule = TranslationRule((a,), (q,), Direction.BOTH)
+        forward = confidence(toy_dataset, (a,), (q,), forward=True)
+        backward = confidence(toy_dataset, (a,), (q,), forward=False)
+        assert max_confidence(toy_dataset, rule) == pytest.approx(
+            max(forward, backward)
+        )
+
+
+class TestEvaluateTable:
+    def test_empty_table_baseline(self, toy_dataset):
+        state = evaluate_table(toy_dataset, TranslationTable())
+        assert state.compression_ratio() == pytest.approx(1.0)
+
+    def test_matches_translator_state(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        state = evaluate_table(planted_dataset, result.table)
+        assert state.compression_ratio() == pytest.approx(result.compression_ratio)
+        assert state.correction_fraction() == pytest.approx(result.correction_fraction)
+
+    def test_bad_table_inflates(self, planted_dataset, rng):
+        # Many random rules: corrections grow, table costs bits -> L% > 1.
+        rules = []
+        while len(rules) < 30:
+            lhs = (int(rng.integers(planted_dataset.n_left)),)
+            rhs = (int(rng.integers(planted_dataset.n_right)),)
+            rule = TranslationRule(lhs, rhs, Direction.BOTH)
+            if rule not in rules:
+                rules.append(rule)
+        state = evaluate_table(planted_dataset, rules)
+        assert state.compression_ratio() > 1.0
+
+
+class TestRuleSetSummary:
+    def test_summary_fields(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        summary = rule_set_summary(planted_dataset, result.table, method="select")
+        assert summary["method"] == "select"
+        assert summary["n_rules"] == result.n_rules
+        assert 0 < summary["average_max_confidence"] <= 1.0
+        assert summary["average_rule_length"] > 0
+
+    def test_empty_rule_set(self, toy_dataset):
+        summary = rule_set_summary(toy_dataset, [], method="none")
+        assert summary["n_rules"] == 0
+        assert summary["average_rule_length"] == 0.0
+        assert summary["average_max_confidence"] == 0.0
+        assert summary["compression_ratio"] == pytest.approx(1.0)

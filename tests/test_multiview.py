@@ -1,0 +1,117 @@
+"""Unit tests for the multi-view extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.multiview.dataset import MultiViewDataset
+from repro.multiview.translator import MultiViewTranslator
+
+
+@pytest.fixture
+def three_view_dataset() -> MultiViewDataset:
+    """Three views where (0,1) share planted structure and view 2 is noise."""
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=250, n_left=8, n_right=8,
+            density_left=0.12, density_right=0.12,
+            n_rules=3, confidence=(0.95, 1.0), activation=(0.2, 0.3), seed=17,
+        )
+    )
+    rng = np.random.default_rng(18)
+    noise = rng.random((250, 6)) < 0.15
+    return MultiViewDataset(
+        [dataset.left, dataset.right, noise],
+        view_names=["audio", "emotions", "noise"],
+        name="three",
+    )
+
+
+class TestDataset:
+    def test_construction(self, three_view_dataset):
+        assert three_view_dataset.n_views == 3
+        assert three_view_dataset.n_transactions == 250
+
+    def test_rejects_single_view(self):
+        with pytest.raises(ValueError, match="at least two"):
+            MultiViewDataset([np.zeros((2, 2), bool)])
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValueError, match="same number"):
+            MultiViewDataset([np.zeros((2, 2), bool), np.zeros((3, 2), bool)])
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(ValueError, match="Boolean"):
+            MultiViewDataset([np.full((2, 2), 2), np.zeros((2, 2), bool)])
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError, match="view_names"):
+            MultiViewDataset(
+                [np.zeros((2, 2), bool), np.zeros((2, 2), bool)],
+                view_names=["only-one"],
+            )
+
+    def test_view_pairs(self, three_view_dataset):
+        assert three_view_dataset.view_pairs() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_pair_projection(self, three_view_dataset):
+        pair = three_view_dataset.pair(0, 1)
+        assert pair.n_transactions == 250
+        np.testing.assert_array_equal(pair.left, three_view_dataset.views[0])
+        assert "audio" in pair.name and "emotions" in pair.name
+
+    def test_pair_validation(self, three_view_dataset):
+        with pytest.raises(ValueError, match="distinct"):
+            three_view_dataset.pair(1, 1)
+        with pytest.raises(IndexError):
+            three_view_dataset.pair(0, 9)
+
+    def test_default_item_names(self, three_view_dataset):
+        assert three_view_dataset.item_names[2][0] == "noise:0"
+
+    def test_repr(self, three_view_dataset):
+        assert "views=" in repr(three_view_dataset)
+
+
+class TestTranslator:
+    def test_fits_all_pairs(self, three_view_dataset):
+        result = MultiViewTranslator(k=1, minsup=3).fit(three_view_dataset)
+        assert set(result.pair_results) == {(0, 1), (0, 2), (1, 2)}
+        assert result.runtime_seconds > 0
+
+    def test_structured_pair_compresses_best(self, three_view_dataset):
+        result = MultiViewTranslator(k=1, minsup=3).fit(three_view_dataset)
+        structured = result.pair_results[(0, 1)].compression_ratio
+        noise_pairs = [
+            result.pair_results[(0, 2)].compression_ratio,
+            result.pair_results[(1, 2)].compression_ratio,
+        ]
+        # Planted structure lives between views 0 and 1 only.
+        assert structured < min(noise_pairs)
+
+    def test_aggregate_statistics(self, three_view_dataset):
+        result = MultiViewTranslator(k=1, minsup=3).fit(three_view_dataset)
+        assert result.n_rules == sum(
+            pair.n_rules for pair in result.pair_results.values()
+        )
+        assert 0 < result.compression_ratio <= 1.0
+        summary = result.summary()
+        assert summary["n_pairs"] == 3
+        assert (0, 1) in summary["per_pair"]
+
+    def test_reduces_to_two_view_case(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(n_transactions=150, n_left=6, n_right=6, n_rules=2, seed=19)
+        )
+        multi = MultiViewDataset([dataset.left, dataset.right])
+        result = MultiViewTranslator(k=1, minsup=2).fit(multi)
+        from repro.core.translator import TranslatorSelect
+
+        two_view = TranslatorSelect(k=1, minsup=2).fit(multi.pair(0, 1))
+        pair_result = result.pair_results[(0, 1)]
+        assert pair_result.n_rules == two_view.n_rules
+        assert pair_result.compression_ratio == pytest.approx(
+            two_view.compression_ratio
+        )

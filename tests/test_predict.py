@@ -1,0 +1,129 @@
+"""Unit tests for prediction with translation tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Side, TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted, random_dataset
+from repro.core.predict import (
+    PredictionScores,
+    holdout_evaluation,
+    predict_view,
+    prediction_scores,
+)
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translate import translate_view
+from repro.core.translator import TranslatorSelect
+
+
+class TestPredictView:
+    def test_matches_translate_view_on_training_data(self, toy_dataset):
+        table = TranslationTable(
+            [
+                TranslationRule((0, 1), (3,), Direction.BOTH),
+                TranslationRule((2,), (2,), Direction.FORWARD),
+            ]
+        )
+        predicted = predict_view(
+            toy_dataset.left, table, Side.RIGHT, toy_dataset.n_right
+        )
+        np.testing.assert_array_equal(
+            predicted, translate_view(toy_dataset, table, Side.RIGHT)
+        )
+
+    def test_backward_prediction(self, toy_dataset):
+        table = TranslationTable([TranslationRule((0,), (3,), Direction.BOTH)])
+        predicted = predict_view(
+            toy_dataset.right, table, Side.LEFT, toy_dataset.n_left
+        )
+        np.testing.assert_array_equal(
+            predicted, translate_view(toy_dataset, table, Side.LEFT)
+        )
+
+    def test_unidirectional_rules_ignored_for_wrong_direction(self, toy_dataset):
+        table = TranslationTable([TranslationRule((0,), (3,), Direction.FORWARD)])
+        predicted = predict_view(
+            toy_dataset.right, table, Side.LEFT, toy_dataset.n_left
+        )
+        assert not predicted.any()
+
+    def test_new_transactions(self):
+        table = TranslationTable([TranslationRule((0, 1), (0,), Direction.FORWARD)])
+        new_left = np.array([[1, 1, 0], [1, 0, 0]], dtype=bool)
+        predicted = predict_view(new_left, table, Side.RIGHT, 2)
+        assert predicted[0, 0] and not predicted[1].any()
+
+
+class TestScores:
+    def test_perfect_prediction(self):
+        actual = np.array([[1, 0], [0, 1]], dtype=bool)
+        scores = prediction_scores(actual, actual, Side.RIGHT)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_empty_prediction(self):
+        actual = np.array([[1, 0]], dtype=bool)
+        predicted = np.zeros_like(actual)
+        scores = prediction_scores(predicted, actual, Side.RIGHT)
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_counts_by_hand(self):
+        predicted = np.array([[1, 1, 0]], dtype=bool)
+        actual = np.array([[1, 0, 1]], dtype=bool)
+        scores = prediction_scores(predicted, actual, Side.RIGHT)
+        assert scores.true_positives == 1
+        assert scores.false_positives == 1
+        assert scores.false_negatives == 1
+        assert scores.precision == pytest.approx(0.5)
+        assert scores.recall == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            prediction_scores(
+                np.zeros((1, 2), bool), np.zeros((1, 3), bool), Side.RIGHT
+            )
+
+
+class TestHoldout:
+    def test_structured_data_predicts_well(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=600, n_left=10, n_right=10,
+                density_left=0.08, density_right=0.08,
+                n_rules=3, confidence=(0.95, 1.0), activation=(0.25, 0.35), seed=13,
+            )
+        )
+        scores = holdout_evaluation(
+            dataset, TranslatorSelect(k=1, minsup=5), train_fraction=0.7, rng=0
+        )
+        assert scores["left_to_right"].f1 > 0.3
+        assert scores["right_to_left"].f1 > 0.3
+
+    def test_noise_predicts_poorly(self):
+        noise = random_dataset(400, 10, 10, 0.15, 0.15, seed=14)
+        scores = holdout_evaluation(
+            noise, TranslatorSelect(k=1, minsup=5), train_fraction=0.7, rng=0
+        )
+        # On independent views there is nothing to predict.
+        assert scores["left_to_right"].f1 < 0.4
+
+    def test_structured_beats_noise(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=500, n_left=10, n_right=10,
+                density_left=0.1, density_right=0.1,
+                n_rules=3, confidence=(0.95, 1.0), activation=(0.25, 0.35), seed=15,
+            )
+        )
+        noise = random_dataset(500, 10, 10, 0.1, 0.1, seed=16)
+        structured = holdout_evaluation(dataset, TranslatorSelect(k=1, minsup=5), rng=0)
+        random_scores = holdout_evaluation(noise, TranslatorSelect(k=1, minsup=5), rng=0)
+        assert (
+            structured["left_to_right"].f1 > random_scores["left_to_right"].f1
+        )

@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the load-bearing guarantees of the paper's framework:
+
+1. **Losslessness** — for *any* dataset and *any* translation table,
+   ``TRANSLATE`` + correction table reconstructs the data exactly.
+2. **Gain exactness** — the incremental gain (Eq. 1-2) always equals the
+   brute-force difference of total encoded lengths.
+3. **Cover-state consistency** — incremental state equals batch
+   recomputation after any rule sequence.
+4. **Mining correctness** — ECLAT equals brute-force enumeration; closed
+   itemsets are exactly the support-maximal frequent itemsets.
+5. **Serialisation roundtrips** — datasets and tables survive I/O.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Side, TwoViewDataset
+from repro.data.io import load_dataset, save_dataset
+from repro.core.encoding import CodeLengthModel
+from repro.core.rules import Direction, TranslationRule
+from repro.core.state import CoverState
+from repro.core.table import TranslationTable
+from repro.core.translate import corrections, reconstruct
+from repro.mining.eclat import eclat
+from repro.mining.closed import closed_itemsets
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def datasets(draw, max_n=20, max_items=5):
+    """Random small two-view datasets where every item occurs at least once."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    n_left = draw(st.integers(min_value=1, max_value=max_items))
+    n_right = draw(st.integers(min_value=1, max_value=max_items))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.1, max_value=0.7))
+    rng = np.random.default_rng(seed)
+    left = rng.random((n, n_left)) < density
+    right = rng.random((n, n_right)) < density
+    for column in range(n_left):
+        if not left[:, column].any():
+            left[int(rng.integers(n)), column] = True
+    for column in range(n_right):
+        if not right[:, column].any():
+            right[int(rng.integers(n)), column] = True
+    return TwoViewDataset(left, right, name="hyp")
+
+
+@st.composite
+def datasets_with_rules(draw, max_rules=6):
+    dataset = draw(datasets())
+    n_rules = draw(st.integers(min_value=0, max_value=max_rules))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rules = []
+    for __ in range(n_rules):
+        lhs_size = int(rng.integers(1, min(3, dataset.n_left) + 1))
+        rhs_size = int(rng.integers(1, min(3, dataset.n_right) + 1))
+        lhs = tuple(rng.choice(dataset.n_left, size=lhs_size, replace=False))
+        rhs = tuple(rng.choice(dataset.n_right, size=rhs_size, replace=False))
+        direction = [Direction.FORWARD, Direction.BACKWARD, Direction.BOTH][
+            int(rng.integers(3))
+        ]
+        rule = TranslationRule(lhs, rhs, direction)
+        if rule not in rules:
+            rules.append(rule)
+    return dataset, rules
+
+
+class TestLosslessness:
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_translation_is_lossless(self, payload):
+        dataset, rules = payload
+        np.testing.assert_array_equal(
+            reconstruct(dataset, rules, Side.RIGHT), dataset.right
+        )
+        np.testing.assert_array_equal(
+            reconstruct(dataset, rules, Side.LEFT), dataset.left
+        )
+
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_correction_partition(self, payload):
+        dataset, rules = payload
+        tables = corrections(dataset, rules)
+        assert not (tables.uncovered_left & tables.errors_left).any()
+        assert not (tables.uncovered_right & tables.errors_right).any()
+        np.testing.assert_array_equal(
+            tables.correction_right, dataset.right ^ tables.translated_right
+        )
+
+
+class TestGainExactness:
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_incremental_gain_matches_length_difference(self, payload):
+        dataset, rules = payload
+        state = CoverState(dataset)
+        for rule in rules:
+            before = state.total_length()
+            predicted = state.gain(rule)
+            state.add_rule(rule)
+            assert predicted == pytest.approx(
+                before - state.total_length(), abs=1e-8
+            )
+
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_state_matches_batch(self, payload):
+        dataset, rules = payload
+        state = CoverState(dataset)
+        for rule in rules:
+            state.add_rule(rule)
+        batch = corrections(dataset, rules)
+        np.testing.assert_array_equal(state.uncovered_left, batch.uncovered_left)
+        np.testing.assert_array_equal(state.uncovered_right, batch.uncovered_right)
+        np.testing.assert_array_equal(state.errors_left, batch.errors_left)
+        np.testing.assert_array_equal(state.errors_right, batch.errors_right)
+
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_total_length_matches_code_model(self, payload):
+        dataset, rules = payload
+        state = CoverState(dataset)
+        for rule in rules:
+            state.add_rule(rule)
+        codes = CodeLengthModel(dataset)
+        batch = corrections(dataset, rules)
+        expected = (
+            codes.table_length(rules)
+            + codes.correction_length(Side.LEFT, batch.correction_left)
+            + codes.correction_length(Side.RIGHT, batch.correction_right)
+        )
+        assert state.total_length() == pytest.approx(expected, abs=1e-8)
+
+
+class TestMiningCorrectness:
+    @SETTINGS
+    @given(datasets(max_n=15, max_items=5), st.integers(min_value=1, max_value=5))
+    def test_eclat_matches_brute_force(self, dataset, minsup):
+        matrix = dataset.left
+        mined = dict(eclat(matrix, minsup))
+        expected = {}
+        for size in range(1, matrix.shape[1] + 1):
+            for itemset in itertools.combinations(range(matrix.shape[1]), size):
+                support = int(matrix[:, itemset].all(axis=1).sum())
+                if support >= minsup:
+                    expected[itemset] = support
+        assert mined == expected
+
+    @SETTINGS
+    @given(datasets(max_n=15, max_items=5), st.integers(min_value=1, max_value=4))
+    def test_closed_are_support_maximal(self, dataset, minsup):
+        matrix = dataset.left
+        frequent = dict(eclat(matrix, minsup))
+        closed = dict(closed_itemsets(matrix, minsup))
+        for itemset, support in closed.items():
+            assert frequent.get(itemset) == support
+            for other, other_support in frequent.items():
+                if set(itemset) < set(other):
+                    assert other_support < support
+
+
+class TestEncodingProperties:
+    @SETTINGS
+    @given(datasets())
+    def test_code_lengths_nonnegative(self, dataset):
+        codes = CodeLengthModel(dataset)
+        assert (codes.lengths_left[np.isfinite(codes.lengths_left)] >= 0).all()
+        assert (codes.lengths_right[np.isfinite(codes.lengths_right)] >= 0).all()
+
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_compression_of_added_rules_only_improves_when_gain_positive(
+        self, payload
+    ):
+        dataset, rules = payload
+        state = CoverState(dataset)
+        for rule in rules:
+            gain = state.gain(rule)
+            before = state.total_length()
+            state.add_rule(rule)
+            if gain > 0:
+                assert state.total_length() < before
+            else:
+                assert state.total_length() >= before - 1e-9
+
+
+class TestSerialisationRoundtrips:
+    @SETTINGS
+    @given(datasets())
+    def test_dataset_io_roundtrip(self, tmp_path_factory, dataset):
+        path = tmp_path_factory.mktemp("io") / "data.2v"
+        save_dataset(dataset, path)
+        assert load_dataset(path) == dataset
+
+    @SETTINGS
+    @given(datasets_with_rules())
+    def test_table_json_roundtrip(self, payload):
+        __, rules = payload
+        table = TranslationTable(rules)
+        assert TranslationTable.from_json(table.to_json()) == table
+
+
+class TestSearchExactnessProperty:
+    """The DFS search equals brute force on arbitrary small datasets."""
+
+    @SETTINGS
+    @given(datasets(max_n=15, max_items=4))
+    def test_search_matches_brute_force(self, dataset):
+        from repro.core.search import ExactRuleSearch
+        from tests.test_search import brute_force_best
+
+        state = CoverState(dataset)
+        __, gain, stats = ExactRuleSearch(state).find_best_rule()
+        __, expected = brute_force_best(state)
+        assert gain == pytest.approx(expected, abs=1e-9)
+        assert stats.complete
+
+    @SETTINGS
+    @given(datasets_with_rules(max_rules=3))
+    def test_search_exact_after_arbitrary_rules(self, payload):
+        from repro.core.search import ExactRuleSearch
+        from tests.test_search import brute_force_best
+
+        dataset, rules = payload
+        if dataset.n_left > 4 or dataset.n_right > 4:
+            return  # keep brute force tractable
+        state = CoverState(dataset)
+        for rule in rules:
+            state.add_rule(rule)
+        __, gain, __ = ExactRuleSearch(state).find_best_rule()
+        __, expected = brute_force_best(state)
+        assert gain == pytest.approx(expected, abs=1e-9)

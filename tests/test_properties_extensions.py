@@ -1,0 +1,191 @@
+"""Property-based tests for the extension modules.
+
+Complements ``test_properties.py`` (which pins the paper-core
+invariants) with hypothesis coverage of the extension surface: the ARFF
+round trip, Gibbs optimality of the refined encoding, stability-score
+bounds and the clustering accounting identities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import _label_bits, _parameter_bits
+from repro.core.refined import plugin_codelength
+from repro.core.rules import Direction, TranslationRule
+from repro.data.arff import arff_to_two_view, loads_arff, save_arff, two_view_to_arff
+from repro.data.dataset import TwoViewDataset
+from repro.eval.stability import rule_overlap_score, soft_match_score
+
+COMMON_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_datasets(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    n_left = draw(st.integers(min_value=1, max_value=5))
+    n_right = draw(st.integers(min_value=1, max_value=5))
+    left_bits = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=n_left, max_size=n_left),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    right_bits = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=n_right, max_size=n_right),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return TwoViewDataset(
+        np.array(left_bits, dtype=bool),
+        np.array(right_bits, dtype=bool),
+        name="hypothesis",
+    )
+
+
+@st.composite
+def random_rules(draw, max_items: int = 5):
+    lhs = tuple(
+        sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=max_items - 1),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+    )
+    rhs = tuple(
+        sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=max_items - 1),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+    )
+    direction = draw(st.sampled_from(list(Direction)))
+    return TranslationRule(lhs, rhs, direction)
+
+
+class TestArffRoundTrip:
+    @settings(**COMMON_SETTINGS)
+    @given(dataset=small_datasets())
+    def test_two_view_survives_arff_round_trip(self, dataset, tmp_path_factory):
+        relation = two_view_to_arff(dataset)
+        path = tmp_path_factory.mktemp("arff") / "roundtrip.arff"
+        save_arff(relation, path)
+        reread = loads_arff(path.read_text(encoding="utf-8"))
+        rebuilt = arff_to_two_view(
+            reread,
+            left_attributes=[f"L:{name}" for name in dataset.left_names],
+            right_attributes=[f"R:{name}" for name in dataset.right_names],
+        )
+        assert np.array_equal(rebuilt.left, dataset.left)
+        assert np.array_equal(rebuilt.right, dataset.right)
+
+
+class TestRefinedProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=8)
+    )
+    def test_gibbs_inequality(self, counts):
+        """Plug-in codelength <= cross-entropy under any normalized q."""
+        positive = [count for count in counts if count > 0]
+        if not positive:
+            assert plugin_codelength(counts) == 0.0
+            return
+        rng = np.random.default_rng(sum(counts))
+        q = rng.random(len(positive)) + 1e-3
+        q = q / q.sum()
+        cross_entropy = sum(
+            count * -math.log2(q[index]) for index, count in enumerate(positive)
+        )
+        assert plugin_codelength(counts) <= cross_entropy + 1e-9
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=8),
+        scale=st.integers(min_value=2, max_value=5),
+    )
+    def test_codelength_scales_linearly(self, counts, scale):
+        """Duplicating every count multiplies the codelength by the factor."""
+        base = plugin_codelength(counts)
+        scaled = plugin_codelength([count * scale for count in counts])
+        assert scaled == pytest.approx(scale * base, rel=1e-9, abs=1e-9)
+
+
+class TestStabilityProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(first=random_rules(), second=random_rules())
+    def test_overlap_score_symmetric_and_bounded(self, first, second):
+        forward = rule_overlap_score(first, second)
+        backward = rule_overlap_score(second, first)
+        assert forward == pytest.approx(backward)
+        assert 0.0 <= forward <= 1.0
+
+    @settings(**COMMON_SETTINGS)
+    @given(rule=random_rules())
+    def test_self_overlap_is_one(self, rule):
+        assert rule_overlap_score(rule, rule) == pytest.approx(1.0)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        rules=st.lists(random_rules(), min_size=0, max_size=4),
+        others=st.lists(random_rules(), min_size=0, max_size=4),
+    )
+    def test_soft_match_bounded(self, rules, others):
+        score = soft_match_score(rules, others)
+        assert 0.0 <= score <= 1.0
+
+    @settings(**COMMON_SETTINGS)
+    @given(rules=st.lists(random_rules(), min_size=1, max_size=4))
+    def test_soft_match_identity(self, rules):
+        assert soft_match_score(rules, rules) == pytest.approx(1.0)
+
+
+class TestClusteringAccounting:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50)
+    )
+    def test_label_bits_bounds(self, labels):
+        array = np.asarray(labels, dtype=int)
+        k = int(array.max()) + 1
+        bits = _label_bits(array, k)
+        assert bits >= 0.0
+        n = len(labels)
+        # Entropy part is at most n*log2(k); parameter part (k-1)/2*log2(n+1).
+        upper = n * math.log2(max(k, 2)) + 0.5 * (k - 1) * math.log2(n + 1)
+        assert bits <= upper + 1e-9
+
+    @settings(**COMMON_SETTINGS)
+    @given(labels=st.lists(st.just(0), min_size=1, max_size=30))
+    def test_single_component_labels_free(self, labels):
+        assert _label_bits(np.asarray(labels, dtype=int), 1) == 0.0
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        n_members=st.integers(min_value=0, max_value=10_000),
+        n_items=st.integers(min_value=1, max_value=100),
+    )
+    def test_parameter_bits_monotone_in_members(self, n_members, n_items):
+        bits = _parameter_bits(n_members, n_items)
+        assert bits >= 0.0
+        assert _parameter_bits(n_members + 1, n_items) >= bits

@@ -1,0 +1,65 @@
+"""Unit tests for post-hoc translation-table pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import CodeLengthModel
+from repro.core.pruning import prune_table
+from repro.core.rules import Direction, TranslationRule
+from repro.core.state import CoverState
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorGreedy, TranslatorSelect
+
+
+def total_bits(dataset, rules):
+    state = CoverState(dataset)
+    for rule in rules:
+        state.add_rule(rule)
+    return state.total_length()
+
+
+class TestPruneTable:
+    def test_empty_table(self, toy_dataset):
+        result = prune_table(toy_dataset, TranslationTable())
+        assert len(result.table) == 0
+        assert result.removed == []
+        assert result.improvement_bits == 0.0
+
+    def test_never_increases_length(self, planted_dataset):
+        fitted = TranslatorGreedy(minsup=2).fit(planted_dataset)
+        result = prune_table(planted_dataset, fitted.table)
+        assert result.bits_after <= result.bits_before + 1e-9
+        assert result.bits_after == pytest.approx(
+            total_bits(planted_dataset, list(result.table))
+        )
+
+    def test_removes_useless_rule(self, planted_dataset):
+        # A rule with a never-occurring antecedent only costs bits.
+        fitted = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        junk = TranslationRule(
+            tuple(range(min(6, planted_dataset.n_left))),
+            (0,),
+            Direction.FORWARD,
+        )
+        rules = list(fitted.table)
+        if junk in rules:
+            rules.remove(junk)
+        padded = TranslationTable(rules + [junk])
+        result = prune_table(planted_dataset, padded)
+        assert junk in result.removed
+
+    def test_keeps_good_rules(self, planted_dataset):
+        fitted = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        result = prune_table(planted_dataset, fitted.table)
+        # MDL-selected rules each had positive gain at addition time;
+        # most should survive pruning (later additions rarely subsume
+        # earlier ones completely on planted data).
+        assert len(result.table) >= max(1, fitted.n_rules // 2)
+
+    def test_accounting_consistent(self, planted_dataset):
+        fitted = TranslatorGreedy(minsup=2).fit(planted_dataset)
+        codes = CodeLengthModel(planted_dataset)
+        result = prune_table(planted_dataset, fitted.table, codes)
+        assert len(result.table) + len(result.removed) == fitted.n_rules
+        assert result.improvement_bits >= 0.0

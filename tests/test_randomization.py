@@ -1,0 +1,73 @@
+"""Unit tests for the swap-randomization significance test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_planted, random_dataset
+from repro.core.translator import TranslatorGreedy
+from repro.eval.randomization import (
+    permute_pairing,
+    randomization_test,
+)
+
+
+class TestPermutePairing:
+    def test_preserves_both_views_content(self, planted_dataset):
+        randomized = permute_pairing(planted_dataset, rng=0)
+        # Left view untouched; right view is a row permutation.
+        np.testing.assert_array_equal(randomized.left, planted_dataset.left)
+        original_rows = {row.tobytes() for row in planted_dataset.right}
+        permuted_rows = {row.tobytes() for row in randomized.right}
+        assert original_rows == permuted_rows
+        np.testing.assert_array_equal(
+            np.sort(randomized.right.sum(axis=1)),
+            np.sort(planted_dataset.right.sum(axis=1)),
+        )
+
+    def test_preserves_margins_exactly(self, planted_dataset):
+        randomized = permute_pairing(planted_dataset, rng=1)
+        np.testing.assert_array_equal(
+            randomized.right.sum(axis=0), planted_dataset.right.sum(axis=0)
+        )
+
+    def test_changes_pairing(self, planted_dataset):
+        randomized = permute_pairing(planted_dataset, rng=2)
+        assert not np.array_equal(randomized.right, planted_dataset.right)
+
+
+class TestRandomizationTest:
+    def test_structured_data_significant(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=300, n_left=8, n_right=8,
+                density_left=0.1, density_right=0.1,
+                n_rules=3, confidence=(0.95, 1.0), activation=(0.25, 0.35), seed=23,
+            )
+        )
+        result = randomization_test(
+            dataset, TranslatorGreedy(minsup=5), n_permutations=9, rng=0
+        )
+        # The real pairing compresses better than every permutation.
+        assert result.p_value == pytest.approx(1 / 10)
+        assert result.observed_ratio < min(result.null_ratios)
+        assert result.z_score < 0
+
+    def test_noise_not_significant(self):
+        noise = random_dataset(250, 8, 8, 0.15, 0.15, seed=24)
+        result = randomization_test(
+            noise, TranslatorGreedy(minsup=5), n_permutations=9, rng=0
+        )
+        assert result.p_value > 0.2
+
+    def test_validation(self, planted_dataset):
+        with pytest.raises(ValueError, match="n_permutations"):
+            randomization_test(planted_dataset, TranslatorGreedy(minsup=5), 0)
+
+    def test_null_count(self, planted_dataset):
+        result = randomization_test(
+            planted_dataset, TranslatorGreedy(minsup=8), n_permutations=3, rng=0
+        )
+        assert len(result.null_ratios) == 3
+        assert 0 < result.p_value <= 1

@@ -1,0 +1,172 @@
+"""Tests for rule statistics and ranking (repro.eval.ranking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorSelect
+from repro.data.dataset import Side, TwoViewDataset
+from repro.eval.ranking import focus_item_rules, rank_rules, rule_stats
+
+
+@pytest.fixture
+def simple_dataset() -> TwoViewDataset:
+    # Items: left {a, b}, right {x, y}.  'a' and 'x' co-occur perfectly in
+    # 4 rows; 'b' and 'y' co-occur in 1 of 2 'b' rows.
+    return TwoViewDataset.from_transactions(
+        [
+            ({"a"}, {"x"}),
+            ({"a"}, {"x"}),
+            ({"a"}, {"x"}),
+            ({"a", "b"}, {"x", "y"}),
+            ({"b"}, {}),
+            ({}, {"y"}),
+        ],
+        left_names=["a", "b"],
+        right_names=["x", "y"],
+        name="simple",
+    )
+
+
+def rule_ax(direction=Direction.BOTH) -> TranslationRule:
+    return TranslationRule((0,), (0,), direction)
+
+
+def rule_by(direction=Direction.FORWARD) -> TranslationRule:
+    return TranslationRule((1,), (1,), direction)
+
+
+class TestRuleStats:
+    def test_supports(self, simple_dataset):
+        stats = rule_stats(simple_dataset, rule_ax())
+        assert stats.support_lhs == 4
+        assert stats.support_rhs == 4
+        assert stats.support_joint == 4
+
+    def test_confidences(self, simple_dataset):
+        stats = rule_stats(simple_dataset, rule_ax())
+        assert stats.confidence_forward == pytest.approx(1.0)
+        assert stats.confidence_backward == pytest.approx(1.0)
+        assert stats.max_confidence == pytest.approx(1.0)
+        weaker = rule_stats(simple_dataset, rule_by())
+        assert weaker.confidence_forward == pytest.approx(0.5)
+        assert weaker.max_confidence == pytest.approx(0.5)
+
+    def test_lift(self, simple_dataset):
+        stats = rule_stats(simple_dataset, rule_ax())
+        # supp 4, expected 4*4/6 -> lift 1.5.
+        assert stats.lift == pytest.approx(4 / (4 * 4 / 6))
+
+    def test_lift_zero_when_no_joint_support(self):
+        dataset = TwoViewDataset(
+            np.array([[True], [False]]), np.array([[False], [True]])
+        )
+        stats = rule_stats(dataset, TranslationRule((0,), (0,), Direction.FORWARD))
+        assert stats.lift == 0.0
+
+    def test_coverage_counts_both_directions(self, simple_dataset):
+        bidirectional = rule_stats(simple_dataset, rule_ax(Direction.BOTH))
+        forward_only = rule_stats(simple_dataset, rule_ax(Direction.FORWARD))
+        assert bidirectional.coverage_cells == 2 * forward_only.coverage_cells
+
+    def test_encoded_bits_positive(self, simple_dataset):
+        assert rule_stats(simple_dataset, rule_ax()).encoded_bits > 0
+
+    def test_render_contains_rule_and_stats(self, simple_dataset):
+        text = rule_stats(simple_dataset, rule_ax()).render(simple_dataset)
+        assert "c+" in text and "{a}" in text
+
+
+class TestRankRules:
+    def make_table(self) -> TranslationTable:
+        table = TranslationTable()
+        table.add(rule_ax())
+        table.add(rule_by())
+        return table
+
+    def test_rank_by_confidence(self, simple_dataset):
+        ranked = rank_rules(simple_dataset, self.make_table(), by="confidence")
+        assert ranked[0].rule == rule_ax()
+        assert ranked[0].max_confidence >= ranked[1].max_confidence
+
+    def test_rank_by_support(self, simple_dataset):
+        ranked = rank_rules(simple_dataset, self.make_table(), by="support")
+        supports = [record.support_joint for record in ranked]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_rank_by_gain_fills_gain_bits(self, simple_dataset):
+        ranked = rank_rules(simple_dataset, self.make_table(), by="gain")
+        assert all(record.gain_bits is not None for record in ranked)
+        gains = [record.gain_bits for record in ranked]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_gain_matches_total_length_difference(self, simple_dataset):
+        """Removal gain must equal the recomputed length difference."""
+        from repro.core.encoding import CodeLengthModel
+        from repro.core.state import CoverState
+
+        table = self.make_table()
+        ranked = rank_rules(simple_dataset, table, by="gain")
+        codes = CodeLengthModel(simple_dataset)
+        full = CoverState(simple_dataset, codes)
+        for rule in table:
+            full.add_rule(rule)
+        for record in ranked:
+            without = CoverState(simple_dataset, codes)
+            for rule in table:
+                if rule != record.rule:
+                    without.add_rule(rule)
+            expected = without.total_length() - full.total_length()
+            assert record.gain_bits == pytest.approx(expected)
+
+    def test_ascending_order(self, simple_dataset):
+        ranked = rank_rules(
+            simple_dataset, self.make_table(), by="support", descending=False
+        )
+        supports = [record.support_joint for record in ranked]
+        assert supports == sorted(supports)
+
+    def test_unknown_key_rejected(self, simple_dataset):
+        with pytest.raises(ValueError, match="unknown ranking key"):
+            rank_rules(simple_dataset, self.make_table(), by="sparkle")
+
+    def test_fitted_table_gain_ranking(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=3).fit(planted_dataset)
+        ranked = rank_rules(planted_dataset, result.table, by="gain")
+        assert len(ranked) == result.n_rules
+        # Every accepted rule earns its keep: removal would cost bits.
+        assert all(record.gain_bits > 0 for record in ranked)
+
+
+class TestFocusItemRules:
+    def test_finds_rules_with_item(self, simple_dataset):
+        table = TranslationTable()
+        table.add(rule_ax())
+        table.add(rule_by())
+        found = focus_item_rules(table, simple_dataset, "a")
+        assert found == [rule_ax()]
+
+    def test_right_side_lookup(self, simple_dataset):
+        table = TranslationTable()
+        table.add(rule_ax())
+        found = focus_item_rules(table, simple_dataset, "x", side=Side.RIGHT)
+        assert found == [rule_ax()]
+
+    def test_unknown_item_raises(self, simple_dataset):
+        with pytest.raises(KeyError, match="not found"):
+            focus_item_rules(TranslationTable(), simple_dataset, "zzz")
+
+    def test_rule_not_duplicated_when_item_in_both_views(self):
+        dataset = TwoViewDataset(
+            np.ones((2, 1), dtype=bool),
+            np.ones((2, 1), dtype=bool),
+            left_names=["shared"],
+            right_names=["shared"],
+        )
+        table = TranslationTable()
+        table.add(TranslationRule((0,), (0,), Direction.BOTH))
+        found = focus_item_rules(table, dataset, "shared")
+        assert len(found) == 1

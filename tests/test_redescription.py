@@ -1,0 +1,106 @@
+"""Unit tests for the redescription miner (REREMI stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Side, TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted, random_dataset
+from repro.core.rules import Direction
+from repro.baselines.redescription import (
+    Redescription,
+    ReremiMiner,
+    redescription_p_value,
+)
+
+
+class TestPValue:
+    def test_perfect_overlap_significant(self):
+        assert redescription_p_value(100, 20, 20, 20) < 1e-6
+
+    def test_expected_overlap_not_significant(self):
+        # 50% x 50% marginals -> expected intersection 25 of 100.
+        assert redescription_p_value(100, 50, 50, 25) > 0.3
+
+    def test_zero_intersection(self):
+        assert redescription_p_value(100, 10, 10, 0) == 1.0
+
+    def test_empty_data(self):
+        assert redescription_p_value(0, 0, 0, 0) == 1.0
+
+    def test_monotone_in_intersection(self):
+        values = [redescription_p_value(100, 30, 30, k) for k in (5, 10, 20, 30)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestMiner:
+    def test_finds_planted_bidirectional_structure(self):
+        dataset, truth = generate_planted(
+            SyntheticSpec(
+                n_transactions=400, n_left=10, n_right=10,
+                density_left=0.08, density_right=0.08,
+                n_rules=2, confidence=(0.98, 1.0), activation=(0.25, 0.35),
+                bidirectional_fraction=1.0, seed=1,
+            )
+        )
+        redescriptions = ReremiMiner(min_support=5).mine(dataset)
+        assert redescriptions
+        assert redescriptions[0].jaccard > 0.5
+
+    def test_jaccard_values_correct(self, planted_dataset):
+        for redescription in ReremiMiner(min_support=3).mine(planted_dataset):
+            left_mask = planted_dataset.support_mask(Side.LEFT, redescription.lhs)
+            right_mask = planted_dataset.support_mask(Side.RIGHT, redescription.rhs)
+            intersection = int((left_mask & right_mask).sum())
+            union = int((left_mask | right_mask).sum())
+            assert redescription.jaccard == pytest.approx(intersection / union)
+            assert redescription.support == intersection
+
+    def test_respects_max_side_size(self, planted_dataset):
+        miner = ReremiMiner(min_support=3, max_side_size=2)
+        for redescription in miner.mine(planted_dataset):
+            assert len(redescription.lhs) <= 2
+            assert len(redescription.rhs) <= 2
+
+    def test_respects_p_value_threshold(self, planted_dataset):
+        for redescription in ReremiMiner(min_support=3, max_p_value=0.001).mine(
+            planted_dataset
+        ):
+            assert redescription.p_value <= 0.001
+
+    def test_max_results(self, planted_dataset):
+        results = ReremiMiner(min_support=2, max_results=3).mine(planted_dataset)
+        assert len(results) <= 3
+
+    def test_sorted_by_jaccard(self, planted_dataset):
+        results = ReremiMiner(min_support=3).mine(planted_dataset)
+        jaccards = [redescription.jaccard for redescription in results]
+        assert jaccards == sorted(jaccards, reverse=True)
+
+    def test_noise_yields_nothing_strong(self):
+        noise = random_dataset(300, 8, 8, 0.15, 0.15, seed=9)
+        results = ReremiMiner(min_support=5, max_p_value=0.001).mine(noise)
+        assert all(redescription.jaccard < 0.5 for redescription in results)
+
+    def test_to_rules_bidirectional_and_unique(self, planted_dataset):
+        miner = ReremiMiner(min_support=3)
+        redescriptions = miner.mine(planted_dataset)
+        rules = miner.to_rules(redescriptions)
+        assert all(rule.direction is Direction.BOTH for rule in rules)
+        assert len(rules) == len(set(rules))
+
+    def test_extension_improves_jaccard(self):
+        # Construct data where {l0, l1} <-> {r0} is strictly better than
+        # {l0} <-> {r0}: r0 occurs exactly where both l0 and l1 occur.
+        rng = np.random.default_rng(3)
+        left = rng.random((300, 3)) < 0.5
+        right = np.zeros((300, 2), dtype=bool)
+        right[:, 0] = left[:, 0] & left[:, 1]
+        right[:, 1] = rng.random(300) < 0.2
+        dataset = TwoViewDataset(left, right)
+        results = ReremiMiner(min_support=5).mine(dataset)
+        best = results[0]
+        assert best.jaccard == pytest.approx(1.0)
+        assert set(best.lhs) == {0, 1}
+        assert best.rhs == (0,)

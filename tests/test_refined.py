@@ -1,0 +1,158 @@
+"""Tests for the refined ("optimal") encoding (repro.core.refined)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.refined import plugin_codelength, refined_lengths
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorSelect
+from repro.data.dataset import TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted
+
+
+class TestPluginCodelength:
+    def test_empty_multiset_costs_nothing(self):
+        assert plugin_codelength([]) == 0.0
+        assert plugin_codelength([0, 0]) == 0.0
+
+    def test_single_symbol_costs_nothing(self):
+        # A deterministic distribution has zero entropy.
+        assert plugin_codelength([7]) == 0.0
+
+    def test_uniform_two_symbols(self):
+        # N=2 symbols, each once: 2 * -log2(1/2) = 2 bits.
+        assert plugin_codelength([1, 1]) == pytest.approx(2.0)
+
+    def test_matches_entropy_formula(self):
+        counts = [3, 5, 2]
+        total = sum(counts)
+        expected = sum(count * -math.log2(count / total) for count in counts)
+        assert plugin_codelength(counts) == pytest.approx(expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=10))
+    def test_non_negative_and_bounded(self, counts):
+        bits = plugin_codelength(counts)
+        assert bits >= 0.0
+        total = sum(count for count in counts if count > 0)
+        n_symbols = sum(1 for count in counts if count > 0)
+        if total and n_symbols:
+            # Entropy is at most log2(#symbols) per occurrence.
+            assert bits <= total * math.log2(max(n_symbols, 2)) + 1e-9
+
+
+class TestRefinedLengths:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=200,
+                n_left=10,
+                n_right=10,
+                density_left=0.15,
+                density_right=0.15,
+                n_rules=3,
+                seed=9,
+            )
+        )
+        result = TranslatorSelect(k=1).fit(dataset)
+        return dataset, result
+
+    def test_paper_lengths_match_cover_state(self, fitted):
+        dataset, result = fitted
+        report = refined_lengths(dataset, result.table)
+        assert report.total_bits == pytest.approx(result.state.total_length(), rel=1e-9)
+        assert report.baseline_bits == pytest.approx(result.state.baseline_bits, rel=1e-9)
+        assert report.compression_ratio == pytest.approx(
+            result.compression_ratio, rel=1e-9
+        )
+
+    def test_refined_optimal_among_normalized_codes(self, fitted):
+        """Gibbs: the plug-in code beats any normalized item distribution.
+
+        Encode the right-side correction items with the *normalized*
+        global item frequencies of the right view; the refined (plug-in)
+        length must not exceed that cross-entropy length.
+        """
+        dataset, result = fitted
+        report = refined_lengths(dataset, result.table)
+        from repro.core.translate import corrections
+
+        correction = corrections(dataset, result.table).correction_right
+        counts = correction.sum(axis=0).astype(float)
+        global_counts = dataset.right.sum(axis=0).astype(float)
+        probabilities = global_counts / global_counts.sum()
+        used = counts > 0
+        cross_entropy_bits = float(
+            np.sum(counts[used] * -np.log2(probabilities[used]))
+        )
+        assert report.correction_bits_right_refined <= cross_entropy_bits + 1e-6
+
+    def test_empty_table_report(self, fitted):
+        dataset, __ = fitted
+        report = refined_lengths(dataset, TranslationTable())
+        assert report.table_bits == 0.0
+        assert report.table_bits_refined == 0.0
+        assert report.total_bits == pytest.approx(report.baseline_bits)
+        assert report.compression_ratio == pytest.approx(1.0)
+
+    def test_paper_claim_small_difference(self, fitted):
+        """Section 4.1: the optimal encoding hardly changes the results."""
+        dataset, result = fitted
+        report = refined_lengths(dataset, result.table)
+        assert abs(report.ratio_difference) < 10.0
+
+    def test_summary_keys(self, fitted):
+        dataset, result = fitted
+        summary = refined_lengths(dataset, result.table).summary()
+        assert set(summary) == {
+            "L(T)",
+            "L(T) refined",
+            "L(C) total",
+            "L(C) refined",
+            "L% paper",
+            "L% refined",
+            "diff (pp)",
+        }
+
+    def test_accepts_rule_iterable(self, fitted):
+        dataset, result = fitted
+        from_table = refined_lengths(dataset, result.table)
+        from_list = refined_lengths(dataset, list(result.table))
+        assert from_table == from_list
+
+
+class TestTableBitsRefined:
+    def test_direction_bits_preserved(self):
+        left = np.eye(3, dtype=bool)
+        right = np.eye(3, dtype=bool)
+        dataset = TwoViewDataset(left, right)
+        table = TranslationTable()
+        table.add(TranslationRule((0,), (0,), Direction.BOTH))
+        table.add(TranslationRule((1,), (1,), Direction.FORWARD))
+        report = refined_lengths(dataset, table)
+        # Each side has two items used once each: 2 bits per side; plus
+        # directions 1 (<->) + 2 (->) = 3 bits.
+        assert report.table_bits_refined == pytest.approx(2.0 + 2.0 + 3.0)
+
+    def test_repeated_items_compress_in_refined_table(self):
+        left = np.ones((4, 2), dtype=bool)
+        right = np.ones((4, 2), dtype=bool)
+        dataset = TwoViewDataset(left, right)
+        skewed = TranslationTable()
+        # Left item 0 used three times, item 1 once: entropy < 1 bit/use.
+        skewed.add(TranslationRule((0,), (0,), Direction.FORWARD))
+        skewed.add(TranslationRule((0,), (1,), Direction.FORWARD))
+        skewed.add(TranslationRule((0, 1), (0, 1), Direction.FORWARD))
+        report = refined_lengths(dataset, skewed)
+        uniform_cost = 4.0  # 4 left-item slots at 1 bit each if uniform
+        left_refined = report.table_bits_refined
+        # Total refined = left itemsets + right itemsets + directions (6).
+        assert left_refined < uniform_cost * 2 + 6.0

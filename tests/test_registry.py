@@ -1,0 +1,105 @@
+"""Unit tests for the paper dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.registry import (
+    PAPER_DATASETS,
+    dataset_names,
+    make_dataset,
+    paper_stats,
+)
+
+
+class TestRegistryContents:
+    def test_fourteen_datasets(self):
+        assert len(PAPER_DATASETS) == 14
+
+    def test_names_match_table1(self):
+        expected = {
+            "abalone", "adult", "cal500", "car", "chesskrvk", "crime",
+            "elections", "emotions", "house", "mammals", "nursery",
+            "tictactoe", "wine", "yeast",
+        }
+        assert set(dataset_names()) == expected
+
+    def test_paper_stats_values(self):
+        house = paper_stats("house")
+        assert house.n_transactions == 435
+        assert house.n_left == 26
+        assert house.n_right == 24
+        assert house.baseline_bits == 31625
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            paper_stats("not-a-dataset")
+
+
+class TestGeneratedStandIns:
+    @pytest.mark.parametrize("name", ["house", "wine", "car", "tictactoe"])
+    def test_shapes_match_paper(self, name):
+        stats = paper_stats(name)
+        dataset = make_dataset(name)
+        assert dataset.n_transactions == stats.n_transactions
+        assert dataset.n_left == stats.n_left
+        assert dataset.n_right == stats.n_right
+
+    @pytest.mark.parametrize("name", ["house", "yeast"])
+    def test_densities_close_to_paper(self, name):
+        stats = paper_stats(name)
+        dataset = make_dataset(name)
+        assert dataset.density_left == pytest.approx(stats.density_left, abs=0.06)
+        assert dataset.density_right == pytest.approx(stats.density_right, abs=0.06)
+
+    def test_scale_shrinks_transactions(self):
+        full = make_dataset("car")
+        half = make_dataset("car", scale=0.5)
+        assert half.n_transactions == pytest.approx(full.n_transactions / 2, abs=2)
+        assert half.n_left == full.n_left
+
+    def test_minimum_size_floor(self):
+        tiny = make_dataset("wine", scale=0.001)
+        assert tiny.n_transactions >= 40
+
+    def test_deterministic(self):
+        assert make_dataset("wine") == make_dataset("wine")
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            make_dataset("wine", scale=0)
+
+    def test_all_datasets_generate_small(self):
+        for name in dataset_names():
+            dataset = make_dataset(name, scale=0.01)
+            assert dataset.n_transactions >= 40
+            assert dataset.name == name
+
+
+class TestQualitativeNames:
+    def test_cal500_has_genre_rock(self):
+        dataset = make_dataset("cal500", scale=0.1)
+        assert "Genre:Rock" in dataset.right_names
+
+    def test_house_has_party_and_votes(self):
+        dataset = make_dataset("house", scale=0.1)
+        all_names = dataset.left_names + dataset.right_names
+        assert "party=democrat" in all_names
+        assert any("mx-missile" in name for name in all_names)
+
+    def test_mammals_has_species(self):
+        dataset = make_dataset("mammals", scale=0.05)
+        all_names = dataset.left_names + dataset.right_names
+        assert "Red-Fox" in all_names
+        assert "European-Mole" in all_names
+
+    def test_elections_has_parties_and_questions(self):
+        dataset = make_dataset("elections", scale=0.05)
+        assert any(name.startswith("party=") for name in dataset.left_names)
+        assert any(name.startswith("Q") for name in dataset.right_names)
+
+    def test_names_unique_everywhere(self):
+        for name in ("cal500", "mammals", "elections", "house"):
+            dataset = make_dataset(name, scale=0.02)
+            assert len(set(dataset.left_names)) == dataset.n_left
+            assert len(set(dataset.right_names)) == dataset.n_right

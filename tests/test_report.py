@@ -1,0 +1,39 @@
+"""Unit tests for the model report renderer."""
+
+from __future__ import annotations
+
+from repro.core.translator import TranslatorSelect
+from repro.eval.report import describe_result
+
+
+class TestDescribeResult:
+    def test_contains_all_sections(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        text = describe_result(planted_dataset, result)
+        for marker in (
+            "model report",
+            "dataset",
+            "encoded lengths",
+            "L(D, T)",
+            "coverage",
+            "redundancy",
+            "rules (",
+        ):
+            assert marker in text
+
+    def test_numbers_match_result(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        text = describe_result(planted_dataset, result)
+        assert f"{100 * result.compression_ratio:11.2f}%" in text
+        assert str(result.n_rules) in text
+
+    def test_rule_limit(self, planted_dataset):
+        result = TranslatorSelect(k=1, minsup=2).fit(planted_dataset)
+        if result.n_rules > 1:
+            text = describe_result(planted_dataset, result, max_rules=1)
+            assert f"({result.n_rules - 1} more rules)" in text
+
+    def test_empty_model(self, toy_dataset):
+        result = TranslatorSelect(k=1, minsup=100).fit(toy_dataset)
+        text = describe_result(toy_dataset, result)
+        assert "rules (0 total" in text

@@ -1,0 +1,98 @@
+"""Unit tests for translation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import Side
+from repro.core.rules import Direction, TranslationRule
+
+
+class TestDirection:
+    def test_encoded_bits(self):
+        assert Direction.BOTH.encoded_bits == 1
+        assert Direction.FORWARD.encoded_bits == 2
+        assert Direction.BACKWARD.encoded_bits == 2
+
+    def test_applies(self):
+        assert Direction.FORWARD.applies_forward
+        assert not Direction.FORWARD.applies_backward
+        assert Direction.BACKWARD.applies_backward
+        assert not Direction.BACKWARD.applies_forward
+        assert Direction.BOTH.applies_forward and Direction.BOTH.applies_backward
+
+    def test_from_string(self):
+        assert Direction.from_string("->") is Direction.FORWARD
+        assert Direction.from_string("<-") is Direction.BACKWARD
+        assert Direction.from_string("<->") is Direction.BOTH
+
+    def test_from_string_invalid(self):
+        with pytest.raises(ValueError, match="invalid direction"):
+            Direction.from_string("=>")
+
+    def test_str(self):
+        assert str(Direction.BOTH) == "<->"
+
+
+class TestTranslationRule:
+    def test_normalises_and_sorts(self):
+        rule = TranslationRule((3, 1, 1), (2,), Direction.FORWARD)
+        assert rule.lhs == (1, 3)
+        assert rule.rhs == (2,)
+
+    def test_accepts_direction_string(self):
+        rule = TranslationRule((0,), (0,), "<->")
+        assert rule.direction is Direction.BOTH
+
+    def test_rejects_empty_sides(self):
+        with pytest.raises(ValueError, match="lhs"):
+            TranslationRule((), (1,), Direction.FORWARD)
+        with pytest.raises(ValueError, match="rhs"):
+            TranslationRule((1,), (), Direction.FORWARD)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            TranslationRule((-1,), (0,), Direction.FORWARD)
+
+    def test_size(self):
+        rule = TranslationRule((0, 1), (2, 3, 4), Direction.BOTH)
+        assert rule.size == 5
+
+    def test_hashable_and_equal(self):
+        rule_a = TranslationRule((1, 0), (2,), Direction.BOTH)
+        rule_b = TranslationRule((0, 1), (2,), Direction.BOTH)
+        assert rule_a == rule_b
+        assert hash(rule_a) == hash(rule_b)
+        assert rule_a != rule_a.with_direction(Direction.FORWARD)
+
+    def test_antecedent_consequent(self):
+        rule = TranslationRule((0,), (1,), Direction.BOTH)
+        assert rule.antecedent(Side.RIGHT) == (0,)
+        assert rule.consequent(Side.RIGHT) == (1,)
+        assert rule.antecedent(Side.LEFT) == (1,)
+        assert rule.consequent(Side.LEFT) == (0,)
+
+    def test_applies_towards(self):
+        forward = TranslationRule((0,), (1,), Direction.FORWARD)
+        assert forward.applies_towards(Side.RIGHT)
+        assert not forward.applies_towards(Side.LEFT)
+        both = forward.with_direction(Direction.BOTH)
+        assert both.applies_towards(Side.LEFT)
+
+    def test_render_with_names(self, toy_dataset):
+        rule = TranslationRule((0, 1), (3,), Direction.BOTH)
+        assert rule.render(toy_dataset) == "{a, b} <-> {u}"
+
+    def test_render_without_names(self):
+        rule = TranslationRule((0, 1), (3,), Direction.FORWARD)
+        assert str(rule) == "{0, 1} -> {3}"
+
+    def test_serialisation_roundtrip(self):
+        rule = TranslationRule((0, 2), (1,), Direction.BACKWARD)
+        assert TranslationRule.from_dict(rule.to_dict()) == rule
+
+    def test_with_direction(self):
+        rule = TranslationRule((0,), (1,), Direction.FORWARD)
+        flipped = rule.with_direction(Direction.BACKWARD)
+        assert flipped.lhs == rule.lhs
+        assert flipped.direction is Direction.BACKWARD

@@ -1,0 +1,173 @@
+"""Tests for two-view pattern sampling (repro.mining.sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.mining.sampling import _transaction_weights, sample_candidates, sample_pattern
+from repro.mining.twoview import TwoViewCandidate, two_view_candidates
+
+
+@pytest.fixture
+def structured_dataset() -> TwoViewDataset:
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=200,
+            n_left=12,
+            n_right=12,
+            n_rules=3,
+            density_left=0.15, density_right=0.15,
+            seed=7,
+        )
+    )
+    return dataset
+
+
+class TestTransactionWeights:
+    def test_empty_side_gives_zero_weight(self):
+        left = np.array([[True, False], [False, False]])
+        right = np.array([[True], [True]])
+        dataset = TwoViewDataset(left, right)
+        weights = _transaction_weights(dataset)
+        assert weights[0] > 0
+        assert weights[1] == 0.0
+
+    def test_weight_counts_spanning_subpatterns(self):
+        # 2 left items, 1 right item -> (2^2 - 1) * (2^1 - 1) = 3.
+        left = np.array([[True, True]])
+        right = np.array([[True]])
+        dataset = TwoViewDataset(left, right)
+        assert _transaction_weights(dataset)[0] == pytest.approx(3.0)
+
+    def test_weights_are_finite_for_wide_transactions(self):
+        left = np.ones((1, 200), dtype=bool)
+        right = np.ones((1, 200), dtype=bool)
+        dataset = TwoViewDataset(left, right)
+        assert np.isfinite(_transaction_weights(dataset)).all()
+
+
+class TestSamplePattern:
+    def test_pattern_occurs_in_data(self, structured_dataset):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            pattern = sample_pattern(structured_dataset, rng)
+            assert pattern is not None
+            lhs, rhs = pattern
+            assert structured_dataset.joint_support_mask(lhs, rhs).any()
+
+    def test_pattern_spans_both_views(self, structured_dataset):
+        rng = np.random.default_rng(1)
+        for __ in range(50):
+            lhs, rhs = sample_pattern(structured_dataset, rng)
+            assert lhs and rhs
+
+    def test_all_empty_dataset_returns_none(self):
+        dataset = TwoViewDataset(
+            np.zeros((4, 3), dtype=bool), np.zeros((4, 2), dtype=bool)
+        )
+        rng = np.random.default_rng(2)
+        assert sample_pattern(dataset, rng) is None
+
+    def test_generalise_false_stays_within_seed(self, structured_dataset):
+        rng = np.random.default_rng(3)
+        pattern = sample_pattern(structured_dataset, rng, generalise=False)
+        assert pattern is not None
+
+
+class TestSampleCandidates:
+    def test_returns_two_view_candidates(self, structured_dataset):
+        candidates = sample_candidates(structured_dataset, 100, rng=0)
+        assert candidates
+        assert all(isinstance(candidate, TwoViewCandidate) for candidate in candidates)
+
+    def test_supports_are_exact(self, structured_dataset):
+        for candidate in sample_candidates(structured_dataset, 100, rng=1):
+            mask = structured_dataset.joint_support_mask(candidate.lhs, candidate.rhs)
+            assert candidate.support == int(mask.sum())
+
+    def test_candidates_are_distinct(self, structured_dataset):
+        candidates = sample_candidates(structured_dataset, 300, rng=2)
+        keys = {(candidate.lhs, candidate.rhs) for candidate in candidates}
+        assert len(keys) == len(candidates)
+
+    def test_sorted_by_support_descending(self, structured_dataset):
+        candidates = sample_candidates(structured_dataset, 200, rng=3)
+        supports = [candidate.support for candidate in candidates]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_min_support_filter(self, structured_dataset):
+        candidates = sample_candidates(structured_dataset, 200, rng=4, min_support=5)
+        assert all(candidate.support >= 5 for candidate in candidates)
+
+    def test_reproducible_with_seed(self, structured_dataset):
+        first = sample_candidates(structured_dataset, 100, rng=42)
+        second = sample_candidates(structured_dataset, 100, rng=42)
+        assert first == second
+
+    def test_zero_samples(self, structured_dataset):
+        assert sample_candidates(structured_dataset, 0, rng=0) == []
+
+    def test_negative_samples_rejected(self, structured_dataset):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_candidates(structured_dataset, -1)
+
+    def test_bad_min_support_rejected(self, structured_dataset):
+        with pytest.raises(ValueError, match="at least 1"):
+            sample_candidates(structured_dataset, 10, min_support=0)
+
+    def test_sampled_patterns_are_subset_of_mined_space(self, structured_dataset):
+        """Every sampled candidate must be a frequent two-view itemset at minsup=1."""
+        sampled = sample_candidates(structured_dataset, 150, rng=5)
+        mined = two_view_candidates(structured_dataset, minsup=1, closed=False, max_size=4)
+        mined_keys = {(candidate.lhs, candidate.rhs) for candidate in mined}
+        small = [candidate for candidate in sampled if candidate.size <= 4]
+        assert small, "expected some small sampled candidates"
+        for candidate in small:
+            assert (candidate.lhs, candidate.rhs) in mined_keys
+
+    def test_planted_rules_are_discovered(self):
+        """Sampling should hit the high-area planted patterns quickly."""
+        dataset, planted = generate_planted(
+            SyntheticSpec(
+                n_transactions=300,
+                n_left=10,
+                n_right=10,
+                n_rules=2,
+                density_left=0.12, density_right=0.12,
+                seed=11,
+            )
+        )
+        candidates = sample_candidates(dataset, 500, rng=6)
+        keys = {(candidate.lhs, candidate.rhs) for candidate in candidates}
+        hits = sum(
+            1
+            for rule in planted
+            if (tuple(sorted(rule.lhs)), tuple(sorted(rule.rhs))) in keys
+        )
+        assert hits >= 1
+
+
+class TestSamplingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_any_seed_yields_valid_candidates(self, seed):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=60,
+                n_left=8,
+                n_right=8,
+                n_rules=2,
+                density_left=0.2, density_right=0.2,
+                seed=5,
+            )
+        )
+        for candidate in sample_candidates(dataset, 30, rng=seed):
+            assert candidate.lhs and candidate.rhs
+            assert 1 <= candidate.support <= dataset.n_transactions
+            assert all(0 <= item < dataset.n_left for item in candidate.lhs)
+            assert all(0 <= item < dataset.n_right for item in candidate.rhs)

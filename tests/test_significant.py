@@ -1,0 +1,106 @@
+"""Unit tests for significant rule discovery (MAGNUM OPUS stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted, random_dataset
+from repro.core.rules import Direction
+from repro.baselines.significant import SignificantRule, SignificantRuleMiner, _fisher_p
+
+
+class TestFisher:
+    def test_perfect_association_small_p(self):
+        antecedent = np.array([True] * 10 + [False] * 10)
+        consequent = antecedent.copy()
+        assert _fisher_p(antecedent, consequent) < 0.001
+
+    def test_independence_large_p(self):
+        rng = np.random.default_rng(0)
+        antecedent = rng.random(200) < 0.5
+        consequent = rng.random(200) < 0.5
+        assert _fisher_p(antecedent, consequent) > 0.01
+
+    def test_negative_association_large_p(self):
+        antecedent = np.array([True] * 10 + [False] * 10)
+        consequent = ~antecedent
+        # One-sided test for positive association.
+        assert _fisher_p(antecedent, consequent) > 0.9
+
+
+class TestMiner:
+    def test_finds_planted_rules(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=400, n_left=10, n_right=10,
+                density_left=0.08, density_right=0.08,
+                n_rules=3, confidence=(0.95, 1.0), activation=(0.2, 0.3), seed=1,
+            )
+        )
+        rules = SignificantRuleMiner(minsup=5).mine(dataset)
+        assert rules
+        assert all(rule.p_value < 0.05 for rule in rules)
+
+    def test_noise_yields_few_rules(self):
+        noise = random_dataset(300, 10, 10, 0.15, 0.15, seed=2)
+        rules = SignificantRuleMiner(minsup=5).mine(noise)
+        # Bonferroni control: the family-wise error is below alpha, so
+        # typically zero (a handful would still be acceptable).
+        assert len(rules) <= 3
+
+    def test_merge_creates_bidirectional(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=400, n_left=8, n_right=8,
+                density_left=0.05, density_right=0.05,
+                n_rules=2, confidence=(1.0, 1.0), activation=(0.3, 0.4),
+                bidirectional_fraction=1.0, seed=3,
+            )
+        )
+        rules = SignificantRuleMiner(minsup=5).mine(dataset)
+        assert any(rule.direction is Direction.BOTH for rule in rules)
+
+    def test_holdout_is_stricter(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=500, n_left=10, n_right=10,
+                density_left=0.1, density_right=0.1,
+                n_rules=3, seed=4,
+            )
+        )
+        plain = SignificantRuleMiner(minsup=5, holdout=False).mine(dataset)
+        strict = SignificantRuleMiner(minsup=5, holdout=True, seed=0).mine(dataset)
+        assert len(strict) <= len(plain) + 2  # holdout prunes, modulo split noise
+
+    def test_min_confidence_filter(self):
+        dataset, __ = generate_planted(SyntheticSpec(seed=5))
+        rules = SignificantRuleMiner(minsup=3, min_confidence=0.9).mine(dataset)
+        assert all(rule.confidence >= 0.9 for rule in rules)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            SignificantRuleMiner(alpha=1.5)
+
+    def test_to_translation_rule(self):
+        rule = SignificantRule((0,), (1,), Direction.FORWARD, 5, 0.9, 0.001)
+        assert rule.to_translation_rule().direction is Direction.FORWARD
+
+    def test_productivity_prunes_redundant_specialisations(self):
+        # Column 0 left perfectly implies column 0 right; adding an
+        # unrelated left item cannot raise the (already perfect)
+        # confidence, so {0, other} -> 0 must be pruned.
+        rng = np.random.default_rng(6)
+        left = rng.random((300, 4)) < 0.3
+        right = rng.random((300, 2)) < 0.1
+        right[:, 0] = left[:, 0]
+        dataset = TwoViewDataset(left, right)
+        rules = SignificantRuleMiner(minsup=5).mine(dataset)
+        forward = [
+            rule
+            for rule in rules
+            if rule.rhs == (0,) and rule.direction in (Direction.FORWARD, Direction.BOTH)
+        ]
+        assert forward
+        assert all(len(rule.lhs) == 1 for rule in forward)

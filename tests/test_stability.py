@@ -1,0 +1,194 @@
+"""Tests for bootstrap stability analysis (repro.eval.stability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorSelect
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.eval.stability import (
+    RuleRecovery,
+    StabilityReport,
+    bootstrap_stability,
+    rule_overlap_score,
+    soft_match_score,
+)
+
+
+def rule(lhs, rhs, direction=Direction.FORWARD) -> TranslationRule:
+    return TranslationRule(tuple(lhs), tuple(rhs), direction)
+
+
+class TestRuleOverlapScore:
+    def test_identical_rules_score_one(self):
+        first = rule([0, 1], [2])
+        assert rule_overlap_score(first, first) == pytest.approx(1.0)
+
+    def test_disjoint_itemsets_score_zero(self):
+        assert rule_overlap_score(rule([0], [1]), rule([2], [3])) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        # lhs Jaccard = 1/2, rhs Jaccard = 1 -> mean 0.75.
+        first = rule([0, 1], [5])
+        second = rule([0], [5])
+        assert rule_overlap_score(first, second) == pytest.approx(0.75)
+
+    def test_opposite_unidirectional_rules_incompatible(self):
+        forward = rule([0], [1], Direction.FORWARD)
+        backward = rule([0], [1], Direction.BACKWARD)
+        assert rule_overlap_score(forward, backward) == 0.0
+
+    def test_bidirectional_compatible_with_unidirectional_at_half_weight(self):
+        both = rule([0], [1], Direction.BOTH)
+        forward = rule([0], [1], Direction.FORWARD)
+        assert rule_overlap_score(both, forward) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        first = rule([0, 1], [2, 3])
+        second = rule([1], [3])
+        assert rule_overlap_score(first, second) == pytest.approx(
+            rule_overlap_score(second, first)
+        )
+
+
+class TestSoftMatchScore:
+    def test_identical_sets_score_one(self):
+        rules = [rule([0], [1]), rule([2], [3], Direction.BOTH)]
+        assert soft_match_score(rules, rules) == pytest.approx(1.0)
+
+    def test_both_empty_score_one(self):
+        assert soft_match_score([], []) == 1.0
+
+    def test_one_empty_scores_zero(self):
+        assert soft_match_score([rule([0], [1])], []) == 0.0
+        assert soft_match_score([], [rule([0], [1])]) == 0.0
+
+    def test_surplus_rules_dilute(self):
+        reference = [rule([0], [1])]
+        other = [rule([0], [1]), rule([5], [6])]
+        assert soft_match_score(reference, other) == pytest.approx(0.5)
+
+    def test_greedy_matching_is_one_to_one(self):
+        # Two identical reference rules cannot both match the single other.
+        reference = [rule([0], [1]), rule([0], [1])]
+        other = [rule([0], [1])]
+        assert soft_match_score(reference, other) == pytest.approx(0.5)
+
+    def test_bounded_in_unit_interval(self):
+        reference = [rule([0, 1], [2]), rule([3], [4], Direction.BOTH)]
+        other = [rule([1], [2]), rule([3], [5])]
+        score = soft_match_score(reference, other)
+        assert 0.0 <= score <= 1.0
+
+
+class TestBootstrapStability:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=250,
+                n_left=10,
+                n_right=10,
+                density_left=0.12,
+                density_right=0.12,
+                n_rules=2,
+                confidence=(0.95, 1.0),
+                seed=3,
+            )
+        )
+        return dataset
+
+    def test_report_shape(self, planted):
+        report = bootstrap_stability(
+            planted, TranslatorSelect(k=1), n_resamples=5, rng=0
+        )
+        assert isinstance(report, StabilityReport)
+        assert report.n_resamples == 5
+        assert len(report.exact_jaccard) == 5
+        assert len(report.soft_scores) == 5
+        assert len(report.n_rules_per_resample) == 5
+        assert len(report.rule_recoveries) == len(report.reference_rules)
+
+    def test_scores_in_unit_interval(self, planted):
+        report = bootstrap_stability(
+            planted, TranslatorSelect(k=1), n_resamples=5, rng=1
+        )
+        for score in report.exact_jaccard + report.soft_scores:
+            assert 0.0 <= score <= 1.0
+        for recovery in report.rule_recoveries:
+            assert 0.0 <= recovery.exact_rate <= recovery.soft_rate <= 1.0
+
+    def test_planted_structure_is_stable(self, planted):
+        """Strong planted rules should be recovered in most resamples."""
+        report = bootstrap_stability(
+            planted, TranslatorSelect(k=1), n_resamples=8, rng=2
+        )
+        # Noise-derived reference rules churn across resamples, dragging the
+        # aggregate down; the planted associations themselves must be robust.
+        assert report.mean_soft_score >= 0.35
+        stable = report.stable_rules(threshold=0.75)
+        assert stable
+        assert any(recovery.exact_rate == 1.0 for recovery in stable)
+
+    def test_reproducible_with_seed(self, planted):
+        first = bootstrap_stability(planted, TranslatorSelect(k=1), n_resamples=4, rng=7)
+        second = bootstrap_stability(planted, TranslatorSelect(k=1), n_resamples=4, rng=7)
+        assert first.exact_jaccard == second.exact_jaccard
+        assert first.soft_scores == second.soft_scores
+
+    def test_explicit_reference_table(self, planted):
+        reference = TranslationTable()
+        reference.add(rule([0], [0], Direction.BOTH))
+        report = bootstrap_stability(
+            planted,
+            TranslatorSelect(k=1),
+            n_resamples=3,
+            reference=reference,
+            rng=4,
+        )
+        assert report.reference_rules == (rule([0], [0], Direction.BOTH),)
+
+    def test_subsampling_without_replacement(self, planted):
+        report = bootstrap_stability(
+            planted,
+            TranslatorSelect(k=1),
+            n_resamples=3,
+            sample_fraction=0.6,
+            replace=False,
+            rng=5,
+        )
+        assert report.n_resamples == 3
+
+    def test_invalid_parameters(self, planted):
+        with pytest.raises(ValueError, match="n_resamples"):
+            bootstrap_stability(planted, TranslatorSelect(k=1), n_resamples=0)
+        with pytest.raises(ValueError, match="sample_fraction"):
+            bootstrap_stability(planted, TranslatorSelect(k=1), sample_fraction=0.0)
+        with pytest.raises(ValueError, match="without replacement"):
+            bootstrap_stability(
+                planted, TranslatorSelect(k=1), replace=False, sample_fraction=1.0
+            )
+
+    def test_render_mentions_every_reference_rule(self, planted):
+        report = bootstrap_stability(
+            planted, TranslatorSelect(k=1), n_resamples=3, rng=6
+        )
+        text = report.render(planted)
+        assert "mean exact rule-set Jaccard" in text
+        assert text.count("[exact") == len(report.reference_rules)
+
+    def test_rule_count_spread(self, planted):
+        report = bootstrap_stability(
+            planted, TranslatorSelect(k=1), n_resamples=4, rng=8
+        )
+        low, high = report.rule_count_spread
+        assert 0 <= low <= high
+
+
+class TestRuleRecoveryRender:
+    def test_render_without_dataset(self):
+        recovery = RuleRecovery(rule([0], [1]), exact_rate=0.5, soft_rate=0.75)
+        text = recovery.render()
+        assert "exact 50%" in text and "soft 75%" in text

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic planted-rule generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Side
+from repro.data.synthetic import (
+    PlantedRule,
+    SyntheticSpec,
+    generate_planted,
+    planted_with_names,
+    random_dataset,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError, match="positive"):
+            SyntheticSpec(n_transactions=0)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError, match="densities"):
+            SyntheticSpec(density_left=1.5)
+
+    def test_rejects_empty_rule_sides(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            SyntheticSpec(lhs_size=(0, 2))
+
+    def test_rejects_bad_bidirectional_fraction(self):
+        with pytest.raises(ValueError, match="bidirectional_fraction"):
+            SyntheticSpec(bidirectional_fraction=2.0)
+
+
+class TestPlantedRuleValidation:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            PlantedRule((0,), (1,), "=>", 0.1, 0.9)
+
+    def test_rejects_empty_sides(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PlantedRule((), (1,), "->", 0.1, 0.9)
+
+    def test_rejects_bad_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            PlantedRule((0,), (1,), "->", 0.0, 0.9)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            PlantedRule((0,), (1,), "->", 0.1, 1.5)
+
+
+class TestGeneration:
+    def test_shapes(self):
+        spec = SyntheticSpec(n_transactions=120, n_left=9, n_right=11, seed=1)
+        dataset, rules = generate_planted(spec)
+        assert dataset.n_transactions == 120
+        assert dataset.n_left == 9
+        assert dataset.n_right == 11
+        assert len(rules) == spec.n_rules
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(seed=5)
+        first, rules_first = generate_planted(spec)
+        second, rules_second = generate_planted(spec)
+        assert first == second
+        assert rules_first == rules_second
+
+    def test_different_seeds_differ(self):
+        first, __ = generate_planted(SyntheticSpec(seed=1))
+        second, __ = generate_planted(SyntheticSpec(seed=2))
+        assert first != second
+
+    def test_density_close_to_target(self):
+        spec = SyntheticSpec(
+            n_transactions=2000, n_left=30, n_right=30,
+            density_left=0.25, density_right=0.10, n_rules=3, seed=0,
+        )
+        dataset, __ = generate_planted(spec)
+        assert dataset.density_left == pytest.approx(0.25, abs=0.05)
+        assert dataset.density_right == pytest.approx(0.10, abs=0.05)
+
+    def test_planted_rules_hold_with_confidence(self):
+        spec = SyntheticSpec(
+            n_transactions=1000, n_left=20, n_right=20,
+            density_left=0.05, density_right=0.05,
+            n_rules=3, confidence=(0.95, 1.0), activation=(0.2, 0.3), seed=4,
+        )
+        dataset, rules = generate_planted(spec)
+        for rule in rules:
+            if rule.direction in ("->", "<->"):
+                antecedent = dataset.support_mask(Side.LEFT, rule.lhs)
+                consequent = dataset.support_mask(Side.RIGHT, rule.rhs)
+                confidence = (antecedent & consequent).sum() / antecedent.sum()
+                assert confidence > 0.6  # planted signal dominates noise
+
+    def test_rule_items_within_vocabulary(self):
+        dataset, rules = generate_planted(SyntheticSpec(seed=2))
+        for rule in rules:
+            assert all(0 <= item < dataset.n_left for item in rule.lhs)
+            assert all(0 <= item < dataset.n_right for item in rule.rhs)
+
+
+class TestRandomDataset:
+    def test_shapes_and_density(self):
+        data = random_dataset(500, 12, 8, 0.3, 0.2, seed=0)
+        assert data.n_transactions == 500
+        assert data.density_left == pytest.approx(0.3, abs=0.05)
+        assert data.density_right == pytest.approx(0.2, abs=0.05)
+
+    def test_deterministic(self):
+        assert random_dataset(50, 5, 5, seed=1) == random_dataset(50, 5, 5, seed=1)
+
+
+class TestNamed:
+    def test_names_applied(self):
+        spec = SyntheticSpec(n_transactions=50, n_left=2, n_right=2, n_rules=1, seed=0)
+        dataset, __ = planted_with_names(spec, ["a", "b"], ["x", "y"], name="named")
+        assert dataset.left_names == ["a", "b"]
+        assert dataset.name == "named"
+
+    def test_name_length_mismatch(self):
+        spec = SyntheticSpec(n_left=2, n_right=2)
+        with pytest.raises(ValueError, match="match the spec"):
+            planted_with_names(spec, ["a"], ["x", "y"])

@@ -1,0 +1,90 @@
+"""Unit tests for translation tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+
+
+@pytest.fixture
+def rules() -> list[TranslationRule]:
+    return [
+        TranslationRule((0, 1), (3,), Direction.BOTH),
+        TranslationRule((2,), (1, 2), Direction.FORWARD),
+        TranslationRule((3,), (0,), Direction.BACKWARD),
+    ]
+
+
+class TestContainer:
+    def test_add_and_iterate(self, rules):
+        table = TranslationTable(rules)
+        assert len(table) == 3
+        assert list(table) == rules
+        assert table[1] == rules[1]
+
+    def test_contains(self, rules):
+        table = TranslationTable(rules[:2])
+        assert rules[0] in table
+        assert rules[2] not in table
+
+    def test_rejects_duplicates(self, rules):
+        table = TranslationTable(rules)
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(rules[0])
+
+    def test_rejects_non_rules(self):
+        table = TranslationTable()
+        with pytest.raises(TypeError, match="TranslationRule"):
+            table.add("not a rule")
+
+    def test_equality_ignores_order(self, rules):
+        assert TranslationTable(rules) == TranslationTable(reversed(rules))
+        assert TranslationTable(rules[:1]) != TranslationTable(rules)
+        assert TranslationTable() != "something"
+
+
+class TestStatistics:
+    def test_directional_counts(self, rules):
+        table = TranslationTable(rules)
+        assert table.n_bidirectional == 1
+        assert table.n_unidirectional == 2
+
+    def test_average_length(self, rules):
+        table = TranslationTable(rules)
+        assert table.average_length == pytest.approx((3 + 3 + 2) / 3)
+
+    def test_average_length_empty(self):
+        assert TranslationTable().average_length == 0.0
+
+    def test_items_used(self, rules):
+        table = TranslationTable(rules)
+        left, right = table.items_used()
+        assert left == {0, 1, 2, 3}
+        assert right == {0, 1, 2, 3}
+
+    def test_rules_with_item(self, rules):
+        table = TranslationTable(rules)
+        assert table.rules_with_item(0, left=True) == [rules[0]]
+        assert table.rules_with_item(0, left=False) == [rules[2]]
+
+
+class TestRendering:
+    def test_render_limit(self, rules):
+        table = TranslationTable(rules)
+        text = table.render(limit=2)
+        assert "1 more rules" in text
+
+    def test_repr(self, rules):
+        assert "3 rules" in repr(TranslationTable(rules))
+
+    def test_json_roundtrip(self, rules):
+        table = TranslationTable(rules)
+        assert TranslationTable.from_json(table.to_json()) == table
+
+    def test_save_load(self, rules, tmp_path):
+        table = TranslationTable(rules)
+        path = tmp_path / "table.json"
+        table.save(path)
+        assert TranslationTable.load(path) == table

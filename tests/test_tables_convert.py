@@ -1,0 +1,111 @@
+"""Focused tests for report formatting and baseline conversion glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.convert import krimp_to_translation_table, rules_to_translation_table
+from repro.core.rules import Direction, TranslationRule
+from repro.eval.tables import format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+        assert format_table([], title="T") == "T"
+
+    def test_header_and_separator(self):
+        text = format_table([{"a": 1, "bb": 2}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) == {"-"}
+        assert lines[2].split() == ["1", "2"]
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+        assert "b" not in text.splitlines()[0]
+
+    def test_missing_values_render_empty(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        last = text.splitlines()[-1]
+        assert last.strip() == "3"
+
+    def test_float_digits(self):
+        text = format_table([{"x": 1.23456}], float_digits=3)
+        assert "1.235" in text
+
+    def test_bool_not_formatted_as_float(self):
+        text = format_table([{"flag": True}])
+        assert "True" in text
+
+    def test_alignment(self):
+        text = format_table([{"name": "a", "v": 1}, {"name": "longer", "v": 22}])
+        lines = text.splitlines()
+        assert len(lines[2]) <= len(lines[0]) + 2
+        # All data lines start their second column at the same offset.
+        offset_row1 = lines[2].index("1")
+        offset_row2 = lines[3].index("22")
+        assert offset_row1 == offset_row2
+
+    def test_title_line_first(self):
+        text = format_table([{"a": 1}], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+
+class _RuleLike:
+    def __init__(self, rule: TranslationRule) -> None:
+        self._rule = rule
+
+    def to_translation_rule(self) -> TranslationRule:
+        return self._rule
+
+
+class TestRulesToTranslationTable:
+    def test_accepts_plain_rules(self):
+        rule = TranslationRule((0,), (1,), Direction.FORWARD)
+        table = rules_to_translation_table([rule])
+        assert list(table) == [rule]
+
+    def test_accepts_rule_like_objects(self):
+        rule = TranslationRule((0,), (1,), Direction.BOTH)
+        table = rules_to_translation_table([_RuleLike(rule)])
+        assert list(table) == [rule]
+
+    def test_duplicates_dropped(self):
+        rule = TranslationRule((0,), (1,), Direction.FORWARD)
+        table = rules_to_translation_table([rule, rule, _RuleLike(rule)])
+        assert len(table) == 1
+
+    def test_rejects_unconvertible(self):
+        with pytest.raises(TypeError, match="cannot convert"):
+            rules_to_translation_table([object()])
+
+
+class TestKrimpConversion:
+    class _FakeKrimpResult:
+        def __init__(self, itemsets):
+            self._itemsets = itemsets
+
+        def itemsets(self):
+            return self._itemsets
+
+    def test_spanning_itemsets_become_bidirectional_rules(self):
+        result = self._FakeKrimpResult([(0, 3), (1, 2, 4)])
+        table, dropped = krimp_to_translation_table(result, n_left=3)
+        assert dropped == 0
+        rules = list(table)
+        assert rules[0] == TranslationRule((0,), (0,), Direction.BOTH)
+        assert rules[1] == TranslationRule((1, 2), (1,), Direction.BOTH)
+
+    def test_single_view_itemsets_dropped_and_counted(self):
+        result = self._FakeKrimpResult([(0, 1), (3, 4), (0, 3)])
+        table, dropped = krimp_to_translation_table(result, n_left=3)
+        assert dropped == 2
+        assert len(table) == 1
+
+    def test_duplicate_spanning_itemsets_merged(self):
+        result = self._FakeKrimpResult([(0, 3), (0, 3)])
+        table, dropped = krimp_to_translation_table(result, n_left=3)
+        assert len(table) == 1
+        assert dropped == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the TRANSLATE scheme and correction tables (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Side
+from repro.core.rules import Direction, TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translate import (
+    corrections,
+    reconstruct,
+    translate_transaction,
+    translate_view,
+)
+
+
+@pytest.fixture
+def table(toy_dataset) -> TranslationTable:
+    a = toy_dataset.item_index(Side.LEFT, "a")
+    b = toy_dataset.item_index(Side.LEFT, "b")
+    c = toy_dataset.item_index(Side.LEFT, "c")
+    s = toy_dataset.item_index(Side.RIGHT, "s")
+    u = toy_dataset.item_index(Side.RIGHT, "u")
+    return TranslationTable(
+        [
+            TranslationRule((a, b), (u,), Direction.BOTH),
+            TranslationRule((c,), (s,), Direction.FORWARD),
+        ]
+    )
+
+
+class TestTranslateView:
+    def test_forward_translation(self, toy_dataset, table):
+        translated = translate_view(toy_dataset, table, Side.RIGHT)
+        u = toy_dataset.item_index(Side.RIGHT, "u")
+        s = toy_dataset.item_index(Side.RIGHT, "s")
+        # {a,b} occurs in transactions 0, 3, 4 -> u set there.
+        assert translated[:, u].tolist() == [True, False, False, True, True]
+        # {c} occurs in transactions 1, 2 -> s set there.
+        assert translated[:, s].tolist() == [False, True, True, False, False]
+
+    def test_backward_ignores_unidirectional(self, toy_dataset, table):
+        translated = translate_view(toy_dataset, table, Side.LEFT)
+        a = toy_dataset.item_index(Side.LEFT, "a")
+        c = toy_dataset.item_index(Side.LEFT, "c")
+        # Only the bidirectional rule fires backwards: u occurs in 0, 3, 4.
+        assert translated[:, a].tolist() == [True, False, False, True, True]
+        # The forward-only rule must not fire backwards.
+        assert not translated[:, c].any()
+
+    def test_empty_table_translates_to_nothing(self, toy_dataset):
+        translated = translate_view(toy_dataset, TranslationTable(), Side.RIGHT)
+        assert not translated.any()
+
+    def test_rule_order_irrelevant(self, toy_dataset, table):
+        reversed_table = TranslationTable(reversed(list(table)))
+        np.testing.assert_array_equal(
+            translate_view(toy_dataset, table, Side.RIGHT),
+            translate_view(toy_dataset, reversed_table, Side.RIGHT),
+        )
+
+
+class TestTranslateTransaction:
+    def test_matches_vectorised(self, toy_dataset, table):
+        translated = translate_view(toy_dataset, table, Side.RIGHT)
+        for row in range(toy_dataset.n_transactions):
+            left_items, __ = toy_dataset.transaction(row)
+            expected = frozenset(np.flatnonzero(translated[row]).tolist())
+            assert translate_transaction(left_items, table, Side.RIGHT) == expected
+
+    def test_matches_vectorised_backward(self, toy_dataset, table):
+        translated = translate_view(toy_dataset, table, Side.LEFT)
+        for row in range(toy_dataset.n_transactions):
+            __, right_items = toy_dataset.transaction(row)
+            expected = frozenset(np.flatnonzero(translated[row]).tolist())
+            assert translate_transaction(right_items, table, Side.LEFT) == expected
+
+    def test_subset_matching(self):
+        rule = TranslationRule((0, 1), (0,), Direction.FORWARD)
+        assert translate_transaction({0, 1, 2}, [rule]) == {0}
+        assert translate_transaction({0}, [rule]) == frozenset()
+
+
+class TestCorrections:
+    def test_partition(self, toy_dataset, table):
+        tables = corrections(toy_dataset, table)
+        # U and E are disjoint and their union is the XOR correction.
+        assert not (tables.uncovered_right & tables.errors_right).any()
+        np.testing.assert_array_equal(
+            tables.correction_right,
+            tables.translated_right ^ toy_dataset.right,
+        )
+        np.testing.assert_array_equal(
+            tables.correction_left,
+            tables.translated_left ^ toy_dataset.left,
+        )
+
+    def test_uncovered_within_data(self, toy_dataset, table):
+        tables = corrections(toy_dataset, table)
+        assert not (tables.uncovered_right & ~toy_dataset.right).any()
+
+    def test_errors_outside_data(self, toy_dataset, table):
+        tables = corrections(toy_dataset, table)
+        assert not (tables.errors_right & toy_dataset.right).any()
+
+    def test_n_correction_cells(self, toy_dataset, table):
+        tables = corrections(toy_dataset, table)
+        expected = int(tables.correction_left.sum() + tables.correction_right.sum())
+        assert tables.n_correction_cells == expected
+
+    def test_correction_side_accessor(self, toy_dataset, table):
+        tables = corrections(toy_dataset, table)
+        np.testing.assert_array_equal(
+            tables.correction(Side.LEFT), tables.correction_left
+        )
+
+
+class TestLosslessness:
+    def test_reconstruct_right(self, toy_dataset, table):
+        np.testing.assert_array_equal(
+            reconstruct(toy_dataset, table, Side.RIGHT), toy_dataset.right
+        )
+
+    def test_reconstruct_left(self, toy_dataset, table):
+        np.testing.assert_array_equal(
+            reconstruct(toy_dataset, table, Side.LEFT), toy_dataset.left
+        )
+
+    def test_reconstruct_with_stored_correction(self, toy_dataset, table):
+        tables = corrections(toy_dataset, table)
+        result = reconstruct(
+            toy_dataset, table, Side.RIGHT, correction=tables.correction_right
+        )
+        np.testing.assert_array_equal(result, toy_dataset.right)
+
+    def test_lossless_for_random_tables(self, planted_dataset, rng):
+        # Any table, however bad, must stay lossless with its correction.
+        rules = []
+        for __ in range(10):
+            lhs = tuple(rng.choice(planted_dataset.n_left, size=2, replace=False))
+            rhs = tuple(rng.choice(planted_dataset.n_right, size=2, replace=False))
+            direction = rng.choice([Direction.FORWARD, Direction.BACKWARD, Direction.BOTH])
+            rule = TranslationRule(lhs, rhs, direction)
+            if rule not in rules:
+                rules.append(rule)
+        np.testing.assert_array_equal(
+            reconstruct(planted_dataset, rules, Side.RIGHT), planted_dataset.right
+        )
+        np.testing.assert_array_equal(
+            reconstruct(planted_dataset, rules, Side.LEFT), planted_dataset.left
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for two-view candidate mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import Side
+from repro.mining.twoview import TwoViewCandidate, auto_minsup, two_view_candidates
+
+
+class TestCandidateMining:
+    def test_candidates_span_both_views(self, planted_dataset):
+        candidates = two_view_candidates(planted_dataset, minsup=3)
+        assert candidates
+        for candidate in candidates:
+            assert candidate.lhs and candidate.rhs
+
+    def test_supports_correct(self, planted_dataset):
+        for candidate in two_view_candidates(planted_dataset, minsup=3)[:50]:
+            mask = planted_dataset.joint_support_mask(candidate.lhs, candidate.rhs)
+            assert int(mask.sum()) == candidate.support
+
+    def test_minsup_respected(self, planted_dataset):
+        for candidate in two_view_candidates(planted_dataset, minsup=10):
+            assert candidate.support >= 10
+
+    def test_sorted_by_support(self, planted_dataset):
+        candidates = two_view_candidates(planted_dataset, minsup=3)
+        supports = [candidate.support for candidate in candidates]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_closed_subset_of_all(self, planted_dataset):
+        closed = {
+            (candidate.lhs, candidate.rhs)
+            for candidate in two_view_candidates(planted_dataset, minsup=5, closed=True)
+        }
+        everything = {
+            (candidate.lhs, candidate.rhs)
+            for candidate in two_view_candidates(planted_dataset, minsup=5, closed=False)
+        }
+        assert closed <= everything
+
+    def test_max_size(self, planted_dataset):
+        for candidate in two_view_candidates(planted_dataset, minsup=3, max_size=3):
+            assert candidate.size <= 3
+
+    def test_candidate_size_property(self):
+        candidate = TwoViewCandidate((0, 1), (2,), 7)
+        assert candidate.size == 3
+
+
+class TestAutoMinsup:
+    def test_respects_budget(self, planted_dataset):
+        minsup, candidates = auto_minsup(planted_dataset, target_candidates=50)
+        assert len(candidates) <= 50
+        assert minsup >= 1
+
+    def test_large_budget_reaches_low_minsup(self, toy_dataset):
+        minsup, candidates = auto_minsup(toy_dataset, target_candidates=10_000)
+        assert minsup == 1
+        assert candidates
+
+    def test_validation(self, toy_dataset):
+        with pytest.raises(ValueError, match="target_candidates"):
+            auto_minsup(toy_dataset, target_candidates=0)
+
+    def test_consistent_with_direct_mining(self, planted_dataset):
+        minsup, candidates = auto_minsup(planted_dataset, target_candidates=200)
+        direct = two_view_candidates(planted_dataset, minsup)
+        assert {(c.lhs, c.rhs) for c in candidates} == {(c.lhs, c.rhs) for c in direct}
