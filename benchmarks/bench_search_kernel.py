@@ -1,0 +1,170 @@
+"""Microbenchmark: bool vs bitset search kernels (``BENCH_search.json``).
+
+Times ``TranslatorExact.fit`` end-to-end under both support kernels on a
+grid of dense planted two-view datasets in the House/Tictactoe regime
+(densities 0.4-0.5, ~40 one-hot items per view) across transaction
+counts, and verifies on every configuration that the two kernels return
+identical rules, gains and search statistics.  Every search runs under
+the same fixed node budget so the two kernels traverse the exact same
+tree and the comparison measures pure per-node throughput.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_search_kernel.py [--tiny] [--output PATH]
+
+The default grid writes ``BENCH_search.json`` at the repository root with
+per-configuration timings and the median speedup over the dense
+``n_transactions >= 2000`` configurations (the repo's tracked perf
+number).  ``--tiny`` runs a seconds-scale smoke grid (used by the
+``perf_smoke`` pytest marker) that checks kernel equivalence and emits
+the same JSON shape without asserting a speedup floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.translator import TranslatorExact  # noqa: E402
+from repro.data.synthetic import SyntheticSpec, generate_planted  # noqa: E402
+
+# The dense House/Tictactoe-regime grid: n_transactions x density.
+FULL_GRID = [
+    {"n_transactions": n, "density": d}
+    for n in (2000, 3000, 5000)
+    for d in (0.4, 0.5)
+]
+TINY_GRID = [
+    {"n_transactions": 300, "density": 0.4},
+    {"n_transactions": 300, "density": 0.5},
+]
+
+FULL_SETTINGS = {
+    "n_items_per_view": 40,
+    "max_rule_size": 3,
+    "max_nodes_per_search": 30_000,
+    "max_iterations": 3,
+    "repetitions": 3,
+}
+TINY_SETTINGS = {
+    "n_items_per_view": 16,
+    "max_rule_size": 3,
+    "max_nodes_per_search": 1_500,
+    "max_iterations": 2,
+    "repetitions": 1,
+}
+
+
+def _fingerprint(result) -> tuple:
+    """Everything that must match between kernels, hashably."""
+    return (
+        tuple((record.rule, record.gain) for record in result.history),
+        tuple(
+            (
+                stats.nodes_visited,
+                stats.nodes_pruned_rub,
+                stats.evaluations,
+                stats.evaluations_skipped_qub,
+                stats.complete,
+            )
+            for stats in result.search_stats
+        ),
+    )
+
+
+def run_config(config: dict, settings: dict) -> dict:
+    """Time both kernels on one grid cell and check their equivalence."""
+    items = settings["n_items_per_view"]
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=config["n_transactions"],
+            n_left=items,
+            n_right=items,
+            density_left=config["density"],
+            density_right=config["density"],
+            n_rules=6,
+            seed=3,
+        )
+    )
+    row = dict(config)
+    fingerprints = {}
+    for kernel in ("bitset", "bool"):
+        translator = TranslatorExact(
+            max_iterations=settings["max_iterations"],
+            max_rule_size=settings["max_rule_size"],
+            max_nodes_per_search=settings["max_nodes_per_search"],
+            kernel=kernel,
+        )
+        elapsed = []
+        for __ in range(settings["repetitions"]):
+            start = time.perf_counter()
+            result = translator.fit(dataset)
+            elapsed.append(time.perf_counter() - start)
+        row[f"{kernel}_seconds"] = min(elapsed)
+        fingerprints[kernel] = _fingerprint(result)
+        row["nodes_visited"] = sum(
+            stats.nodes_visited for stats in result.search_stats
+        )
+    row["identical_results"] = fingerprints["bitset"] == fingerprints["bool"]
+    row["speedup"] = row["bool_seconds"] / row["bitset_seconds"]
+    return row
+
+
+def run_grid(tiny: bool = False) -> dict:
+    """Run the benchmark grid and return the report dictionary."""
+    grid = TINY_GRID if tiny else FULL_GRID
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    rows = [run_config(config, settings) for config in grid]
+    dense = [row["speedup"] for row in rows if row["n_transactions"] >= 2000]
+    report = {
+        "benchmark": "search-kernel bool vs bitset",
+        "mode": "tiny" if tiny else "full",
+        "settings": settings,
+        "grid": rows,
+        "all_identical": all(row["identical_results"] for row in rows),
+        "median_speedup_dense_n2000plus": (
+            statistics.median(dense) if dense else None
+        ),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_search.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_grid(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for row in report["grid"]:
+        print(
+            f"n={row['n_transactions']:>6}  d={row['density']:.2f}  "
+            f"bool={row['bool_seconds']:.2f}s  bitset={row['bitset_seconds']:.2f}s  "
+            f"speedup={row['speedup']:.2f}x  identical={row['identical_results']}"
+        )
+    median = report["median_speedup_dense_n2000plus"]
+    if median is not None:
+        print(f"median speedup (dense, n >= 2000): {median:.2f}x")
+    print(f"report written to {args.output}")
+    if not report["all_identical"]:
+        print("ERROR: kernels disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

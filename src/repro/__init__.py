@@ -29,12 +29,14 @@ from repro.data import (
     save_dataset,
 )
 from repro.core import (
+    BitMatrix,
     CodeLengthModel,
     TranslatorBeam,
     CorrectionTables,
     CoverState,
     Direction,
     ExactRuleSearch,
+    SearchCache,
     TranslationRule,
     TranslationTable,
     TranslatorExact,
@@ -59,11 +61,13 @@ __all__ = [
     "load_dataset",
     "make_dataset",
     "save_dataset",
+    "BitMatrix",
     "CodeLengthModel",
     "CorrectionTables",
     "CoverState",
     "Direction",
     "ExactRuleSearch",
+    "SearchCache",
     "TranslationRule",
     "TranslationTable",
     "TranslatorBeam",

@@ -69,20 +69,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _make_translator(args: argparse.Namespace):
+    kernel = getattr(args, "kernel", "auto")
     if args.method == "exact":
         return TranslatorExact(
-            max_iterations=args.max_iterations, max_rule_size=args.max_rule_size
+            max_iterations=args.max_iterations,
+            max_rule_size=args.max_rule_size,
+            kernel=kernel,
         )
     if args.method == "select":
         return TranslatorSelect(
-            k=args.k, minsup=args.minsup, max_iterations=args.max_iterations
+            k=args.k,
+            minsup=args.minsup,
+            max_iterations=args.max_iterations,
+            kernel=kernel,
         )
     if args.method == "greedy":
-        return TranslatorGreedy(minsup=args.minsup)
+        return TranslatorGreedy(minsup=args.minsup, kernel=kernel)
     if args.method == "beam":
         return TranslatorBeam(
             max_iterations=args.max_iterations,
             max_rule_size=args.max_rule_size or 6,
+            kernel=kernel,
         )
     raise ValueError(f"unknown method {args.method!r}")
 
@@ -279,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     method_options.add_argument("--max-iterations", type=int, default=None)
     method_options.add_argument("--max-rule-size", type=int, default=None)
+    method_options.add_argument(
+        "--kernel",
+        choices=("auto", "bool", "bitset"),
+        default="auto",
+        help="support-set kernel: packed uint64 bitsets (default) or the "
+        "boolean-array reference path (both produce identical models)",
+    )
 
     fit = subparsers.add_parser(
         "fit", help="induce a translation table", parents=[common, method_options]

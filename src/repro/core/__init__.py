@@ -8,8 +8,12 @@
   codes, ``L(X|D)``, ``L(T)``, ``L(C|T)`` (Section 4).
 * :mod:`~repro.core.state` — incremental cover state with vectorised rule
   gains Δ (Section 5.1).
+* :mod:`~repro.core.bitset` — packed uint64 transaction-set kernel
+  (bitwise set algebra, popcounts, weighted popcounts) shared by the
+  search and the miners.
 * :mod:`~repro.core.search` — exact best-rule search with the paper's
-  ``tub`` / ``rub`` / ``qub`` pruning (Section 5.2).
+  ``tub`` / ``rub`` / ``qub`` pruning (Section 5.2), on a boolean or a
+  packed-bitset kernel.
 * :mod:`~repro.core.translator` — TRANSLATOR-EXACT, TRANSLATOR-SELECT(k)
   and TRANSLATOR-GREEDY (Algorithms 2-3).
 * :mod:`~repro.core.refined` — the "optimal" refined encoding used to
@@ -46,7 +50,8 @@ from repro.core.refined import (
     refined_lengths,
 )
 from repro.core.state import CoverState
-from repro.core.search import ExactRuleSearch, SearchStats
+from repro.core.bitset import BitMatrix
+from repro.core.search import ExactRuleSearch, SearchCache, SearchStats
 from repro.core.translator import (
     IterationRecord,
     TranslatorExact,
@@ -79,7 +84,9 @@ __all__ = [
     "plugin_codelength",
     "refined_lengths",
     "CoverState",
+    "BitMatrix",
     "ExactRuleSearch",
+    "SearchCache",
     "SearchStats",
     "IterationRecord",
     "TranslatorBeam",

@@ -25,12 +25,15 @@ import time
 import numpy as np
 
 from repro.data.dataset import Side, TwoViewDataset
+from repro.core.bitset import BitMatrix
 from repro.core.encoding import CodeLengthModel
 from repro.core.rules import TranslationRule
 from repro.core.state import CoverState
 from repro.core.translator import IterationRecord, TranslatorResult, _record
 
 __all__ = ["TranslatorBeam"]
+
+_KERNELS = ("auto", "bool", "bitset")
 
 
 class TranslatorBeam:
@@ -46,6 +49,11 @@ class TranslatorBeam:
         Optional cap on the number of rules.
     n_seeds:
         Number of top single-item pairs seeding each beam.
+    kernel:
+        Support-tracking kernel for the co-occurrence tests that gate
+        extensions: ``"bitset"`` (packed uint64 masks, the ``"auto"``
+        default) or ``"bool"`` (plain Boolean arrays).  Both kernels
+        produce identical models — the test is an exact set predicate.
     """
 
     def __init__(
@@ -54,15 +62,21 @@ class TranslatorBeam:
         max_rule_size: int = 6,
         max_iterations: int | None = None,
         n_seeds: int = 16,
+        kernel: str = "auto",
     ) -> None:
         if beam_width < 1 or n_seeds < 1:
             raise ValueError("beam_width and n_seeds must be positive")
         if max_rule_size < 2:
             raise ValueError("max_rule_size must allow one item per side")
+        if kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
         self.beam_width = beam_width
         self.max_rule_size = max_rule_size
         self.max_iterations = max_iterations
         self.n_seeds = n_seeds
+        self.kernel = "bitset" if kernel == "auto" else kernel
+        self._left_bits: BitMatrix | None = None
+        self._right_bits: BitMatrix | None = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -72,6 +86,16 @@ class TranslatorBeam:
         start = time.perf_counter()
         state = CoverState(dataset, codes)
         history: list[IterationRecord] = []
+        # Packed per-item transaction sets, built once per fit: the beam's
+        # extension loop tests joint support emptiness for every candidate
+        # extension, and the packed AND touches 64x less memory than the
+        # Boolean-mask path.
+        if self.kernel == "bitset":
+            self._left_bits = BitMatrix.from_bool_columns(dataset.left)
+            self._right_bits = BitMatrix.from_bool_columns(dataset.right)
+        else:
+            self._left_bits = None
+            self._right_bits = None
         while self.max_iterations is None or len(state.table) < self.max_iterations:
             rule, gain = self._best_rule(state)
             if rule is None or rule in state.table:
@@ -122,6 +146,15 @@ class TranslatorBeam:
             pairs.append(((left_item,), (right_item,)))
         return pairs
 
+    def _cooccurs(
+        self, dataset: TwoViewDataset, lhs: tuple[int, ...], rhs: tuple[int, ...]
+    ) -> bool:
+        """Exact test: does some transaction contain ``lhs`` and ``rhs``?"""
+        if self._left_bits is None:
+            return bool(dataset.joint_support_mask(lhs, rhs).any())
+        joint = self._left_bits.support(lhs) & self._right_bits.support(rhs)
+        return bool(joint.any())
+
     def _best_rule(
         self, state: CoverState
     ) -> tuple[TranslationRule | None, float]:
@@ -160,7 +193,7 @@ class TranslatorBeam:
                         if (lhs, rhs) in seen:
                             continue
                         seen.add((lhs, rhs))
-                        if not dataset.joint_support_mask(lhs, rhs).any():
+                        if not self._cooccurs(dataset, lhs, rhs):
                             continue
                         extended, gain = state.best_direction(lhs, rhs)
                         extensions.append((gain, extended))

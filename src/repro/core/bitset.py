@@ -1,0 +1,263 @@
+"""Packed-bitset kernel for transaction-set algebra.
+
+Every miner and the exact rule search spend most of their time intersecting
+*transaction sets* (which transactions contain an item / itemset) and
+measuring the result — plain counts for supports, weighted sums for the
+paper's ``tub``/``rub`` bounds.  The seed implementation stored those sets
+as ``n_transactions``-length Boolean numpy arrays; this module packs them
+into 64-bit words so a set intersection touches 64x less memory and a
+support count is a handful of ``popcount`` instructions.
+
+Word layout
+-----------
+A transaction set over ``n`` transactions is stored as ``ceil(n / 64)``
+``uint64`` words.  Packing runs through ``np.packbits(..,
+bitorder="little")`` on the *byte view* of the word array, and unpacking
+reverses the identical byte view, so transaction ``t`` always lives at byte
+``t // 8``, bit ``t % 8`` of the buffer regardless of platform endianness;
+bitwise AND/OR/ANDNOT and popcount are bit-position agnostic, which makes
+every operation in this module endian-safe.  Padding bits (positions ``n ..
+64 * n_words``) are guaranteed zero by the packing helpers and preserved
+zero by AND; OR/ANDNOT of two packed masks also keep the padding zero
+because both operands have zero padding.
+
+Popcount strategy
+-----------------
+``np.bitwise_count`` (numpy >= 2.0) is used when available; otherwise an
+8-bit lookup table applied to the byte view of the words (one gather + sum
+per 8 transactions).  Weighted popcounts — ``sum(weights[t] for set bits
+t)``, the generic primitive for ``tub @ supp`` style bounds — use
+word-blocked accumulation: only the non-zero words are unpacked, and their
+bits are folded against a ``(n_words, 64)`` padded weight table, so the
+cost scales with the population rather than the universe.
+
+Note that the exact search (:mod:`repro.core.search`) does *not* compute
+its bounds through :func:`weighted_popcount`: it needs bit-identical
+results across kernels, which floating-point reductions cannot promise,
+so it quantizes its weights to fixed-point integers and batches the
+weighted sums as exact matrix products, relying on this module only for
+the (exact) packing, bitwise and counting primitives.  The float-weighted
+helpers and the ``and/or/andnot`` row algebra are the module's
+general-purpose surface for other consumers (and are exercised directly
+by the property tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "BitMatrix",
+    "n_words_for",
+    "pack_mask",
+    "unpack_mask",
+    "popcount",
+    "popcount_rows",
+    "weight_table",
+    "weighted_popcount",
+]
+
+WORD_BITS = 64
+_WORD_BYTES = WORD_BITS // 8
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+# Fallback: population count of every byte value (applied to the byte view).
+_POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint64)
+
+
+def n_words_for(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bit positions."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a 1-D Boolean mask into a ``uint64`` word array (padding zero)."""
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValueError("mask must be 1-dimensional")
+    words = n_words_for(mask.size)
+    buffer = np.zeros(words * _WORD_BYTES, dtype=np.uint8)
+    packed = np.packbits(mask, bitorder="little")
+    buffer[: packed.size] = packed
+    return buffer.view(np.uint64)
+
+
+def _pack_rows(matrix: np.ndarray) -> np.ndarray:
+    """Pack each row of a 2-D Boolean matrix into words (padding zero)."""
+    matrix = np.ascontiguousarray(matrix, dtype=bool)
+    n_rows, n_bits = matrix.shape
+    words = n_words_for(n_bits)
+    buffer = np.zeros((n_rows, words * _WORD_BYTES), dtype=np.uint8)
+    if n_bits:
+        packed = np.packbits(matrix, axis=1, bitorder="little")
+        buffer[:, : packed.shape[1]] = packed
+    return buffer.view(np.uint64)
+
+
+def unpack_mask(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_mask`: words back to a Boolean mask."""
+    if n_bits == 0:
+        return np.zeros(0, dtype=bool)
+    bits = np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), bitorder="little"
+    )
+    return bits[:n_bits].astype(bool)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits in a word array."""
+    if words.size == 0:
+        return 0
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum())
+    return int(_POPCOUNT8[np.ascontiguousarray(words).view(np.uint8)].sum())
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a 2-D word array."""
+    if words.size == 0:
+        return np.zeros(words.shape[0], dtype=np.int64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=1).astype(np.int64)
+    byte_view = np.ascontiguousarray(words).view(np.uint8)
+    return _POPCOUNT8[byte_view].sum(axis=1).astype(np.int64)
+
+
+def weight_table(weights: np.ndarray) -> np.ndarray:
+    """Lay per-transaction weights out as a ``(n_words, 64)`` padded table.
+
+    The table is the companion of a packed mask: word ``w`` of the mask
+    selects within row ``w`` of the table, and the padding tail is zero so
+    padded bit positions can never contribute.
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValueError("weights must be 1-dimensional")
+    words = n_words_for(weights.size)
+    table = np.zeros((words, WORD_BITS), dtype=np.float64)
+    table.reshape(-1)[: weights.size] = weights
+    return table
+
+
+def weighted_popcount(words: np.ndarray, table: np.ndarray) -> float:
+    """``sum(weights[t] for set bits t)`` via word-blocked accumulation.
+
+    ``table`` must come from :func:`weight_table` for the same universe
+    size.  Only the non-zero words are unpacked and folded against their
+    table rows, so sparse sets cost proportionally less.
+    """
+    if words.size != table.shape[0]:
+        raise ValueError("words and weight table disagree on universe size")
+    active = np.flatnonzero(words)
+    if active.size == 0:
+        return 0.0
+    bits = np.unpackbits(
+        np.ascontiguousarray(words[active]).view(np.uint8), bitorder="little"
+    )
+    return float(np.dot(bits.astype(np.float64), table[active].reshape(-1)))
+
+
+class BitMatrix:
+    """Transaction sets of many items as an ``(n_items, n_words)`` word array.
+
+    Row ``i`` is the packed transaction set of item ``i``.  Built from the
+    library's transaction-by-item Boolean matrices with
+    :meth:`from_bool_columns` (one row per *column* of the input, matching
+    how miners index items).
+    """
+
+    __slots__ = ("words", "n_bits")
+
+    def __init__(self, words: np.ndarray, n_bits: int) -> None:
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError("words must be 2-dimensional")
+        if words.shape[1] != n_words_for(n_bits):
+            raise ValueError("word count does not match n_bits")
+        self.words = words
+        self.n_bits = n_bits
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bool_columns(cls, matrix: np.ndarray) -> "BitMatrix":
+        """Pack each *column* of a ``(n_transactions, n_items)`` matrix."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-dimensional")
+        return cls(_pack_rows(matrix.T), matrix.shape[0])
+
+    @classmethod
+    def from_bool_rows(cls, matrix: np.ndarray) -> "BitMatrix":
+        """Pack each *row* of a ``(n_items, n_transactions)`` matrix."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-dimensional")
+        return cls(_pack_rows(matrix), matrix.shape[1])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[1]
+
+    def row(self, item: int) -> np.ndarray:
+        """Packed transaction set of one item (a view, do not mutate)."""
+        return self.words[item]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Iterate over the packed per-item rows."""
+        return iter(self.words)
+
+    def __len__(self) -> int:
+        return self.n_items
+
+    def to_bool_columns(self) -> np.ndarray:
+        """Unpack back to a ``(n_transactions, n_items)`` Boolean matrix."""
+        out = np.zeros((self.n_bits, self.n_items), dtype=bool)
+        for item in range(self.n_items):
+            out[:, item] = unpack_mask(self.words[item], self.n_bits)
+        return out
+
+    # ------------------------------------------------------------------
+    # Vectorized set algebra
+    # ------------------------------------------------------------------
+    def and_mask(self, mask_words: np.ndarray) -> np.ndarray:
+        """All rows intersected with one packed mask: ``rows & mask``."""
+        return self.words & mask_words
+
+    def or_mask(self, mask_words: np.ndarray) -> np.ndarray:
+        """All rows united with one packed mask: ``rows | mask``."""
+        return self.words | mask_words
+
+    def andnot_mask(self, mask_words: np.ndarray) -> np.ndarray:
+        """All rows minus one packed mask: ``rows & ~mask``.
+
+        The complement is taken on the mask's words only, so the (zero)
+        padding of the rows keeps the result's padding zero.
+        """
+        return self.words & ~mask_words
+
+    def support(self, items: Iterable[int]) -> np.ndarray:
+        """Packed transaction set of an itemset (AND over its rows).
+
+        An empty itemset returns the full universe, mirroring
+        :meth:`repro.data.dataset.TwoViewDataset.support_mask`.
+        """
+        columns = list(items)
+        if not columns:
+            return pack_mask(np.ones(self.n_bits, dtype=bool))
+        if len(columns) == 1:
+            return self.words[columns[0]].copy()
+        return np.bitwise_and.reduce(self.words[columns], axis=0)
+
+    def counts(self) -> np.ndarray:
+        """Per-item support counts."""
+        return popcount_rows(self.words)

@@ -17,19 +17,65 @@ Items are visited in descending ``tub``-potential order so good rules are
 found early and pruning bites sooner.  The search is *anytime*: an optional
 node budget stops it early, returning the best rule found so far with
 ``complete=False`` (used for the large-dataset benchmarks).
+
+Kernels
+-------
+The traversal runs on one of two interchangeable support kernels:
+
+* ``kernel="bool"`` — the reference path: supports are
+  ``n_transactions``-length Boolean arrays and every bound is one dot
+  product per node (the seed implementation's representation).
+* ``kernel="bitset"`` (the ``"auto"`` default) — supports are packed
+  uint64 bitsets (:mod:`repro.core.bitset`), and the per-child metrics of
+  a search node (co-occurrence, support counts, ``rub`` sums, directional
+  gains) are computed in a few *batched* vector operations over all
+  remaining extension items at once, which replaces per-child numpy calls
+  with per-node ones and shrinks the bitwise traffic 64-fold.
+
+Both kernels return **bit-identical** rules, gains and
+:class:`SearchStats`.  This is guaranteed structurally, not by luck: all
+code lengths are quantized once per search to fixed-point integers
+(:class:`_Quantized`), so every bound and gain is an exact integer sum —
+and exact integer sums are independent of evaluation order and of the
+support representation.  The integers are carried in ``float64`` (and the
+quantization step is chosen so every partial sum stays far below ``2^53``,
+where float64 arithmetic is exact) because BLAS dot products over float64
+are several times faster than numpy's int64 paths; the arithmetic is
+nevertheless *integer* arithmetic, just in a wider register.  On the test
+datasets the step is ``2^-39`` or finer, so reported gains differ from the
+real-valued ones by far less than the ``1e-9`` tolerance the equivalence
+tests use, while the paper's ``rub``/``qub`` soundness proofs carry over
+verbatim because the quantized weights obey the same inequalities the
+real weights do.
+
+The traversal uses an explicit frame stack rather than recursion, so deep
+universes (hundreds of items with ``max_rule_size=None``) cannot hit
+Python's recursion limit.  Directional gain vectors are maintained
+incrementally — extending a rule by one item adds one weight column
+instead of re-slicing the full net-weight matrix per evaluation.
+
+A :class:`SearchCache` carries the dataset-static state (packed item
+masks, 0/1 item matrices, the co-occurrence grid) across the greedy
+iterations of ``TranslatorExact`` so it is built once per fit rather than
+once per ``find_best_rule`` call.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
-from repro.data.dataset import Side
+from repro.data.dataset import Side, TwoViewDataset
+from repro.core.bitset import BitMatrix, pack_mask
 from repro.core.rules import TranslationRule
 from repro.core.state import CoverState
 
-__all__ = ["SearchStats", "ExactRuleSearch"]
+__all__ = ["SearchStats", "SearchCache", "ExactRuleSearch"]
+
+_KERNELS = ("auto", "bool", "bitset")
+_MAX_FRACTION_BITS = 42
 
 
 @dataclasses.dataclass
@@ -41,6 +87,7 @@ class SearchStats:
     evaluations: int = 0
     evaluations_skipped_qub: int = 0
     complete: bool = True
+    kernel: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,12 +96,409 @@ class _Item:
 
     side: Side
     column: int
-    mask: np.ndarray  # transactions containing the item
-    code_length: float
+    mask: np.ndarray  # Boolean transaction mask (a column view of the data)
+    length_q: float  # fixed-point (integer-valued) code length
 
 
-class _NodeBudgetExceeded(Exception):
-    """Internal signal: stop the search, keep the best rule found so far."""
+class SearchCache:
+    """Dataset-static structures shared by every search over one dataset.
+
+    ``TranslatorExact`` builds one cache per ``fit`` and threads it through
+    its greedy iterations; standalone searches build a private one.  The
+    cache never depends on the cover state, only on the dataset.
+    """
+
+    def __init__(self, dataset: TwoViewDataset) -> None:
+        self.dataset = dataset
+        self.left_bits = BitMatrix.from_bool_columns(dataset.left)
+        self.right_bits = BitMatrix.from_bool_columns(dataset.right)
+        self.left_counts = self.left_bits.counts()
+        self.right_counts = self.right_bits.counts()
+        # 0/1 item masks, one row per item, in float64 so the fixed-point
+        # matrix products downstream run on the BLAS dot kernels.
+        self.left_T = np.ascontiguousarray(dataset.left.T, dtype=np.float64)
+        self.right_T = np.ascontiguousarray(dataset.right.T, dtype=np.float64)
+        self.cooccur = (
+            dataset.left.T.astype(np.int32) @ dataset.right.astype(np.int32)
+        ) > 0
+        self.full_words = pack_mask(np.ones(dataset.n_transactions, dtype=bool))
+
+
+class _Quantized:
+    """Fixed-point view of the per-search weights.
+
+    All code lengths are scaled by ``2^bits`` and rounded once; every
+    bound and gain downstream is then an exact integer sum.  The integers
+    ride in float64 arrays, and ``bits`` is chosen so the largest possible
+    intermediate sum (bounded by ``n_transactions * max(tub)`` plus total
+    code length) stays below ``2^51`` — comfortably inside the range where
+    float64 addition and multiplication of integers are exact, whatever
+    the summation order.
+    """
+
+    __slots__ = (
+        "bits",
+        "one",
+        "wq_left",
+        "wq_right",
+        "tubq_left",
+        "tubq_right",
+        "netq_left_T",
+        "netq_right_T",
+    )
+
+    def __init__(self, state: CoverState) -> None:
+        dataset = state.dataset
+        n = dataset.n_transactions
+        weights_left = state._weights_left
+        weights_right = state._weights_right
+        tub_left = state.transaction_upper_bounds(Side.LEFT)
+        tub_right = state.transaction_upper_bounds(Side.RIGHT)
+        tub_max = 0.0
+        if tub_left.size:
+            tub_max += float(tub_left.max())
+        if tub_right.size:
+            tub_max += float(tub_right.max())
+        magnitude = (n + 1.0) * (
+            tub_max + float(weights_left.sum()) + float(weights_right.sum()) + 4.0
+        )
+        self.bits = max(0, min(_MAX_FRACTION_BITS, 51 - math.frexp(magnitude)[1]))
+        self.one = float(1 << self.bits)
+        self.wq_left = np.rint(weights_left * self.one)
+        self.wq_right = np.rint(weights_right * self.one)
+        # tub in fixed point, recomputed from the quantized weights so the
+        # rub bound provably dominates the quantized gains.
+        self.tubq_left = state.uncovered_left @ self.wq_left
+        self.tubq_right = state.uncovered_right @ self.wq_right
+        # Net per-cell weight sign: covering an uncovered cell gains its
+        # code length, introducing a new error loses it, anything else 0.
+        sign_left = state.uncovered_left.astype(np.float64) - (
+            ~(dataset.left | state.translated_left)
+        ).astype(np.float64)
+        sign_right = state.uncovered_right.astype(np.float64) - (
+            ~(dataset.right | state.translated_right)
+        ).astype(np.float64)
+        self.netq_left_T = np.ascontiguousarray(sign_left.T) * self.wq_left[:, None]
+        self.netq_right_T = np.ascontiguousarray(sign_right.T) * self.wq_right[:, None]
+
+    def to_float(self, value: float) -> float:
+        return float(value) / self.one
+
+
+class _Frame:
+    """One node of the explicit DFS stack.
+
+    ``s_left``/``s_right`` (0/1 float views of the supports) and the
+    ``net_*_vals`` products are bitset-kernel caches: a child created by
+    extending one side shares the other side's vectors with its parent by
+    reference, so only genuinely new quantities are ever recomputed.
+    """
+
+    __slots__ = (
+        "position",
+        "cursor",
+        "lhs",
+        "rhs",
+        "len_lhs",
+        "len_rhs",
+        "supp_left",
+        "supp_right",
+        "s_left",
+        "s_right",
+        "wsum_left",
+        "wsum_right",
+        "count_left",
+        "count_right",
+        "gain_left",
+        "gain_right",
+        "net_left_vals",
+        "net_left_start",
+        "net_right_vals",
+        "net_right_start",
+        "childset",
+    )
+
+    def __init__(self) -> None:
+        self.childset = None
+        self.cursor = 0
+        self.s_left = None
+        self.s_right = None
+        self.net_left_vals = None
+        self.net_left_start = 0
+        self.net_right_vals = None
+        self.net_right_start = 0
+
+
+class _BoolChildSet:
+    """Per-child metrics of one frame, computed lazily (reference kernel).
+
+    Mirrors the seed implementation: every metric is one numpy call on
+    ``n_transactions``-length Boolean arrays, evaluated on demand in the
+    exact order the driver asks for it.
+    """
+
+    __slots__ = ("quantized", "frame", "_new", "_fwd_base", "_bwd_base")
+
+    def __init__(self, quantized: _Quantized, frame: _Frame) -> None:
+        self.quantized = quantized
+        self.frame = frame
+        self._new = None
+        self._fwd_base = None
+        self._bwd_base = None
+
+    def advance(self, entry: _Item) -> bool:
+        frame = self.frame
+        if entry.side is Side.LEFT:
+            self._new = frame.supp_left & entry.mask
+            joint = self._new & frame.supp_right
+        else:
+            self._new = frame.supp_right & entry.mask
+            joint = frame.supp_left & self._new
+        return bool(joint.any())
+
+    def wsum_new(self, entry: _Item) -> float:
+        if entry.side is Side.LEFT:
+            return float(np.dot(self.quantized.tubq_right, self._new))
+        return float(np.dot(self.quantized.tubq_left, self._new))
+
+    def count_new(self, entry: _Item) -> int:
+        return int(self._new.sum())
+
+    def forward(self, entry: _Item) -> float:
+        frame = self.frame
+        if entry.side is Side.LEFT:
+            return float(np.dot(frame.gain_right, self._new))
+        if self._fwd_base is None:
+            self._fwd_base = float(np.dot(frame.gain_right, frame.supp_left))
+        column = self.quantized.netq_right_T[entry.column]
+        return self._fwd_base + float(np.dot(column, frame.supp_left))
+
+    def backward(self, entry: _Item) -> float:
+        frame = self.frame
+        if entry.side is Side.RIGHT:
+            return float(np.dot(frame.gain_left, self._new))
+        if self._bwd_base is None:
+            self._bwd_base = float(np.dot(frame.gain_left, frame.supp_right))
+        column = self.quantized.netq_left_T[entry.column]
+        return self._bwd_base + float(np.dot(column, frame.supp_right))
+
+    def child_support(self, entry: _Item) -> np.ndarray:
+        return self._new
+
+
+class _BitsetContext:
+    """Universe-ordered packed masks and 0/1 matrices of one search.
+
+    The per-side matrices are *compact*: row ``p`` of ``mask_left`` is the
+    ``p``-th left-view entry of the universe (in universe order), so the
+    batched products below never touch rows of the other side.
+    ``side_position[u]`` maps a universe index to its side-local row.
+    """
+
+    __slots__ = (
+        "n",
+        "size",
+        "words_all",
+        "side_position",
+        "left_index",
+        "right_index",
+        "mask_left",
+        "mask_right",
+        "net_left",
+        "net_right",
+        "full_words",
+    )
+
+    def __init__(
+        self,
+        universe: list[_Item],
+        quantized: _Quantized,
+        cache: SearchCache,
+    ) -> None:
+        dataset = cache.dataset
+        n = dataset.n_transactions
+        n_words = cache.left_bits.n_words
+        size = len(universe)
+        self.n = n
+        self.size = size
+        self.words_all = np.zeros((size, n_words), dtype=np.uint64)
+        self.side_position = [0] * size
+        left_index: list[int] = []
+        right_index: list[int] = []
+        left_columns: list[int] = []
+        right_columns: list[int] = []
+        for index, entry in enumerate(universe):
+            if entry.side is Side.LEFT:
+                self.side_position[index] = len(left_index)
+                left_index.append(index)
+                left_columns.append(entry.column)
+                self.words_all[index] = cache.left_bits.row(entry.column)
+            else:
+                self.side_position[index] = len(right_index)
+                right_index.append(index)
+                right_columns.append(entry.column)
+                self.words_all[index] = cache.right_bits.row(entry.column)
+        self.left_index = np.asarray(left_index, dtype=np.int64)
+        self.right_index = np.asarray(right_index, dtype=np.int64)
+        self.mask_left = cache.left_T[left_columns]
+        self.mask_right = cache.right_T[right_columns]
+        self.net_left = quantized.netq_left_T[left_columns]
+        self.net_right = quantized.netq_right_T[right_columns]
+        self.full_words = cache.full_words
+
+
+class _BitsetChildSet:
+    """Per-child metrics of one frame, batched over all remaining entries.
+
+    Built once when a frame yields its first child: co-occurrence flags,
+    new-side support counts, ``rub`` weighted sums and directional gains
+    for every candidate extension come out of a handful of vectorized word
+    operations and matrix products.  The ``rub`` and gain weight vectors of
+    one side share a single two-column GEMM, so each side's item matrix is
+    read once; the ``net @ support`` products only depend on the support of
+    the *opposite* side, so they are inherited from the parent frame along
+    extension chains that leave that side untouched.  All metrics are
+    exported as plain Python lists — the driver's inner loop then runs on
+    Python floats instead of boxed numpy scalars.
+
+    When a frame's supports are sparse, the matrix products are projected
+    onto the support's transaction columns (``matrix[:, support] @
+    weights[support]``): every discarded column contributes an exact zero,
+    so — because all sums here are exact integers carried in float64 —
+    the projection changes cost, never values, and the results stay equal
+    to the boolean kernel's per-child dot products bit for bit.
+    """
+
+    __slots__ = (
+        "context",
+        "frame",
+        "start_left",
+        "start_right",
+        "alive_list",
+        "counts_left",
+        "counts_right",
+        "wsums_left",
+        "wsums_right",
+        "fwd_left",
+        "fwd_right",
+        "bwd_left",
+        "bwd_right",
+        "net_left_vals",
+        "net_right_vals",
+    )
+
+    def __init__(
+        self,
+        context: _BitsetContext,
+        quantized: _Quantized,
+        frame: _Frame,
+        start: int,
+        need_rub: bool,
+    ) -> None:
+        self.context = context
+        self.frame = frame
+        start_left = int(np.searchsorted(context.left_index, start))
+        start_right = int(np.searchsorted(context.right_index, start))
+        self.start_left = start_left
+        self.start_right = start_right
+        n = context.n
+        s_left = frame.s_left
+        s_right = frame.s_right
+        joint = s_left * s_right
+        mask_left = context.mask_left[start_left:]
+        mask_right = context.mask_right[start_right:]
+
+        # One GEMM per side: reading the item-mask matrix once yields the
+        # rub weighted sums, the directional gains, the new support counts
+        # and the joint-support counts (co-occurrence) of every child.
+        project_left = mask_left.shape[0] and 16 * frame.count_left < n
+        if project_left:
+            idx = np.flatnonzero(s_left)
+            mask_left = mask_left[:, idx]
+            columns = np.empty((idx.size, 4), dtype=np.float64)
+            columns[:, 0] = quantized.tubq_right[idx]
+            columns[:, 1] = frame.gain_right[idx]
+            columns[:, 2] = 1.0
+            columns[:, 3] = joint[idx]
+            gain_column = columns[:, 1]
+        else:
+            columns = np.empty((n, 4), dtype=np.float64)
+            np.multiply(quantized.tubq_right, s_left, out=columns[:, 0])
+            np.multiply(frame.gain_right, s_left, out=columns[:, 1])
+            columns[:, 2] = s_left
+            columns[:, 3] = joint
+            gain_column = columns[:, 1]
+        if not need_rub:
+            columns = columns[:, 1:]
+        products_left = mask_left @ columns
+        if need_rub:
+            self.wsums_left = products_left[:, 0].tolist()
+            products_left = products_left[:, 1:]
+        else:
+            self.wsums_left = None
+        self.fwd_left = products_left[:, 0].tolist()
+        self.counts_left = products_left[:, 1].tolist()
+        joint_left = products_left[:, 2]
+        # net_right @ s_left depends only on the left support: reuse the
+        # parent's product when this frame extended the right side.
+        if frame.net_right_vals is not None:
+            net_right_sum = frame.net_right_vals[
+                start_right - frame.net_right_start :
+            ]
+        elif project_left:
+            net_right_sum = context.net_right[start_right:][:, idx].sum(axis=1)
+        else:
+            net_right_sum = context.net_right[start_right:] @ s_left
+        self.net_right_vals = net_right_sum
+        fwd_const = float(gain_column.sum())
+        # forward of a right extension: the unchanged left support summed
+        # over the frame's rhs gain vector plus the new item's net column.
+        self.fwd_right = (net_right_sum + fwd_const).tolist()
+
+        project_right = mask_right.shape[0] and 16 * frame.count_right < n
+        if project_right:
+            idx = np.flatnonzero(s_right)
+            mask_right = mask_right[:, idx]
+            columns = np.empty((idx.size, 4), dtype=np.float64)
+            columns[:, 0] = quantized.tubq_left[idx]
+            columns[:, 1] = frame.gain_left[idx]
+            columns[:, 2] = 1.0
+            columns[:, 3] = joint[idx]
+            gain_column = columns[:, 1]
+        else:
+            columns = np.empty((n, 4), dtype=np.float64)
+            np.multiply(quantized.tubq_left, s_right, out=columns[:, 0])
+            np.multiply(frame.gain_left, s_right, out=columns[:, 1])
+            columns[:, 2] = s_right
+            columns[:, 3] = joint
+            gain_column = columns[:, 1]
+        if not need_rub:
+            columns = columns[:, 1:]
+        products_right = mask_right @ columns
+        if need_rub:
+            self.wsums_right = products_right[:, 0].tolist()
+            products_right = products_right[:, 1:]
+        else:
+            self.wsums_right = None
+        self.bwd_right = products_right[:, 0].tolist()
+        self.counts_right = products_right[:, 1].tolist()
+        joint_right = products_right[:, 2]
+        if frame.net_left_vals is not None:
+            net_left_sum = frame.net_left_vals[start_left - frame.net_left_start :]
+        elif project_right:
+            net_left_sum = context.net_left[start_left:][:, idx].sum(axis=1)
+        else:
+            net_left_sum = context.net_left[start_left:] @ s_right
+        self.net_left_vals = net_left_sum
+        bwd_const = float(gain_column.sum())
+        self.bwd_left = (net_left_sum + bwd_const).tolist()
+
+        # Children whose joint support is empty cannot co-occur (Section
+        # 5.2) and are skipped without ever reaching the driver loop.
+        alive = np.zeros(context.size - start, dtype=bool)
+        alive[context.left_index[start_left:] - start] = joint_left > 0.0
+        alive[context.right_index[start_right:] - start] = joint_right > 0.0
+        self.alive_list = (np.flatnonzero(alive) + start).tolist()
 
 
 class ExactRuleSearch:
@@ -71,6 +515,13 @@ class ExactRuleSearch:
         Optional node budget for anytime behaviour.
     use_rub, use_qub, order_items:
         Toggles for the pruning components (ablation A1).
+    kernel:
+        ``"bitset"`` (packed, batched), ``"bool"`` (reference), or
+        ``"auto"`` (currently ``"bitset"``).  Both kernels return
+        bit-identical results; see the module docstring.
+    cache:
+        Optional :class:`SearchCache` reused across searches over the same
+        dataset (``TranslatorExact`` passes one per fit).
     """
 
     def __init__(
@@ -82,7 +533,13 @@ class ExactRuleSearch:
         use_qub: bool = True,
         order_items: bool = True,
         seed_pairs: bool = True,
+        kernel: str = "auto",
+        cache: SearchCache | None = None,
     ) -> None:
+        if kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
+        if cache is not None and cache.dataset is not state.dataset:
+            raise ValueError("cache was built for a different dataset")
         self.state = state
         self.max_rule_size = max_rule_size
         self.max_nodes = max_nodes
@@ -90,6 +547,8 @@ class ExactRuleSearch:
         self.use_qub = use_qub
         self.order_items = order_items
         self.seed_pairs = seed_pairs
+        self.kernel = "bitset" if kernel == "auto" else kernel
+        self.cache = cache if cache is not None else SearchCache(state.dataset)
 
     # ------------------------------------------------------------------
     def find_best_rule(self) -> tuple[TranslationRule | None, float, SearchStats]:
@@ -97,202 +556,439 @@ class ExactRuleSearch:
         strictly positive gain (the greedy stopping criterion)."""
         state = self.state
         dataset = state.dataset
-        stats = SearchStats()
-
-        # Per-transaction bounds, fixed for this search (Section 5.2).
-        tub_right = state.transaction_upper_bounds(Side.RIGHT)
-        tub_left = state.transaction_upper_bounds(Side.LEFT)
-
-        # Net per-cell weights: covering an uncovered cell gains its code
-        # length, introducing a new error loses it, anything else is 0.
-        weights_left = state._weights_left
-        weights_right = state._weights_right
-        net_right = (
-            state.uncovered_right.astype(float)
-            - (~(dataset.right | state.translated_right)).astype(float)
-        ) * weights_right
-        net_left = (
-            state.uncovered_left.astype(float)
-            - (~(dataset.left | state.translated_left)).astype(float)
-        ) * weights_left
-
-        universe = self._build_universe(tub_left, tub_right)
-        n = dataset.n_transactions
-        all_rows = np.ones(n, dtype=bool)
+        stats = SearchStats(kernel=self.kernel)
+        quantized = _Quantized(state)
+        universe = self._build_universe(quantized)
 
         best_rule: TranslationRule | None = None
-        best_gain = 0.0
+        best_q = 0.0
 
-        # Seed the incumbent with the best single-item pair rule, computed
-        # for all |I_L| x |I_R| pairs in three matrix products.  This gives
-        # the branch-and-bound a strong lower bound from the start, which
-        # both tightens pruning on complete runs and makes the anytime
-        # (node-budgeted) mode return sensible rules.  Exactness is
-        # unaffected: the seed is itself a member of the rule space.
         seed_allowed = self.max_rule_size is None or self.max_rule_size >= 2
         if self.seed_pairs and seed_allowed and dataset.n_left and dataset.n_right:
-            forward_matrix = dataset.left.T.astype(float) @ net_right
-            backward_matrix = net_left.T @ dataset.right.astype(float)
-            length_grid = (
-                self.state.codes.lengths_left[:, None]
-                + self.state.codes.lengths_right[None, :]
-            )
-            cooccur = (dataset.left.T.astype(np.int32) @ dataset.right.astype(np.int32)) > 0
-            gains = {
-                "->": forward_matrix - length_grid - 2.0,
-                "<-": backward_matrix - length_grid - 2.0,
-                "<->": forward_matrix + backward_matrix - length_grid - 1.0,
-            }
-            for direction, grid in gains.items():
-                grid = np.where(cooccur & np.isfinite(grid), grid, -np.inf)
-                index = int(np.argmax(grid))
-                left_item, right_item = divmod(index, dataset.n_right)
-                value = float(grid[left_item, right_item])
-                if value > best_gain:
-                    best_gain = value
-                    best_rule = TranslationRule(
-                        (left_item,), (right_item,), direction
-                    )
+            best_rule, best_q = self._seed_best_pair(quantized, best_rule, best_q)
 
-        def evaluate(
-            lhs: tuple[int, ...],
-            rhs: tuple[int, ...],
-            supp_left: np.ndarray,
-            supp_right: np.ndarray,
-            len_lhs: float,
-            len_rhs: float,
-        ) -> None:
-            nonlocal best_rule, best_gain
-            if self.use_qub:
-                qub = (
-                    float(supp_left.sum()) * len_rhs
-                    + float(supp_right.sum()) * len_lhs
-                    - (len_lhs + len_rhs + 1.0)
-                )
-                if qub <= best_gain:
-                    stats.evaluations_skipped_qub += 1
-                    return
-            stats.evaluations += 1
-            forward = float(supp_left @ net_right[:, list(rhs)].sum(axis=1))
-            backward = float(supp_right @ net_left[:, list(lhs)].sum(axis=1))
-            base_bits = len_lhs + len_rhs
-            candidates = (
-                (forward - base_bits - 2.0, "->"),
-                (backward - base_bits - 2.0, "<-"),
-                (forward + backward - base_bits - 1.0, "<->"),
-            )
-            for gain, direction in candidates:
-                if gain > best_gain:
-                    best_gain = gain
-                    best_rule = TranslationRule(lhs, rhs, direction)
-
-        def recurse(
-            position: int,
-            lhs: tuple[int, ...],
-            rhs: tuple[int, ...],
-            supp_left: np.ndarray,
-            supp_right: np.ndarray,
-            len_lhs: float,
-            len_rhs: float,
-        ) -> None:
-            if self.max_rule_size is not None and len(lhs) + len(rhs) >= self.max_rule_size:
-                return
-            for index in range(position, len(universe)):
-                entry = universe[index]
-                if entry.side is Side.LEFT:
-                    new_supp_left = supp_left & entry.mask
-                    new_supp_right = supp_right
-                    new_lhs = lhs + (entry.column,)
-                    new_rhs = rhs
-                    new_len_lhs = len_lhs + entry.code_length
-                    new_len_rhs = len_rhs
-                else:
-                    new_supp_left = supp_left
-                    new_supp_right = supp_right & entry.mask
-                    new_lhs = lhs
-                    new_rhs = rhs + (entry.column,)
-                    new_len_lhs = len_lhs
-                    new_len_rhs = len_rhs + entry.code_length
-                joint = new_supp_left & new_supp_right
-                if not joint.any():
-                    # X u Y must occur in the data (Section 5.2).
-                    continue
-                stats.nodes_visited += 1
-                if self.max_nodes is not None and stats.nodes_visited > self.max_nodes:
-                    raise _NodeBudgetExceeded
-                if self.use_rub:
-                    rub = (
-                        float(tub_right @ new_supp_left)
-                        + float(tub_left @ new_supp_right)
-                        - (new_len_lhs + new_len_rhs + 1.0)
-                    )
-                    if rub <= best_gain:
-                        stats.nodes_pruned_rub += 1
-                        continue
-                if new_lhs and new_rhs:
-                    evaluate(
-                        new_lhs, new_rhs, new_supp_left, new_supp_right,
-                        new_len_lhs, new_len_rhs,
-                    )
-                recurse(
-                    index + 1,
-                    new_lhs, new_rhs,
-                    new_supp_left, new_supp_right,
-                    new_len_lhs, new_len_rhs,
-                )
-
-        try:
-            recurse(0, (), (), all_rows, all_rows, 0.0, 0.0)
-        except _NodeBudgetExceeded:
-            stats.complete = False
-        if best_gain <= 0.0:
+        best_rule, best_q = self._traverse(
+            quantized, universe, stats, best_rule, best_q
+        )
+        if best_q <= 0.0:
             return None, 0.0, stats
-        return best_rule, best_gain, stats
+        return best_rule, quantized.to_float(best_q), stats
 
     # ------------------------------------------------------------------
-    def _build_universe(
-        self, tub_left: np.ndarray, tub_right: np.ndarray
-    ) -> list[_Item]:
+    def _seed_best_pair(
+        self, quantized: _Quantized, best_rule: TranslationRule | None, best_q: float
+    ) -> tuple[TranslationRule | None, float]:
+        """Best single-item pair rule, computed for all |I_L| x |I_R| pairs
+        in three matrix products.
+
+        This gives the branch-and-bound a strong lower bound from the
+        start, which both tightens pruning on complete runs and makes the
+        anytime (node-budgeted) mode return sensible rules.  Exactness is
+        unaffected: the seed is itself a member of the rule space.
+        """
+        dataset = self.state.dataset
+        cache = self.cache
+        forward_grid = cache.left_T @ quantized.netq_right_T.T
+        backward_grid = quantized.netq_left_T @ cache.right_T.T
+        length_grid = quantized.wq_left[:, None] + quantized.wq_right[None, :]
+        two = 2.0 * quantized.one
+        grids = {
+            "->": forward_grid - length_grid - two,
+            "<-": backward_grid - length_grid - two,
+            "<->": forward_grid + backward_grid - length_grid - quantized.one,
+        }
+        for direction, grid in grids.items():
+            grid = np.where(cache.cooccur, grid, -np.inf)
+            index = int(np.argmax(grid))
+            left_item, right_item = divmod(index, dataset.n_right)
+            value = float(grid[left_item, right_item])
+            if value > best_q:
+                best_q = value
+                best_rule = TranslationRule((left_item,), (right_item,), direction)
+        return best_rule, best_q
+
+    # ------------------------------------------------------------------
+    def _make_root(self, quantized: _Quantized, context) -> _Frame:
+        n = self.state.dataset.n_transactions
+        root = _Frame()
+        root.position = 0
+        root.lhs = ()
+        root.rhs = ()
+        root.len_lhs = 0.0
+        root.len_rhs = 0.0
+        if context is not None:
+            root.supp_left = context.full_words
+            root.supp_right = context.full_words
+            ones = np.ones(n, dtype=np.float64)
+            root.s_left = ones
+            root.s_right = ones
+        else:
+            all_rows = np.ones(n, dtype=bool)
+            root.supp_left = all_rows
+            root.supp_right = all_rows
+        root.wsum_left = float(quantized.tubq_right.sum())
+        root.wsum_right = float(quantized.tubq_left.sum())
+        root.count_left = n
+        root.count_right = n
+        zero_gain = np.zeros(n, dtype=np.float64)
+        root.gain_left = zero_gain
+        root.gain_right = zero_gain
+        return root
+
+    def _traverse(
+        self,
+        quantized: _Quantized,
+        universe: list[_Item],
+        stats: SearchStats,
+        best_rule: TranslationRule | None,
+        best_q: float,
+    ) -> tuple[TranslationRule | None, float]:
+        """Depth-first branch-and-bound over the universe (explicit stack).
+
+        Dispatches to the kernel-specific driver; both drivers make the
+        exact same sequence of decisions (same traversal order, the same
+        integer-valued bounds compared against the same incumbent), so the
+        returned rule, gain and statistics are identical.
+        """
+        if self.max_rule_size is not None and self.max_rule_size <= 0:
+            return best_rule, best_q
+        if self.kernel == "bitset":
+            return self._traverse_bitset(quantized, universe, stats, best_rule, best_q)
+        return self._traverse_bool(quantized, universe, stats, best_rule, best_q)
+
+    def _traverse_bool(
+        self,
+        quantized: _Quantized,
+        universe: list[_Item],
+        stats: SearchStats,
+        best_rule: TranslationRule | None,
+        best_q: float,
+    ) -> tuple[TranslationRule | None, float]:
+        one = quantized.one
+        two = 2.0 * one
+        size = len(universe)
+        use_rub, use_qub = self.use_rub, self.use_qub
+        max_rule_size, max_nodes = self.max_rule_size, self.max_nodes
+        netq_left_T = quantized.netq_left_T
+        netq_right_T = quantized.netq_right_T
+        # Hot-loop views of the universe (list indexing beats attribute
+        # access on frozen dataclasses by a wide margin here).
+        entry_is_left = [entry.side is Side.LEFT for entry in universe]
+        entry_column = [entry.column for entry in universe]
+        entry_length = [entry.length_q for entry in universe]
+
+        nodes_visited = stats.nodes_visited
+        stack = [self._make_root(quantized, None)]
+        while stack:
+            frame = stack[-1]
+            index = frame.position
+            if index >= size:
+                stack.pop()
+                continue
+            frame.position = index + 1
+            childset = frame.childset
+            if childset is None:
+                childset = _BoolChildSet(quantized, frame)
+                frame.childset = childset
+            entry = universe[index]
+            if not childset.advance(entry):
+                # X u Y must occur in the data (Section 5.2).
+                continue
+            nodes_visited += 1
+            if max_nodes is not None and nodes_visited > max_nodes:
+                stats.complete = False
+                break
+            left_side = entry_is_left[index]
+            column = entry_column[index]
+            if left_side:
+                new_len_lhs = frame.len_lhs + entry_length[index]
+                new_len_rhs = frame.len_rhs
+            else:
+                new_len_lhs = frame.len_lhs
+                new_len_rhs = frame.len_rhs + entry_length[index]
+            length_cost = new_len_lhs + new_len_rhs + one
+            wsum_new = 0.0
+            if use_rub:
+                wsum_new = childset.wsum_new(entry)
+                if left_side:
+                    rub = wsum_new + frame.wsum_right - length_cost
+                else:
+                    rub = frame.wsum_left + wsum_new - length_cost
+                if rub <= best_q:
+                    stats.nodes_pruned_rub += 1
+                    continue
+            count_new = childset.count_new(entry)
+            if left_side:
+                new_lhs = frame.lhs + (column,)
+                new_rhs = frame.rhs
+                count_left, count_right = count_new, frame.count_right
+            else:
+                new_lhs = frame.lhs
+                new_rhs = frame.rhs + (column,)
+                count_left, count_right = frame.count_left, count_new
+            if new_lhs and new_rhs:
+                qub_passed = True
+                if use_qub:
+                    qub = (
+                        count_left * new_len_rhs
+                        + count_right * new_len_lhs
+                        - length_cost
+                    )
+                    if qub <= best_q:
+                        stats.evaluations_skipped_qub += 1
+                        qub_passed = False
+                if qub_passed:
+                    stats.evaluations += 1
+                    forward = childset.forward(entry)
+                    backward = childset.backward(entry)
+                    base = new_len_lhs + new_len_rhs
+                    gain = forward - base - two
+                    if gain > best_q:
+                        best_q = gain
+                        best_rule = TranslationRule(new_lhs, new_rhs, "->")
+                    gain = backward - base - two
+                    if gain > best_q:
+                        best_q = gain
+                        best_rule = TranslationRule(new_lhs, new_rhs, "<-")
+                    gain = forward + backward - base - one
+                    if gain > best_q:
+                        best_q = gain
+                        best_rule = TranslationRule(new_lhs, new_rhs, "<->")
+            if max_rule_size is not None and len(new_lhs) + len(new_rhs) >= max_rule_size:
+                continue
+            child = _Frame()
+            child.position = frame.position
+            child.lhs = new_lhs
+            child.rhs = new_rhs
+            child.len_lhs = new_len_lhs
+            child.len_rhs = new_len_rhs
+            support = childset.child_support(entry)
+            if left_side:
+                child.supp_left = support
+                child.supp_right = frame.supp_right
+                child.wsum_left = wsum_new
+                child.wsum_right = frame.wsum_right
+                child.count_left = count_new
+                child.count_right = frame.count_right
+                child.gain_left = frame.gain_left + netq_left_T[column]
+                child.gain_right = frame.gain_right
+            else:
+                child.supp_left = frame.supp_left
+                child.supp_right = support
+                child.wsum_left = frame.wsum_left
+                child.wsum_right = wsum_new
+                child.count_left = frame.count_left
+                child.count_right = count_new
+                child.gain_left = frame.gain_left
+                child.gain_right = frame.gain_right + netq_right_T[column]
+            stack.append(child)
+        stats.nodes_visited = nodes_visited
+        return best_rule, best_q
+
+    def _traverse_bitset(
+        self,
+        quantized: _Quantized,
+        universe: list[_Item],
+        stats: SearchStats,
+        best_rule: TranslationRule | None,
+        best_q: float,
+    ) -> tuple[TranslationRule | None, float]:
+        # Same decision sequence as _traverse_bool — child metrics come
+        # from the frame's batched childset, and only co-occurring
+        # (alive) children are iterated at all.
+        one = quantized.one
+        two = 2.0 * one
+        size = len(universe)
+        use_rub, use_qub = self.use_rub, self.use_qub
+        max_rule_size, max_nodes = self.max_rule_size, self.max_nodes
+        netq_left_T = quantized.netq_left_T
+        netq_right_T = quantized.netq_right_T
+        entry_is_left = [entry.side is Side.LEFT for entry in universe]
+        entry_column = [entry.column for entry in universe]
+        entry_length = [entry.length_q for entry in universe]
+
+        context = _BitsetContext(universe, quantized, self.cache)
+        side_position = context.side_position
+        words_all = context.words_all
+        mask_left_rows = context.mask_left
+        mask_right_rows = context.mask_right
+
+        nodes_visited = stats.nodes_visited
+        stack = [self._make_root(quantized, context)]
+        while stack:
+            frame = stack[-1]
+            childset = frame.childset
+            if childset is None:
+                if frame.position >= size:
+                    stack.pop()
+                    continue
+                childset = _BitsetChildSet(
+                    context, quantized, frame, frame.position, use_rub
+                )
+                frame.childset = childset
+            alive_list = childset.alive_list
+            cursor = frame.cursor
+            if cursor >= len(alive_list):
+                stack.pop()
+                continue
+            index = alive_list[cursor]
+            frame.cursor = cursor + 1
+            nodes_visited += 1
+            if max_nodes is not None and nodes_visited > max_nodes:
+                stats.complete = False
+                break
+            left_side = entry_is_left[index]
+            column = entry_column[index]
+            side_offset = side_position[index] - (
+                childset.start_left if left_side else childset.start_right
+            )
+            if left_side:
+                new_len_lhs = frame.len_lhs + entry_length[index]
+                new_len_rhs = frame.len_rhs
+            else:
+                new_len_lhs = frame.len_lhs
+                new_len_rhs = frame.len_rhs + entry_length[index]
+            length_cost = new_len_lhs + new_len_rhs + one
+            wsum_new = 0.0
+            if use_rub:
+                wsum_new = (
+                    childset.wsums_left[side_offset]
+                    if left_side
+                    else childset.wsums_right[side_offset]
+                )
+                if left_side:
+                    rub = wsum_new + frame.wsum_right - length_cost
+                else:
+                    rub = frame.wsum_left + wsum_new - length_cost
+                if rub <= best_q:
+                    stats.nodes_pruned_rub += 1
+                    continue
+            count_new = (
+                childset.counts_left[side_offset]
+                if left_side
+                else childset.counts_right[side_offset]
+            )
+            if left_side:
+                new_lhs = frame.lhs + (column,)
+                new_rhs = frame.rhs
+                count_left, count_right = count_new, frame.count_right
+            else:
+                new_lhs = frame.lhs
+                new_rhs = frame.rhs + (column,)
+                count_left, count_right = frame.count_left, count_new
+            if new_lhs and new_rhs:
+                qub_passed = True
+                if use_qub:
+                    qub = (
+                        count_left * new_len_rhs
+                        + count_right * new_len_lhs
+                        - length_cost
+                    )
+                    if qub <= best_q:
+                        stats.evaluations_skipped_qub += 1
+                        qub_passed = False
+                if qub_passed:
+                    stats.evaluations += 1
+                    if left_side:
+                        forward = childset.fwd_left[side_offset]
+                        backward = childset.bwd_left[side_offset]
+                    else:
+                        forward = childset.fwd_right[side_offset]
+                        backward = childset.bwd_right[side_offset]
+                    base = new_len_lhs + new_len_rhs
+                    gain = forward - base - two
+                    if gain > best_q:
+                        best_q = gain
+                        best_rule = TranslationRule(new_lhs, new_rhs, "->")
+                    gain = backward - base - two
+                    if gain > best_q:
+                        best_q = gain
+                        best_rule = TranslationRule(new_lhs, new_rhs, "<-")
+                    gain = forward + backward - base - one
+                    if gain > best_q:
+                        best_q = gain
+                        best_rule = TranslationRule(new_lhs, new_rhs, "<->")
+            if max_rule_size is not None and len(new_lhs) + len(new_rhs) >= max_rule_size:
+                continue
+            child = _Frame()
+            child.position = index + 1
+            child.lhs = new_lhs
+            child.rhs = new_rhs
+            child.len_lhs = new_len_lhs
+            child.len_rhs = new_len_rhs
+            if left_side:
+                child.supp_left = words_all[index] & frame.supp_left
+                child.supp_right = frame.supp_right
+                child.s_left = frame.s_left * mask_left_rows[side_position[index]]
+                child.s_right = frame.s_right
+                child.wsum_left = wsum_new
+                child.wsum_right = frame.wsum_right
+                child.count_left = count_new
+                child.count_right = frame.count_right
+                child.gain_left = frame.gain_left + netq_left_T[column]
+                child.gain_right = frame.gain_right
+                # s_right unchanged: the net_left @ s_right products carry over.
+                child.net_left_vals = childset.net_left_vals
+                child.net_left_start = childset.start_left
+            else:
+                child.supp_left = frame.supp_left
+                child.supp_right = words_all[index] & frame.supp_right
+                child.s_left = frame.s_left
+                child.s_right = frame.s_right * mask_right_rows[side_position[index]]
+                child.wsum_left = frame.wsum_left
+                child.wsum_right = wsum_new
+                child.count_left = frame.count_left
+                child.count_right = count_new
+                child.gain_left = frame.gain_left
+                child.gain_right = frame.gain_right + netq_right_T[column]
+                child.net_right_vals = childset.net_right_vals
+                child.net_right_start = childset.start_right
+            stack.append(child)
+        stats.nodes_visited = nodes_visited
+        return best_rule, best_q
+
+    # ------------------------------------------------------------------
+    def _build_universe(self, quantized: _Quantized) -> list[_Item]:
         """Items of both views, ordered by descending gain potential.
 
         The potential of an item is the total ``tub`` mass of the
         transactions containing it — the paper's descending ``tub({I})``
         ordering, which front-loads promising rules and boosts pruning.
         Items that never occur are excluded (they cannot appear in any
-        co-occurring pair).
+        co-occurring pair).  Potentials are fixed-point integers, so the
+        ordering is identical under both kernels.
         """
         dataset = self.state.dataset
+        cache = self.cache
+        combined = quantized.tubq_left + quantized.tubq_right
+        potentials_left = combined @ dataset.left if dataset.n_left else np.zeros(0)
+        potentials_right = combined @ dataset.right if dataset.n_right else np.zeros(0)
         entries: list[tuple[float, _Item]] = []
-        combined = tub_left + tub_right
         for column in range(dataset.n_left):
-            mask = dataset.left[:, column]
-            if not mask.any():
+            if cache.left_counts[column] == 0:
                 continue
-            potential = float(combined[mask].sum())
             entries.append(
                 (
-                    potential,
+                    float(potentials_left[column]),
                     _Item(
                         Side.LEFT,
                         column,
-                        mask,
-                        float(self.state.codes.lengths_left[column]),
+                        dataset.left[:, column],
+                        float(quantized.wq_left[column]),
                     ),
                 )
             )
         for column in range(dataset.n_right):
-            mask = dataset.right[:, column]
-            if not mask.any():
+            if cache.right_counts[column] == 0:
                 continue
-            potential = float(combined[mask].sum())
             entries.append(
                 (
-                    potential,
+                    float(potentials_right[column]),
                     _Item(
                         Side.RIGHT,
                         column,
-                        mask,
-                        float(self.state.codes.lengths_right[column]),
+                        dataset.right[:, column],
+                        float(quantized.wq_right[column]),
                     ),
                 )
             )

@@ -27,7 +27,7 @@ import numpy as np
 from repro.data.dataset import Side, TwoViewDataset
 from repro.core.encoding import CodeLengthModel
 from repro.core.rules import TranslationRule
-from repro.core.search import ExactRuleSearch, SearchStats
+from repro.core.search import ExactRuleSearch, SearchCache, SearchStats
 from repro.core.state import CoverState
 from repro.core.table import TranslationTable
 from repro.mining.twoview import TwoViewCandidate, auto_minsup, two_view_candidates
@@ -136,6 +136,10 @@ class TranslatorExact:
         Optional anytime budget per best-rule search.  When hit, the best
         rule found so far is used and ``result.converged`` reports whether
         every search ran to completion.
+    kernel:
+        Support kernel forwarded to :class:`ExactRuleSearch`:
+        ``"bitset"`` (packed, batched), ``"bool"`` (reference) or
+        ``"auto"``.  Both return bit-identical models.
     """
 
     def __init__(
@@ -143,10 +147,12 @@ class TranslatorExact:
         max_iterations: int | None = None,
         max_rule_size: int | None = None,
         max_nodes_per_search: int | None = None,
+        kernel: str = "auto",
     ) -> None:
         self.max_iterations = max_iterations
         self.max_rule_size = max_rule_size
         self.max_nodes_per_search = max_nodes_per_search
+        self.kernel = kernel
 
     def fit(
         self, dataset: TwoViewDataset, codes: CodeLengthModel | None = None
@@ -157,11 +163,16 @@ class TranslatorExact:
         history: list[IterationRecord] = []
         all_stats: list[SearchStats] = []
         converged = True
+        # Packed masks and integer item matrices are dataset-static: build
+        # them once and reuse them across all greedy iterations.
+        cache = SearchCache(dataset)
         while self.max_iterations is None or len(state.table) < self.max_iterations:
             search = ExactRuleSearch(
                 state,
                 max_rule_size=self.max_rule_size,
                 max_nodes=self.max_nodes_per_search,
+                kernel=self.kernel,
+                cache=cache,
             )
             rule, gain, stats = search.find_best_rule()
             all_stats.append(stats)
@@ -198,11 +209,13 @@ class _CandidateBased:
         candidates: list[TwoViewCandidate] | None = None,
         closed: bool = True,
         max_candidates: int = 10_000,
+        kernel: str = "auto",
     ) -> None:
         self.minsup = minsup
         self.candidates = candidates
         self.closed = closed
         self.max_candidates = max_candidates
+        self.kernel = kernel
 
     def _get_candidates(self, dataset: TwoViewDataset) -> list[TwoViewCandidate]:
         if self.candidates is not None:
@@ -222,6 +235,7 @@ class _CandidateBased:
                         minsup,
                         closed=self.closed,
                         max_candidates=20 * self.max_candidates,
+                        kernel=self.kernel,
                     )
                     break
                 except RuntimeError:
@@ -230,7 +244,10 @@ class _CandidateBased:
                     minsup = min(dataset.n_transactions, 2 * minsup)
             return candidates[: self.max_candidates]
         __, candidates = auto_minsup(
-            dataset, target_candidates=self.max_candidates, closed=self.closed
+            dataset,
+            target_candidates=self.max_candidates,
+            closed=self.closed,
+            kernel=self.kernel,
         )
         return candidates
 
@@ -260,8 +277,9 @@ class TranslatorSelect(_CandidateBased):
         closed: bool = True,
         max_candidates: int = 10_000,
         max_iterations: int | None = None,
+        kernel: str = "auto",
     ) -> None:
-        super().__init__(minsup, candidates, closed, max_candidates)
+        super().__init__(minsup, candidates, closed, max_candidates, kernel)
         if k < 1:
             raise ValueError("k must be at least 1")
         self.k = k

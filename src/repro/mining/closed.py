@@ -9,6 +9,13 @@ The implementation uses prefix-preserving closure extension (the scheme of
 LCM / CHARM descendants): every closed set is generated exactly once, from
 its unique parent, so no duplicate-detection hash table over all results
 is needed and memory stays linear in the recursion depth.
+
+Like :mod:`repro.mining.eclat`, the miner runs on one of two tidset
+kernels (``kernel`` parameter): packed uint64 bitsets (the ``"auto"``
+default), where a closure test over all items is one vectorised
+``tids & ~item_words`` against the packed item matrix, or plain Boolean
+arrays (the seed representation, kept as a reference).  Supports and
+closures are exact either way, so the mined itemsets are identical.
 """
 
 from __future__ import annotations
@@ -17,9 +24,13 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.bitset import BitMatrix, popcount
+
 __all__ = ["closed_itemsets", "closure"]
 
 Itemset = tuple[int, ...]
+
+_KERNELS = ("auto", "bool", "bitset")
 
 
 def closure(matrix: np.ndarray, tid_mask: np.ndarray) -> np.ndarray:
@@ -34,21 +45,35 @@ def closure(matrix: np.ndarray, tid_mask: np.ndarray) -> np.ndarray:
     return matrix[tid_mask].all(axis=0)
 
 
+def _closure_packed(packed: BitMatrix, tid_words: np.ndarray, support: int) -> np.ndarray:
+    """Packed-kernel closure: item ``i`` is in the closure iff its
+    transaction set covers ``tid_words`` (no bit of ``tids`` survives
+    ``& ~item``)."""
+    if support == 0:
+        return np.ones(packed.n_items, dtype=bool)
+    uncovered = tid_words[None, :] & ~packed.words
+    return ~uncovered.any(axis=1)
+
+
 def closed_itemsets(
     matrix: np.ndarray,
     minsup: int,
     max_size: int | None = None,
     items: Sequence[int] | None = None,
     max_itemsets: int | None = None,
+    kernel: str = "auto",
 ) -> list[tuple[Itemset, int]]:
     """Mine all closed frequent itemsets of ``matrix``.
 
-    Parameters mirror :func:`repro.mining.eclat.eclat`.  The empty itemset
-    is reported only when it is closed (i.e. no item occurs in every
-    transaction) — callers interested in rules ignore it anyway.
+    Parameters mirror :func:`repro.mining.eclat.eclat` (including the
+    ``kernel`` selector).  The empty itemset is reported only when it is
+    closed (i.e. no item occurs in every transaction) — callers interested
+    in rules ignore it anyway.
 
     Returns ``(itemset, support)`` pairs; itemsets are sorted index tuples.
     """
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
     array = np.asarray(matrix)
     if array.dtype != bool:
         array = array.astype(bool)
@@ -59,6 +84,8 @@ def closed_itemsets(
     n_transactions, n_items = array.shape
     universe = np.zeros(n_items, dtype=bool)
     universe[list(range(n_items)) if items is None else list(items)] = True
+    bitset = kernel != "bool"
+    packed = BitMatrix.from_bool_columns(array) if bitset else None
 
     results: list[tuple[Itemset, int]] = []
 
@@ -68,14 +95,17 @@ def closed_itemsets(
                 f"closed_itemsets exceeded max_itemsets={max_itemsets}; raise minsup"
             )
 
-    item_masks = [array[:, item] for item in range(n_items)]
+    if bitset:
+        item_masks = [packed.row(item) for item in range(n_items)]
+    else:
+        item_masks = [array[:, item] for item in range(n_items)]
     supports = array.sum(axis=0)
 
-    def expand(closure_mask: np.ndarray, tid_mask: np.ndarray, core_item: int) -> None:
+    def expand(closure_mask: np.ndarray, tid_mask: np.ndarray, support: int, core_item: int) -> None:
         """Recurse over prefix-preserving closure extensions of the current set."""
         itemset = tuple(np.flatnonzero(closure_mask).tolist())
         if itemset and (max_size is None or len(itemset) <= max_size):
-            results.append((itemset, int(tid_mask.sum())))
+            results.append((itemset, support))
             check_budget()
         if max_size is not None and len(itemset) >= max_size:
             return
@@ -85,19 +115,29 @@ def closed_itemsets(
             if supports[item] < minsup:
                 continue
             new_tids = tid_mask & item_masks[item]
-            if int(new_tids.sum()) < minsup:
+            new_support = popcount(new_tids) if bitset else int(new_tids.sum())
+            if new_support < minsup:
                 continue
-            new_closure = closure(array, new_tids) & universe
+            if bitset:
+                new_closure = _closure_packed(packed, new_tids, new_support) & universe
+            else:
+                new_closure = closure(array, new_tids) & universe
             # Prefix-preserving test: the closure must not add any item
             # smaller than the extension item that was not already present.
             prefix_items = new_closure[:item] & ~closure_mask[:item]
             if prefix_items.any():
                 continue
-            expand(new_closure, new_tids, item)
+            expand(new_closure, new_tids, new_support, item)
 
-    all_tids = np.ones(n_transactions, dtype=bool)
     if n_transactions < minsup:
         return []
-    root_closure = closure(array, all_tids) & universe
-    expand(root_closure, all_tids, -1)
+    if bitset:
+        all_tids = packed.support(())
+        root_support = popcount(all_tids)
+        root_closure = _closure_packed(packed, all_tids, root_support) & universe
+    else:
+        all_tids = np.ones(n_transactions, dtype=bool)
+        root_support = int(all_tids.sum())
+        root_closure = closure(array, all_tids) & universe
+    expand(root_closure, all_tids, root_support, -1)
     return results

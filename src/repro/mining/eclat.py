@@ -1,12 +1,23 @@
 """ECLAT frequent itemset mining.
 
 Depth-first search over the itemset lattice with vertical (tidset)
-representation: every search node keeps the Boolean transaction mask of its
+representation: every search node keeps the transaction set of its
 itemset, and extending an itemset by one item is a single vectorised AND
 (Zaki et al., "New algorithms for fast discovery of association rules",
 KDD 1997).  The paper's exact rule search (Section 5.2) is built on the
 same traversal; this module provides the plain frequent/condensed variants
 used by the baselines and candidate generators.
+
+Two interchangeable kernels hold the tidsets (``kernel`` parameter):
+
+* ``"bitset"`` (the ``"auto"`` default) — packed uint64 words
+  (:mod:`repro.core.bitset`); an intersection touches ``n/64`` words and a
+  support count is a popcount.
+* ``"bool"`` — plain Boolean arrays, the seed implementation's
+  representation, kept as a differentially-testable reference.
+
+Supports are exact integers either way, so both kernels return the same
+itemsets in the same order.
 """
 
 from __future__ import annotations
@@ -15,12 +26,18 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.bitset import BitMatrix, popcount
+
 __all__ = ["frequent_items", "eclat"]
 
 Itemset = tuple[int, ...]
 
+_KERNELS = ("auto", "bool", "bitset")
 
-def _validate(matrix: np.ndarray, minsup: int) -> np.ndarray:
+
+def _validate(matrix: np.ndarray, minsup: int, kernel: str) -> np.ndarray:
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
     array = np.asarray(matrix)
     if array.ndim != 2:
         raise ValueError("matrix must be 2-dimensional")
@@ -36,7 +53,7 @@ def frequent_items(matrix: np.ndarray, minsup: int) -> list[tuple[int, int]]:
 
     ``minsup`` is an absolute transaction count.
     """
-    array = _validate(matrix, minsup)
+    array = _validate(matrix, minsup, "auto")
     counts = array.sum(axis=0)
     return [
         (int(item), int(count))
@@ -51,6 +68,7 @@ def eclat(
     max_size: int | None = None,
     items: Sequence[int] | None = None,
     max_itemsets: int | None = None,
+    kernel: str = "auto",
 ) -> list[tuple[Itemset, int]]:
     """Mine all frequent itemsets of ``matrix``.
 
@@ -67,14 +85,20 @@ def eclat(
     max_itemsets:
         Optional safety cap; a ``RuntimeError`` is raised when the output
         would exceed it (guards against pattern explosion in test code).
+    kernel:
+        Tidset representation: ``"bitset"`` (packed words), ``"bool"``
+        (plain Boolean arrays) or ``"auto"``.  The mined itemsets are
+        identical either way.
 
     Returns
     -------
     list of ``(itemset, support)`` with itemsets as sorted index tuples.
     The empty itemset is not reported.
     """
-    array = _validate(matrix, minsup)
+    array = _validate(matrix, minsup, kernel)
     universe = list(range(array.shape[1])) if items is None else sorted(items)
+    bitset = kernel != "bool"
+    packed = BitMatrix.from_bool_columns(array) if bitset else None
     results: list[tuple[Itemset, int]] = []
 
     def check_budget() -> None:
@@ -86,8 +110,8 @@ def eclat(
     # Seed nodes: frequent single items with their tid masks.
     seeds: list[tuple[int, np.ndarray]] = []
     for item in universe:
-        mask = array[:, item]
-        support = int(mask.sum())
+        mask = packed.row(item) if bitset else array[:, item]
+        support = popcount(mask) if bitset else int(mask.sum())
         if support >= minsup:
             seeds.append((item, mask))
             results.append(((item,), support))
@@ -99,7 +123,7 @@ def eclat(
         for position in range(start, len(seeds)):
             item, item_mask = seeds[position]
             new_mask = mask & item_mask
-            support = int(new_mask.sum())
+            support = popcount(new_mask) if bitset else int(new_mask.sum())
             if support < minsup:
                 continue
             itemset = prefix + (item,)

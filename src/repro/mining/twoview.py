@@ -46,6 +46,7 @@ def two_view_candidates(
     closed: bool = True,
     max_size: int | None = None,
     max_candidates: int | None = None,
+    kernel: str = "auto",
 ) -> list[TwoViewCandidate]:
     """Mine frequent two-view itemsets of ``dataset``.
 
@@ -64,6 +65,9 @@ def two_view_candidates(
         Safety cap forwarded to the underlying miner; note it bounds the
         number of *mined* itemsets, of which only the spanning ones are
         returned.
+    kernel:
+        Tidset kernel forwarded to the miner (``"auto"``/``"bitset"``/
+        ``"bool"``); the candidates are identical either way.
 
     Returns
     -------
@@ -71,7 +75,9 @@ def two_view_candidates(
     """
     joint, __ = dataset.joined()
     miner = closed_itemsets if closed else eclat
-    mined = miner(joint, minsup, max_size=max_size, max_itemsets=max_candidates)
+    mined = miner(
+        joint, minsup, max_size=max_size, max_itemsets=max_candidates, kernel=kernel
+    )
     n_left = dataset.n_left
     candidates: list[TwoViewCandidate] = []
     for itemset, support in mined:
@@ -89,6 +95,7 @@ def auto_minsup(
     closed: bool = True,
     max_size: int | None = None,
     start_fraction: float = 0.5,
+    kernel: str = "auto",
 ) -> tuple[int, list[TwoViewCandidate]]:
     """Find a ``minsup`` yielding at most ``target_candidates`` candidates.
 
@@ -112,6 +119,7 @@ def auto_minsup(
                 closed=closed,
                 max_size=max_size,
                 max_candidates=max(10 * target_candidates, 100_000),
+                kernel=kernel,
             )
         except RuntimeError:
             # Mining itself exploded: stop lowering the threshold.
@@ -128,7 +136,7 @@ def auto_minsup(
         # starting threshold and truncate to the most supported candidates.
         minsup = max(1, int(round(start_fraction * n)))
         candidates = two_view_candidates(
-            dataset, minsup, closed=closed, max_size=max_size
+            dataset, minsup, closed=closed, max_size=max_size, kernel=kernel
         )
         return minsup, candidates[:target_candidates]
     return best

@@ -1,0 +1,46 @@
+"""Fast kernel-benchmark smoke test (``pytest -m perf_smoke``).
+
+Runs the search-kernel microbenchmark in tiny mode (seconds, not minutes)
+so tier-1 catches kernel regressions — a result mismatch between the bool
+and bitset kernels, or a benchmark harness break — without paying for a
+full grid run.  The speedup itself is only asserted in the full run
+(``python benchmarks/bench_search_kernel.py``), since tiny inputs are
+dominated by fixed overheads.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_search_kernel.py"
+)
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_search_kernel", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_search_kernel", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.perf_smoke
+def test_kernel_benchmark_tiny_mode(tmp_path):
+    bench = _load_bench_module()
+    report = bench.run_grid(tiny=True)
+    assert report["mode"] == "tiny"
+    assert report["grid"], "tiny grid must not be empty"
+    for row in report["grid"]:
+        assert row["identical_results"], f"kernels disagreed on {row}"
+        assert row["bool_seconds"] > 0 and row["bitset_seconds"] > 0
+    assert report["all_identical"]
+    # The JSON entry point must work end to end.
+    output = tmp_path / "BENCH_search.json"
+    exit_code = bench.main(["--tiny", "--output", str(output)])
+    assert exit_code == 0
+    assert output.exists()

@@ -1,0 +1,197 @@
+"""Kernel-equivalence tests: bool and bitset searches must agree exactly.
+
+The contract of :mod:`repro.core.search` is that the two support kernels
+return *identical* rules, gains and statistics — not merely approximately
+equal ones (the fixed-point scoring makes every bound an exact integer).
+These tests assert ``==`` on everything, across random datasets, the
+shared fixtures, partially covered states, ablation flags, anytime
+budgets and both mining backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.beam import TranslatorBeam
+from repro.core.search import ExactRuleSearch, SearchCache
+from repro.core.state import CoverState
+from repro.core.translator import TranslatorExact, TranslatorGreedy, TranslatorSelect
+from repro.mining.closed import closed_itemsets
+from repro.mining.eclat import eclat
+from repro.mining.twoview import two_view_candidates
+from tests.conftest import random_two_view
+from tests.test_properties import SETTINGS, datasets
+
+KERNELS = ("bool", "bitset")
+
+
+def search_outcome(state, kernel, **kwargs):
+    rule, gain, stats = ExactRuleSearch(state, kernel=kernel, **kwargs).find_best_rule()
+    payload = dataclasses.asdict(stats)
+    payload.pop("kernel")
+    return rule, gain, payload
+
+
+class TestSearchKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_datasets(self, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_two_view(rng, n=40, n_left=6, n_right=6, density=0.35)
+        state = CoverState(dataset)
+        assert search_outcome(state, "bool") == search_outcome(state, "bitset")
+
+    def test_fixture_datasets(self, toy_dataset, planted_dataset):
+        for dataset in (toy_dataset, planted_dataset):
+            state = CoverState(dataset)
+            assert search_outcome(state, "bool") == search_outcome(state, "bitset")
+
+    def test_after_rules_added(self, planted_dataset):
+        state = CoverState(planted_dataset)
+        for __ in range(3):
+            rule, __gain, __stats = ExactRuleSearch(state).find_best_rule()
+            if rule is None:
+                break
+            state.add_rule(rule)
+            assert search_outcome(state, "bool") == search_outcome(state, "bitset")
+
+    @pytest.mark.parametrize("flags", [
+        {"use_rub": False},
+        {"use_qub": False},
+        {"order_items": False},
+        {"seed_pairs": False},
+        {"use_rub": False, "use_qub": False, "order_items": False, "seed_pairs": False},
+        {"max_rule_size": 2},
+        {"max_rule_size": 3},
+        {"max_nodes": 25},
+    ])
+    def test_flags(self, flags):
+        rng = np.random.default_rng(123)
+        dataset = random_two_view(rng, n=35, n_left=5, n_right=5, density=0.4)
+        state = CoverState(dataset)
+        assert search_outcome(state, "bool", **flags) == search_outcome(
+            state, "bitset", **flags
+        )
+
+    @SETTINGS
+    @given(datasets(max_n=15, max_items=4))
+    def test_hypothesis_datasets(self, dataset):
+        state = CoverState(dataset)
+        assert search_outcome(state, "bool") == search_outcome(state, "bitset")
+
+    def test_shared_cache_matches_private_cache(self, planted_dataset):
+        state = CoverState(planted_dataset)
+        cache = SearchCache(planted_dataset)
+        with_cache = ExactRuleSearch(state, kernel="bitset", cache=cache).find_best_rule()
+        without = ExactRuleSearch(state, kernel="bitset").find_best_rule()
+        assert with_cache == without
+
+    def test_cache_dataset_mismatch_rejected(self, toy_dataset, planted_dataset):
+        cache = SearchCache(toy_dataset)
+        state = CoverState(planted_dataset)
+        with pytest.raises(ValueError):
+            ExactRuleSearch(state, cache=cache)
+
+    def test_unknown_kernel_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            ExactRuleSearch(CoverState(toy_dataset), kernel="simd")
+
+
+class TestTranslatorKernelEquivalence:
+    def test_exact_fit_identical(self, planted_dataset):
+        results = {
+            kernel: TranslatorExact(kernel=kernel).fit(planted_dataset)
+            for kernel in KERNELS
+        }
+        bool_result, bitset_result = results["bool"], results["bitset"]
+        assert [r.rule for r in bool_result.history] == [
+            r.rule for r in bitset_result.history
+        ]
+        assert [r.gain for r in bool_result.history] == [
+            r.gain for r in bitset_result.history
+        ]
+        assert [s.evaluations for s in bool_result.search_stats] == [
+            s.evaluations for s in bitset_result.search_stats
+        ]
+        assert bool_result.search_stats[0].kernel == "bool"
+        assert bitset_result.search_stats[0].kernel == "bitset"
+
+    def test_exact_fit_with_budget_identical(self, planted_dataset):
+        results = {
+            kernel: TranslatorExact(
+                max_rule_size=3, max_nodes_per_search=200, kernel=kernel
+            ).fit(planted_dataset)
+            for kernel in KERNELS
+        }
+        assert [r.rule for r in results["bool"].history] == [
+            r.rule for r in results["bitset"].history
+        ]
+        assert results["bool"].converged == results["bitset"].converged
+
+    def test_beam_fit_identical(self, planted_dataset):
+        results = {
+            kernel: TranslatorBeam(max_iterations=3, kernel=kernel).fit(
+                planted_dataset
+            )
+            for kernel in KERNELS
+        }
+        assert list(results["bool"].table) == list(results["bitset"].table)
+
+    def test_select_fit_identical(self, planted_dataset):
+        results = {
+            kernel: TranslatorSelect(k=2, minsup=5, kernel=kernel).fit(
+                planted_dataset
+            )
+            for kernel in KERNELS
+        }
+        assert list(results["bool"].table) == list(results["bitset"].table)
+
+    def test_greedy_fit_identical(self, planted_dataset):
+        results = {
+            kernel: TranslatorGreedy(minsup=5, kernel=kernel).fit(planted_dataset)
+            for kernel in KERNELS
+        }
+        assert list(results["bool"].table) == list(results["bitset"].table)
+
+
+class TestMinerKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_eclat_kernels_agree(self, seed, minsup):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((67, 7)) < 0.4
+        assert eclat(matrix, minsup, kernel="bool") == eclat(
+            matrix, minsup, kernel="bitset"
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_closed_kernels_agree(self, seed, minsup):
+        rng = np.random.default_rng(100 + seed)
+        matrix = rng.random((67, 7)) < 0.4
+        assert closed_itemsets(matrix, minsup, kernel="bool") == closed_itemsets(
+            matrix, minsup, kernel="bitset"
+        )
+
+    def test_eclat_edge_shapes(self):
+        for matrix in (
+            np.zeros((0, 3), dtype=bool),
+            np.zeros((1, 0), dtype=bool),
+            np.ones((1, 3), dtype=bool),
+            np.ones((65, 2), dtype=bool),
+        ):
+            assert eclat(matrix, 1, kernel="bool") == eclat(matrix, 1, kernel="bitset")
+
+    def test_two_view_candidates_kernels_agree(self, planted_dataset):
+        assert two_view_candidates(
+            planted_dataset, 5, kernel="bool"
+        ) == two_view_candidates(planted_dataset, 5, kernel="bitset")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            eclat(np.ones((2, 2), dtype=bool), 1, kernel="simd")
+        with pytest.raises(ValueError):
+            closed_itemsets(np.ones((2, 2), dtype=bool), 1, kernel="simd")
