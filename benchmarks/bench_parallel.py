@@ -1,0 +1,190 @@
+"""End-to-end sweep-runtime benchmark (``BENCH_parallel.json``).
+
+Times one experiment grid — synthetic datasets x {SELECT, GREEDY} x
+seeds, the shape of the paper's Table 2/3 sweeps — through
+:func:`repro.runtime.sweep.run_sweep` under three regimes:
+
+1. **serial cold** — ``n_jobs=1``, no cache (the pre-runtime baseline:
+   what the one-off benchmark scripts used to do);
+2. **4-worker cold** — ``n_jobs=4`` process backend against an empty
+   content-hashed cache (pure parallel speedup; bounded by the
+   machine's core count, which the report records);
+3. **4-worker warm** — the same sweep re-run against the now-populated
+   cache (every cell served from disk — the steady state of iterating
+   on an experiment grid).
+
+Every regime must produce identical models (rules, rule counts,
+compression ratios) — the report refuses to claim a speedup otherwise.
+The headline ``speedup_end_to_end`` compares regime 1 to regime 3: the
+wall-clock improvement the runtime subsystem delivers on a repeated
+4-worker sweep.  ``speedup_workers_cold`` isolates the parallel-only
+gain and is meaningful only when ``cpu_count > 1``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--tiny] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime.sweep import SweepTask, run_sweep  # noqa: E402
+
+N_JOBS = 4
+
+FULL_SETTINGS = {
+    "n_transactions": 400,
+    "n_items_per_view": 14,
+    "densities": (0.20, 0.30),
+    "seeds": (0, 1),
+    "max_candidates": 5_000,
+}
+TINY_SETTINGS = {
+    "n_transactions": 120,
+    "n_items_per_view": 8,
+    "densities": (0.25,),
+    "seeds": (0,),
+    "max_candidates": 1_000,
+}
+
+
+def build_grid(settings: dict) -> list[SweepTask]:
+    """The benchmark grid: datasets x {select, greedy} x seeds."""
+    tasks = []
+    for density in settings["densities"]:
+        spec = {
+            "synthetic": {
+                "n_transactions": settings["n_transactions"],
+                "n_left": settings["n_items_per_view"],
+                "n_right": settings["n_items_per_view"],
+                "density_left": density,
+                "density_right": density,
+                "n_rules": 6,
+            }
+        }
+        for seed in settings["seeds"]:
+            for method, params in (
+                ("select", {"k": 1, "minsup": 4,
+                            "max_candidates": settings["max_candidates"]}),
+                ("greedy", {"minsup": 4,
+                            "max_candidates": settings["max_candidates"]}),
+            ):
+                tasks.append(
+                    SweepTask(
+                        dataset=spec, method=method, params=params, seed=seed,
+                        tag=f"d={density},seed={seed},{method}",
+                    )
+                )
+    return tasks
+
+
+def _model_fingerprint(report) -> list[tuple]:
+    """Everything that must agree across execution regimes."""
+    return [
+        (row["tag"], row["n_rules"], row["compression_ratio"], tuple(row["rules"]))
+        for row in report.results
+    ]
+
+
+def run_benchmark(tiny: bool = False) -> dict:
+    """Time the three regimes and assemble the report dictionary."""
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    tasks = build_grid(settings)
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-parallel-"))
+    try:
+        start = time.perf_counter()
+        serial = run_sweep(tasks, n_jobs=1)
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold = run_sweep(tasks, n_jobs=N_JOBS, backend="process",
+                         cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_sweep(tasks, n_jobs=N_JOBS, backend="process",
+                         cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = (
+        _model_fingerprint(serial)
+        == _model_fingerprint(cold)
+        == _model_fingerprint(warm)
+    )
+    return {
+        "benchmark": "parallel sharded sweep runtime",
+        "mode": "tiny" if tiny else "full",
+        "cpu_count": os.cpu_count(),
+        "n_jobs": N_JOBS,
+        "n_tasks": len(tasks),
+        "settings": {key: list(value) if isinstance(value, tuple) else value
+                     for key, value in settings.items()},
+        "serial_cold_seconds": serial_seconds,
+        "workers_cold_seconds": cold_seconds,
+        "workers_warm_seconds": warm_seconds,
+        "warm_cache_hits": warm.cache_hits,
+        "speedup_workers_cold": serial_seconds / cold_seconds,
+        "speedup_end_to_end": serial_seconds / warm_seconds,
+        "identical_results": identical,
+        "grid": [
+            {
+                "tag": row["tag"],
+                "method": row["method"],
+                "n_rules": row["n_rules"],
+                "compression_ratio": row["compression_ratio"],
+                "serial_task_seconds": row["task_seconds"],
+            }
+            for row in serial.results
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="seconds-scale smoke grid")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_parallel.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{report['n_tasks']} tasks on {report['n_jobs']} workers "
+        f"(cpu_count={report['cpu_count']})\n"
+        f"  serial cold:   {report['serial_cold_seconds']:.2f}s\n"
+        f"  4-worker cold: {report['workers_cold_seconds']:.2f}s "
+        f"({report['speedup_workers_cold']:.2f}x)\n"
+        f"  4-worker warm: {report['workers_warm_seconds']:.2f}s "
+        f"({report['speedup_end_to_end']:.2f}x, "
+        f"{report['warm_cache_hits']} cache hits)\n"
+        f"  identical results: {report['identical_results']}"
+    )
+    print(f"report written to {args.output}")
+    if not report["identical_results"]:
+        print("ERROR: execution regimes disagreed", file=sys.stderr)
+        return 1
+    if report["speedup_end_to_end"] < 2.0:
+        print("ERROR: end-to-end speedup below 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

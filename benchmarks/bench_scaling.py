@@ -5,6 +5,12 @@ scaling study; this benchmark adds one on the planted generator, fixing
 the structure and sweeping (a) the number of transactions and (b) the
 vocabulary size, for TRANSLATOR-SELECT(1) and TRANSLATOR-GREEDY.
 
+The grid runs through the sweep engine
+(:func:`repro.runtime.sweep.run_sweep`): each (dataset, method) cell is
+a declarative :class:`~repro.runtime.sweep.SweepTask`, executed serially
+here so the per-fit timings stay comparable — pass ``n_jobs`` to
+``run_sweep`` to shard the same grid across workers.
+
 Checked shape: runtime grows no worse than mildly super-linearly in the
 number of transactions (the cover state is vectorised per column), and
 GREEDY is consistently faster than SELECT.
@@ -12,62 +18,80 @@ GREEDY is consistently faster than SELECT.
 
 from __future__ import annotations
 
-from repro.core.translator import TranslatorGreedy, TranslatorSelect
-from repro.data.synthetic import SyntheticSpec, generate_planted
 from repro.eval.tables import format_table
+from repro.runtime.sweep import SweepTask, run_sweep
 
 TRANSACTION_SWEEP = (200, 400, 800)
 ITEM_SWEEP = (10, 16, 24)
 
 
-def run_sweep():
-    rows = []
+def _spec(n: int, items: int, seed: int) -> dict:
+    return {
+        "synthetic": {
+            "n_transactions": n,
+            "n_left": items,
+            "n_right": items,
+            "density_left": 0.15,
+            "density_right": 0.15,
+            "n_rules": 5,
+            "seed": seed,
+        }
+    }
+
+
+def build_grid() -> list[tuple[str, int, int, SweepTask, SweepTask]]:
+    """(sweep axis, n, total items, select task, greedy task) per cell."""
+    cells = []
     for n in TRANSACTION_SWEEP:
-        dataset, __ = generate_planted(
-            SyntheticSpec(
-                n_transactions=n, n_left=12, n_right=12,
-                density_left=0.15, density_right=0.15, n_rules=5, seed=55,
-            )
-        )
+        spec = _spec(n, 12, seed=55)
         minsup = max(2, n // 50)
-        select = TranslatorSelect(k=1, minsup=minsup, max_candidates=5_000).fit(dataset)
-        greedy = TranslatorGreedy(minsup=minsup, max_candidates=5_000).fit(dataset)
-        rows.append(
-            {
-                "sweep": "transactions",
-                "n": n,
-                "items": 24,
-                "select_s": round(select.runtime_seconds, 2),
-                "greedy_s": round(greedy.runtime_seconds, 2),
-                "select L%": round(100 * select.compression_ratio, 1),
-                "greedy L%": round(100 * greedy.compression_ratio, 1),
-            }
+        cells.append(
+            (
+                "transactions", n, 24,
+                SweepTask(dataset=spec, method="select",
+                          params={"k": 1, "minsup": minsup, "max_candidates": 5_000}),
+                SweepTask(dataset=spec, method="greedy",
+                          params={"minsup": minsup, "max_candidates": 5_000}),
+            )
         )
     for items in ITEM_SWEEP:
-        dataset, __ = generate_planted(
-            SyntheticSpec(
-                n_transactions=400, n_left=items, n_right=items,
-                density_left=0.15, density_right=0.15, n_rules=5, seed=56,
+        spec = _spec(400, items, seed=56)
+        cells.append(
+            (
+                "items", 400, 2 * items,
+                SweepTask(dataset=spec, method="select",
+                          params={"k": 1, "minsup": 8, "max_candidates": 5_000}),
+                SweepTask(dataset=spec, method="greedy",
+                          params={"minsup": 8, "max_candidates": 5_000}),
             )
         )
-        select = TranslatorSelect(k=1, minsup=8, max_candidates=5_000).fit(dataset)
-        greedy = TranslatorGreedy(minsup=8, max_candidates=5_000).fit(dataset)
+    return cells
+
+
+def run_sweep_grid():
+    cells = build_grid()
+    tasks = [task for cell in cells for task in (cell[3], cell[4])]
+    report = run_sweep(tasks, n_jobs=1)
+    rows = []
+    for index, (axis, n, items, __select, __greedy) in enumerate(cells):
+        select_row = report.results[2 * index]
+        greedy_row = report.results[2 * index + 1]
         rows.append(
             {
-                "sweep": "items",
-                "n": 400,
-                "items": 2 * items,
-                "select_s": round(select.runtime_seconds, 2),
-                "greedy_s": round(greedy.runtime_seconds, 2),
-                "select L%": round(100 * select.compression_ratio, 1),
-                "greedy L%": round(100 * greedy.compression_ratio, 1),
+                "sweep": axis,
+                "n": n,
+                "items": items,
+                "select_s": round(float(select_row["runtime_seconds"]), 2),
+                "greedy_s": round(float(greedy_row["runtime_seconds"]), 2),
+                "select L%": round(100 * float(select_row["compression_ratio"]), 1),
+                "greedy L%": round(100 * float(greedy_row["compression_ratio"]), 1),
             }
         )
     return rows
 
 
 def test_scaling(benchmark, report):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_sweep_grid, rounds=1, iterations=1)
     report("A3 — runtime scaling of SELECT(1) and GREEDY", format_table(rows))
     transaction_rows = [row for row in rows if row["sweep"] == "transactions"]
     # GREEDY is at most as slow as SELECT on every configuration.

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.translator import TranslatorExact, TranslatorGreedy, TranslatorSelect
-from repro.data.registry import make_dataset, paper_stats
+from repro.data.registry import paper_stats
 from repro.eval.tables import format_table
+from repro.runtime.sweep import SweepTask, run_sweep
 from benchmarks.paper_reference import TABLE2_SMALL
 
 DATASETS = sorted(TABLE2_SMALL)
@@ -45,44 +45,54 @@ def effective_scale(name: str, bench_scale: float) -> float:
 
 
 def run_dataset(name: str, bench_scale: float) -> list[dict[str, object]]:
-    dataset = make_dataset(name, scale=effective_scale(name, bench_scale))
+    """One Table 2 row group, expressed as a sweep grid over the methods.
+
+    The four method cells are declarative :class:`SweepTask`\\ s run
+    through the sweep engine (serially, so per-method timings stay
+    clean); ``fallback_auto`` reproduces the paper's auto-minsup retreat
+    when minsup=1 candidate mining overflows.
+    """
+    scale = effective_scale(name, bench_scale)
     paper = TABLE2_SMALL[name]
-    rows = []
-    node_budget = max(2_000, int(EXACT_NODE_BUDGET * 500 / max(500, dataset.n_transactions)))
-    methods = {
-        # max_rule_size spreads the anytime node budget across the breadth
-        # of the search instead of one deep subtree; paper rules rarely
-        # exceed 5 items.
-        "exact": TranslatorExact(
-            max_nodes_per_search=node_budget,
-            max_iterations=EXACT_MAX_ITERATIONS,
-            max_rule_size=5,
-        ),
-        "select1": TranslatorSelect(k=1, minsup=1, max_candidates=5_000),
-        "select25": TranslatorSelect(k=25, minsup=1, max_candidates=5_000),
-        "greedy": TranslatorGreedy(minsup=1, max_candidates=5_000),
+    # Mirror make_dataset's transaction-count formula instead of
+    # materialising the dataset just to size the node budget (the sweep
+    # cells build their own copies).
+    n_transactions = max(40, int(round(paper_stats(name).n_transactions * scale)))
+    node_budget = max(2_000, int(EXACT_NODE_BUDGET * 500 / max(500, n_transactions)))
+    # max_rule_size spreads the anytime node budget across the breadth of
+    # the search instead of one deep subtree; paper rules rarely exceed 5
+    # items.
+    method_grid = {
+        "exact": ("exact", {
+            "max_nodes_per_search": node_budget,
+            "max_iterations": EXACT_MAX_ITERATIONS,
+            "max_rule_size": 5,
+        }),
+        "select1": ("select", {"k": 1, "minsup": 1, "max_candidates": 5_000}),
+        "select25": ("select", {"k": 25, "minsup": 1, "max_candidates": 5_000}),
+        "greedy": ("greedy", {"minsup": 1, "max_candidates": 5_000}),
     }
-    for key, translator in methods.items():
-        try:
-            result = translator.fit(dataset)
-            note = "" if getattr(result, "converged", True) else "node budget hit"
-        except RuntimeError:
-            # minsup=1 exploded: fall back to the auto-tuned threshold.
-            fallback = type(translator)() if key != "exact" else translator
-            result = fallback.fit(dataset)
-            note = "auto minsup fallback"
+    tasks = [
+        SweepTask(dataset=name, method=method, params=params, scale=scale,
+                  fallback_auto=True, tag=key)
+        for key, (method, params) in method_grid.items()
+    ]
+    report = run_sweep(tasks, n_jobs=1)
+    rows = []
+    for result in report.results:
+        key = result["tag"]
         paper_t, paper_l, paper_runtime = paper[key]
         rows.append(
             {
                 "dataset": name,
                 "method": key,
-                "|T|": result.n_rules,
-                "L%": round(100 * result.compression_ratio, 2),
-                "runtime_s": round(result.runtime_seconds, 2),
+                "|T|": result["n_rules"],
+                "L%": round(100 * float(result["compression_ratio"]), 2),
+                "runtime_s": round(float(result["runtime_seconds"]), 2),
                 "paper |T|": paper_t,
                 "paper L%": paper_l,
                 "paper runtime": paper_runtime,
-                "notes": note,
+                "notes": result["notes"],
             }
         )
     return rows

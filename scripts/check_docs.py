@@ -1,0 +1,146 @@
+"""Documentation lint: executable README, documented public API.
+
+Two checks keep the docs honest, runnable standalone::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+and inside tier-1 via ``tests/test_docs.py`` (``pytest -m docs_smoke``):
+
+1. **README code blocks execute** — every ```` ```python ```` fenced
+   block in ``README.md`` runs, top to bottom, in one shared namespace
+   (so later blocks may use earlier blocks' variables) inside a
+   temporary working directory (so examples may write caches/files).
+2. **Every public symbol has a docstring** — every name in the
+   ``__all__`` of every public package resolves to an object with a
+   non-empty docstring, and every documentation page referenced from
+   the README/docs tree exists.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import inspect
+import io
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.data",
+    "repro.mining",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.multiview",
+    "repro.runtime",
+]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_MD_LINK = re.compile(r"\]\(([^)#]+\.md)(?:#[^)]*)?\)")
+
+
+def extract_python_blocks(markdown_path: Path) -> list[str]:
+    """Return the ```` ```python ```` fenced blocks of a markdown file."""
+    return _FENCE.findall(markdown_path.read_text(encoding="utf-8"))
+
+
+def run_markdown_blocks(markdown_path: Path, quiet: bool = True) -> int:
+    """Execute a file's python blocks in one namespace; returns the count.
+
+    Blocks run inside a temporary working directory so examples that
+    write files (sweep caches, reports) never touch the repository.
+    Any exception propagates, annotated with the failing block number.
+    """
+    blocks = extract_python_blocks(markdown_path)
+    namespace: dict[str, object] = {"__name__": "__readme__"}
+    previous_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as sandbox:
+        os.chdir(sandbox)
+        try:
+            for number, block in enumerate(blocks, start=1):
+                sink = io.StringIO()
+                try:
+                    with contextlib.redirect_stdout(
+                        sink if quiet else sys.stdout
+                    ):
+                        exec(compile(block, f"{markdown_path.name}[block {number}]", "exec"), namespace)
+                except Exception as error:  # annotate and re-raise
+                    raise AssertionError(
+                        f"{markdown_path.name} code block {number} failed: "
+                        f"{type(error).__name__}: {error}\n--- block ---\n{block}"
+                    ) from error
+        finally:
+            os.chdir(previous_cwd)
+    return len(blocks)
+
+
+def missing_docstrings() -> list[str]:
+    """Public symbols (every ``__all__`` entry) without a docstring."""
+    problems = []
+    for package_name in PUBLIC_PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            if name.startswith("__"):
+                continue
+            obj = getattr(package, name, None)
+            if obj is None:
+                problems.append(f"{package_name}.{name}: missing attribute")
+                continue
+            if isinstance(obj, (str, int, float, dict, list, tuple)):
+                continue  # constants (e.g. PAPER_DATASETS, BACKENDS)
+            if not inspect.getdoc(obj):
+                problems.append(f"{package_name}.{name}: no docstring")
+    return sorted(set(problems))
+
+
+def broken_doc_links() -> list[str]:
+    """Relative ``*.md`` links in README/docs that point nowhere."""
+    problems = []
+    for page in [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]:
+        for target in _MD_LINK.findall(page.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://")):
+                continue
+            if not (page.parent / target).exists():
+                problems.append(f"{page.relative_to(REPO_ROOT)} -> {target}")
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    undocumented = missing_docstrings()
+    if undocumented:
+        failures += 1
+        print("undocumented public symbols:")
+        for line in undocumented:
+            print(f"  {line}")
+    else:
+        print("docstrings: every public symbol is documented")
+
+    broken = broken_doc_links()
+    if broken:
+        failures += 1
+        print("broken documentation links:")
+        for line in broken:
+            print(f"  {line}")
+    else:
+        print("links: all documentation links resolve")
+
+    try:
+        count = run_markdown_blocks(REPO_ROOT / "README.md")
+    except AssertionError as error:
+        failures += 1
+        print(error)
+    else:
+        print(f"README: all {count} python block(s) executed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,10 @@
 Translation tables, MDL-based model selection and the TRANSLATOR
 algorithms of van Leeuwen & Galbrun (IEEE TKDE 27(12), 2015), plus the
 baselines the paper compares against (cross-view association rules,
-significant rule discovery, redescription mining, KRIMP) and a benchmark
-harness regenerating every table and figure of the evaluation section.
+significant rule discovery, redescription mining, KRIMP), a parallel
+experiment runtime (:mod:`repro.runtime`) for sharded sweeps with
+result caching, and a benchmark harness regenerating every table and
+figure of the evaluation section.
 
 Quickstart::
 
@@ -15,6 +17,9 @@ Quickstart::
     result = TranslatorSelect(k=1).fit(data)
     print(result.table.render(data))
     print(f"compression: {result.compression_ratio:.1%}")
+
+See ``README.md`` and ``docs/`` for the full tour (architecture, paper
+mapping, benchmarks, the parallel runtime).
 """
 
 from repro.data import (
@@ -49,7 +54,16 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.runtime import (
+    ParallelExecutor,
+    ResultCache,
+    SweepReport,
+    SweepTask,
+    expand_grid,
+    run_sweep,
+)
 
 __all__ = [
     "PAPER_DATASETS",
@@ -75,6 +89,12 @@ __all__ = [
     "TranslatorGreedy",
     "TranslatorResult",
     "TranslatorSelect",
+    "ParallelExecutor",
+    "ResultCache",
+    "SweepReport",
+    "SweepTask",
+    "expand_grid",
+    "run_sweep",
     "corrections",
     "reconstruct",
     "translate_transaction",

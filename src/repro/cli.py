@@ -13,14 +13,27 @@ Subcommands mirroring the library's main entry points::
     repro-translator encoding DATASET [options]   refined-encoding check
     repro-translator cluster DATASET [options]    k-tables clustering
     repro-translator convert SRC DST              .2v <-> ARFF conversion
+    repro-translator sweep DATASET... [options]   parallel experiment grids
 
 ``DATASET`` is either a registry name (``house``, ``cal500``, ...) or a
 path to a ``.2v`` file.  Also runnable as ``python -m repro``.
+
+``sweep`` shards a ``datasets x methods x params x seeds`` grid across
+workers (:mod:`repro.runtime`) with an optional content-hashed result
+cache, e.g.::
+
+    repro-translator sweep house tictactoe --method select --method greedy \
+        --param minsup=2,5 --seeds 0,1 --n-jobs 4 --cache-dir .repro-cache
+
+The fit-family commands accept ``--n-jobs`` for intra-fit parallelism
+(sharded exact search, parallel beam expansion); results are identical
+to ``--n-jobs 1`` by construction.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -70,11 +83,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _make_translator(args: argparse.Namespace):
     kernel = getattr(args, "kernel", "auto")
+    n_jobs = getattr(args, "n_jobs", 1)
     if args.method == "exact":
         return TranslatorExact(
             max_iterations=args.max_iterations,
             max_rule_size=args.max_rule_size,
             kernel=kernel,
+            n_jobs=n_jobs,
         )
     if args.method == "select":
         return TranslatorSelect(
@@ -90,8 +105,92 @@ def _make_translator(args: argparse.Namespace):
             max_iterations=args.max_iterations,
             max_rule_size=args.max_rule_size or 6,
             kernel=kernel,
+            n_jobs=n_jobs,
         )
     raise ValueError(f"unknown method {args.method!r}")
+
+
+def _coerce(value: str):
+    """Best-effort int/float/str coercion for --param values."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    if value.lower() in ("none", "null"):
+        return None
+    if value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    return value
+
+
+def _parse_param_grid(entries: list[str]) -> dict[str, list[object]]:
+    """Parse repeated ``--param name=v1,v2`` options into a grid mapping."""
+    grid: dict[str, list[object]] = {}
+    for entry in entries:
+        name, separator, values = entry.partition("=")
+        if not separator or not name or not values:
+            raise SystemExit(f"--param expects NAME=V1[,V2,...], got {entry!r}")
+        grid[name] = [_coerce(value) for value in values.split(",")]
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runtime import expand_grid, run_sweep
+
+    grid = expand_grid(
+        datasets=args.datasets,
+        methods=args.method or ["select"],
+        params=_parse_param_grid(args.param or []),
+        seeds=[
+            None if seed.lower() in ("none", "default") else int(seed)
+            for seed in args.seeds.split(",")
+        ],
+        scale=args.scale,
+        fallback_auto=args.fallback_auto,
+    )
+    report = run_sweep(
+        grid,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+    )
+    columns = [
+        "dataset", "method", "params", "seed", "n_rules", "compression_ratio",
+        "correction_fraction", "runtime_seconds", "cached", "notes",
+    ]
+    rows = []
+    for row in report.results:
+        cells = {key: row.get(key, "") for key in columns}
+        cells["params"] = ",".join(
+            f"{name}={value}" for name, value in (row.get("params") or {}).items()
+        )
+        rows.append(cells)
+    print(
+        format_table(
+            rows,
+            columns=columns,
+            float_digits=4,
+            title=f"sweep: {len(grid)} task(s), n_jobs={report.n_jobs} "
+            f"({report.backend}), {report.elapsed_seconds:.2f}s, "
+            f"cache {report.cache_hits} hit(s) / {report.cache_misses} miss(es)",
+        )
+    )
+    if args.output:
+        payload = {
+            "tasks": [task.payload() for task in report.tasks],
+            "results": report.results,
+            "elapsed_seconds": report.elapsed_seconds,
+            "n_jobs": report.n_jobs,
+            "backend": report.backend,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+        }
+        args.output.write_text(
+            json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8"
+        )
+        print(f"# report written to {args.output}")
+    return 0
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
@@ -293,6 +392,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="support-set kernel: packed uint64 bitsets (default) or the "
         "boolean-array reference path (both produce identical models)",
     )
+    method_options.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="workers for intra-fit parallelism (exact search sharding, "
+        "beam expansion); -1 = all CPUs; results identical to --n-jobs 1",
+    )
 
     fit = subparsers.add_parser(
         "fit", help="induce a translation table", parents=[common, method_options]
@@ -393,6 +499,61 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--minsup", type=int, default=None)
     trace.add_argument("--every", type=int, default=1, help="print every n-th iteration")
     trace.set_defaults(handler=_cmd_trace)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a datasets x methods x params x seeds grid across workers",
+        parents=[common],
+    )
+    sweep.add_argument("datasets", nargs="+", help="registry names or .2v paths")
+    sweep.add_argument(
+        "--method",
+        action="append",
+        choices=("exact", "select", "greedy", "beam"),
+        help="translator method; repeat for several (default: select)",
+    )
+    sweep.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=V1[,V2,...]",
+        help="sweep a translator constructor parameter over the given "
+        "values; repeat for a grid (cross product)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default="default",
+        help="comma-separated dataset seeds; 'default' keeps each "
+        "dataset's own stable seed, matching `fit` (default: default)",
+    )
+    sweep.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="sweep workers; -1 = all CPUs (default: 1)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="executor backend (auto = process when n_jobs > 1)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-hashed result cache directory (re-runs are served "
+        "from disk)",
+    )
+    sweep.add_argument(
+        "--fallback-auto",
+        action="store_true",
+        help="on candidate-mining overflow, retry the cell with "
+        "auto-tuned settings instead of failing",
+    )
+    sweep.add_argument(
+        "--output", type=Path, default=None, help="write the JSON report here"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 

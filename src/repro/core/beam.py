@@ -54,6 +54,22 @@ class TranslatorBeam:
         extensions: ``"bitset"`` (packed uint64 masks, the ``"auto"``
         default) or ``"bool"`` (plain Boolean arrays).  Both kernels
         produce identical models — the test is an exact set predicate.
+    n_jobs:
+        Worker count for beam expansion (``None``/``-1`` = all CPUs).
+        Each round's beam entries are scored on separate workers (thread
+        backend; gain evaluation is numpy-bound) and merged in beam
+        order with the serial path's deduplication, so the fitted model
+        is identical to ``n_jobs=1``.
+
+    Example
+    -------
+    ::
+
+        from repro import TranslatorBeam, generate_planted, SyntheticSpec
+
+        data, _ = generate_planted(SyntheticSpec(n_transactions=200))
+        result = TranslatorBeam(beam_width=8, n_jobs=4).fit(data)
+        print(result.table.render(data, limit=5))
     """
 
     def __init__(
@@ -63,6 +79,7 @@ class TranslatorBeam:
         max_iterations: int | None = None,
         n_seeds: int = 16,
         kernel: str = "auto",
+        n_jobs: int | None = 1,
     ) -> None:
         if beam_width < 1 or n_seeds < 1:
             raise ValueError("beam_width and n_seeds must be positive")
@@ -75,6 +92,8 @@ class TranslatorBeam:
         self.max_iterations = max_iterations
         self.n_seeds = n_seeds
         self.kernel = "bitset" if kernel == "auto" else kernel
+        self.n_jobs = n_jobs
+        self._executor = None
         self._left_bits: BitMatrix | None = None
         self._right_bits: BitMatrix | None = None
 
@@ -96,6 +115,14 @@ class TranslatorBeam:
         else:
             self._left_bits = None
             self._right_bits = None
+        from repro.runtime.executor import ParallelExecutor, effective_n_jobs
+
+        if effective_n_jobs(self.n_jobs) > 1:
+            self._executor = ParallelExecutor(
+                n_jobs=self.n_jobs, backend="thread", chunk_size=1
+            )
+        else:
+            self._executor = None
         while self.max_iterations is None or len(state.table) < self.max_iterations:
             rule, gain = self._best_rule(state)
             if rule is None or rule in state.table:
@@ -146,6 +173,48 @@ class TranslatorBeam:
             pairs.append(((left_item,), (right_item,)))
         return pairs
 
+    def _expand_rule(
+        self,
+        state: CoverState,
+        rule: TranslationRule,
+        seen_snapshot: set[tuple[tuple[int, ...], tuple[int, ...]]],
+    ) -> list[tuple[tuple, TranslationRule | None, float]]:
+        """Score all one-item extensions of one beam entry.
+
+        Reads ``seen_snapshot`` without mutating it (workers run
+        concurrently over the same set), deduplicates locally, and
+        returns ``(pair, rule_or_None, gain)`` triples in generation
+        order; ``None`` marks pairs that fail the co-occurrence test but
+        must still enter ``seen``.  Pairs generated by *several* beam
+        entries in the same round may be scored twice on different
+        workers — ``best_direction`` is pure, so the merge keeps the
+        first and the result is unchanged.
+        """
+        dataset = state.dataset
+        output: list[tuple[tuple, TranslationRule | None, float]] = []
+        local_seen: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+        for side in (Side.LEFT, Side.RIGHT):
+            current = rule.lhs if side is Side.LEFT else rule.rhs
+            for item in range(dataset.n_side(side)):
+                if item in current:
+                    continue
+                if side is Side.LEFT:
+                    lhs = tuple(sorted(rule.lhs + (item,)))
+                    rhs = rule.rhs
+                else:
+                    lhs = rule.lhs
+                    rhs = tuple(sorted(rule.rhs + (item,)))
+                key = (lhs, rhs)
+                if key in seen_snapshot or key in local_seen:
+                    continue
+                local_seen.add(key)
+                if not self._cooccurs(dataset, lhs, rhs):
+                    output.append((key, None, 0.0))
+                    continue
+                extended, gain = state.best_direction(lhs, rhs)
+                output.append((key, extended, gain))
+        return output
+
     def _cooccurs(
         self, dataset: TwoViewDataset, lhs: tuple[int, ...], rhs: tuple[int, ...]
     ) -> bool:
@@ -175,27 +244,27 @@ class TranslatorBeam:
         improved = True
         while improved:
             improved = False
+            to_expand = [rule for __, rule in beam if rule.size < self.max_rule_size]
+            if self._executor is not None and len(to_expand) > 1:
+                # Score each beam entry's extensions on its own worker
+                # against a frozen `seen` snapshot, then merge in beam
+                # order with the serial dedup rule: the first generator
+                # of a pair wins, so the extension list — and therefore
+                # the fitted model — is identical to the serial path.
+                outputs = self._executor.map(
+                    lambda rule: self._expand_rule(state, rule, seen), to_expand
+                )
+            else:
+                outputs = [
+                    self._expand_rule(state, rule, seen) for rule in to_expand
+                ]
             extensions: list[tuple[float, TranslationRule]] = []
-            for __, rule in beam:
-                if rule.size >= self.max_rule_size:
-                    continue
-                for side in (Side.LEFT, Side.RIGHT):
-                    current = rule.lhs if side is Side.LEFT else rule.rhs
-                    for item in range(dataset.n_side(side)):
-                        if item in current:
-                            continue
-                        if side is Side.LEFT:
-                            lhs = tuple(sorted(rule.lhs + (item,)))
-                            rhs = rule.rhs
-                        else:
-                            lhs = rule.lhs
-                            rhs = tuple(sorted(rule.rhs + (item,)))
-                        if (lhs, rhs) in seen:
-                            continue
-                        seen.add((lhs, rhs))
-                        if not self._cooccurs(dataset, lhs, rhs):
-                            continue
-                        extended, gain = state.best_direction(lhs, rhs)
+            for output in outputs:
+                for key, extended, gain in output:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if extended is not None:
                         extensions.append((gain, extended))
             if extensions:
                 merged = beam + extensions

@@ -40,6 +40,16 @@ the (exact) packing, bitwise and counting primitives.  The float-weighted
 helpers and the ``and/or/andnot`` row algebra are the module's
 general-purpose surface for other consumers (and are exercised directly
 by the property tests).
+
+Concurrency
+-----------
+Packed masks and :class:`BitMatrix` instances are immutable once built
+(:meth:`BitMatrix.row` returns read-only views by convention), so they
+are safe to share across the worker threads of the sharded search and
+beam expansion (``n_jobs > 1``): every operation here allocates its
+result instead of writing into an operand.  Build them once per fit —
+:class:`repro.core.search.SearchCache` and ``TranslatorBeam.fit`` do —
+and hand the same instance to every shard.
 """
 
 from __future__ import annotations

@@ -19,7 +19,19 @@ __all__ = ["Direction", "TranslationRule"]
 
 
 class Direction(enum.Enum):
-    """Rule direction: which translations the rule participates in."""
+    """Rule direction: which translations the rule participates in.
+
+    ``FORWARD`` (``"->"``) rules predict right-view items from the
+    left, ``BACKWARD`` (``"<-"``) the reverse, ``BOTH`` (``"<->"``)
+    participate in both translations for the price of one rule entry
+    (Section 3 of the paper).
+
+    Example::
+
+        >>> from repro import Direction
+        >>> Direction("->").applies_forward
+        True
+    """
 
     FORWARD = "->"  # left to right only
     BACKWARD = "<-"  # right to left only

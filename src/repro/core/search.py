@@ -58,10 +58,31 @@ A :class:`SearchCache` carries the dataset-static state (packed item
 masks, 0/1 item matrices, the co-occurrence grid) across the greedy
 iterations of ``TranslatorExact`` so it is built once per fit rather than
 once per ``find_best_rule`` call.
+
+Parallel sharding (``n_jobs``)
+------------------------------
+With ``n_jobs > 1`` the branch-and-bound is *sharded over root subtrees*:
+the universe's root positions are split into contiguous ranges, each
+worker of a :class:`repro.runtime.executor.ParallelExecutor` (thread
+backend — the batched child metrics run in GIL-releasing BLAS calls)
+traverses its ranges with the same seed incumbent, and the per-shard
+winners are merged in shard order under the serial path's
+strictly-greater replacement rule.  The returned **rule and gain are
+bit-identical to the serial search**: ``rub``/``qub`` only ever discard
+nodes that provably cannot beat the current incumbent, so weakening the
+incumbent (each shard starts from the seed-pair bound instead of the
+running global best) can never hide the argmax, and the merge reproduces
+the serial tie-break (the first rule in DFS order attaining the maximum
+gain wins).  Pruning *statistics* are summed over shards and may exceed
+the serial counts, since shards explore what the serial incumbent would
+have pruned; :class:`SearchStats.shards` records the shard count.  An
+anytime node budget (``max_nodes``) is traversal-order-dependent, so a
+budgeted search always runs serially regardless of ``n_jobs``.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 
@@ -80,7 +101,13 @@ _MAX_FRACTION_BITS = 42
 
 @dataclasses.dataclass
 class SearchStats:
-    """Diagnostics of one best-rule search."""
+    """Diagnostics of one best-rule search.
+
+    Counters are exact on serial runs.  On sharded runs (``n_jobs > 1``)
+    they are summed over shards, which may exceed the serial counts
+    (each shard starts from the weaker seed incumbent); ``shards``
+    records how many root ranges were traversed (1 = serial).
+    """
 
     nodes_visited: int = 0
     nodes_pruned_rub: int = 0
@@ -88,6 +115,7 @@ class SearchStats:
     evaluations_skipped_qub: int = 0
     complete: bool = True
     kernel: str = ""
+    shards: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -196,6 +224,7 @@ class _Frame:
 
     __slots__ = (
         "position",
+        "limit",
         "cursor",
         "lhs",
         "rhs",
@@ -522,6 +551,15 @@ class ExactRuleSearch:
     cache:
         Optional :class:`SearchCache` reused across searches over the same
         dataset (``TranslatorExact`` passes one per fit).
+    n_jobs:
+        Worker count for root-subtree sharding (``None``/``-1`` = all
+        CPUs).  The returned rule and gain are bit-identical to the
+        serial search; statistics are summed over shards (see the module
+        docstring).  Ignored when an anytime ``max_nodes`` budget is set
+        — budgeted searches always run serially.
+    executor:
+        Optional pre-built :class:`repro.runtime.executor.ParallelExecutor`
+        used for the shards, overriding ``n_jobs``.
     """
 
     def __init__(
@@ -535,11 +573,15 @@ class ExactRuleSearch:
         seed_pairs: bool = True,
         kernel: str = "auto",
         cache: SearchCache | None = None,
+        n_jobs: int | None = 1,
+        executor=None,
     ) -> None:
         if kernel not in _KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
         if cache is not None and cache.dataset is not state.dataset:
             raise ValueError("cache was built for a different dataset")
+        from repro.runtime.executor import effective_n_jobs
+
         self.state = state
         self.max_rule_size = max_rule_size
         self.max_nodes = max_nodes
@@ -549,6 +591,8 @@ class ExactRuleSearch:
         self.seed_pairs = seed_pairs
         self.kernel = "bitset" if kernel == "auto" else kernel
         self.cache = cache if cache is not None else SearchCache(state.dataset)
+        self.n_jobs = executor.n_jobs if executor is not None else effective_n_jobs(n_jobs)
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def find_best_rule(self) -> tuple[TranslationRule | None, float, SearchStats]:
@@ -567,9 +611,14 @@ class ExactRuleSearch:
         if self.seed_pairs and seed_allowed and dataset.n_left and dataset.n_right:
             best_rule, best_q = self._seed_best_pair(quantized, best_rule, best_q)
 
-        best_rule, best_q = self._traverse(
-            quantized, universe, stats, best_rule, best_q
-        )
+        if self.n_jobs > 1 and self.max_nodes is None and len(universe) > 1:
+            best_rule, best_q = self._traverse_parallel(
+                quantized, universe, stats, best_rule, best_q
+            )
+        else:
+            best_rule, best_q = self._traverse(
+                quantized, universe, stats, best_rule, best_q
+            )
         if best_q <= 0.0:
             return None, 0.0, stats
         return best_rule, quantized.to_float(best_q), stats
@@ -608,10 +657,13 @@ class ExactRuleSearch:
         return best_rule, best_q
 
     # ------------------------------------------------------------------
-    def _make_root(self, quantized: _Quantized, context) -> _Frame:
+    def _make_root(
+        self, quantized: _Quantized, context, lo: int = 0, hi: int | None = None
+    ) -> _Frame:
         n = self.state.dataset.n_transactions
         root = _Frame()
-        root.position = 0
+        root.position = lo
+        root.limit = hi
         root.lhs = ()
         root.rhs = ()
         root.len_lhs = 0.0
@@ -656,6 +708,75 @@ class ExactRuleSearch:
             return self._traverse_bitset(quantized, universe, stats, best_rule, best_q)
         return self._traverse_bool(quantized, universe, stats, best_rule, best_q)
 
+    def _traverse_parallel(
+        self,
+        quantized: _Quantized,
+        universe: list[_Item],
+        stats: SearchStats,
+        seed_rule: TranslationRule | None,
+        seed_q: float,
+    ) -> tuple[TranslationRule | None, float]:
+        """Shard the root subtrees across workers and merge in shard order.
+
+        Every shard traverses its contiguous range of root positions with
+        the same seed incumbent; the merge applies the serial driver's
+        strictly-greater replacement in shard order, which reproduces the
+        serial tie-break exactly (see the module docstring for why the
+        weaker per-shard incumbents cannot change the argmax).  Root
+        subtrees shrink with their position, so the ranges are drawn from
+        a quadratic ramp — early (wide) subtrees get narrower shards —
+        and there are more shards than workers for load balance.
+        """
+        from repro.runtime.executor import ParallelExecutor
+
+        if self.max_rule_size is not None and self.max_rule_size <= 0:
+            return seed_rule, seed_q
+        size = len(universe)
+        executor = self.executor
+        if executor is None:
+            # Threads: shards share the read-only context/quantized arrays
+            # and the batched child metrics run in GIL-releasing BLAS.
+            executor = ParallelExecutor(
+                n_jobs=min(self.n_jobs, size), backend="thread", chunk_size=1
+            )
+        n_shards = min(size, 4 * executor.n_jobs)
+        ramp = np.linspace(0.0, 1.0, n_shards + 1) ** 2
+        bounds = np.unique(np.round(ramp * size).astype(int))
+        ranges = [
+            (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        context = (
+            _BitsetContext(universe, quantized, self.cache)
+            if self.kernel == "bitset"
+            else None
+        )
+
+        def run_shard(root_range: tuple[int, int]):
+            lo, hi = root_range
+            shard_stats = SearchStats(kernel=self.kernel)
+            if self.kernel == "bitset":
+                rule, gain_q = self._traverse_bitset(
+                    quantized, universe, shard_stats, seed_rule, seed_q,
+                    context=context, root_lo=lo, root_hi=hi,
+                )
+            else:
+                rule, gain_q = self._traverse_bool(
+                    quantized, universe, shard_stats, seed_rule, seed_q,
+                    root_lo=lo, root_hi=hi,
+                )
+            return rule, gain_q, shard_stats
+
+        best_rule, best_q = seed_rule, seed_q
+        for rule, gain_q, shard_stats in executor.map(run_shard, ranges):
+            stats.nodes_visited += shard_stats.nodes_visited
+            stats.nodes_pruned_rub += shard_stats.nodes_pruned_rub
+            stats.evaluations += shard_stats.evaluations
+            stats.evaluations_skipped_qub += shard_stats.evaluations_skipped_qub
+            if gain_q > best_q:
+                best_rule, best_q = rule, gain_q
+        stats.shards = len(ranges)
+        return best_rule, best_q
+
     def _traverse_bool(
         self,
         quantized: _Quantized,
@@ -663,6 +784,8 @@ class ExactRuleSearch:
         stats: SearchStats,
         best_rule: TranslationRule | None,
         best_q: float,
+        root_lo: int = 0,
+        root_hi: int | None = None,
     ) -> tuple[TranslationRule | None, float]:
         one = quantized.one
         two = 2.0 * one
@@ -678,11 +801,15 @@ class ExactRuleSearch:
         entry_length = [entry.length_q for entry in universe]
 
         nodes_visited = stats.nodes_visited
-        stack = [self._make_root(quantized, None)]
+        stack = [
+            self._make_root(
+                quantized, None, root_lo, size if root_hi is None else root_hi
+            )
+        ]
         while stack:
             frame = stack[-1]
             index = frame.position
-            if index >= size:
+            if index >= frame.limit:
                 stack.pop()
                 continue
             frame.position = index + 1
@@ -758,6 +885,7 @@ class ExactRuleSearch:
                 continue
             child = _Frame()
             child.position = frame.position
+            child.limit = size
             child.lhs = new_lhs
             child.rhs = new_rhs
             child.len_lhs = new_len_lhs
@@ -792,6 +920,9 @@ class ExactRuleSearch:
         stats: SearchStats,
         best_rule: TranslationRule | None,
         best_q: float,
+        context: _BitsetContext | None = None,
+        root_lo: int = 0,
+        root_hi: int | None = None,
     ) -> tuple[TranslationRule | None, float]:
         # Same decision sequence as _traverse_bool — child metrics come
         # from the frame's batched childset, and only co-occurring
@@ -807,24 +938,34 @@ class ExactRuleSearch:
         entry_column = [entry.column for entry in universe]
         entry_length = [entry.length_q for entry in universe]
 
-        context = _BitsetContext(universe, quantized, self.cache)
+        if context is None:
+            context = _BitsetContext(universe, quantized, self.cache)
         side_position = context.side_position
         words_all = context.words_all
         mask_left_rows = context.mask_left
         mask_right_rows = context.mask_right
 
         nodes_visited = stats.nodes_visited
-        stack = [self._make_root(quantized, context)]
+        stack = [
+            self._make_root(
+                quantized, context, root_lo, size if root_hi is None else root_hi
+            )
+        ]
         while stack:
             frame = stack[-1]
             childset = frame.childset
             if childset is None:
-                if frame.position >= size:
+                if frame.position >= frame.limit:
                     stack.pop()
                     continue
                 childset = _BitsetChildSet(
                     context, quantized, frame, frame.position, use_rub
                 )
+                if frame.limit < size:
+                    # A sharded root only iterates its own range of root
+                    # subtrees; children still extend over the full tail.
+                    cut = bisect.bisect_left(childset.alive_list, frame.limit)
+                    childset.alive_list = childset.alive_list[:cut]
                 frame.childset = childset
             alive_list = childset.alive_list
             cursor = frame.cursor
@@ -912,6 +1053,7 @@ class ExactRuleSearch:
                 continue
             child = _Frame()
             child.position = index + 1
+            child.limit = size
             child.lhs = new_lhs
             child.rhs = new_rhs
             child.len_lhs = new_len_lhs

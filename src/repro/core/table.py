@@ -21,7 +21,23 @@ __all__ = ["TranslationTable"]
 
 
 class TranslationTable:
-    """An ordered collection of unique translation rules."""
+    """An ordered collection of unique translation rules.
+
+    The model ``T`` of the paper: rules are kept in insertion order
+    (the cover order used by TRANSLATE), duplicates are rejected, and
+    the table knows how to render itself against a dataset's item
+    names and to serialise to/from JSON (:meth:`save`, :meth:`load`).
+
+    Args:
+        rules: Optional initial rules, added in iteration order.
+
+    Example::
+
+        >>> from repro import TranslationRule, TranslationTable
+        >>> table = TranslationTable([TranslationRule((0,), (1,), "->")])
+        >>> len(table)
+        1
+    """
 
     def __init__(self, rules: Iterable[TranslationRule] = ()) -> None:
         self._rules: list[TranslationRule] = []

@@ -118,7 +118,19 @@ def corrections(
     dataset: TwoViewDataset,
     table: TranslationTable | Iterable[TranslationRule],
 ) -> CorrectionTables:
-    """Compute translated views and correction tables for both directions."""
+    """Compute translated views and correction tables for both directions.
+
+    Args:
+        dataset: The two-view dataset being encoded.
+        table: The translation rules (any iterable; order = cover order).
+
+    Returns:
+        A :class:`CorrectionTables` bundle: per-direction translated
+        views plus the correction sets that make TRANSLATE lossless —
+        ``reconstruct`` applied to it returns the original views
+        exactly (Algorithm 1; property-tested in
+        ``tests/test_properties.py``).
+    """
     rules = list(table)
     translated_right = translate_view(dataset, rules, Side.RIGHT)
     translated_left = translate_view(dataset, rules, Side.LEFT)

@@ -24,7 +24,18 @@ __all__ = ["Side", "TwoViewDataset"]
 
 
 class Side(enum.Enum):
-    """Identifies one of the two views of a dataset."""
+    """Identifies one of the two views of a dataset.
+
+    Values are ``Side.LEFT`` (``"L"``) and ``Side.RIGHT`` (``"R"``);
+    most per-view APIs (support masks, code lengths, prediction) take a
+    ``Side`` to say which matrix they operate on.
+
+    Example::
+
+        >>> from repro import Side
+        >>> Side.LEFT.opposite
+        <Side.RIGHT: 'R'>
+    """
 
     LEFT = "L"
     RIGHT = "R"

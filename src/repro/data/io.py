@@ -42,7 +42,15 @@ _MAGIC = "#2v"
 
 
 def save_dataset(dataset: TwoViewDataset, path: str | Path) -> None:
-    """Write ``dataset`` to ``path`` in the native ``.2v`` format."""
+    """Write ``dataset`` to ``path`` in the native ``.2v`` format.
+
+    Args:
+        dataset: The dataset to serialise (matrices, item names, name).
+        path: Destination file; conventionally suffixed ``.2v``.  The
+            format is a line-oriented text file (header, item names,
+            one ``left|right`` item-list pair per transaction) that
+            round-trips exactly through :func:`load_dataset`.
+    """
     path = Path(path)
     lines = [
         f"{_MAGIC} {dataset.name}",
@@ -57,7 +65,18 @@ def save_dataset(dataset: TwoViewDataset, path: str | Path) -> None:
 
 
 def load_dataset(path: str | Path) -> TwoViewDataset:
-    """Load a dataset previously written with :func:`save_dataset`."""
+    """Load a dataset previously written with :func:`save_dataset`.
+
+    Args:
+        path: A ``.2v`` file.
+
+    Returns:
+        The reconstructed :class:`TwoViewDataset` — identical to the
+        saved one (matrices, item names and dataset name round-trip).
+
+    Raises:
+        ValueError: If the file does not start with the ``.2v`` header.
+    """
     path = Path(path)
     with path.open(encoding="utf-8") as handle:
         header = handle.readline().rstrip("\n")

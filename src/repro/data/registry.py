@@ -78,7 +78,19 @@ PAPER_DATASETS: dict[str, PaperDatasetStats] = {
 
 
 def dataset_names() -> list[str]:
-    """All registry dataset names, in Table 1 order."""
+    """All registry dataset names, sorted.
+
+    Returns:
+        The names accepted by :func:`make_dataset`, :func:`paper_stats`
+        and the CLI's ``DATASET`` arguments (``"abalone"`` ...
+        ``"yeast"`` — the paper's Table 1 collection).
+
+    Example::
+
+        >>> from repro import dataset_names
+        >>> "house" in dataset_names()
+        True
+    """
     return sorted(PAPER_DATASETS)
 
 

@@ -1,0 +1,63 @@
+"""Parallel experiment runtime: executors, result caching, sharded sweeps.
+
+The paper's evaluation is embarrassingly parallel — dozens of
+independent translator fits over ``datasets x params x seeds`` grids.
+This package supplies the machinery to run them at hardware speed:
+
+* :mod:`~repro.runtime.executor` — :class:`ParallelExecutor`, one
+  deterministic ``map`` over serial / thread / process backends with
+  chunked submission.
+* :mod:`~repro.runtime.cache` — :class:`ResultCache`, a content-hashed
+  on-disk cache so repeated or refined sweeps only pay for new cells.
+* :mod:`~repro.runtime.sweep` — :class:`SweepTask` grids,
+  :func:`expand_grid` and :func:`run_sweep`, sharding independent fits
+  across workers with cached, deterministically ordered results.
+
+The same executor also powers *intra-fit* parallelism: pass
+``n_jobs=`` to :class:`repro.core.translator.TranslatorExact`,
+:class:`repro.core.search.ExactRuleSearch` or
+:class:`repro.core.beam.TranslatorBeam` to partition candidate scoring
+and beam expansion across workers while keeping results bit-identical
+to the serial path.
+
+Quickstart::
+
+    from repro.runtime import expand_grid, run_sweep
+
+    grid = expand_grid(
+        datasets=["house", "tictactoe"],
+        methods=["select", "greedy"],
+        params={"minsup": [2, 5]},
+        seeds=[0, 1],
+        scale=0.1,
+    )
+    report = run_sweep(grid, n_jobs=4, cache_dir=".repro-cache")
+    for row in report.results:
+        print(row["dataset"], row["method"], row["compression_ratio"])
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, content_key
+from repro.runtime.executor import BACKENDS, ParallelExecutor, effective_n_jobs
+from repro.runtime.sweep import (
+    SweepReport,
+    SweepTask,
+    build_translator,
+    expand_grid,
+    resolve_dataset_spec,
+    run_sweep,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CacheStats",
+    "ParallelExecutor",
+    "ResultCache",
+    "SweepReport",
+    "SweepTask",
+    "build_translator",
+    "content_key",
+    "effective_n_jobs",
+    "expand_grid",
+    "resolve_dataset_spec",
+    "run_sweep",
+]

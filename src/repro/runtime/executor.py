@@ -1,0 +1,158 @@
+"""Worker-pool abstraction with deterministic result ordering.
+
+Every parallel consumer in the library — the sweep engine
+(:mod:`repro.runtime.sweep`), the sharded exact search
+(:class:`repro.core.search.ExactRuleSearch` with ``n_jobs > 1``) and the
+beam expander (:class:`repro.core.beam.TranslatorBeam`) — talks to the
+same tiny surface: :class:`ParallelExecutor`.  It hides three backends
+behind one ``map``:
+
+* ``"serial"`` — run in the calling thread; the reference behaviour and
+  the fallback whenever ``n_jobs == 1``.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; the
+  right choice for numpy-heavy shards (BLAS releases the GIL) and for
+  closures over live objects that cannot be pickled.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  the right choice for independent CPU-bound fits (the sweep engine's
+  default on multi-core hosts).  Functions and arguments must be
+  picklable.
+
+``"auto"`` picks ``"serial"`` for one job and ``"thread"`` otherwise —
+callers that ship picklable, coarse-grained work opt into ``"process"``
+explicitly.
+
+Determinism is part of the contract: :meth:`ParallelExecutor.map`
+*always* returns results in the order of its input iterable, whatever
+backend ran them and in whatever order they finished.  Tasks are
+submitted in chunks (``chunk_size``) to amortise inter-process transfer
+without giving up that ordering.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["BACKENDS", "ParallelExecutor", "effective_n_jobs"]
+
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def effective_n_jobs(n_jobs: int | None) -> int:
+    """Resolve an ``n_jobs`` request to a concrete positive worker count.
+
+    Args:
+        n_jobs: ``None`` or ``-1`` mean "all available CPUs"; any other
+            negative value ``-k`` means "all but ``k - 1`` CPUs"
+            (joblib's convention); positive values pass through.
+
+    Returns:
+        The number of workers to use, always at least 1.
+
+    Example::
+
+        >>> effective_n_jobs(2)
+        2
+        >>> effective_n_jobs(1)
+        1
+    """
+    cpus = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == -1:
+        return cpus
+    if n_jobs < 0:
+        return max(1, cpus + 1 + n_jobs)
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be positive, -1, or None")
+    return n_jobs
+
+
+def _run_chunk(function: Callable, chunk: Sequence) -> list:
+    """Apply ``function`` to each element of one submitted chunk."""
+    return [function(item) for item in chunk]
+
+
+class ParallelExecutor:
+    """Deterministically ordered ``map`` over serial/thread/process workers.
+
+    Args:
+        n_jobs: Worker count (``None``/``-1`` = all CPUs; see
+            :func:`effective_n_jobs`).
+        backend: One of ``"auto"``, ``"serial"``, ``"thread"``,
+            ``"process"``.  ``"auto"`` resolves to ``"serial"`` when one
+            worker is requested and ``"thread"`` otherwise.
+        chunk_size: Items per submitted task; ``None`` divides the input
+            evenly so every worker receives about one chunk.
+
+    The executor is reusable and cheap to construct: pools are created
+    per :meth:`map` call and torn down before it returns, so holding an
+    instance never pins OS threads or processes.
+
+    Example::
+
+        >>> executor = ParallelExecutor(n_jobs=2, backend="thread")
+        >>> executor.map(len, ["a", "bb", "ccc"])
+        [1, 2, 3]
+    """
+
+    def __init__(
+        self,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+        chunk_size: int | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.n_jobs = effective_n_jobs(n_jobs)
+        if backend == "auto":
+            backend = "serial" if self.n_jobs == 1 else "thread"
+        if backend == "serial":
+            self.n_jobs = 1
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    def _chunks(self, items: Sequence) -> list[Sequence]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // self.n_jobs))
+        return [items[start : start + size] for start in range(0, len(items), size)]
+
+    def map(self, function: Callable, items: Iterable) -> list:
+        """Apply ``function`` to every item, preserving input order.
+
+        Args:
+            function: A callable of one argument.  Must be picklable
+                (a module-level function) under the ``"process"``
+                backend.
+            items: The inputs; consumed eagerly.
+
+        Returns:
+            ``[function(item) for item in items]`` — computed by the
+            configured backend but always in input order.  Exceptions
+            raised by ``function`` propagate to the caller.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or self.n_jobs == 1 or len(items) == 1:
+            return [function(item) for item in items]
+        chunks = self._chunks(items)
+        workers = min(self.n_jobs, len(chunks))
+        pool_class = (
+            ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        )
+        with pool_class(max_workers=workers) as pool:
+            futures = [pool.submit(_run_chunk, function, chunk) for chunk in chunks]
+            results: list = []
+            for future in futures:
+                results.extend(future.result())
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(n_jobs={self.n_jobs}, backend={self.backend!r}, "
+            f"chunk_size={self.chunk_size})"
+        )

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.multiview",
+    "repro.runtime",
 ]
 
 
@@ -50,6 +51,11 @@ def test_top_level_reexports_core_entry_points():
         "TranslationTable",
         "make_dataset",
         "generate_planted",
+        "ParallelExecutor",
+        "ResultCache",
+        "SweepTask",
+        "expand_grid",
+        "run_sweep",
     ):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
@@ -80,7 +86,7 @@ def test_cli_exposes_documented_subcommands():
     commands = set(subparsers.choices)
     documented = {
         "stats", "fit", "describe", "compare", "trace", "predict",
-        "randomize", "stability", "encoding", "cluster", "convert",
+        "randomize", "stability", "encoding", "cluster", "convert", "sweep",
     }
     assert documented <= commands
 

@@ -1,0 +1,266 @@
+"""Tests for the parallel runtime: executor, result cache, sweep engine.
+
+The load-bearing contracts:
+
+* ``ParallelExecutor.map`` returns results in input order on every
+  backend and propagates worker exceptions.
+* ``ResultCache`` round-trips JSON values, treats corruption as a miss,
+  and keys by content (order-insensitive, salt-sensitive).
+* ``run_sweep`` produces identical results under the serial and process
+  backends, serves re-runs from the cache, and invalidates on any task
+  payload change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.runtime.cache import ResultCache, content_key
+from repro.runtime.executor import ParallelExecutor, effective_n_jobs
+from repro.runtime.sweep import (
+    SweepTask,
+    build_translator,
+    expand_grid,
+    resolve_dataset_spec,
+    run_sweep,
+)
+
+NOISE = {"noise": {"n_transactions": 60, "n_left": 5, "n_right": 5}}
+PLANTED = {
+    "synthetic": {
+        "n_transactions": 80,
+        "n_left": 6,
+        "n_right": 6,
+        "n_rules": 3,
+    }
+}
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _explode(value: int) -> int:
+    raise RuntimeError(f"boom {value}")
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3])
+    def test_map_preserves_input_order(self, backend, chunk_size):
+        executor = ParallelExecutor(n_jobs=3, backend=backend, chunk_size=chunk_size)
+        assert executor.map(_square, range(17)) == [i * i for i in range(17)]
+
+    def test_empty_input(self):
+        assert ParallelExecutor(n_jobs=2, backend="thread").map(_square, []) == []
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_exceptions_propagate(self, backend):
+        executor = ParallelExecutor(n_jobs=2, backend=backend)
+        with pytest.raises(RuntimeError, match="boom"):
+            executor.map(_explode, [1, 2, 3])
+
+    def test_auto_backend_resolution(self):
+        assert ParallelExecutor(n_jobs=1).backend == "serial"
+        assert ParallelExecutor(n_jobs=2).backend == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(backend="gpu")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=0)
+
+    def test_effective_n_jobs(self):
+        assert effective_n_jobs(3) == 3
+        assert effective_n_jobs(None) >= 1
+        assert effective_n_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            effective_n_jobs(0)
+
+
+class TestResultCache:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"a": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"value": [1, 2, 3]})
+        assert cache.get(key) == {"value": [1, 2, 3]}
+        assert key in cache
+        assert len(cache) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key("x")
+        cache.put(key, 42)
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for value in range(3):
+            cache.put(content_key(value), value)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_content_key_is_order_insensitive(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_content_key_sensitivity(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+        assert content_key({"a": 1}) != content_key({"a": 1}, salt="v2")
+
+
+class TestSweepTask:
+    def test_key_is_stable_and_content_sensitive(self):
+        base = SweepTask(dataset=NOISE, method="greedy", params={"minsup": 2})
+        same = SweepTask(dataset=NOISE, method="greedy", params={"minsup": 2})
+        assert base.key() == same.key()
+        assert base.key() != dataclasses.replace(base, seed=1).key()
+        assert base.key() != dataclasses.replace(base, params={"minsup": 3}).key()
+        assert base.key() != dataclasses.replace(base, method="select").key()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTask(dataset=NOISE, method="magic")
+
+
+class TestDatasetSpecs:
+    def test_registry_name(self):
+        dataset = resolve_dataset_spec("house", scale=0.02)
+        assert dataset.n_transactions >= 40
+
+    def test_synthetic_spec_with_seed_override(self):
+        one = resolve_dataset_spec(PLANTED, seed=1)
+        two = resolve_dataset_spec(PLANTED, seed=2)
+        assert (one.left != two.left).any()
+
+    def test_pinned_seed_wins_over_task_seed(self):
+        pinned = {"synthetic": dict(PLANTED["synthetic"], seed=9)}
+        one = resolve_dataset_spec(pinned, seed=1)
+        two = resolve_dataset_spec(pinned, seed=2)
+        assert (one.left == two.left).all()
+
+    def test_noise_spec(self):
+        dataset = resolve_dataset_spec(NOISE)
+        assert dataset.n_transactions == 60
+
+    def test_path_roundtrip(self, tmp_path, toy_dataset):
+        from repro.data.io import save_dataset
+
+        path = tmp_path / "toy.2v"
+        save_dataset(toy_dataset, path)
+        loaded = resolve_dataset_spec(str(path))
+        assert (loaded.left == toy_dataset.left).all()
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_dataset_spec({"synthetic": {}, "noise": {}})
+        with pytest.raises(ValueError):
+            resolve_dataset_spec({"magic": {}})
+        with pytest.raises(TypeError):
+            resolve_dataset_spec(42)
+
+    def test_build_translator(self):
+        assert type(build_translator("beam", beam_width=2)).__name__ == "TranslatorBeam"
+        with pytest.raises(ValueError):
+            build_translator("magic")
+
+
+class TestExpandGrid:
+    def test_cross_product_order(self):
+        tasks = expand_grid(
+            [NOISE], methods=["select", "greedy"],
+            params={"minsup": [2, 5]}, seeds=[0, 1],
+        )
+        assert len(tasks) == 8
+        # dataset-major, then method, then params, then seed:
+        assert [t.method for t in tasks[:4]] == ["select"] * 4
+        assert [t.params["minsup"] for t in tasks[:4]] == [2, 2, 5, 5]
+        assert [t.seed for t in tasks[:2]] == [0, 1]
+
+    def test_default_single_cell(self):
+        tasks = expand_grid([NOISE])
+        assert len(tasks) == 1
+        assert tasks[0].params == {}
+        assert tasks[0].seed is None
+
+
+class TestRunSweep:
+    def _grid(self):
+        return expand_grid(
+            [NOISE, PLANTED], methods=["greedy", "select"],
+            params={"minsup": [2]}, seeds=[0, 1],
+        )
+
+    @staticmethod
+    def _models(report):
+        return [
+            (row["dataset"], row["method"], row["seed"], row["n_rules"],
+             row["compression_ratio"], tuple(row["rules"]))
+            for row in report.results
+        ]
+
+    def test_serial_process_equivalence(self):
+        grid = self._grid()
+        serial = run_sweep(grid, n_jobs=1)
+        process = run_sweep(grid, n_jobs=2, backend="process")
+        threaded = run_sweep(grid, n_jobs=2, backend="thread")
+        assert self._models(serial) == self._models(process) == self._models(threaded)
+        assert serial.backend == "serial"
+        assert process.backend == "process"
+
+    def test_results_align_with_tasks(self):
+        grid = self._grid()
+        report = run_sweep(grid, n_jobs=2, backend="thread")
+        for task, row in zip(report.tasks, report.results):
+            assert row["seed"] == task.seed
+            assert row["params"] == dict(task.params)
+
+    def test_cache_hits_and_flags(self, tmp_path):
+        grid = self._grid()
+        cold = run_sweep(grid, n_jobs=1, cache_dir=tmp_path)
+        assert (cold.cache_hits, cold.cache_misses) == (0, len(grid))
+        assert all(row["cached"] is False for row in cold.results)
+        warm = run_sweep(grid, n_jobs=2, backend="process", cache_dir=tmp_path)
+        assert (warm.cache_hits, warm.cache_misses) == (len(grid), 0)
+        assert all(row["cached"] is True for row in warm.results)
+        assert self._models(cold) == self._models(warm)
+
+    def test_cache_invalidation_on_param_change(self, tmp_path):
+        base = expand_grid([NOISE], methods=["greedy"], params={"minsup": [2]})
+        run_sweep(base, cache_dir=tmp_path)
+        changed = expand_grid([NOISE], methods=["greedy"], params={"minsup": [3]})
+        report = run_sweep(changed, cache_dir=tmp_path)
+        assert (report.cache_hits, report.cache_misses) == (0, 1)
+
+    def test_partial_cache_reuse_on_grid_refinement(self, tmp_path):
+        run_sweep(expand_grid([NOISE], methods=["greedy"]), cache_dir=tmp_path)
+        refined = expand_grid([NOISE], methods=["greedy", "select"])
+        report = run_sweep(refined, cache_dir=tmp_path)
+        assert (report.cache_hits, report.cache_misses) == (1, 1)
+
+    def test_fallback_auto_is_part_of_the_key(self):
+        plain = SweepTask(dataset=NOISE, method="greedy")
+        fallback = SweepTask(dataset=NOISE, method="greedy", fallback_auto=True)
+        assert plain.key() != fallback.key()
+
+    def test_no_cache_reports_zero_hits_and_misses(self):
+        report = run_sweep(expand_grid([NOISE], methods=["greedy"]))
+        assert (report.cache_hits, report.cache_misses) == (0, 0)
+
+    def test_cache_hit_restores_this_runs_tag(self, tmp_path):
+        # tag is a display label outside the cache key: a hit must carry
+        # the requesting task's tag, not the storing run's.
+        first = SweepTask(dataset=NOISE, method="greedy", tag="first")
+        run_sweep([first], cache_dir=tmp_path)
+        relabelled = dataclasses.replace(first, tag="second")
+        report = run_sweep([relabelled], cache_dir=tmp_path)
+        assert report.cache_hits == 1
+        assert report.results[0]["tag"] == "second"

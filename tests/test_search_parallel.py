@@ -1,0 +1,144 @@
+"""Bit-identity of the sharded (``n_jobs > 1``) search and beam paths.
+
+Companion to ``tests/test_search_kernels.py``: where that file pins the
+``bool``/``bitset`` kernel equivalence, this one pins the serial /
+sharded equivalence.  The contract (see :mod:`repro.core.search`) is
+that the *returned rule and gain* — and therefore every fitted model —
+are bit-identical to ``n_jobs=1`` on both kernels; pruning statistics
+may legitimately differ (shards explore with weaker incumbents), so
+they are not compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.beam import TranslatorBeam
+from repro.core.search import ExactRuleSearch
+from repro.core.state import CoverState
+from repro.core.translator import TranslatorExact
+from repro.runtime.executor import ParallelExecutor
+from tests.conftest import random_two_view
+from tests.test_properties import SETTINGS, datasets
+
+KERNELS = ("bool", "bitset")
+
+
+def best_rule(state, kernel, **kwargs):
+    rule, gain, stats = ExactRuleSearch(state, kernel=kernel, **kwargs).find_best_rule()
+    return rule, gain, stats
+
+
+class TestShardedSearchIdentity:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_datasets(self, kernel, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_two_view(rng, n=45, n_left=6, n_right=6, density=0.35)
+        state = CoverState(dataset)
+        serial_rule, serial_gain, __ = best_rule(state, kernel)
+        for n_jobs in (2, 3):
+            rule, gain, stats = best_rule(state, kernel, n_jobs=n_jobs)
+            assert (rule, gain) == (serial_rule, serial_gain)
+            assert stats.shards > 1
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_after_rules_added(self, planted_dataset, kernel):
+        state = CoverState(planted_dataset)
+        for __ in range(3):
+            serial_rule, serial_gain, __stats = best_rule(state, kernel)
+            rule, gain, __stats = best_rule(state, kernel, n_jobs=4)
+            assert (rule, gain) == (serial_rule, serial_gain)
+            if serial_rule is None:
+                break
+            state.add_rule(serial_rule)
+
+    @pytest.mark.parametrize("flags", [
+        {"use_rub": False},
+        {"use_qub": False},
+        {"order_items": False},
+        {"seed_pairs": False},
+        {"max_rule_size": 2},
+        {"max_rule_size": 4},
+    ])
+    def test_flags(self, flags):
+        rng = np.random.default_rng(77)
+        dataset = random_two_view(rng, n=40, n_left=5, n_right=5, density=0.4)
+        state = CoverState(dataset)
+        for kernel in KERNELS:
+            serial = best_rule(state, kernel, **flags)[:2]
+            sharded = best_rule(state, kernel, n_jobs=3, **flags)[:2]
+            assert serial == sharded
+
+    @SETTINGS
+    @given(datasets(max_n=15, max_items=4))
+    def test_hypothesis_datasets(self, dataset):
+        state = CoverState(dataset)
+        for kernel in KERNELS:
+            serial = best_rule(state, kernel)[:2]
+            sharded = best_rule(state, kernel, n_jobs=2)[:2]
+            assert serial == sharded
+
+    def test_node_budget_forces_serial(self, planted_dataset):
+        state = CoverState(planted_dataset)
+        serial = best_rule(state, "bitset", max_nodes=100)
+        budgeted = best_rule(state, "bitset", max_nodes=100, n_jobs=4)
+        # Anytime budgets are order-dependent: the sharded path must
+        # refuse to engage, returning the serial outcome exactly,
+        # statistics included.
+        assert budgeted[:2] == serial[:2]
+        assert budgeted[2].shards == 1
+        assert budgeted[2].nodes_visited == serial[2].nodes_visited
+
+    def test_explicit_executor_is_used(self, planted_dataset):
+        state = CoverState(planted_dataset)
+        executor = ParallelExecutor(n_jobs=2, backend="thread", chunk_size=1)
+        serial = best_rule(state, "bitset")[:2]
+        via_executor = best_rule(state, "bitset", executor=executor)[:2]
+        assert via_executor == serial
+
+
+class TestTranslatorParallelIdentity:
+    def test_exact_fit_identical(self, planted_dataset):
+        serial = TranslatorExact(max_rule_size=3).fit(planted_dataset)
+        sharded = TranslatorExact(max_rule_size=3, n_jobs=4).fit(planted_dataset)
+        assert [(r.rule, r.gain) for r in serial.history] == [
+            (r.rule, r.gain) for r in sharded.history
+        ]
+        assert serial.total_bits == sharded.total_bits
+        assert all(stats.shards > 1 for stats in sharded.search_stats)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_beam_fit_identical(self, planted_dataset, kernel):
+        serial = TranslatorBeam(max_iterations=3, kernel=kernel).fit(planted_dataset)
+        for n_jobs in (2, 4):
+            parallel = TranslatorBeam(
+                max_iterations=3, kernel=kernel, n_jobs=n_jobs
+            ).fit(planted_dataset)
+            assert list(serial.table) == list(parallel.table)
+            assert [r.gain for r in serial.history] == [
+                r.gain for r in parallel.history
+            ]
+
+    def test_sweep_cells_can_shard_their_fits(self, planted_dataset):
+        # n_jobs rides through the sweep engine's params like any other
+        # constructor argument.
+        from repro.runtime.sweep import SweepTask, run_sweep
+
+        spec = {
+            "synthetic": {
+                "n_transactions": 80, "n_left": 6, "n_right": 6, "n_rules": 3,
+            }
+        }
+        serial_task = SweepTask(
+            dataset=spec, method="exact", params={"max_rule_size": 3}
+        )
+        sharded_task = SweepTask(
+            dataset=spec, method="exact",
+            params={"max_rule_size": 3, "n_jobs": 2},
+        )
+        serial, sharded = run_sweep([serial_task, sharded_task]).results
+        assert serial["rules"] == sharded["rules"]
+        assert serial["compression_ratio"] == sharded["compression_ratio"]
