@@ -1,0 +1,281 @@
+"""Microbenchmark: serving loop vs compiled predictor (``BENCH_serve.json``).
+
+Times cross-view prediction through both engines — the per-rule
+reference loop of :func:`repro.core.predict.predict_view` against the
+packed-bitset-compiled :class:`repro.serve.CompiledPredictor` — on
+synthetic translation tables at two serving scales (a paper-sized
+table and a production-sized one), verifying on every cell that the
+engines return bit-identical predictions (both compiled strategies,
+``blas`` and ``packed``, are checked).
+
+The primary grid covers the **micro-batch serving regime**: the batch
+sizes the async server actually executes after coalescing concurrent
+requests (1 row up to 2x its default ``max_batch`` of 256).  A separate
+``bulk_grid`` reports offline-sized single calls (1024/4096 rows),
+where the per-rule loop amortises its Python overhead over the huge
+batch and the gap narrows — those cells are why ``predict-batch`` ships
+both engines.  A third section measures the service layer end to end:
+a cold ``/predict`` (artifact load + compile + predict) versus a warm
+identical request answered from the LRU response cache.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--tiny] [--output PATH]
+
+The default run writes ``BENCH_serve.json`` at the repository root with
+per-cell throughput and the median compiled-over-loop speedup on
+serving batches >= 256 rows (the repo's tracked serving number; the
+acceptance floor is 5x).  ``--tiny`` runs a seconds-scale smoke grid
+(used by the ``perf_smoke`` pytest marker) that checks engine
+equivalence and emits the same JSON shape without asserting a speedup
+floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.predict import predict_view  # noqa: E402
+from repro.core.rules import TranslationRule  # noqa: E402
+from repro.core.table import TranslationTable  # noqa: E402
+from repro.data.dataset import Side, TwoViewDataset  # noqa: E402
+from repro.serve import (  # noqa: E402
+    CompiledPredictor,
+    ModelArtifact,
+    ModelRegistry,
+    PredictionService,
+)
+
+FULL_SETTINGS = {
+    "models": [
+        {"name": "paper-scale", "n_rules": 48, "n_items_per_view": 40},
+        {"name": "production-scale", "n_rules": 256, "n_items_per_view": 96},
+    ],
+    "serving_batch_sizes": [1, 64, 256, 512],
+    "bulk_batch_sizes": [1024, 4096],
+    "density": 0.35,
+    "repetitions": 5,
+    "cache_rows": 256,
+}
+TINY_SETTINGS = {
+    "models": [{"name": "tiny", "n_rules": 16, "n_items_per_view": 16}],
+    "serving_batch_sizes": [1, 32],
+    "bulk_batch_sizes": [],
+    "density": 0.35,
+    "repetitions": 1,
+    "cache_rows": 16,
+}
+
+
+def synthetic_table(n_rules: int, n_items: int, seed: int = 5) -> TranslationTable:
+    """A random translation table at serving scale (provenance-free).
+
+    Serving throughput depends only on the table's shape (rule count,
+    itemset sizes, vocabulary width), not on how it was mined, so the
+    benchmark synthesises tables directly instead of paying minutes of
+    fitting per run; the shapes mirror the paper's Table 2/3 models and
+    a larger production regime.
+    """
+    rng = np.random.default_rng(seed)
+    rules: set[tuple] = set()
+    while len(rules) < n_rules:
+        lhs = tuple(
+            sorted(rng.choice(n_items, size=int(rng.integers(1, 5)), replace=False))
+        )
+        rhs = tuple(
+            sorted(rng.choice(n_items, size=int(rng.integers(1, 4)), replace=False))
+        )
+        direction = ("->", "<-", "<->")[int(rng.integers(0, 3))]
+        rules.add((lhs, rhs, direction))
+    return TranslationTable(
+        TranslationRule(lhs, rhs, direction)
+        for lhs, rhs, direction in sorted(rules)
+    )
+
+
+def _batch(n_rows: int, n_items: int, density: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((n_rows, n_items)) < density
+
+
+def _time(function, repetitions: int) -> float:
+    elapsed = []
+    for __ in range(repetitions):
+        start = time.perf_counter()
+        function()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
+
+def run_model(model: dict, settings: dict) -> list[dict]:
+    """Time loop vs compiled on every batch size; check bit-identity."""
+    n_items = model["n_items_per_view"]
+    table = synthetic_table(model["n_rules"], n_items)
+    compiled = CompiledPredictor.from_table(table, Side.RIGHT, n_items, n_items)
+    cells = []
+    sections = [
+        ("serving", settings["serving_batch_sizes"]),
+        ("bulk", settings["bulk_batch_sizes"]),
+    ]
+    for section, batch_sizes in sections:
+        for batch_size in batch_sizes:
+            batch = _batch(batch_size, n_items, settings["density"])
+            loop_seconds = _time(
+                lambda: predict_view(
+                    batch, table, Side.RIGHT, n_items, engine="loop"
+                ),
+                settings["repetitions"],
+            )
+            compiled_seconds = _time(
+                lambda: compiled.predict(batch), settings["repetitions"]
+            )
+            reference = predict_view(
+                batch, table, Side.RIGHT, n_items, engine="loop"
+            )
+            identical = bool(
+                np.array_equal(compiled.predict(batch, strategy="blas"), reference)
+                and np.array_equal(
+                    compiled.predict(batch, strategy="packed"), reference
+                )
+            )
+            cells.append(
+                {
+                    "model": model["name"],
+                    "section": section,
+                    "batch_size": batch_size,
+                    "n_rules": model["n_rules"],
+                    "n_items_per_view": n_items,
+                    "loop_seconds": loop_seconds,
+                    "compiled_seconds": compiled_seconds,
+                    "loop_rows_per_second": batch_size / loop_seconds,
+                    "compiled_rows_per_second": batch_size / compiled_seconds,
+                    "speedup": loop_seconds / compiled_seconds,
+                    "identical_results": identical,
+                }
+            )
+    return cells
+
+
+def run_cache(settings: dict) -> dict:
+    """Service-level cold vs warm timing of one identical request."""
+    model = settings["models"][0]
+    n_items = model["n_items_per_view"]
+    table = synthetic_table(model["n_rules"], n_items)
+    dataset = TwoViewDataset(
+        _batch(64, n_items, settings["density"], seed=2),
+        _batch(64, n_items, settings["density"], seed=3),
+        name="bench-serve",
+    )
+
+    class _Result:
+        def __init__(self):
+            self.table = table
+
+        def summary(self):
+            return {"n_rules": len(table)}
+
+    async def measure() -> dict:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+            registry = ModelRegistry(root)
+            registry.publish(
+                ModelArtifact.from_result("bench", dataset, _Result(), {})
+            )
+            service = PredictionService(registry, max_delay_ms=0.0)
+            source = _batch(settings["cache_rows"], n_items, settings["density"], 4)
+            rows = [sorted(np.flatnonzero(row).tolist()) for row in source]
+            request = {"model": "bench", "target": "R", "rows": rows}
+            start = time.perf_counter()
+            cold = await service.predict(request)
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = await service.predict(request)
+            warm_seconds = time.perf_counter() - start
+            return {
+                "rows": len(rows),
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "warm_speedup": cold_seconds / warm_seconds,
+                "cold_cached": cold["cached"],
+                "warm_cached": warm["cached"],
+            }
+
+    return asyncio.run(measure())
+
+
+def run_grid(tiny: bool = False) -> dict:
+    """Run the benchmark and return the report dictionary."""
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    cells = []
+    for model in settings["models"]:
+        cells.extend(run_model(model, settings))
+    cache = run_cache(settings)
+    serving = [cell for cell in cells if cell["section"] == "serving"]
+    batched = [
+        cell["speedup"] for cell in serving if cell["batch_size"] >= 256
+    ]
+    return {
+        "benchmark": "serving: loop vs compiled predictor",
+        "mode": "tiny" if tiny else "full",
+        "settings": settings,
+        "grid": serving,
+        "bulk_grid": [cell for cell in cells if cell["section"] == "bulk"],
+        "cache": cache,
+        "all_identical": all(cell["identical_results"] for cell in cells),
+        "median_speedup_batch256plus": (
+            statistics.median(batched) if batched else None
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serve.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_grid(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for cell in report["grid"] + report["bulk_grid"]:
+        print(
+            f"[{cell['section']:>7}] {cell['model']:<16} "
+            f"batch={cell['batch_size']:>5}  rules={cell['n_rules']:>3}  "
+            f"loop={cell['loop_rows_per_second']:>10.0f} rows/s  "
+            f"compiled={cell['compiled_rows_per_second']:>12.0f} rows/s  "
+            f"speedup={cell['speedup']:6.2f}x  identical={cell['identical_results']}"
+        )
+    cache = report["cache"]
+    print(
+        f"cache: cold={cache['cold_seconds'] * 1000:.2f}ms  "
+        f"warm={cache['warm_seconds'] * 1000:.2f}ms  "
+        f"({cache['warm_speedup']:.1f}x, warm_cached={cache['warm_cached']})"
+    )
+    median = report["median_speedup_batch256plus"]
+    if median is not None:
+        print(f"median speedup (serving batches >= 256): {median:.2f}x")
+    print(f"report written to {args.output}")
+    if not report["all_identical"]:
+        print("ERROR: engines disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ PUBLIC_PACKAGES = [
     "repro.eval",
     "repro.multiview",
     "repro.runtime",
+    "repro.serve",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

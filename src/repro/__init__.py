@@ -5,8 +5,10 @@ algorithms of van Leeuwen & Galbrun (IEEE TKDE 27(12), 2015), plus the
 baselines the paper compares against (cross-view association rules,
 significant rule discovery, redescription mining, KRIMP), a parallel
 experiment runtime (:mod:`repro.runtime`) for sharded sweeps with
-result caching, and a benchmark harness regenerating every table and
-figure of the evaluation section.
+result caching, a model-serving subsystem (:mod:`repro.serve`) with a
+compiled bitset predictor, versioned artifacts and an async
+micro-batching prediction server, and a benchmark harness regenerating
+every table and figure of the evaluation section.
 
 Quickstart::
 
@@ -54,7 +56,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.runtime import (
     ParallelExecutor,
@@ -63,6 +65,13 @@ from repro.runtime import (
     SweepTask,
     expand_grid,
     run_sweep,
+)
+from repro.serve import (
+    CompiledPredictor,
+    ModelArtifact,
+    ModelRegistry,
+    PredictionServer,
+    PredictionService,
 )
 
 __all__ = [
@@ -89,7 +98,12 @@ __all__ = [
     "TranslatorGreedy",
     "TranslatorResult",
     "TranslatorSelect",
+    "CompiledPredictor",
+    "ModelArtifact",
+    "ModelRegistry",
     "ParallelExecutor",
+    "PredictionServer",
+    "PredictionService",
     "ResultCache",
     "SweepReport",
     "SweepTask",

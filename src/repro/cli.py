@@ -14,6 +14,9 @@ Subcommands mirroring the library's main entry points::
     repro-translator cluster DATASET [options]    k-tables clustering
     repro-translator convert SRC DST              .2v <-> ARFF conversion
     repro-translator sweep DATASET... [options]   parallel experiment grids
+    repro-translator publish DATASET [options]    fit + publish a model artifact
+    repro-translator serve [options]              async prediction server
+    repro-translator predict-batch [options]      offline batched prediction
 
 ``DATASET`` is either a registry name (``house``, ``cal500``, ...) or a
 path to a ``.2v`` file.  Also runnable as ``python -m repro``.
@@ -28,6 +31,16 @@ cache, e.g.::
 The fit-family commands accept ``--n-jobs`` for intra-fit parallelism
 (sharded exact search, parallel beam expansion); results are identical
 to ``--n-jobs 1`` by construction.
+
+The serving commands (:mod:`repro.serve`) work against a model
+registry directory: ``publish`` fits (or takes ``--table``) and writes
+a new immutable version, ``serve`` exposes ``/predict`` with
+micro-batching, ``predict-batch`` answers a file of requests offline::
+
+    repro-translator publish car --name car-select --registry ./registry
+    repro-translator serve --registry ./registry --port 8100
+    repro-translator predict-batch --registry ./registry --model car-select \
+        --target R --input rows.json
 """
 
 from __future__ import annotations
@@ -42,7 +55,8 @@ from repro.data.dataset import TwoViewDataset
 from repro.data.io import load_dataset, save_dataset
 from repro.data.registry import dataset_names, make_dataset, paper_stats
 from repro.core.encoding import CodeLengthModel
-from repro.core.predict import holdout_evaluation
+from repro.core.predict import holdout_evaluation, predict_view, prediction_scores
+from repro.core.table import TranslationTable
 from repro.core.clustering import cluster_two_view
 from repro.core.pruning import prune_table
 from repro.core.refined import refined_lengths
@@ -193,6 +207,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.serve import ModelArtifact, ModelRegistry
+
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    if args.table is not None:
+        table = TranslationTable.load(args.table)
+
+        class _Loaded:
+            def summary(self):
+                return {"source": str(args.table), "n_rules": len(table)}
+
+        result = _Loaded()
+        result.table = table
+        fit_params = {"source": "table-file", "path": str(args.table)}
+        default_name = f"{dataset.name}-table"
+    else:
+        translator = _make_translator(args)
+        result = translator.fit(dataset)
+        fit_params = {
+            "method": args.method,
+            "minsup": args.minsup,
+            "k": args.k,
+            "max_iterations": args.max_iterations,
+            "max_rule_size": args.max_rule_size,
+        }
+        default_name = f"{dataset.name}-{args.method}"
+    name = args.name or default_name
+    artifact = ModelArtifact.from_result(name, dataset, result, fit_params)
+    registry = ModelRegistry(args.registry)
+    published = registry.publish(artifact)
+    print(f"# published {published.name} v{published.version} "
+          f"({len(published.table)} rules) to {args.registry}")
+    print(f"# content hash: {published.content_hash}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ModelRegistry, PredictionServer, PredictionService
+
+    registry = ModelRegistry(args.registry)
+    service = PredictionService(
+        registry,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        cache_size=args.cache_size,
+        engine=args.engine,
+    )
+    server = PredictionServer(service, host=args.host, port=args.port)
+    models = registry.models()
+    print(f"# serving {len(models)} model(s) {models} from {args.registry}")
+    print(f"# http://{args.host}:{args.port}  (/healthz, /models, /predict)")
+    server.run()
+    return 0
+
+
+def _cmd_predict_batch(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ModelRegistry, PredictionService
+
+    registry = ModelRegistry(args.registry)
+    service = PredictionService(
+        registry, max_delay_ms=0.0, cache_size=0, engine=args.engine
+    )
+    rows = json.loads(Path(args.input).read_text(encoding="utf-8"))
+    request = {
+        "model": args.model,
+        "version": args.version,
+        "target": args.target,
+        "rows": rows,
+    }
+    response = asyncio.run(service.predict(request))
+    payload = json.dumps(response, indent=2) + "\n"
+    if args.output:
+        args.output.write_text(payload, encoding="utf-8")
+        print(f"# {len(rows)} row(s) predicted with {args.model} "
+              f"v{response['version']}; written to {args.output}")
+    else:
+        print(payload, end="")
+    return 0
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     dataset = _resolve_dataset(args.dataset, args.scale)
     translator = _make_translator(args)
@@ -219,13 +315,35 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.data.dataset import Side
+
     dataset = _resolve_dataset(args.dataset, args.scale)
-    translator = _make_translator(args)
-    scores = holdout_evaluation(
-        dataset, translator, train_fraction=args.train_fraction, rng=args.seed
-    )
-    print(f"# held-out prediction on {dataset.name} "
-          f"(train fraction {args.train_fraction})")
+    if args.table is not None:
+        # Score a saved/published table on a held-out split directly,
+        # skipping the (potentially expensive) refit.
+        table = TranslationTable.load(args.table)
+        __, test = dataset.split(args.train_fraction, rng=args.seed)
+        scores = {
+            "left_to_right": prediction_scores(
+                predict_view(test.left, table, Side.RIGHT, dataset.n_right),
+                test.right,
+                Side.RIGHT,
+            ),
+            "right_to_left": prediction_scores(
+                predict_view(test.right, table, Side.LEFT, dataset.n_left),
+                test.left,
+                Side.LEFT,
+            ),
+        }
+        print(f"# prediction on {dataset.name} with saved table "
+              f"{args.table} ({len(table)} rules)")
+    else:
+        translator = _make_translator(args)
+        scores = holdout_evaluation(
+            dataset, translator, train_fraction=args.train_fraction, rng=args.seed
+        )
+        print(f"# held-out prediction on {dataset.name} "
+              f"(train fraction {args.train_fraction})")
     rows = [
         {
             "direction": direction,
@@ -419,6 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("dataset")
     predict.add_argument("--train-fraction", type=float, default=0.7)
     predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument(
+        "--table",
+        type=Path,
+        default=None,
+        help="score this saved/published table JSON instead of refitting",
+    )
     predict.set_defaults(handler=_cmd_predict)
 
     randomize = subparsers.add_parser(
@@ -554,6 +678,88 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, help="write the JSON report here"
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    publish = subparsers.add_parser(
+        "publish",
+        help="fit a model (or take --table) and publish it to a registry",
+        parents=[common, method_options],
+    )
+    publish.add_argument("dataset")
+    publish.add_argument(
+        "--registry", type=Path, required=True, help="model registry directory"
+    )
+    publish.add_argument(
+        "--name", default=None, help="model name (default: <dataset>-<method>)"
+    )
+    publish.add_argument(
+        "--table",
+        type=Path,
+        default=None,
+        help="publish this saved table JSON instead of fitting",
+    )
+    publish.set_defaults(handler=_cmd_publish)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the async micro-batching prediction server"
+    )
+    serve.add_argument(
+        "--registry", type=Path, required=True, help="model registry directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="rows that trigger an immediate micro-batch flush",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="longest time a request waits to be batched with others",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU response-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("compiled", "loop"),
+        default="compiled",
+        help="prediction engine (loop = per-rule reference path)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    predict_batch = subparsers.add_parser(
+        "predict-batch",
+        help="predict a JSON file of source-view rows from a published model",
+    )
+    predict_batch.add_argument(
+        "--registry", type=Path, required=True, help="model registry directory"
+    )
+    predict_batch.add_argument("--model", required=True, help="published model name")
+    predict_batch.add_argument(
+        "--version", default=None, help="model version (default: latest)"
+    )
+    predict_batch.add_argument(
+        "--target", choices=("L", "R"), default="R", help="view to predict"
+    )
+    predict_batch.add_argument(
+        "--input",
+        type=Path,
+        required=True,
+        help="JSON file: list of item-index lists over the source view",
+    )
+    predict_batch.add_argument(
+        "--output", type=Path, default=None, help="write the JSON response here"
+    )
+    predict_batch.add_argument(
+        "--engine", choices=("compiled", "loop"), default="compiled"
+    )
+    predict_batch.set_defaults(handler=_cmd_predict_batch)
     return parser
 
 

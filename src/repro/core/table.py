@@ -17,7 +17,13 @@ from pathlib import Path
 from repro.data.dataset import TwoViewDataset
 from repro.core.rules import Direction, TranslationRule
 
-__all__ = ["TranslationTable"]
+__all__ = ["TABLE_SCHEMA_VERSION", "TranslationTable"]
+
+#: Current on-disk schema version of :meth:`TranslationTable.to_json`.
+#: Version 1 was a bare JSON list of rule dicts; version 2 wraps the
+#: rules in an object carrying this number so serving artifacts (and any
+#: future field) can evolve without breaking old readers.
+TABLE_SCHEMA_VERSION = 2
 
 
 class TranslationTable:
@@ -128,15 +134,48 @@ class TranslationTable:
             f"{self.n_bidirectional} bidirectional)"
         )
 
+    def to_payload(self) -> dict[str, object]:
+        """JSON-serialisable dict form (current schema version)."""
+        return {
+            "schema_version": TABLE_SCHEMA_VERSION,
+            "rules": [rule.to_dict() for rule in self._rules],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "TranslationTable":
+        """Inverse of :meth:`to_payload`; also accepts the legacy format.
+
+        Schema version 1 tables were serialised as a bare list of rule
+        dicts; they load transparently.  A schema version newer than
+        :data:`TABLE_SCHEMA_VERSION` is rejected rather than silently
+        misread.
+        """
+        if isinstance(payload, list):  # schema version 1 (legacy)
+            entries = payload
+        elif isinstance(payload, dict):
+            version = payload.get("schema_version")
+            if not isinstance(version, int) or not 1 <= version <= TABLE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported table schema_version {version!r} "
+                    f"(this library reads versions 1..{TABLE_SCHEMA_VERSION})"
+                )
+            entries = payload.get("rules")
+            if not isinstance(entries, list):
+                raise ValueError("table payload has no 'rules' list")
+        else:
+            raise ValueError(
+                f"table payload must be a list or dict, got {type(payload).__name__}"
+            )
+        return cls(TranslationRule.from_dict(entry) for entry in entries)
+
     def to_json(self) -> str:
         """Serialise the table to a JSON string."""
-        return json.dumps([rule.to_dict() for rule in self._rules], indent=2)
+        return json.dumps(self.to_payload(), indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "TranslationTable":
-        """Inverse of :meth:`to_json`."""
-        payload = json.loads(text)
-        return cls(TranslationRule.from_dict(entry) for entry in payload)
+        """Inverse of :meth:`to_json` (legacy bare-list payloads included)."""
+        return cls.from_payload(json.loads(text))
 
     def save(self, path: str | Path) -> None:
         """Write the table to ``path`` as JSON."""

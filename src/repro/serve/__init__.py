@@ -1,0 +1,54 @@
+"""Model serving: compiled predictors, artifacts, registry, server.
+
+The paper's TRANSLATE application (Section 2.3) turns a fitted
+translation table into a cross-view *predictor*; this package turns
+that predictor into a deployable service, in three layers:
+
+* :mod:`~repro.serve.compiled` — :class:`CompiledPredictor` compiles a
+  table into packed-bitset antecedent/consequent matrices so batched
+  prediction is a handful of vectorised word ops, bit-identical to the
+  per-rule reference loop;
+* :mod:`~repro.serve.artifact` / :mod:`~repro.serve.registry` —
+  schema-versioned, content-hashed JSON model artifacts organised into
+  named models with immutable versions and a ``latest`` pointer;
+* :mod:`~repro.serve.server` — an asyncio HTTP service with a
+  micro-batcher that coalesces concurrent requests into single
+  compiled-predictor calls, an LRU response cache and per-model stats.
+
+CLI: ``repro-translator publish | serve | predict-batch``.  See
+``docs/serving.md`` for the artifact format and the endpoint/knob
+reference, and ``benchmarks/bench_serve.py`` for throughput numbers
+(``BENCH_serve.json``).
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serve.compiled import CompiledPredictor
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import (
+    LRUCache,
+    MicroBatcher,
+    ModelStats,
+    PredictionServer,
+    PredictionService,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "CompiledPredictor",
+    "LRUCache",
+    "MicroBatcher",
+    "ModelArtifact",
+    "ModelRegistry",
+    "ModelStats",
+    "PredictionServer",
+    "PredictionService",
+    "load_artifact",
+    "save_artifact",
+]

@@ -1,0 +1,253 @@
+"""Compiled translation-table predictor.
+
+The reference :func:`repro.core.predict.predict_view` walks the table
+rule by rule in Python — fine for a handful of held-out evaluations,
+hopeless for a prediction service that must answer batches of requests.
+This module *compiles* a :class:`~repro.core.table.TranslationTable`
+for one prediction direction into two packed-bitset matrices (reusing
+:mod:`repro.core.bitset`):
+
+* an **antecedent matrix** — row ``r`` is rule ``r``'s antecedent
+  itemset packed over the source vocabulary — and
+* a **consequent matrix** — row ``r`` is rule ``r``'s consequent
+  itemset packed over the target vocabulary.
+
+Prediction is then a handful of matrix ops instead of a per-rule loop:
+rule ``r`` fires on transaction ``t`` iff the antecedent is a subset of
+the transaction, and ``t``'s predicted target view is the union of the
+consequents of its firing rules.  Two execution strategies implement
+that contract over the same compiled matrices:
+
+``"blas"`` (default)
+    Express the subset test as an exact integer count — rule ``r``
+    fires iff ``|t & ant_r| == |ant_r|`` — and the union as a count as
+    well — item ``j`` is predicted iff some firing rule emits it.  Both
+    are ``float32`` matrix products of 0/1 operands derived from the
+    packed matrices at compile time; every value involved is a small
+    integer (bounded by the vocabulary/rule count, far below the 2**24
+    float32 integer limit), so the results are **exact**, not
+    approximate.  This rides BLAS and dominates the micro-batch serving
+    regime (1..512 rows per call, see ``BENCH_serve.json``).
+
+``"packed"``
+    Evaluate the same subset test directly on the packed words
+    (``row & ant == ant``) and the union as a broadcast OR of
+    consequent words.  Touches 64x less memory per item than the dense
+    paths — the right tool when vocabularies are wide and batches
+    enormous — and doubles as the strategy-independent reference.
+
+Outputs of both strategies are **bit-identical** to the per-rule loop:
+all three compute the same subset test and the same consequent union,
+only the evaluation order and arithmetic carrier differ.  The
+equivalence is enforced by ``tests/test_serve.py`` on synthetic and
+``car``-derived tables and re-checked by ``benchmarks/bench_serve.py``
+on every benchmark run.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.bitset import BitMatrix, unpack_mask
+from repro.core.rules import TranslationRule
+from repro.core.table import TranslationTable
+from repro.data.dataset import Side
+
+__all__ = ["CompiledPredictor"]
+
+# Rows per chunk for the packed strategy's (batch, rules, words)
+# broadcasts; bounds peak memory at ~chunk * n_rules * n_words * 8 B.
+_CHUNK_ROWS = 1024
+
+
+class CompiledPredictor:
+    """A translation table compiled for fast batched one-way prediction.
+
+    Instances are immutable and safe to share across asyncio tasks and
+    threads (all state is read-only numpy arrays), which is what the
+    prediction server's micro-batcher relies on.
+
+    Args:
+        target: The view being predicted (rules firing the other way
+            are excluded at compile time).
+        n_source_items: Width of incoming source-view matrices.
+        n_target_items: Width of the predicted target-view matrices.
+        rules: The rules to compile; only those firing towards
+            ``target`` are kept, and rules with an empty antecedent are
+            skipped with a warning (they would fire on every row).
+
+    Example::
+
+        >>> from repro import Side, TranslationRule, TranslationTable
+        >>> from repro.serve import CompiledPredictor
+        >>> table = TranslationTable([TranslationRule((0,), (1,), "->")])
+        >>> compiled = CompiledPredictor.from_table(table, Side.RIGHT, 2, 2)
+        >>> compiled.predict([[True, False]]).tolist()
+        [[False, True]]
+    """
+
+    __slots__ = (
+        "target",
+        "n_source_items",
+        "n_target_items",
+        "n_rules",
+        "antecedents",
+        "consequents",
+        "_ant_operand",
+        "_ant_sizes",
+        "_cons_operand",
+    )
+
+    def __init__(
+        self,
+        target: Side,
+        n_source_items: int,
+        n_target_items: int,
+        rules: Iterable[TranslationRule],
+    ) -> None:
+        self.target = target
+        self.n_source_items = int(n_source_items)
+        self.n_target_items = int(n_target_items)
+        ant_masks = []
+        cons_masks = []
+        for rule in rules:
+            if not rule.applies_towards(target):
+                continue
+            antecedent = tuple(rule.antecedent(target))
+            if not antecedent:
+                warnings.warn(
+                    f"skipping rule {rule!r}: empty antecedent towards "
+                    f"{target} would fire on every transaction",
+                    stacklevel=2,
+                )
+                continue
+            ant_mask = np.zeros(self.n_source_items, dtype=bool)
+            ant_mask[list(antecedent)] = True
+            cons_mask = np.zeros(self.n_target_items, dtype=bool)
+            cons_mask[list(rule.consequent(target))] = True
+            ant_masks.append(ant_mask)
+            cons_masks.append(cons_mask)
+        self.n_rules = len(ant_masks)
+        if self.n_rules:
+            ant_bool = np.array(ant_masks)
+            cons_bool = np.array(cons_masks)
+        else:
+            ant_bool = np.zeros((0, self.n_source_items), dtype=bool)
+            cons_bool = np.zeros((0, self.n_target_items), dtype=bool)
+        #: Packed antecedent itemsets, one row per compiled rule.
+        self.antecedents = BitMatrix.from_bool_rows(ant_bool)
+        #: Packed consequent itemsets, one row per compiled rule.
+        self.consequents = BitMatrix.from_bool_rows(cons_bool)
+        # BLAS operands: 0/1 float32 forms of the packed matrices.
+        self._ant_operand = np.ascontiguousarray(ant_bool.T, dtype=np.float32)
+        self._ant_sizes = self._ant_operand.sum(axis=0)
+        self._cons_operand = np.ascontiguousarray(cons_bool, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls,
+        table: TranslationTable | Iterable[TranslationRule],
+        target: Side,
+        n_source_items: int,
+        n_target_items: int,
+    ) -> "CompiledPredictor":
+        """Compile ``table`` for predicting ``target`` from the other view."""
+        return cls(target, n_source_items, n_target_items, table)
+
+    # ------------------------------------------------------------------
+    def _validated(self, source_matrix: np.ndarray) -> np.ndarray:
+        source_matrix = np.asarray(source_matrix, dtype=bool)
+        if source_matrix.ndim != 2 or source_matrix.shape[1] != self.n_source_items:
+            raise ValueError(
+                f"source matrix must be (n, {self.n_source_items}), "
+                f"got shape {source_matrix.shape}"
+            )
+        return source_matrix
+
+    def matches(
+        self, source_matrix: np.ndarray, strategy: str = "auto"
+    ) -> np.ndarray:
+        """``(n_rows, n_rules)`` Boolean matrix of which rules fire where.
+
+        Rule ``r`` fires on row ``t`` iff its antecedent is a subset of
+        the transaction — computed either as an exact float32 count
+        (``"blas"``) or as ``row & ant == ant`` on the packed words
+        (``"packed"``); ``"auto"`` picks BLAS.
+        """
+        source_matrix = self._validated(source_matrix)
+        if strategy in ("auto", "blas"):
+            counts = source_matrix.astype(np.float32) @ self._ant_operand
+            return counts == self._ant_sizes
+        if strategy != "packed":
+            raise ValueError(f"unknown strategy {strategy!r}")
+        rows = BitMatrix.from_bool_rows(source_matrix).words
+        ant = self.antecedents.words
+        fired = np.empty((rows.shape[0], self.n_rules), dtype=bool)
+        for start in range(0, rows.shape[0], _CHUNK_ROWS):
+            chunk = rows[start : start + _CHUNK_ROWS]
+            conjunction = chunk[:, None, :] & ant[None, :, :]
+            fired[start : start + _CHUNK_ROWS] = (
+                conjunction == ant[None, :, :]
+            ).all(axis=2)
+        return fired
+
+    def predict(
+        self, source_matrix: np.ndarray, strategy: str = "auto"
+    ) -> np.ndarray:
+        """Predict the target view for a batch of source-view rows.
+
+        Returns a ``(n_rows, n_target_items)`` Boolean matrix: the union
+        of the consequents of every firing rule, exactly as the per-rule
+        loop in :func:`repro.core.predict.predict_view` produces.
+        """
+        source_matrix = self._validated(source_matrix)
+        fired = self.matches(source_matrix, strategy=strategy)
+        if strategy in ("auto", "blas"):
+            emitted = fired.astype(np.float32) @ self._cons_operand
+            return emitted > 0
+        n_rows = fired.shape[0]
+        cons = self.consequents.words
+        out_words = np.zeros((n_rows, cons.shape[1]), dtype=np.uint64)
+        for start in range(0, n_rows, _CHUNK_ROWS):
+            chunk = fired[start : start + _CHUNK_ROWS]
+            if not chunk.any():
+                continue
+            selected = np.where(
+                chunk[:, :, None], cons[None, :, :], np.uint64(0)
+            )
+            out_words[start : start + _CHUNK_ROWS] = np.bitwise_or.reduce(
+                selected, axis=1
+            )
+        if self.n_target_items == 0:
+            return np.zeros((n_rows, 0), dtype=bool)
+        bits = np.unpackbits(
+            np.ascontiguousarray(out_words).view(np.uint8),
+            axis=1,
+            bitorder="little",
+        )
+        return bits[:, : self.n_target_items].astype(bool)
+
+    def predict_row(
+        self, source_row: np.ndarray, strategy: str = "auto"
+    ) -> np.ndarray:
+        """Predict one source-view row; returns a 1-D Boolean array."""
+        row = np.asarray(source_row, dtype=bool)
+        return self.predict(row[None, :], strategy=strategy)[0]
+
+    # ------------------------------------------------------------------
+    def rule_masks(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Unpacked (antecedent, consequent) Boolean masks of one rule."""
+        return (
+            unpack_mask(self.antecedents.row(index), self.n_source_items),
+            unpack_mask(self.consequents.row(index), self.n_target_items),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPredictor(target={self.target}, rules={self.n_rules}, "
+            f"{self.n_source_items}->{self.n_target_items} items)"
+        )

@@ -1,0 +1,235 @@
+"""Directory-backed model registry.
+
+The registry organises :class:`~repro.serve.artifact.ModelArtifact`
+files into *named models* with *immutable numbered versions* and a
+mutable ``latest`` pointer — the minimum structure a prediction service
+needs to roll models forward (publish a new version, flip the pointer)
+and back (point ``latest`` at an older version) without ever rewriting
+a served file.  Layout::
+
+    <root>/
+        <model-name>/
+            v0001/artifact.json
+            v0002/artifact.json
+            LATEST            # text file holding e.g. "2"
+
+Publishing writes the artifact under the next free version directory
+and atomically updates ``LATEST`` (temp file + ``os.replace``, the same
+discipline as :class:`repro.runtime.cache.ResultCache`).  Version
+directories are never overwritten: re-publishing produces a new
+version, and attempting to force a taken version raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+
+from repro.serve.artifact import ArtifactError, ModelArtifact, load_artifact, save_artifact
+
+__all__ = ["ModelRegistry"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_DIR = re.compile(r"^v(\d{4,})$")
+
+
+def _version_dirname(version: int) -> str:
+    return f"v{version:04d}"
+
+
+class ModelRegistry:
+    """Named, versioned storage for model artifacts under one directory.
+
+    Args:
+        root: Registry root directory; created lazily on first publish.
+
+    Example::
+
+        >>> import tempfile
+        >>> from repro import TranslationRule, TranslationTable
+        >>> from repro.serve import ModelArtifact, ModelRegistry
+        >>> registry = ModelRegistry(tempfile.mkdtemp())
+        >>> artifact = ModelArtifact(
+        ...     "demo", TranslationTable([TranslationRule((0,), (0,), "->")]),
+        ...     ("a",), ("x",))
+        >>> registry.publish(artifact).version
+        1
+        >>> registry.publish(artifact).version
+        2
+        >>> registry.latest_version("demo")
+        2
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def model_dir(self, name: str) -> Path:
+        """Directory of one named model (may not exist yet)."""
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_', '-'"
+            )
+        return self.root / name
+
+    def artifact_path(self, name: str, version: int) -> Path:
+        """Path of one version's ``artifact.json``."""
+        return self.model_dir(name) / _version_dirname(version) / "artifact.json"
+
+    # ------------------------------------------------------------------
+    # Listing / resolution
+    # ------------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Sorted names of every model with at least one version.
+
+        Stray directories that are not valid model names (``.git``, a
+        dot-file dropped by a sync tool, ...) are ignored rather than
+        failing the whole listing.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir()
+            and _NAME_PATTERN.match(entry.name)
+            and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted published version numbers of one model."""
+        directory = self.model_dir(name)
+        if not directory.is_dir():
+            return []
+        found = []
+        for entry in directory.iterdir():
+            match = _VERSION_DIR.match(entry.name)
+            if match and (entry / "artifact.json").is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        """Resolve the ``latest`` pointer of one model.
+
+        Falls back to the highest published version when the pointer
+        file is missing or damaged; raises ``KeyError`` for a model with
+        no versions at all.
+        """
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"no published versions of model {name!r}")
+        pointer = self.model_dir(name) / "LATEST"
+        try:
+            candidate = int(pointer.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            return versions[-1]
+        return candidate if candidate in versions else versions[-1]
+
+    def resolve(self, name: str, version: int | str | None = None) -> int:
+        """Normalise a version spec (``None``/``"latest"``/number) to an int."""
+        if version is None or version == "latest":
+            return self.latest_version(name)
+        number = int(version)
+        if number not in self.versions(name):
+            raise KeyError(f"model {name!r} has no version {number}")
+        return number
+
+    # ------------------------------------------------------------------
+    # Publish / load
+    # ------------------------------------------------------------------
+    def publish(
+        self, artifact: ModelArtifact, set_latest: bool = True
+    ) -> ModelArtifact:
+        """Store ``artifact`` as the next version of ``artifact.name``.
+
+        Returns the stamped artifact (``.version`` filled in).  Version
+        directories are immutable — a concurrent publisher racing for
+        the same number loses with ``FileExistsError`` and should retry.
+        """
+        versions = self.versions(artifact.name)
+        version = (versions[-1] + 1) if versions else 1
+        stamped = artifact.with_version(version)
+        directory = self.model_dir(artifact.name) / _version_dirname(version)
+        directory.mkdir(parents=True, exist_ok=False)
+        save_artifact(stamped, directory / "artifact.json")
+        if set_latest:
+            self.set_latest(artifact.name, version)
+        return stamped
+
+    def set_latest(self, name: str, version: int) -> None:
+        """Atomically point ``latest`` at a published ``version``."""
+        if version not in self.versions(name):
+            raise KeyError(f"model {name!r} has no version {version}")
+        directory = self.model_dir(name)
+        handle, temp_name = tempfile.mkstemp(dir=directory, prefix=".tmp-LATEST-")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(f"{version}\n")
+            os.replace(temp_name, directory / "LATEST")
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def load(
+        self, name: str, version: int | str | None = None, verify: bool = True
+    ) -> ModelArtifact:
+        """Load one model version (default: ``latest``), hash-verified.
+
+        Raises ``KeyError`` for unknown names/versions and
+        :class:`~repro.serve.artifact.ArtifactError` for corrupt files.
+        """
+        number = self.resolve(name, version)
+        artifact = load_artifact(self.artifact_path(name, number), verify=verify)
+        if artifact.name != name:
+            raise ArtifactError(
+                f"artifact at {self.artifact_path(name, number)} claims to be "
+                f"model {artifact.name!r}, expected {name!r}"
+            )
+        return artifact
+
+    def describe(self) -> list[dict[str, object]]:
+        """One summary row per model (for ``/models`` and the CLI).
+
+        Reads each latest artifact's JSON once and reports its *stored*
+        content hash — no verification or re-hashing, so polling
+        ``/models`` stays cheap; corruption is still caught on
+        :meth:`load` before a model answers traffic.
+        """
+        rows = []
+        for name in self.models():
+            versions = self.versions(name)
+            latest = self.latest_version(name)
+            row: dict[str, object] = {
+                "name": name,
+                "versions": versions,
+                "latest": latest,
+            }
+            try:
+                payload = json.loads(
+                    self.artifact_path(name, latest).read_text(encoding="utf-8")
+                )
+                table = payload.get("table") or {}
+                vocab = payload.get("vocab") or {}
+                row.update(
+                    n_rules=len(
+                        table["rules"] if isinstance(table, dict) else table
+                    ),
+                    n_left=len(vocab.get("left") or ()),
+                    n_right=len(vocab.get("right") or ()),
+                    content_hash=payload.get("content_hash"),
+                )
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                row["error"] = f"unreadable artifact: {error}"
+            rows.append(row)
+        return rows
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry(root={str(self.root)!r}, models={self.models()})"

@@ -1,0 +1,596 @@
+"""Async micro-batching prediction server.
+
+The serving story of the ROADMAP ("heavy traffic from millions of
+users") needs more than a fast predictor: concurrent requests must be
+*coalesced* so the compiled kernel sees large batches, identical
+requests must be answered from memory, and operators need per-model
+stats.  This module provides that as three composable layers, all on
+the standard library only (``asyncio`` + a minimal HTTP/1.1 codec):
+
+* :class:`LRUCache` — a bounded response cache keyed on
+  ``(model, version, request hash)``;
+* :class:`MicroBatcher` — per-``(model, version, target)`` lanes that
+  collect concurrently arriving rows for up to ``max_delay_ms`` (or
+  until ``max_batch`` rows) and run **one** predictor call for the
+  whole batch, scattering the slices back to each waiter;
+* :class:`PredictionService` — the transport-free application layer
+  (request validation, model/predictor caches, stats) — this is what
+  tests drive directly — wrapped by :class:`PredictionServer`, the
+  socket layer, for real deployments and the
+  ``repro-translator serve`` CLI.
+
+Endpoints::
+
+    GET  /healthz   liveness + uptime
+    GET  /models    registry contents + per-model serving stats
+    POST /predict   {"model": .., "version": "latest"|int,
+                     "target": "L"|"R", "rows": [[item index, ..], ..]}
+
+``rows`` are sparse item-index lists over the source view's vocabulary;
+responses mirror that shape for the predicted target view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.predict import predict_view
+from repro.data.dataset import Side
+from repro.runtime.cache import content_key
+from repro.serve.artifact import ArtifactError, ModelArtifact
+from repro.serve.compiled import CompiledPredictor
+from repro.serve.registry import ModelRegistry
+
+__all__ = [
+    "LRUCache",
+    "MicroBatcher",
+    "ModelStats",
+    "PredictionServer",
+    "PredictionService",
+]
+
+
+class LRUCache:
+    """A bounded mapping evicting the least recently used entry.
+
+    Args:
+        capacity: Maximum number of entries; ``0`` disables caching.
+
+    Example::
+
+        >>> from repro.serve import LRUCache
+        >>> cache = LRUCache(2)
+        >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+        >>> cache.get("a") is None  # evicted
+        True
+        >>> cache.get("c")
+        3
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: object) -> object | None:
+        """Return the cached value or ``None``, refreshing recency."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: object, value: object) -> None:
+        """Insert ``key``, evicting the oldest entry beyond capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+
+@dataclasses.dataclass
+class ModelStats:
+    """Serving counters of one model (reported under ``/models``)."""
+
+    requests: int = 0
+    rows: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON responses."""
+        return dataclasses.asdict(self)
+
+
+class _Lane:
+    """Pending work of one ``(model, version, target)`` batching lane."""
+
+    __slots__ = ("pending", "n_rows", "kick")
+
+    def __init__(self) -> None:
+        self.pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self.n_rows = 0
+        self.kick = asyncio.Event()
+
+
+class MicroBatcher:
+    """Coalesce concurrent per-lane prediction requests into one call.
+
+    The first request of a lane starts a flush task that waits up to
+    ``max_delay_ms`` for company; requests arriving meanwhile append to
+    the lane, and a lane reaching ``max_batch`` rows flushes right
+    away.  The flush concatenates every pending row matrix, invokes the
+    lane's runner **once**, and scatters the result slices back to the
+    waiting futures — so ``n`` concurrent clients cost one compiled
+    predictor call instead of ``n``.
+
+    Args:
+        max_batch: Row count that triggers an immediate flush.
+        max_delay_ms: Longest time a request waits for batch company.
+    """
+
+    def __init__(self, max_batch: int = 256, max_delay_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self._lanes: dict[object, _Lane] = {}
+        self.batches = 0
+        self.batched_rows = 0
+
+    async def submit(
+        self,
+        key: object,
+        rows: np.ndarray,
+        run: Callable[[np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Queue ``rows`` on lane ``key``; resolves to their predictions.
+
+        ``run`` maps a concatenated ``(n, n_source)`` matrix to the
+        ``(n, n_target)`` prediction matrix; all submissions of one lane
+        must pass an equivalent runner.
+        """
+        loop = asyncio.get_running_loop()
+        lane = self._lanes.get(key)
+        future: asyncio.Future = loop.create_future()
+        if lane is None:
+            lane = _Lane()
+            self._lanes[key] = lane
+            lane.pending.append((rows, future))
+            lane.n_rows += rows.shape[0]
+            asyncio.ensure_future(self._flush_after_delay(key, lane, run))
+        else:
+            lane.pending.append((rows, future))
+            lane.n_rows += rows.shape[0]
+        if lane.n_rows >= self.max_batch:
+            lane.kick.set()
+        return await future
+
+    async def _flush_after_delay(self, key: object, lane: _Lane, run) -> None:
+        try:
+            await asyncio.wait_for(
+                lane.kick.wait(), timeout=self.max_delay_ms / 1000.0
+            )
+        except asyncio.TimeoutError:
+            pass
+        # Detach the lane first so late arrivals start a fresh batch.
+        if self._lanes.get(key) is lane:
+            del self._lanes[key]
+        pending = lane.pending
+        if not pending:
+            return
+        batch = np.concatenate([rows for rows, __ in pending], axis=0)
+        try:
+            predictions = await asyncio.to_thread(run, batch)
+        except BaseException as error:  # propagate to every waiter
+            for __, future in pending:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self.batches += 1
+        self.batched_rows += batch.shape[0]
+        offset = 0
+        for rows, future in pending:
+            size = rows.shape[0]
+            if not future.done():
+                future.set_result(predictions[offset : offset + size])
+            offset += size
+
+
+class PredictionService:
+    """Transport-independent serving core: models, batching, caching, stats.
+
+    Wraps a :class:`~repro.serve.registry.ModelRegistry` with lazily
+    loaded artifacts, per-direction compiled predictors, a
+    :class:`MicroBatcher` and an :class:`LRUCache` of responses keyed on
+    ``(model, version, request hash)``.  :class:`PredictionServer` puts
+    it on a socket; tests and benchmarks drive it directly via
+    :meth:`predict` / :meth:`handle`.
+
+    Args:
+        registry: Where models come from.
+        max_batch, max_delay_ms: Micro-batcher knobs.
+        cache_size: Response-cache capacity (``0`` disables it).
+        engine: ``"compiled"`` (default) or ``"loop"`` — the reference
+            per-rule path, kept selectable for benchmarking and
+            bit-identity spot checks.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 256,
+        max_delay_ms: float = 2.0,
+        cache_size: int = 1024,
+        engine: str = "compiled",
+    ) -> None:
+        if engine not in ("compiled", "loop"):
+            raise ValueError(f"unknown serving engine {engine!r}")
+        self.registry = registry
+        self.engine = engine
+        self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
+        self.response_cache = LRUCache(cache_size)
+        self.stats: dict[str, ModelStats] = {}
+        self.started_unix = time.time()
+        #: How long a ``latest`` resolution may be served from memory
+        #: before the registry directory is consulted again; bounds the
+        #: staleness window after a publish without putting O(versions)
+        #: directory scans on every request (cache hits included).
+        self.latest_ttl_seconds = 1.0
+        self._artifacts: dict[tuple[str, int], ModelArtifact] = {}
+        self._predictors: dict[tuple[str, int, str], CompiledPredictor] = {}
+        self._latest: dict[str, tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def artifact(self, name: str, version: int) -> ModelArtifact:
+        """Load (and memoise) one published model version."""
+        key = (name, version)
+        if key not in self._artifacts:
+            self._artifacts[key] = self.registry.load(name, version)
+        return self._artifacts[key]
+
+    def predictor(
+        self, name: str, version: int, target: Side
+    ) -> CompiledPredictor:
+        """Compile (and memoise) one model version for one direction."""
+        key = (name, version, target.value)
+        if key not in self._predictors:
+            artifact = self.artifact(name, version)
+            n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
+            n_target = artifact.n_right if target is Side.RIGHT else artifact.n_left
+            self._predictors[key] = CompiledPredictor.from_table(
+                artifact.table, target, n_source, n_target
+            )
+        return self._predictors[key]
+
+    def _stats_for(self, name: str) -> ModelStats:
+        return self.stats.setdefault(name, ModelStats())
+
+    def _resolve_version(self, name: str, version) -> int:
+        """Registry version resolution, memoised for the request hot path.
+
+        Explicit versions already loaded are trusted (versions are
+        immutable); ``latest`` is re-read from disk at most once per
+        :attr:`latest_ttl_seconds` per model.
+        """
+        if version is None or version == "latest":
+            now = time.monotonic()
+            cached = self._latest.get(name)
+            if cached is not None and now - cached[0] < self.latest_ttl_seconds:
+                return cached[1]
+            number = self.registry.latest_version(name)
+            self._latest[name] = (now, number)
+            return number
+        number = int(version)
+        if (name, number) in self._artifacts:
+            return number
+        return self.registry.resolve(name, number)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    async def predict(self, request: dict) -> dict:
+        """Answer one ``/predict`` request body (already parsed).
+
+        Raises ``ValueError`` for malformed requests and ``KeyError``
+        for unknown models/versions; the HTTP layer maps those to 400
+        and 404.
+        """
+        if not isinstance(request, dict):
+            raise ValueError("request body must be a JSON object")
+        name = request.get("model")
+        if not isinstance(name, str) or not name:
+            raise ValueError("request must name a 'model'")
+        target = Side(str(request.get("target", "R")).upper())
+        rows = request.get("rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, list) for row in rows
+        ):
+            raise ValueError("'rows' must be a list of item-index lists")
+        version = self._resolve_version(name, request.get("version"))
+        stats = self._stats_for(name)
+        stats.requests += 1
+        stats.rows += len(rows)
+        try:
+            return await self._predict_resolved(name, version, target, rows, stats)
+        except BaseException:
+            stats.errors += 1
+            raise
+
+    async def _predict_resolved(
+        self,
+        name: str,
+        version: int,
+        target: Side,
+        rows: list,
+        stats: ModelStats,
+    ) -> dict:
+        cache_key = (
+            name,
+            version,
+            content_key({"target": target.value, "rows": rows}),
+        )
+        cached = self.response_cache.get(cache_key)
+        if cached is not None:
+            stats.cache_hits += 1
+            response = dict(cached)  # type: ignore[arg-type]
+            response["cached"] = True
+            return response
+
+        artifact = self.artifact(name, version)
+        n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
+        matrix = np.zeros((len(rows), n_source), dtype=bool)
+        for index, row in enumerate(rows):
+            for item in row:
+                item = int(item)
+                if not 0 <= item < n_source:
+                    raise ValueError(
+                        f"row {index}: item index {item} outside the "
+                        f"source vocabulary (0..{n_source - 1})"
+                    )
+                matrix[index, item] = True
+
+        if matrix.shape[0]:
+            run = self._runner(name, version, target)
+
+            def counted_run(batch: np.ndarray) -> np.ndarray:
+                # Runs once per physical flush of this model's lane, so
+                # per-model batch counts stay exact under concurrency.
+                stats.batches += 1
+                return run(batch)
+
+            predictions = await self.batcher.submit(
+                (name, version, target.value), matrix, counted_run
+            )
+        else:
+            predictions = np.zeros((0, 0), dtype=bool)
+
+        response = {
+            "model": name,
+            "version": version,
+            "target": target.value,
+            "predictions": [
+                np.flatnonzero(prediction).tolist() for prediction in predictions
+            ],
+            "cached": False,
+        }
+        self.response_cache.put(cache_key, dict(response))
+        return response
+
+    def _runner(
+        self, name: str, version: int, target: Side
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        if self.engine == "compiled":
+            return self.predictor(name, version, target).predict
+        artifact = self.artifact(name, version)
+        n_target = artifact.n_right if target is Side.RIGHT else artifact.n_left
+
+        def run(matrix: np.ndarray) -> np.ndarray:
+            return predict_view(
+                matrix, artifact.table, target, n_target, engine="loop"
+            )
+
+        return run
+
+    # ------------------------------------------------------------------
+    # Introspection payloads
+    # ------------------------------------------------------------------
+    def healthz_payload(self) -> dict:
+        """Liveness document for ``GET /healthz``."""
+        return {
+            "status": "ok",
+            "engine": self.engine,
+            "models": len(self.registry.models()),
+            "uptime_seconds": round(time.time() - self.started_unix, 3),
+        }
+
+    def models_payload(self) -> dict:
+        """Registry contents + serving stats for ``GET /models``."""
+        rows = self.registry.describe()
+        for row in rows:
+            row["stats"] = self._stats_for(str(row["name"])).as_dict()
+        return {
+            "models": rows,
+            "cache": {
+                "size": len(self.response_cache),
+                "capacity": self.response_cache.capacity,
+                "hits": self.response_cache.hits,
+                "misses": self.response_cache.misses,
+            },
+            "batcher": {
+                "batches": self.batcher.batches,
+                "batched_rows": self.batcher.batched_rows,
+                "max_batch": self.batcher.max_batch,
+                "max_delay_ms": self.batcher.max_delay_ms,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def handle(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict]:
+        """Route one request; returns ``(status, response payload)``."""
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, self.healthz_payload()
+            if method == "GET" and path == "/models":
+                return 200, self.models_payload()
+            if method == "POST" and path == "/predict":
+                try:
+                    request = json.loads((body or b"").decode("utf-8") or "null")
+                except ValueError:
+                    return 400, {"error": "request body is not valid JSON"}
+                return 200, await self.predict(request)
+            return 404, {"error": f"no route {method} {path}"}
+        except KeyError as error:
+            return 404, {"error": str(error.args[0] if error.args else error)}
+        except ArtifactError as error:
+            # Before ValueError: ArtifactError subclasses it, and a corrupt
+            # published model is a server-side problem, not a bad request.
+            return 500, {"error": str(error)}
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # never leave a client without a reply
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+
+class PredictionServer:
+    """Socket layer: a minimal asyncio HTTP/1.1 front for the service.
+
+    Args:
+        service: The :class:`PredictionService` to expose.
+        host, port: Bind address; ``port=0`` picks a free port (read it
+            back from :attr:`port` after :meth:`start`).
+
+    Example::
+
+        server = PredictionServer(PredictionService(registry), port=8100)
+        server.run()   # blocks; Ctrl-C to stop
+    """
+
+    #: Largest accepted request body; protects the server from a client
+    #: declaring an absurd Content-Length and streaming it.
+    MAX_BODY_BYTES = 16 * 1024 * 1024
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 8100,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the server."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point used by ``repro-translator serve``."""
+        try:
+            asyncio.run(self.serve_forever())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_one(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+            status, payload = 400, {"error": "malformed HTTP request"}
+        body = json.dumps(payload).encode("utf-8")
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            413: "Payload Too Large",
+        }.get(status, "Internal Server Error")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii")
+            + body
+        )
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client went away
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("ascii", "replace")
+            if line in ("\r\n", "\n", ""):
+                break
+            header, _, value = line.partition(":")
+            if header.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "invalid Content-Length"}
+        if content_length > self.MAX_BODY_BYTES:
+            return 413, {
+                "error": f"request body exceeds {self.MAX_BODY_BYTES} bytes"
+            }
+        body = await reader.readexactly(content_length) if content_length else b""
+        return await self.service.handle(method, path, body)

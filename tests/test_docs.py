@@ -32,7 +32,7 @@ def test_documentation_links_resolve():
 
 def test_docs_pages_exist():
     for page in ("index.md", "architecture.md", "paper-mapping.md",
-                 "benchmarks.md", "runtime.md"):
+                 "benchmarks.md", "runtime.md", "serving.md"):
         assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"
     assert (REPO_ROOT / "README.md").is_file()
 
@@ -40,10 +40,11 @@ def test_docs_pages_exist():
 def test_readme_mentions_the_knobs():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for needle in ("n_jobs", "kernel", "docs/architecture.md",
-                   "repro-translator sweep"):
+                   "repro-translator sweep", "repro-translator serve",
+                   "docs/serving.md"):
         assert needle in readme, f"README should mention {needle!r}"
 
 
 def test_readme_code_blocks_execute():
     count = check_docs.run_markdown_blocks(REPO_ROOT / "README.md")
-    assert count >= 4  # quickstart, noise, n_jobs, sweep
+    assert count >= 5  # quickstart, noise, n_jobs, sweep, serving

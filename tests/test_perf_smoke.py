@@ -16,15 +16,13 @@ from pathlib import Path
 
 import pytest
 
-_BENCH_PATH = (
-    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_search_kernel.py"
-)
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
 
 
-def _load_bench_module():
-    spec = importlib.util.spec_from_file_location("bench_search_kernel", _BENCH_PATH)
+def _load_bench_module(stem: str = "bench_search_kernel"):
+    spec = importlib.util.spec_from_file_location(stem, _BENCHMARKS / f"{stem}.py")
     module = importlib.util.module_from_spec(spec)
-    sys.modules.setdefault("bench_search_kernel", module)
+    sys.modules.setdefault(stem, module)
     spec.loader.exec_module(module)
     return module
 
@@ -41,6 +39,24 @@ def test_kernel_benchmark_tiny_mode(tmp_path):
     assert report["all_identical"]
     # The JSON entry point must work end to end.
     output = tmp_path / "BENCH_search.json"
+    exit_code = bench.main(["--tiny", "--output", str(output)])
+    assert exit_code == 0
+    assert output.exists()
+
+
+@pytest.mark.perf_smoke
+def test_serve_benchmark_tiny_mode(tmp_path):
+    bench = _load_bench_module("bench_serve")
+    report = bench.run_grid(tiny=True)
+    assert report["mode"] == "tiny"
+    assert report["grid"], "tiny serving grid must not be empty"
+    for cell in report["grid"]:
+        assert cell["identical_results"], f"engines disagreed on {cell}"
+        assert cell["loop_seconds"] > 0 and cell["compiled_seconds"] > 0
+    assert report["all_identical"]
+    assert report["cache"]["warm_cached"], "second identical request must hit the cache"
+    # The JSON entry point must work end to end.
+    output = tmp_path / "BENCH_serve.json"
     exit_code = bench.main(["--tiny", "--output", str(output)])
     assert exit_code == 0
     assert output.exists()

@@ -1,0 +1,613 @@
+"""Serving subsystem tests (``pytest -m serve_smoke``).
+
+Covers the three layers of :mod:`repro.serve` — the compiled predictor
+(bit-identity against the per-rule loop on synthetic and ``car``-derived
+tables, both strategies), artifacts and the registry (hash verification,
+immutable versions, ``latest`` resolution), and the async service
+(micro-batch coalescing, LRU response cache, HTTP round trips) — plus
+the serving-adjacent regressions: the empty-antecedent guard in
+``predict_view`` and the serving CLI commands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.predict import predict_view
+from repro.core.rules import TranslationRule
+from repro.core.table import TranslationTable
+from repro.core.translator import TranslatorGreedy
+from repro.data.dataset import Side, TwoViewDataset
+from repro.data.registry import make_dataset
+from repro.serve import (
+    ArtifactError,
+    CompiledPredictor,
+    LRUCache,
+    MicroBatcher,
+    ModelArtifact,
+    ModelRegistry,
+    PredictionServer,
+    PredictionService,
+    load_artifact,
+    save_artifact,
+)
+
+pytestmark = pytest.mark.serve_smoke
+
+STRATEGIES = ("blas", "packed")
+
+
+def random_table(rng, n_left, n_right, n_rules=12) -> TranslationTable:
+    rules = set()
+    while len(rules) < n_rules:
+        lhs = tuple(sorted(rng.choice(n_left, size=int(rng.integers(1, 4)), replace=False)))
+        rhs = tuple(sorted(rng.choice(n_right, size=int(rng.integers(1, 4)), replace=False)))
+        direction = ("->", "<-", "<->")[int(rng.integers(0, 3))]
+        rules.add((lhs, rhs, direction))
+    return TranslationTable(
+        TranslationRule(lhs, rhs, direction) for lhs, rhs, direction in sorted(rules)
+    )
+
+
+@pytest.fixture(scope="module")
+def car_model():
+    """A table fitted on the paper's ``car`` dataset (shrunk for speed)."""
+    dataset = make_dataset("car", scale=0.2)
+    result = TranslatorGreedy(minsup=5).fit(dataset)
+    return dataset, result
+
+
+@pytest.fixture()
+def registry(tmp_path, car_model):
+    dataset, result = car_model
+    registry = ModelRegistry(tmp_path / "registry")
+    artifact = ModelArtifact.from_result(
+        "car", dataset, result, {"method": "greedy", "minsup": 5}
+    )
+    registry.publish(artifact)
+    return registry
+
+
+class TestCompiledPredictor:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_bit_identical_to_loop_on_synthetic(self, seed, strategy):
+        rng = np.random.default_rng(seed)
+        n_left, n_right = 14, 11
+        table = random_table(rng, n_left, n_right)
+        batch = rng.random((73, n_left)) < 0.35
+        loop = predict_view(batch, table, Side.RIGHT, n_right, engine="loop")
+        compiled = CompiledPredictor.from_table(table, Side.RIGHT, n_left, n_right)
+        assert np.array_equal(compiled.predict(batch, strategy=strategy), loop)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_bit_identical_to_loop_on_car(self, car_model, strategy):
+        dataset, result = car_model
+        rng = np.random.default_rng(3)
+        for target, n_source, n_target, names in (
+            (Side.RIGHT, dataset.n_left, dataset.n_right, "forward"),
+            (Side.LEFT, dataset.n_right, dataset.n_left, "backward"),
+        ):
+            batch = rng.random((257, n_source)) < 0.3
+            loop = predict_view(batch, result.table, target, n_target, engine="loop")
+            compiled = CompiledPredictor.from_table(
+                result.table, target, n_source, n_target
+            )
+            assert np.array_equal(
+                compiled.predict(batch, strategy=strategy), loop
+            ), f"{strategy} disagreed with the loop ({names})"
+
+    def test_engine_dispatch_in_predict_view(self, car_model):
+        dataset, result = car_model
+        batch = dataset.left[:64]
+        expected = predict_view(
+            batch, result.table, Side.RIGHT, dataset.n_right, engine="loop"
+        )
+        for engine in ("compiled", "auto"):
+            assert np.array_equal(
+                predict_view(
+                    batch, result.table, Side.RIGHT, dataset.n_right, engine=engine
+                ),
+                expected,
+            )
+        with pytest.raises(ValueError, match="engine"):
+            predict_view(batch, result.table, Side.RIGHT, dataset.n_right, engine="gpu")
+
+    def test_single_row_and_empty_batch(self):
+        table = TranslationTable([TranslationRule((0, 1), (2,), "->")])
+        compiled = CompiledPredictor.from_table(table, Side.RIGHT, 3, 3)
+        assert compiled.predict_row([True, True, False]).tolist() == [
+            False, False, True,
+        ]
+        assert compiled.predict(np.zeros((0, 3), dtype=bool)).shape == (0, 3)
+
+    def test_direction_filtering(self):
+        # A backward-only rule must not fire towards the right view.
+        table = TranslationTable([TranslationRule((0,), (0,), "<-")])
+        compiled = CompiledPredictor.from_table(table, Side.RIGHT, 2, 2)
+        assert compiled.n_rules == 0
+        assert not compiled.predict([[True, True]]).any()
+        backward = CompiledPredictor.from_table(table, Side.LEFT, 2, 2)
+        assert backward.n_rules == 1
+
+    def test_shape_validation(self):
+        table = TranslationTable([TranslationRule((0,), (0,), "->")])
+        compiled = CompiledPredictor.from_table(table, Side.RIGHT, 4, 4)
+        with pytest.raises(ValueError, match="source matrix"):
+            compiled.predict(np.zeros((2, 5), dtype=bool))
+
+    def test_wide_vocabulary_crosses_word_boundary(self):
+        # >64 items per view exercises multi-word packed rows.
+        rng = np.random.default_rng(9)
+        table = random_table(rng, 130, 70, n_rules=20)
+        batch = rng.random((40, 130)) < 0.4
+        loop = predict_view(batch, table, Side.RIGHT, 70, engine="loop")
+        compiled = CompiledPredictor.from_table(table, Side.RIGHT, 130, 70)
+        for strategy in STRATEGIES:
+            assert np.array_equal(compiled.predict(batch, strategy=strategy), loop)
+
+
+class _EmptyAntecedentRule:
+    """Duck-typed rule with an empty antecedent (TranslationRule forbids it)."""
+
+    def applies_towards(self, target):
+        return True
+
+    def antecedent(self, target):
+        return ()
+
+    def consequent(self, target):
+        return (0,)
+
+
+class TestEmptyAntecedentGuard:
+    def test_loop_engine_skips_with_warning(self):
+        batch = np.zeros((3, 2), dtype=bool)  # nothing should ever fire
+        with pytest.warns(UserWarning, match="empty antecedent"):
+            predicted = predict_view(
+                batch, [_EmptyAntecedentRule()], Side.RIGHT, 2, engine="loop"
+            )
+        assert not predicted.any()
+
+    def test_compiled_engine_skips_with_warning(self):
+        with pytest.warns(UserWarning, match="empty antecedent"):
+            compiled = CompiledPredictor.from_table(
+                [_EmptyAntecedentRule()], Side.RIGHT, 2, 2
+            )
+        assert compiled.n_rules == 0
+        assert not compiled.predict(np.zeros((3, 2), dtype=bool)).any()
+
+
+class TestArtifact:
+    def test_save_load_roundtrip(self, tmp_path, car_model):
+        dataset, result = car_model
+        artifact = ModelArtifact.from_result("car", dataset, result, {"minsup": 5})
+        path = tmp_path / "artifact.json"
+        digest = save_artifact(artifact, path)
+        loaded = load_artifact(path)
+        assert loaded.table == artifact.table
+        assert loaded.left_names == tuple(dataset.left_names)
+        assert loaded.fit_params == {"minsup": 5}
+        assert loaded.content_hash == digest
+
+    def test_tampered_artifact_rejected(self, tmp_path, car_model):
+        dataset, result = car_model
+        path = tmp_path / "artifact.json"
+        save_artifact(ModelArtifact.from_result("car", dataset, result), path)
+        payload = json.loads(path.read_text())
+        payload["fit_params"] = {"minsup": 999}  # tamper without rehashing
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            load_artifact(path)
+        # Opting out of verification still loads it.
+        assert load_artifact(path, verify=False).fit_params == {"minsup": 999}
+
+    def test_unreadable_artifact_rejected(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(path)
+
+    def test_unknown_schema_rejected(self, tmp_path, car_model):
+        dataset, result = car_model
+        path = tmp_path / "artifact.json"
+        save_artifact(ModelArtifact.from_result("car", dataset, result), path)
+        payload = json.loads(path.read_text())
+        payload["artifact_schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="artifact_schema_version"):
+            load_artifact(path)
+
+
+class TestRegistry:
+    def test_publish_assigns_increasing_versions(self, registry, car_model):
+        dataset, result = car_model
+        artifact = ModelArtifact.from_result("car", dataset, result)
+        assert registry.versions("car") == [1]
+        assert registry.publish(artifact).version == 2
+        assert registry.versions("car") == [1, 2]
+        assert registry.latest_version("car") == 2
+        assert registry.models() == ["car"]
+
+    def test_latest_pointer_rollback(self, registry, car_model):
+        dataset, result = car_model
+        registry.publish(ModelArtifact.from_result("car", dataset, result))
+        registry.set_latest("car", 1)
+        assert registry.latest_version("car") == 1
+        assert registry.load("car").version == 1
+        assert registry.load("car", "latest").version == 1
+        assert registry.load("car", 2).version == 2
+        with pytest.raises(KeyError):
+            registry.set_latest("car", 42)
+
+    def test_damaged_latest_pointer_falls_back(self, registry):
+        (registry.model_dir("car") / "LATEST").write_text("not-a-number")
+        assert registry.latest_version("car") == 1
+
+    def test_versions_are_immutable(self, registry, car_model):
+        dataset, result = car_model
+        stamped = registry.load("car", 1)
+        directory = registry.artifact_path("car", 1).parent
+        with pytest.raises(FileExistsError):
+            directory.mkdir(parents=True, exist_ok=False)
+        assert registry.load("car", 1).content_hash == stamped.content_hash
+
+    def test_unknown_model_and_version(self, registry):
+        with pytest.raises(KeyError):
+            registry.load("nope")
+        with pytest.raises(KeyError):
+            registry.load("car", 99)
+
+    def test_corrupt_artifact_rejected_on_load(self, registry):
+        path = registry.artifact_path("car", 1)
+        payload = json.loads(path.read_text())
+        payload["vocab"]["left"] = payload["vocab"]["left"][:-1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            registry.load("car", 1)
+
+    def test_invalid_model_name(self, registry):
+        with pytest.raises(ValueError, match="model name"):
+            registry.model_dir("../escape")
+
+    def test_stray_directories_ignored(self, registry):
+        (registry.root / ".git").mkdir()
+        (registry.root / ".DS_Store").mkdir()
+        assert registry.models() == ["car"]
+        assert [row["name"] for row in registry.describe()] == ["car"]
+
+    def test_describe(self, registry):
+        rows = registry.describe()
+        assert [row["name"] for row in rows] == ["car"]
+        assert rows[0]["latest"] == 1
+        assert rows[0]["n_rules"] > 0
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestMicroBatcher:
+    def test_concurrent_requests_coalesce_into_one_call(self):
+        calls = []
+
+        def run(batch):
+            calls.append(batch.shape[0])
+            return ~batch
+
+        async def scenario():
+            batcher = MicroBatcher(max_batch=64, max_delay_ms=25.0)
+            rows = [np.eye(4, dtype=bool)[i : i + 1] for i in range(4)]
+            results = await asyncio.gather(
+                *(batcher.submit("lane", row, run) for row in rows)
+            )
+            return results, batcher
+
+        results, batcher = asyncio.run(scenario())
+        assert calls == [4], "4 concurrent requests must run as one batch"
+        assert batcher.batches == 1 and batcher.batched_rows == 4
+        for index, result in enumerate(results):
+            assert np.array_equal(result, ~np.eye(4, dtype=bool)[index : index + 1])
+
+    def test_max_batch_triggers_immediate_flush(self):
+        calls = []
+
+        def run(batch):
+            calls.append(batch.shape[0])
+            return batch
+
+        async def scenario():
+            batcher = MicroBatcher(max_batch=2, max_delay_ms=10_000.0)
+            rows = np.ones((1, 3), dtype=bool)
+            await asyncio.gather(
+                batcher.submit("lane", rows, run),
+                batcher.submit("lane", rows, run),
+            )
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=5.0))
+        assert calls == [2], "hitting max_batch must flush without the delay"
+
+    def test_separate_lanes_do_not_mix(self):
+        seen = {}
+
+        def runner(name):
+            def run(batch):
+                seen.setdefault(name, 0)
+                seen[name] += batch.shape[0]
+                return batch
+
+            return run
+
+        async def scenario():
+            batcher = MicroBatcher(max_batch=8, max_delay_ms=10.0)
+            rows = np.ones((1, 2), dtype=bool)
+            await asyncio.gather(
+                batcher.submit("a", rows, runner("a")),
+                batcher.submit("b", rows, runner("b")),
+                batcher.submit("a", rows, runner("a")),
+            )
+
+        asyncio.run(scenario())
+        assert seen == {"a": 2, "b": 1}
+
+    def test_runner_failure_propagates_to_all_waiters(self):
+        def run(batch):
+            raise RuntimeError("model exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(max_batch=8, max_delay_ms=5.0)
+            rows = np.ones((1, 2), dtype=bool)
+            results = await asyncio.gather(
+                batcher.submit("lane", rows, run),
+                batcher.submit("lane", rows, run),
+                return_exceptions=True,
+            )
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+
+class TestPredictionService:
+    def test_concurrent_predicts_coalesce(self, registry):
+        service = PredictionService(registry, max_delay_ms=25.0, cache_size=0)
+        predictor = service.predictor("car", 1, Side.RIGHT)
+        calls = []
+
+        class CountingPredictor:
+            def predict(self, batch, strategy="auto"):
+                calls.append(batch.shape[0])
+                return predictor.predict(batch, strategy=strategy)
+
+        service._predictors[("car", 1, Side.RIGHT.value)] = CountingPredictor()
+
+        async def scenario():
+            requests = [
+                {"model": "car", "target": "R", "rows": [[index]]}
+                for index in range(6)
+            ]
+            return await asyncio.gather(
+                *(service.predict(request) for request in requests)
+            )
+
+        responses = asyncio.run(scenario())
+        assert calls == [6], "6 concurrent requests must cost one predictor call"
+        assert all(response["version"] == 1 for response in responses)
+        stats = service.stats["car"]
+        assert stats.requests == 6 and stats.rows == 6
+
+    def test_response_cache_hit(self, registry):
+        service = PredictionService(registry, max_delay_ms=0.0)
+        request = {"model": "car", "target": "R", "rows": [[0, 3], []]}
+
+        async def scenario():
+            first = await service.predict(request)
+            second = await service.predict(request)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["cached"] is False and second["cached"] is True
+        assert first["predictions"] == second["predictions"]
+        assert service.stats["car"].cache_hits == 1
+
+    def test_predictions_match_loop_engine(self, registry, car_model):
+        dataset, result = car_model
+        rows = [sorted(np.flatnonzero(row).tolist()) for row in dataset.left[:16]]
+        compiled_service = PredictionService(registry, max_delay_ms=0.0)
+        loop_service = PredictionService(registry, max_delay_ms=0.0, engine="loop")
+
+        async def both():
+            return (
+                await compiled_service.predict(
+                    {"model": "car", "target": "R", "rows": rows}
+                ),
+                await loop_service.predict(
+                    {"model": "car", "target": "R", "rows": rows}
+                ),
+            )
+
+        compiled_response, loop_response = asyncio.run(both())
+        assert compiled_response["predictions"] == loop_response["predictions"]
+
+    def test_request_validation(self, registry):
+        service = PredictionService(registry, max_delay_ms=0.0)
+
+        async def status_of(body):
+            status, __ = await service.handle(
+                "POST", "/predict", json.dumps(body).encode()
+            )
+            return status
+
+        assert asyncio.run(status_of({"target": "R", "rows": []})) == 400
+        assert asyncio.run(status_of({"model": "car", "rows": "x"})) == 400
+        assert asyncio.run(status_of({"model": "ghost", "rows": []})) == 404
+        assert (
+            asyncio.run(status_of({"model": "car", "version": 9, "rows": []})) == 404
+        )
+        assert (
+            asyncio.run(status_of({"model": "car", "rows": [[99999]]})) == 400
+        )
+
+    def test_corrupt_artifact_maps_to_500(self, registry):
+        path = registry.artifact_path("car", 1)
+        payload = json.loads(path.read_text())
+        payload["content_hash"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        service = PredictionService(registry, max_delay_ms=0.0)
+        status, body = asyncio.run(
+            service.handle(
+                "POST",
+                "/predict",
+                json.dumps({"model": "car", "rows": [[0]]}).encode(),
+            )
+        )
+        assert status == 500
+        assert "hash mismatch" in body["error"]
+        assert service.stats["car"].errors == 1
+
+    def test_per_model_batch_counts_are_exact(self, registry):
+        service = PredictionService(registry, max_delay_ms=25.0, cache_size=0)
+
+        async def scenario():
+            await asyncio.gather(
+                *(
+                    service.predict(
+                        {"model": "car", "target": "R", "rows": [[index]]}
+                    )
+                    for index in range(5)
+                )
+            )
+
+        asyncio.run(scenario())
+        assert service.stats["car"].batches == 1
+
+    def test_routes(self, registry):
+        service = PredictionService(registry)
+
+        async def scenario():
+            health = await service.handle("GET", "/healthz")
+            models = await service.handle("GET", "/models")
+            missing = await service.handle("GET", "/nope")
+            return health, models, missing
+
+        health, models, missing = asyncio.run(scenario())
+        assert health[0] == 200 and health[1]["status"] == "ok"
+        assert models[0] == 200
+        assert models[1]["models"][0]["name"] == "car"
+        assert missing[0] == 404
+
+
+class TestPredictionServer:
+    def test_http_round_trip(self, registry):
+        async def scenario():
+            service = PredictionService(registry, max_delay_ms=0.0)
+            server = PredictionServer(service, port=0)
+            await server.start()
+            try:
+                async def call(raw: bytes) -> tuple[int, dict]:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    writer.write(raw)
+                    await writer.drain()
+                    response = await reader.read()
+                    writer.close()
+                    head, __, body = response.partition(b"\r\n\r\n")
+                    status = int(head.split()[1])
+                    return status, json.loads(body)
+
+                health = await call(b"GET /healthz HTTP/1.1\r\n\r\n")
+                body = json.dumps(
+                    {"model": "car", "target": "R", "rows": [[0, 1]]}
+                ).encode()
+                predict = await call(
+                    b"POST /predict HTTP/1.1\r\nContent-Length: "
+                    + str(len(body)).encode()
+                    + b"\r\n\r\n"
+                    + body
+                )
+                bad = await call(b"BOGUS\r\n\r\n")
+                huge = await call(
+                    b"POST /predict HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"
+                )
+                return health, predict, bad, huge
+            finally:
+                await server.stop()
+
+        health, predict, bad, huge = asyncio.run(scenario())
+        assert health == (200, health[1]) and health[1]["status"] == "ok"
+        assert predict[0] == 200 and predict[1]["model"] == "car"
+        assert bad[0] == 400
+        assert huge[0] == 413, "absurd Content-Length must be rejected"
+
+
+class TestServeCli:
+    def test_publish_serve_predict_batch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry_dir = tmp_path / "registry"
+        assert main([
+            "publish", "car", "--scale", "0.2", "--method", "greedy",
+            "--minsup", "5", "--registry", str(registry_dir), "--name", "car",
+        ]) == 0
+        assert "published car v1" in capsys.readouterr().out
+
+        rows_path = tmp_path / "rows.json"
+        rows_path.write_text(json.dumps([[0, 3], [1], []]))
+        output_path = tmp_path / "predictions.json"
+        assert main([
+            "predict-batch", "--registry", str(registry_dir), "--model", "car",
+            "--input", str(rows_path), "--output", str(output_path),
+        ]) == 0
+        response = json.loads(output_path.read_text())
+        assert response["version"] == 1
+        assert len(response["predictions"]) == 3
+
+    def test_publish_table_default_name(self, tmp_path, capsys):
+        from repro.cli import main
+
+        table_path = tmp_path / "table.json"
+        assert main([
+            "fit", "car", "--scale", "0.2", "--method", "greedy",
+            "--minsup", "5", "--output", str(table_path),
+        ]) == 0
+        capsys.readouterr()
+        # No --name: a table-file publish must not claim a fit method.
+        assert main([
+            "publish", "car", "--scale", "0.2", "--table", str(table_path),
+            "--registry", str(tmp_path / "registry"),
+        ]) == 0
+        assert "published car-table v1" in capsys.readouterr().out
+
+    def test_predict_from_saved_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        table_path = tmp_path / "table.json"
+        assert main([
+            "fit", "car", "--scale", "0.2", "--method", "greedy",
+            "--minsup", "5", "--output", str(table_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "predict", "car", "--scale", "0.2", "--table", str(table_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "saved table" in out
+        assert "left_to_right" in out

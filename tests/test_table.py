@@ -88,3 +88,47 @@ class TestRendering:
         path = tmp_path / "table.json"
         table.save(path)
         assert TranslationTable.load(path) == table
+
+
+class TestSchemaVersion:
+    def test_payload_carries_schema_version(self, rules):
+        import json
+
+        from repro.core.table import TABLE_SCHEMA_VERSION
+
+        payload = json.loads(TranslationTable(rules).to_json())
+        assert payload["schema_version"] == TABLE_SCHEMA_VERSION
+        assert len(payload["rules"]) == len(rules)
+
+    def test_payload_roundtrip(self, rules):
+        table = TranslationTable(rules)
+        assert TranslationTable.from_payload(table.to_payload()) == table
+
+    def test_legacy_bare_list_still_loads(self, rules):
+        import json
+
+        table = TranslationTable(rules)
+        legacy = json.dumps([rule.to_dict() for rule in table])  # v1 format
+        assert TranslationTable.from_json(legacy) == table
+
+    def test_future_schema_version_rejected(self, rules):
+        import pytest
+
+        from repro.core.table import TABLE_SCHEMA_VERSION
+
+        payload = TranslationTable(rules).to_payload()
+        payload["schema_version"] = TABLE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            TranslationTable.from_payload(payload)
+
+    def test_garbage_payload_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="payload"):
+            TranslationTable.from_payload("not a table")
+
+    def test_missing_rules_list_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="rules"):
+            TranslationTable.from_json('{"schema_version": 2}')
