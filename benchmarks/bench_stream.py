@@ -1,0 +1,284 @@
+"""Microbenchmark: incremental window maintenance vs repack+refit
+(``BENCH_stream.json``).
+
+Simulates the maintenance loop's hot path on an append-heavy workload:
+a sliding window of ``window`` rows advances by ``batch`` rows per
+event.  Two implementations process the same stream:
+
+* **incremental** — the :class:`repro.stream.StreamBuffer` path: append
+  packs only the word-tail, eviction rotates dead words out, per-rule
+  support counts come from the buffer's tracked itemsets, and the
+  published table is re-scored against the window
+  (:func:`repro.stream.score_table`); a refit runs only when the drift
+  monitor fires (never, on this stationary stream — exactly the point).
+* **full** — the batch path a naive deployment would run per event:
+  rebuild the window, repack both views from scratch
+  (``BitMatrix.from_bool_columns``), recompute every rule support from
+  the dataset, and refit the translator on the whole window.
+
+Every event also verifies equivalence outside the timed region: the
+incremental packed columns must be bit-identical to a from-scratch
+pack and the tracked supports equal to recomputed ones; at the end, a
+windowed refit through the buffer's injected columns must reproduce
+the batch fit bit for bit.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--tiny] [--output PATH]
+
+The default run writes ``BENCH_stream.json`` at the repository root.
+The repo's tracked number is ``speedup_end_to_end`` (acceptance floor
+5x on the append-heavy workload); ``pack_only`` records the honest
+packing-only comparison (no refits on either side).  ``--tiny`` runs a
+seconds-scale smoke grid (the ``perf_smoke`` marker) that checks
+equivalence without asserting a speedup floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.beam import TranslatorBeam  # noqa: E402
+from repro.core.bitset import BitMatrix  # noqa: E402
+from repro.core.translator import TranslatorExact  # noqa: E402
+from repro.data.dataset import Side, TwoViewDataset  # noqa: E402
+from repro.data.synthetic import SyntheticSpec, generate_planted  # noqa: E402
+from repro.stream import (  # noqa: E402
+    DriftMonitor,
+    StreamBuffer,
+    fit_window,
+    score_table,
+)
+
+FULL_SETTINGS = {
+    "window": 32768,
+    "batch": 128,
+    "events": 12,
+    "n_items_per_view": 24,
+    "density": 0.12,
+    "n_rules": 4,
+    "translator": "beam",
+    "max_rule_size": 4,
+    "seed": 11,
+}
+TINY_SETTINGS = {
+    "window": 128,
+    "batch": 32,
+    "events": 3,
+    "n_items_per_view": 10,
+    "density": 0.15,
+    "n_rules": 2,
+    "translator": "beam",
+    "max_rule_size": 3,
+    "seed": 11,
+}
+
+
+def make_translator(settings: dict):
+    """The refit engine used by both paths (identical configuration)."""
+    if settings["translator"] == "exact":
+        return TranslatorExact(max_rule_size=settings["max_rule_size"])
+    return TranslatorBeam(max_rule_size=settings["max_rule_size"])
+
+
+def make_stream(settings: dict) -> np.ndarray:
+    """A stationary planted stream long enough for warm-up plus events."""
+    n_rows = settings["window"] + settings["batch"] * settings["events"]
+    n = settings["n_items_per_view"]
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=n_rows,
+            n_left=n,
+            n_right=n,
+            density_left=settings["density"],
+            density_right=settings["density"],
+            n_rules=settings["n_rules"],
+            seed=settings["seed"],
+        )
+    )
+    return dataset
+
+
+def run_workload(settings: dict) -> dict:
+    """Drive both paths over the same sliding stream; verify equivalence."""
+    stream = make_stream(settings)
+    window, batch = settings["window"], settings["batch"]
+    translator = make_translator(settings)
+
+    # Warm-up: both paths start from the same fitted window [0, window).
+    buffer = StreamBuffer(
+        stream.n_left, stream.n_right, capacity=window + batch
+    )
+    buffer.append(stream.left[:window], stream.right[:window])
+    baseline = fit_window(make_translator(settings), buffer, "warmup")
+    table = baseline.table
+    trackers = buffer.track_table(table)
+    monitor = DriftMonitor(table, seed=settings["seed"])
+
+    incremental_seconds = 0.0
+    full_seconds = 0.0
+    pack_incremental_seconds = 0.0
+    pack_full_seconds = 0.0
+    refits = {"incremental": 0, "full": 0}
+    all_identical = True
+
+    for event in range(settings["events"]):
+        lo = window + event * batch
+        batch_left = stream.left[lo : lo + batch]
+        batch_right = stream.right[lo : lo + batch]
+        window_left = stream.left[lo + batch - window : lo + batch]
+        window_right = stream.right[lo + batch - window : lo + batch]
+        event_table = table  # what both paths serve during this event
+
+        # Incremental path: buffer update + tracked supports + drift score.
+        start = time.perf_counter()
+        buffer.append(batch_left, batch_right)
+        buffer.evict(len(buffer) - window)
+        supports_incremental = [
+            (lhs.count, rhs.count) for lhs, rhs in trackers
+        ]
+        pack_incremental_seconds += time.perf_counter() - start
+        window_ds = buffer.window_dataset("bench")
+        published_ratio = score_table(window_ds, table)
+        report = None
+        if published_ratio > baseline.compression_ratio + monitor.min_degradation:
+            result = fit_window(translator, buffer, "bench")
+            report = monitor.check(window_ds, result)
+            if report.drifted:
+                refits["incremental"] += 1
+                # Model swap: retarget every piece of published-model
+                # state (trackers, baseline, monitor) at the new table.
+                table = result.table
+                baseline = result
+                monitor.update_table(table)
+                buffer.untrack_all()
+                trackers = buffer.track_table(table)
+        incremental_seconds += time.perf_counter() - start
+
+        # Full path: rebuild, repack, recompute supports, refit.
+        start = time.perf_counter()
+        full_ds = TwoViewDataset(window_left, window_right, name="bench-full")
+        left_bits = BitMatrix.from_bool_columns(full_ds.left)
+        right_bits = BitMatrix.from_bool_columns(full_ds.right)
+        supports_full = [
+            (
+                full_ds.support_count(Side.LEFT, rule.lhs),
+                full_ds.support_count(Side.RIGHT, rule.rhs),
+            )
+            # event_table, not table: the incremental supports above were
+            # read before any refit this event could swap the model.
+            for rule in event_table
+        ]
+        pack_full_seconds += time.perf_counter() - start
+        full_result = make_translator(settings).fit(full_ds)
+        refits["full"] += 1
+        full_seconds += time.perf_counter() - start
+
+        # Equivalence (outside the timed regions).
+        identical = bool(
+            np.array_equal(buffer.bit_matrix(Side.LEFT).words, left_bits.words)
+            and np.array_equal(
+                buffer.bit_matrix(Side.RIGHT).words, right_bits.words
+            )
+            and supports_incremental == supports_full
+        )
+        all_identical = all_identical and identical
+
+    # Windowed refit must be bit-identical to the batch fit on the
+    # same window (the incremental packed columns are injected).
+    final_incremental = fit_window(make_translator(settings), buffer, "final")
+    final_full = make_translator(settings).fit(buffer.window_dataset("final"))
+    refit_identical = bool(
+        list(final_incremental.table) == list(final_full.table)
+        and final_incremental.compression_ratio == final_full.compression_ratio
+    )
+
+    return {
+        "events": settings["events"],
+        "rows_per_event": batch,
+        "window": window,
+        "incremental_seconds": incremental_seconds,
+        "full_seconds": full_seconds,
+        "speedup_end_to_end": full_seconds / incremental_seconds,
+        "pack_only": {
+            "incremental_seconds": pack_incremental_seconds,
+            "full_seconds": pack_full_seconds,
+            "speedup": pack_full_seconds / pack_incremental_seconds,
+        },
+        "refits": refits,
+        "buffer_bit_identical": all_identical,
+        "windowed_refit_bit_identical": refit_identical,
+    }
+
+
+def run_grid(tiny: bool = False) -> dict:
+    """Run the benchmark and return the report dictionary."""
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    workload = run_workload(settings)
+    return {
+        "benchmark": "stream: incremental window update vs repack+refit",
+        "mode": "tiny" if tiny else "full",
+        "settings": settings,
+        "workload": workload,
+        "all_identical": bool(
+            workload["buffer_bit_identical"]
+            and workload["windowed_refit_bit_identical"]
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_stream.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_grid(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    workload = report["workload"]
+    print(
+        f"window={workload['window']}  batch={workload['rows_per_event']}  "
+        f"events={workload['events']}"
+    )
+    print(
+        f"incremental: {workload['incremental_seconds'] * 1000:9.1f} ms  "
+        f"({workload['refits']['incremental']} refit(s))"
+    )
+    print(
+        f"full:        {workload['full_seconds'] * 1000:9.1f} ms  "
+        f"({workload['refits']['full']} refit(s))"
+    )
+    print(f"end-to-end speedup: {workload['speedup_end_to_end']:.1f}x")
+    pack = workload["pack_only"]
+    print(
+        f"pack-only:   {pack['incremental_seconds'] * 1000:9.2f} ms vs "
+        f"{pack['full_seconds'] * 1000:.2f} ms  ({pack['speedup']:.1f}x)"
+    )
+    print(
+        f"bit-identical: buffer={workload['buffer_bit_identical']}  "
+        f"refit={workload['windowed_refit_bit_identical']}"
+    )
+    print(f"report written to {args.output}")
+    if not report["all_identical"]:
+        print("ERROR: incremental and batch paths disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

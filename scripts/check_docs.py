@@ -41,6 +41,7 @@ PUBLIC_PACKAGES = [
     "repro.multiview",
     "repro.runtime",
     "repro.serve",
+    "repro.stream",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

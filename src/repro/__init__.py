@@ -7,7 +7,10 @@ significant rule discovery, redescription mining, KRIMP), a parallel
 experiment runtime (:mod:`repro.runtime`) for sharded sweeps with
 result caching, a model-serving subsystem (:mod:`repro.serve`) with a
 compiled bitset predictor, versioned artifacts and an async
-micro-batching prediction server, and a benchmark harness regenerating
+micro-batching prediction server, a streaming subsystem
+(:mod:`repro.stream`) that ingests live rows into an incrementally
+packed window buffer, detects drift and hot-swaps refitted models into
+the running server, and a benchmark harness regenerating
 every table and figure of the evaluation section.
 
 Quickstart::
@@ -56,7 +59,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.runtime import (
     ParallelExecutor,
@@ -72,6 +75,12 @@ from repro.serve import (
     ModelRegistry,
     PredictionServer,
     PredictionService,
+)
+from repro.stream import (
+    DriftMonitor,
+    MaintenanceLoop,
+    RefitPolicy,
+    StreamBuffer,
 )
 
 __all__ = [
@@ -99,12 +108,16 @@ __all__ = [
     "TranslatorResult",
     "TranslatorSelect",
     "CompiledPredictor",
+    "DriftMonitor",
+    "MaintenanceLoop",
     "ModelArtifact",
     "ModelRegistry",
     "ParallelExecutor",
     "PredictionServer",
     "PredictionService",
+    "RefitPolicy",
     "ResultCache",
+    "StreamBuffer",
     "SweepReport",
     "SweepTask",
     "expand_grid",

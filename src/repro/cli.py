@@ -17,6 +17,7 @@ Subcommands mirroring the library's main entry points::
     repro-translator publish DATASET [options]    fit + publish a model artifact
     repro-translator serve [options]              async prediction server
     repro-translator predict-batch [options]      offline batched prediction
+    repro-translator stream [options]             streaming model maintenance
 
 ``DATASET`` is either a registry name (``house``, ``cal500``, ...) or a
 path to a ``.2v`` file.  Also runnable as ``python -m repro``.
@@ -41,6 +42,15 @@ micro-batching, ``predict-batch`` answers a file of requests offline::
     repro-translator serve --registry ./registry --port 8100
     repro-translator predict-batch --registry ./registry --model car-select \
         --target R --input rows.json
+
+``stream`` (:mod:`repro.stream`) tails a row source (JSONL or packed
+binary frames), maintains a sliding/tumbling window incrementally,
+refits when drift is detected, and publishes fresh versions into the
+registry — a running ``serve`` process hot-swaps them via the
+``latest`` pointer without a restart::
+
+    repro-translator stream rows.jsonl --registry ./registry --name live \
+        --vocab-from car --window 512 --check-every 128
 """
 
 from __future__ import annotations
@@ -286,6 +296,115 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
               f"v{response['version']}; written to {args.output}")
     else:
         print(payload, end="")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.beam import TranslatorBeam
+    from repro.serve import ModelRegistry
+    from repro.stream import (
+        DriftMonitor,
+        JsonlSource,
+        MaintenanceLoop,
+        PackedSource,
+        RefitPolicy,
+        StreamBuffer,
+    )
+
+    if args.vocab_from is not None:
+        vocab = _resolve_dataset(args.vocab_from, args.scale)
+        n_left, n_right = vocab.n_left, vocab.n_right
+        left_names, right_names = vocab.left_names, vocab.right_names
+    elif args.n_left is not None and args.n_right is not None:
+        n_left, n_right = args.n_left, args.n_right
+        left_names = right_names = None
+    else:
+        print(
+            "stream requires --vocab-from DATASET or both --n-left and --n-right",
+            file=sys.stderr,
+        )
+        return 2
+    if args.method == "beam":
+        translator = TranslatorBeam(
+            max_rule_size=args.max_rule_size or 6, n_jobs=args.n_jobs
+        )
+    else:
+        translator = TranslatorExact(
+            max_rule_size=args.max_rule_size, n_jobs=args.n_jobs
+        )
+    source_path = Path(args.source)
+    if source_path.suffix in (".2vp", ".bin", ".packed"):
+        if args.follow:
+            print(
+                "--follow is only supported for JSONL sources "
+                "(packed files are read once)",
+                file=sys.stderr,
+            )
+            return 2
+        source = PackedSource(source_path, max_rows=args.max_rows)
+    else:
+        source = JsonlSource(
+            source_path, follow=args.follow, max_rows=args.max_rows
+        )
+    buffer = StreamBuffer(
+        n_left,
+        n_right,
+        left_names=left_names,
+        right_names=right_names,
+        capacity=args.window,
+    )
+    loop = MaintenanceLoop(
+        source,
+        buffer,
+        ModelRegistry(args.registry),
+        args.name,
+        translator,
+        policy=RefitPolicy(
+            window=args.window,
+            policy=args.policy,
+            check_every=args.check_every,
+            min_rows=args.min_rows,
+            always_publish=args.always_publish,
+        ),
+        monitor_factory=lambda table: DriftMonitor(
+            table,
+            min_degradation=args.min_degradation,
+            significance=args.significance,
+            n_permutations=args.permutations,
+            seed=args.seed,
+        ),
+    )
+    print(
+        f"# streaming {args.source} into model {args.name!r} "
+        f"({args.policy} window of {args.window}, registry {args.registry})"
+    )
+    asyncio.run(loop.run())
+    published = [event for event in loop.events if event.published]
+    for event in loop.events:
+        state = (
+            f"published v{event.published_version}"
+            if event.published
+            else "no drift"
+        )
+        detail = ""
+        if event.report is not None:
+            detail = (
+                f"  L%={100 * event.report.published_ratio:.2f} vs "
+                f"refit {100 * event.report.refit_ratio:.2f}  "
+                f"p={event.report.p_value:.3f}"
+                + (f"  [{event.report.reason}]" if event.report.reason else "")
+            )
+        print(
+            f"# rows={event.rows_seen:>6}  window={event.window_rows:>5}  "
+            f"{state}{detail}"
+        )
+    print(
+        f"# {loop.rows_seen} row(s) consumed, {len(loop.events)} check(s), "
+        f"{len(published)} version(s) published; latest = "
+        f"{loop.published_version}"
+    )
     return 0
 
 
@@ -760,6 +879,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("compiled", "loop"), default="compiled"
     )
     predict_batch.set_defaults(handler=_cmd_predict_batch)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="ingest a row stream, refit on drift, hot-swap the registry",
+        parents=[common],
+    )
+    stream.add_argument(
+        "source",
+        help="row source: a .jsonl file of {left, right} index lists, or a "
+        ".2vp file of packed two-view frames",
+    )
+    stream.add_argument(
+        "--registry", type=Path, required=True, help="model registry directory"
+    )
+    stream.add_argument("--name", required=True, help="registry model to maintain")
+    stream.add_argument(
+        "--vocab-from",
+        default=None,
+        help="dataset (registry name or .2v path) defining the vocabularies",
+    )
+    stream.add_argument("--n-left", type=int, default=None)
+    stream.add_argument("--n-right", type=int, default=None)
+    stream.add_argument("--window", type=int, default=512)
+    stream.add_argument(
+        "--policy", choices=("sliding", "tumbling"), default="sliding"
+    )
+    stream.add_argument("--check-every", type=int, default=128)
+    stream.add_argument("--min-rows", type=int, default=64)
+    stream.add_argument(
+        "--method", choices=("exact", "beam"), default="exact",
+        help="refit engine (both skip the window repack)",
+    )
+    stream.add_argument("--max-rule-size", type=int, default=None)
+    stream.add_argument("--n-jobs", type=int, default=1)
+    stream.add_argument("--min-degradation", type=float, default=0.02)
+    stream.add_argument("--significance", type=float, default=0.05)
+    stream.add_argument("--permutations", type=int, default=19)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--follow", action="store_true",
+        help="tail a growing JSONL source instead of stopping at EOF",
+    )
+    stream.add_argument(
+        "--max-rows", type=int, default=None, help="stop after this many rows"
+    )
+    stream.add_argument(
+        "--always-publish", action="store_true",
+        help="publish every refit candidate regardless of drift",
+    )
+    stream.set_defaults(handler=_cmd_stream)
     return parser
 
 

@@ -99,9 +99,19 @@ class TranslatorBeam:
 
     # ------------------------------------------------------------------
     def fit(
-        self, dataset: TwoViewDataset, codes: CodeLengthModel | None = None
+        self,
+        dataset: TwoViewDataset,
+        codes: CodeLengthModel | None = None,
+        bits: tuple[BitMatrix, BitMatrix] | None = None,
     ) -> TranslatorResult:
-        """Induce a translation table for ``dataset``."""
+        """Induce a translation table for ``dataset``.
+
+        ``bits`` optionally injects pre-packed ``(left, right)``
+        :class:`BitMatrix` columns of the views (the streaming buffer
+        maintains them incrementally), skipping the per-fit repack;
+        incremental packing is bit-identical, so the fitted model is
+        unchanged.
+        """
         start = time.perf_counter()
         state = CoverState(dataset, codes)
         history: list[IterationRecord] = []
@@ -109,12 +119,28 @@ class TranslatorBeam:
         # extension loop tests joint support emptiness for every candidate
         # extension, and the packed AND touches 64x less memory than the
         # Boolean-mask path.
-        if self.kernel == "bitset":
-            self._left_bits = BitMatrix.from_bool_columns(dataset.left)
-            self._right_bits = BitMatrix.from_bool_columns(dataset.right)
-        else:
+        if self.kernel != "bitset":
             self._left_bits = None
             self._right_bits = None
+        elif bits is not None:
+            left_bits, right_bits = bits
+            for matrix, view, what in (
+                (left_bits, dataset.left, "left"),
+                (right_bits, dataset.right, "right"),
+            ):
+                if (
+                    matrix.n_bits != view.shape[0]
+                    or matrix.n_items != view.shape[1]
+                ):
+                    raise ValueError(
+                        f"injected {what} bits ({matrix.n_items} items x "
+                        f"{matrix.n_bits} bits) do not match the dataset "
+                        f"view {view.shape}"
+                    )
+            self._left_bits, self._right_bits = left_bits, right_bits
+        else:
+            self._left_bits = BitMatrix.from_bool_columns(dataset.left)
+            self._right_bits = BitMatrix.from_bool_columns(dataset.right)
         from repro.runtime.executor import ParallelExecutor, effective_n_jobs
 
         if effective_n_jobs(self.n_jobs) > 1:

@@ -63,6 +63,8 @@ __all__ = [
     "BitMatrix",
     "n_words_for",
     "pack_mask",
+    "pack_rows_at",
+    "shift_rows",
     "unpack_mask",
     "popcount",
     "popcount_rows",
@@ -107,6 +109,59 @@ def _pack_rows(matrix: np.ndarray) -> np.ndarray:
         packed = np.packbits(matrix, axis=1, bitorder="little")
         buffer[:, : packed.shape[1]] = packed
     return buffer.view(np.uint64)
+
+
+def pack_rows_at(matrix: np.ndarray, offset: int) -> np.ndarray:
+    """Pack a ``(k, n_items)`` Boolean chunk at a bit ``offset`` of word 0.
+
+    The streaming append primitive: transaction ``i`` of the chunk lands
+    at bit position ``offset + i`` of item row ``j`` in the returned
+    ``(n_items, n_words_for(offset + k))`` word array, and the first
+    ``offset`` bit positions are zero.  ORing the first returned word
+    into an existing buffer whose bits at and above ``offset`` are still
+    zero — the tail word of an append-only buffer — therefore splices
+    the chunk in exactly, touching only the tail words.
+
+    Args:
+        matrix: ``(k, n_items)`` Boolean chunk, one row per new
+            transaction (the same orientation the dataset views use).
+        offset: Bit position inside the first word where transaction 0
+            goes; must be in ``[0, 64)``.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-dimensional")
+    if not 0 <= offset < WORD_BITS:
+        raise ValueError(f"offset must be in [0, {WORD_BITS}), got {offset}")
+    k, n_items = matrix.shape
+    padded = np.zeros((n_items, offset + k), dtype=bool)
+    padded[:, offset:] = matrix.T
+    return _pack_rows(padded)
+
+
+def shift_rows(words: np.ndarray, shift: int) -> np.ndarray:
+    """Shift every row of a 2-D word array down by ``shift`` bit positions.
+
+    Bit ``i + shift`` of the input becomes bit ``i`` of the output (the
+    top ``shift`` bits of the last word fill with zeros).  This is the
+    window-rotation primitive of the streaming buffer: extracting a
+    window whose first live transaction sits mid-word is one
+    ``shift_rows`` over the live words instead of a full repack.
+
+    Args:
+        words: ``(n_rows, n_words)`` word array.
+        shift: Bit distance, in ``[0, 64)``.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError("words must be 2-dimensional")
+    if not 0 <= shift < WORD_BITS:
+        raise ValueError(f"shift must be in [0, {WORD_BITS}), got {shift}")
+    if shift == 0 or words.shape[1] == 0:
+        return words.copy()
+    out = words >> np.uint64(shift)
+    out[:, :-1] |= words[:, 1:] << np.uint64(WORD_BITS - shift)
+    return out
 
 
 def unpack_mask(words: np.ndarray, n_bits: int) -> np.ndarray:

@@ -134,12 +134,42 @@ class SearchCache:
     ``TranslatorExact`` builds one cache per ``fit`` and threads it through
     its greedy iterations; standalone searches build a private one.  The
     cache never depends on the cover state, only on the dataset.
+
+    ``left_bits`` / ``right_bits`` optionally inject pre-packed
+    :class:`BitMatrix` columns for the two views — the streaming buffer
+    (:class:`repro.stream.StreamBuffer`) maintains them incrementally
+    and hands them in so a windowed refit skips the full repack.  They
+    must describe exactly ``dataset``'s views; since incremental packing
+    is bit-identical to packing from scratch, the search behaves
+    identically either way.
     """
 
-    def __init__(self, dataset: TwoViewDataset) -> None:
+    def __init__(
+        self,
+        dataset: TwoViewDataset,
+        left_bits: BitMatrix | None = None,
+        right_bits: BitMatrix | None = None,
+    ) -> None:
         self.dataset = dataset
-        self.left_bits = BitMatrix.from_bool_columns(dataset.left)
-        self.right_bits = BitMatrix.from_bool_columns(dataset.right)
+        for bits, view, what in (
+            (left_bits, dataset.left, "left_bits"),
+            (right_bits, dataset.right, "right_bits"),
+        ):
+            if bits is not None and (
+                bits.n_bits != view.shape[0] or bits.n_items != view.shape[1]
+            ):
+                raise ValueError(
+                    f"{what} shape ({bits.n_items} items x {bits.n_bits} bits) "
+                    f"does not match the dataset view {view.shape}"
+                )
+        self.left_bits = (
+            left_bits if left_bits is not None
+            else BitMatrix.from_bool_columns(dataset.left)
+        )
+        self.right_bits = (
+            right_bits if right_bits is not None
+            else BitMatrix.from_bool_columns(dataset.right)
+        )
         self.left_counts = self.left_bits.counts()
         self.right_counts = self.right_bits.counts()
         # 0/1 item masks, one row per item, in float64 so the fixed-point

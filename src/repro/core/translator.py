@@ -188,17 +188,29 @@ class TranslatorExact:
         self.n_jobs = n_jobs
 
     def fit(
-        self, dataset: TwoViewDataset, codes: CodeLengthModel | None = None
+        self,
+        dataset: TwoViewDataset,
+        codes: CodeLengthModel | None = None,
+        cache: SearchCache | None = None,
     ) -> TranslatorResult:
-        """Induce a translation table for ``dataset``."""
+        """Induce a translation table for ``dataset``.
+
+        ``cache`` optionally injects a pre-built :class:`SearchCache` for
+        ``dataset`` (the streaming buffer builds one from its
+        incrementally maintained packed columns, skipping the repack);
+        it must have been constructed for this exact dataset object.
+        """
         start = time.perf_counter()
         state = CoverState(dataset, codes)
         history: list[IterationRecord] = []
         all_stats: list[SearchStats] = []
         converged = True
+        if cache is not None and cache.dataset is not dataset:
+            raise ValueError("cache was built for a different dataset")
         # Packed masks and integer item matrices are dataset-static: build
         # them once and reuse them across all greedy iterations.
-        cache = SearchCache(dataset)
+        if cache is None:
+            cache = SearchCache(dataset)
         while self.max_iterations is None or len(state.table) < self.max_iterations:
             search = ExactRuleSearch(
                 state,

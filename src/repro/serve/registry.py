@@ -116,18 +116,37 @@ class ModelRegistry:
     def latest_version(self, name: str) -> int:
         """Resolve the ``latest`` pointer of one model.
 
-        Falls back to the highest published version when the pointer
-        file is missing or damaged; raises ``KeyError`` for a model with
-        no versions at all.
+        Tolerates a concurrent publish racing the read: a transiently
+        missing pointer (some platforms expose a brief gap while
+        ``os.replace`` swaps the temp file in) is retried before
+        falling back, and a pointer naming a version newer than the
+        initial directory scan triggers a re-scan instead of being
+        dismissed as damage.  Falls back to the highest published
+        version when the pointer file is genuinely missing or damaged;
+        raises ``KeyError`` for a model with no versions at all.
         """
         versions = self.versions(name)
         if not versions:
             raise KeyError(f"no published versions of model {name!r}")
         pointer = self.model_dir(name) / "LATEST"
-        try:
-            candidate = int(pointer.read_text(encoding="utf-8").strip())
-        except (OSError, ValueError):
-            return versions[-1]
+        candidate = None
+        for attempt in range(3):
+            try:
+                candidate = int(pointer.read_text(encoding="utf-8").strip())
+                break
+            except FileNotFoundError:
+                # Retry immediately (no sleep: this also runs on the
+                # server's event loop): the os.replace gap is shorter
+                # than a read attempt.
+                if attempt == 2:  # never written (or publisher died mid-swap)
+                    return versions[-1]
+            except (OSError, ValueError):
+                return versions[-1]
+        if candidate in versions:
+            return candidate
+        # A publisher may have added the pointed-at version after our
+        # directory scan — trust the pointer if a re-scan confirms it.
+        versions = self.versions(name) or versions
         return candidate if candidate in versions else versions[-1]
 
     def resolve(self, name: str, version: int | str | None = None) -> int:

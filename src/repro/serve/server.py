@@ -27,13 +27,18 @@ Endpoints::
                      "target": "L"|"R", "rows": [[item index, ..], ..]}
 
 ``rows`` are sparse item-index lists over the source view's vocabulary;
-responses mirror that shape for the predicted target view.
+responses mirror that shape for the predicted target view.  ``/predict``
+alternatively accepts a **binary packed-bitset frame**
+(:mod:`repro.stream.codec`, detected by its magic bytes) whose header
+carries the request fields — the payload becomes the source matrix via
+one vectorised unpack, skipping JSON entirely.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hashlib
 import json
 import time
 from collections import OrderedDict
@@ -102,6 +107,14 @@ class LRUCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        """Membership test without touching recency or hit counters."""
+        return key in self._entries
+
+    def __setitem__(self, key: object, value: object) -> None:
+        """Dict-style alias of :meth:`put`."""
+        self.put(key, value)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -235,6 +248,16 @@ class PredictionService:
         engine: ``"compiled"`` (default) or ``"loop"`` — the reference
             per-rule path, kept selectable for benchmarking and
             bit-identity spot checks.
+        max_predictors: How many compiled predictors (and, at twice
+            this, loaded artifacts) stay resident, evicted LRU.  A
+            long-running server behind a streaming maintenance loop
+            sees an unbounded parade of published versions; without the
+            bound, every one of them would stay compiled in memory.
+        latest_ttl_seconds: How long a ``latest`` resolution may be
+            served from memory before the registry directory is
+            consulted again; bounds the hot-swap staleness window after
+            a publish without putting O(versions) directory scans on
+            every request (cache hits included).
     """
 
     def __init__(
@@ -244,47 +267,57 @@ class PredictionService:
         max_delay_ms: float = 2.0,
         cache_size: int = 1024,
         engine: str = "compiled",
+        max_predictors: int = 32,
+        latest_ttl_seconds: float = 1.0,
     ) -> None:
         if engine not in ("compiled", "loop"):
             raise ValueError(f"unknown serving engine {engine!r}")
+        if max_predictors < 1:
+            raise ValueError("max_predictors must be positive")
         self.registry = registry
         self.engine = engine
         self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
         self.response_cache = LRUCache(cache_size)
         self.stats: dict[str, ModelStats] = {}
         self.started_unix = time.time()
-        #: How long a ``latest`` resolution may be served from memory
-        #: before the registry directory is consulted again; bounds the
-        #: staleness window after a publish without putting O(versions)
-        #: directory scans on every request (cache hits included).
-        self.latest_ttl_seconds = 1.0
-        self._artifacts: dict[tuple[str, int], ModelArtifact] = {}
-        self._predictors: dict[tuple[str, int, str], CompiledPredictor] = {}
+        self.latest_ttl_seconds = latest_ttl_seconds
+        self._artifacts: LRUCache = LRUCache(2 * max_predictors)
+        self._predictors: LRUCache = LRUCache(max_predictors)
         self._latest: dict[str, tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     # Model access
     # ------------------------------------------------------------------
     def artifact(self, name: str, version: int) -> ModelArtifact:
-        """Load (and memoise) one published model version."""
+        """Load (and memoise, LRU-bounded) one published model version."""
         key = (name, version)
-        if key not in self._artifacts:
-            self._artifacts[key] = self.registry.load(name, version)
-        return self._artifacts[key]
+        cached = self._artifacts.get(key)
+        if cached is None:
+            cached = self.registry.load(name, version)
+            self._artifacts.put(key, cached)
+        return cached  # type: ignore[return-value]
 
     def predictor(
         self, name: str, version: int, target: Side
     ) -> CompiledPredictor:
-        """Compile (and memoise) one model version for one direction."""
+        """Compile (and memoise, LRU-bounded) one model version/direction.
+
+        At most ``max_predictors`` compiled models stay resident; the
+        least recently served version is dropped first, so a registry
+        that accretes streaming refits doesn't grow the server's memory
+        without bound (an evicted version recompiles on next use).
+        """
         key = (name, version, target.value)
-        if key not in self._predictors:
+        cached = self._predictors.get(key)
+        if cached is None:
             artifact = self.artifact(name, version)
             n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
             n_target = artifact.n_right if target is Side.RIGHT else artifact.n_left
-            self._predictors[key] = CompiledPredictor.from_table(
+            cached = CompiledPredictor.from_table(
                 artifact.table, target, n_source, n_target
             )
-        return self._predictors[key]
+            self._predictors.put(key, cached)
+        return cached  # type: ignore[return-value]
 
     def _stats_for(self, name: str) -> ModelStats:
         return self.stats.setdefault(name, ModelStats())
@@ -335,44 +368,99 @@ class PredictionService:
         stats.requests += 1
         stats.rows += len(rows)
         try:
-            return await self._predict_resolved(name, version, target, rows, stats)
+            cache_key = (
+                name,
+                version,
+                content_key({"target": target.value, "rows": rows}),
+            )
+            cached = self._cached_response(cache_key, stats)
+            if cached is not None:
+                return cached
+            # Lazy import: repro.stream's package init reaches back into
+            # repro.serve, so a module-level import here would cycle.
+            from repro.stream.source import rows_to_matrix
+
+            artifact = self.artifact(name, version)
+            n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
+            matrix = rows_to_matrix(rows, n_source)
+            return await self._predict_matrix(
+                name, version, target, matrix, stats, cache_key
+            )
         except BaseException:
             stats.errors += 1
             raise
 
-    async def _predict_resolved(
+    async def predict_packed(self, body: bytes) -> dict:
+        """Answer one binary packed-frame ``/predict`` request body.
+
+        The body is a single-view frame from
+        :func:`repro.stream.codec.encode_packed_rows` whose header
+        carries the request fields (``model``, optional ``version`` and
+        ``target``); the payload bytes become the source matrix without
+        any per-row Python work.  Responses are the same JSON documents
+        the JSON path produces.
+        """
+        from repro.stream.codec import decode_packed_rows, frame_payload
+
+        meta, matrix, right = decode_packed_rows(body)
+        if right is not None:
+            raise ValueError("/predict expects a single-view packed frame")
+        name = meta.get("model")
+        if not isinstance(name, str) or not name:
+            raise ValueError("packed frame header must name a 'model'")
+        target = Side(str(meta.get("target", "R")).upper())
+        version = self._resolve_version(name, meta.get("version"))
+        stats = self._stats_for(name)
+        stats.requests += 1
+        stats.rows += matrix.shape[0]
+        try:
+            # Hash the wire payload (canonical packed words, 8x fewer
+            # bytes than the unpacked matrix); the shape disambiguates
+            # frames whose payloads happen to coincide.
+            cache_key = (
+                name,
+                version,
+                "packed",
+                target.value,
+                matrix.shape,
+                hashlib.sha256(frame_payload(body)).hexdigest(),
+            )
+            cached = self._cached_response(cache_key, stats)
+            if cached is not None:
+                return cached
+            artifact = self.artifact(name, version)
+            n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
+            if matrix.shape[1] != n_source:
+                raise ValueError(
+                    f"packed frame carries {matrix.shape[1]} items, the "
+                    f"source vocabulary has {n_source}"
+                )
+            return await self._predict_matrix(
+                name, version, target, matrix, stats, cache_key
+            )
+        except BaseException:
+            stats.errors += 1
+            raise
+
+    def _cached_response(self, cache_key: object, stats: ModelStats) -> dict | None:
+        """Response-cache lookup shared by the JSON and packed paths."""
+        cached = self.response_cache.get(cache_key)
+        if cached is None:
+            return None
+        stats.cache_hits += 1
+        response = dict(cached)  # type: ignore[arg-type]
+        response["cached"] = True
+        return response
+
+    async def _predict_matrix(
         self,
         name: str,
         version: int,
         target: Side,
-        rows: list,
+        matrix: np.ndarray,
         stats: ModelStats,
+        cache_key: object,
     ) -> dict:
-        cache_key = (
-            name,
-            version,
-            content_key({"target": target.value, "rows": rows}),
-        )
-        cached = self.response_cache.get(cache_key)
-        if cached is not None:
-            stats.cache_hits += 1
-            response = dict(cached)  # type: ignore[arg-type]
-            response["cached"] = True
-            return response
-
-        artifact = self.artifact(name, version)
-        n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
-        matrix = np.zeros((len(rows), n_source), dtype=bool)
-        for index, row in enumerate(rows):
-            for item in row:
-                item = int(item)
-                if not 0 <= item < n_source:
-                    raise ValueError(
-                        f"row {index}: item index {item} outside the "
-                        f"source vocabulary (0..{n_source - 1})"
-                    )
-                matrix[index, item] = True
-
         if matrix.shape[0]:
             run = self._runner(name, version, target)
 
@@ -461,6 +549,10 @@ class PredictionService:
             if method == "GET" and path == "/models":
                 return 200, self.models_payload()
             if method == "POST" and path == "/predict":
+                from repro.stream.codec import PACKED_MAGIC
+
+                if (body or b"").startswith(PACKED_MAGIC):
+                    return 200, await self.predict_packed(body)
                 try:
                     request = json.loads((body or b"").decode("utf-8") or "null")
                 except ValueError:

@@ -1,0 +1,260 @@
+"""Compact binary row frames shared by the server and the stream sources.
+
+JSON item-index lists are convenient but cost a parse per row; a
+high-volume producer (or the prediction server's ``/predict`` endpoint)
+can ship rows as a **packed-bitset frame** instead::
+
+    offset  size          content
+    0       4             magic  b"2VPB"  (two-view packed binary)
+    4       1             format version (currently 1)
+    5       4             header length H, little-endian uint32
+    9       H             UTF-8 JSON header; must carry integer
+                          ``n_rows`` and ``n_items``, may carry request
+                          fields (``model``, ``version``, ``target``) or
+                          a second view (``n_items_right`` + trailing
+                          right-view payload)
+    9+H     n_rows*W*8    row-major payload: each row is W = ceil(n_items/64)
+                          64-bit words; byte ``j`` holds items ``8j..8j+7``
+                          in little bit order (the same byte layout
+                          :func:`repro.core.bitset.pack_mask` produces)
+
+Decoding is zero-copy-ish: the payload bytes are viewed with
+``np.frombuffer`` and expanded with one vectorised ``unpackbits`` —
+no per-row Python work.  Two-view frames (``n_items_right`` present)
+simply concatenate a second payload of the same shape for the right
+view; the stream's file sources use them, the server accepts the
+single-view form on ``/predict``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.core.bitset import WORD_BITS, n_words_for
+
+__all__ = [
+    "PACKED_MAGIC",
+    "PACKED_VERSION",
+    "decode_packed_rows",
+    "encode_packed_rows",
+    "frame_payload",
+    "iter_packed_frames",
+    "read_frame",
+]
+
+#: First four bytes of every packed row frame.
+PACKED_MAGIC = b"2VPB"
+#: Current frame format version.
+PACKED_VERSION = 1
+
+_PREFIX = struct.Struct("<4sBI")
+#: Upper bound on declared dimensions — rejects absurd headers before
+#: any allocation happens.
+_MAX_DIM = 100_000_000
+
+
+def _pack_payload(matrix: np.ndarray) -> bytes:
+    """Row-major packed payload bytes of a Boolean matrix."""
+    n_rows, n_items = matrix.shape
+    row_bytes = n_words_for(n_items) * (WORD_BITS // 8)
+    buffer = np.zeros((n_rows, row_bytes), dtype=np.uint8)
+    if n_items:
+        packed = np.packbits(matrix, axis=1, bitorder="little")
+        buffer[:, : packed.shape[1]] = packed
+    return buffer.tobytes()
+
+
+def _unpack_payload(payload: memoryview, n_rows: int, n_items: int) -> np.ndarray:
+    """Inverse of :func:`_pack_payload` (one vectorised ``unpackbits``)."""
+    row_bytes = n_words_for(n_items) * (WORD_BITS // 8)
+    raw = np.frombuffer(payload, dtype=np.uint8, count=n_rows * row_bytes)
+    if n_items == 0:
+        return np.zeros((n_rows, 0), dtype=bool)
+    bits = np.unpackbits(raw.reshape(n_rows, row_bytes), axis=1, bitorder="little")
+    return bits[:, :n_items].astype(bool)
+
+
+def encode_packed_rows(
+    matrix: np.ndarray,
+    meta: dict | None = None,
+    right: np.ndarray | None = None,
+) -> bytes:
+    """Encode one (or two) Boolean row matrices as a packed frame.
+
+    Args:
+        matrix: ``(n_rows, n_items)`` Boolean matrix — the request rows
+            (server form) or the left view (two-view form).
+        meta: Extra header fields (``model``, ``target``, ...); the
+            dimension fields are filled in automatically.
+        right: Optional ``(n_rows, n_items_right)`` right-view matrix;
+            its presence makes this a two-view frame.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-dimensional")
+    header = dict(meta or {})
+    header["n_rows"] = int(matrix.shape[0])
+    header["n_items"] = int(matrix.shape[1])
+    payload = _pack_payload(matrix)
+    if right is not None:
+        right = np.ascontiguousarray(right, dtype=bool)
+        if right.ndim != 2 or right.shape[0] != matrix.shape[0]:
+            raise ValueError("right view must have the same number of rows")
+        header["n_items_right"] = int(right.shape[1])
+        payload += _pack_payload(right)
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        _PREFIX.pack(PACKED_MAGIC, PACKED_VERSION, len(header_bytes))
+        + header_bytes
+        + payload
+    )
+
+
+def _parse_meta(raw: bytes) -> tuple[dict, int, int, int | None, int]:
+    """Validate header bytes; returns ``(meta, n_rows, n_items, n_right,
+    payload_bytes)``."""
+    try:
+        meta = json.loads(raw)
+    except ValueError as error:
+        raise ValueError(f"packed frame header is not valid JSON: {error}") from error
+    if not isinstance(meta, dict):
+        raise ValueError("packed frame header must be a JSON object")
+    try:
+        n_rows, n_items = int(meta["n_rows"]), int(meta["n_items"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(
+            "packed frame header must carry integer n_rows and n_items"
+        ) from error
+    n_right = meta.get("n_items_right")
+    n_right = None if n_right is None else int(n_right)
+    for dim in (n_rows, n_items) + (() if n_right is None else (n_right,)):
+        if not 0 <= dim <= _MAX_DIM:
+            raise ValueError(f"packed frame header declares absurd dimension {dim}")
+    word_bytes = WORD_BITS // 8
+    body = n_rows * n_words_for(n_items) * word_bytes
+    if n_right is not None:
+        body += n_rows * n_words_for(n_right) * word_bytes
+    return meta, n_rows, n_items, n_right, body
+
+
+def _validate_prefix(prefix: bytes) -> int:
+    """Check magic/version of a frame prefix; returns the header length."""
+    magic, version, header_len = _PREFIX.unpack(prefix)
+    if magic != PACKED_MAGIC:
+        raise ValueError(f"not a packed row frame (magic {magic!r})")
+    if version != PACKED_VERSION:
+        raise ValueError(f"unsupported packed frame version {version}")
+    return header_len
+
+
+def _unpack_views(
+    payload: memoryview, n_rows: int, n_items: int, n_right: int | None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    left = _unpack_payload(payload, n_rows, n_items)
+    if n_right is None:
+        return left, None
+    right_start = n_rows * n_words_for(n_items) * (WORD_BITS // 8)
+    return left, _unpack_payload(payload[right_start:], n_rows, n_right)
+
+
+def _decode_frame(buffer: bytes, offset: int) -> tuple[dict, np.ndarray, np.ndarray | None, int]:
+    """Decode one frame at ``offset``; returns ``(meta, left, right, next_offset)``."""
+    view = memoryview(buffer)
+    if len(view) - offset < _PREFIX.size:
+        raise ValueError("truncated packed frame: missing prefix")
+    header_len = _validate_prefix(bytes(view[offset : offset + _PREFIX.size]))
+    header_start = offset + _PREFIX.size
+    if len(view) - header_start < header_len:
+        raise ValueError("truncated packed frame: header cut short")
+    meta, n_rows, n_items, n_right, body = _parse_meta(
+        bytes(view[header_start : header_start + header_len])
+    )
+    start = header_start + header_len
+    if len(view) - start < body:
+        raise ValueError(
+            f"truncated packed frame: payload needs {body} bytes, "
+            f"{len(view) - start} left"
+        )
+    left, right = _unpack_views(view[start : start + body], n_rows, n_items, n_right)
+    return meta, left, right, start + body
+
+
+def read_frame(stream) -> tuple[dict, np.ndarray, np.ndarray | None] | None:
+    """Read and decode one frame from a binary file object.
+
+    Returns ``(meta, left, right)``, or ``None`` at a clean end of
+    file.  Only one frame's bytes are resident at a time, so a
+    multi-gigabyte stream file never has to fit in memory
+    (:class:`repro.stream.source.PackedSource` iterates this way).
+    Raises ``ValueError`` on a frame cut short mid-stream.
+    """
+    prefix = stream.read(_PREFIX.size)
+    if not prefix:
+        return None
+    if len(prefix) < _PREFIX.size:
+        raise ValueError("truncated packed frame: missing prefix")
+    header_len = _validate_prefix(prefix)
+    header = stream.read(header_len)
+    if len(header) < header_len:
+        raise ValueError("truncated packed frame: header cut short")
+    meta, n_rows, n_items, n_right, body = _parse_meta(header)
+    payload = stream.read(body)
+    if len(payload) < body:
+        raise ValueError(
+            f"truncated packed frame: payload needs {body} bytes, "
+            f"{len(payload)} left"
+        )
+    left, right = _unpack_views(memoryview(payload), n_rows, n_items, n_right)
+    return meta, left, right
+
+
+def decode_packed_rows(buffer: bytes) -> tuple[dict, np.ndarray, np.ndarray | None]:
+    """Decode a single packed frame (e.g. a ``/predict`` request body).
+
+    Returns ``(meta, matrix, right)`` where ``right`` is ``None`` for
+    single-view frames.  Raises ``ValueError`` on malformed input,
+    including trailing bytes after the frame.
+    """
+    meta, left, right, consumed = _decode_frame(buffer, 0)
+    if consumed != len(buffer):
+        raise ValueError(
+            f"{len(buffer) - consumed} trailing byte(s) after the packed frame"
+        )
+    return meta, left, right
+
+
+def frame_payload(buffer: bytes) -> memoryview:
+    """Payload bytes of a single frame, header skipped (zero-copy).
+
+    The payload layout is canonical — fixed word count per row, padding
+    bits zero — so it is the cheapest stable content to hash for
+    response-cache keys: 8x fewer bytes than the unpacked Boolean
+    matrix.  Validates only the frame prefix; full decoding is
+    :func:`decode_packed_rows`'s job.
+    """
+    view = memoryview(buffer)
+    if len(view) < _PREFIX.size:
+        raise ValueError("truncated packed frame: missing prefix")
+    magic, version, header_len = _PREFIX.unpack_from(view, 0)
+    if magic != PACKED_MAGIC:
+        raise ValueError(f"not a packed row frame (magic {bytes(magic)!r})")
+    if version != PACKED_VERSION:
+        raise ValueError(f"unsupported packed frame version {version}")
+    if len(view) - _PREFIX.size < header_len:
+        raise ValueError("truncated packed frame: header cut short")
+    return view[_PREFIX.size + header_len :]
+
+
+def iter_packed_frames(buffer: bytes):
+    """Yield ``(meta, left, right)`` for every frame in a concatenation.
+
+    The on-disk form the stream's packed file source reads: frames are
+    simply appended back to back.
+    """
+    offset = 0
+    while offset < len(buffer):
+        meta, left, right, offset = _decode_frame(buffer, offset)
+        yield meta, left, right

@@ -1,0 +1,171 @@
+"""Drift detection for published translation tables.
+
+A translation table fitted on yesterday's window compresses today's
+window worse when the cross-view association shifts — the MDL score is
+itself the drift statistic.  :class:`DriftMonitor` scores the currently
+published table against the incoming window and combines two triggers:
+
+* **Staleness** — the published table's compression ratio on the window
+  versus a *refit candidate* fitted on the same window.  A gap above
+  ``min_degradation`` means a refit would pay for itself.
+* **Significance** — a randomization test in the style of
+  :mod:`repro.eval.randomization`: the published table is scored on
+  ``n_permutations`` copies of the window whose view pairing has been
+  destroyed (:func:`~repro.eval.randomization.permute_pairing`).  If
+  the real window no longer compresses significantly better than the
+  re-paired nulls, whatever structure the table captured is gone from
+  the stream.  Unlike the offline test, the null scores come from
+  *static scoring* (no refits), so a check is cheap enough to run
+  inside the maintenance loop.
+
+Both triggers are deterministic given the monitor's ``seed`` — each
+check draws its permutations from a freshly seeded generator, which the
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.encoding import CodeLengthModel
+from repro.core.state import CoverState
+from repro.core.table import TranslationTable
+from repro.data.dataset import TwoViewDataset
+from repro.eval.randomization import permute_pairing
+
+__all__ = ["DriftMonitor", "DriftReport", "score_table"]
+
+
+def score_table(
+    dataset: TwoViewDataset,
+    table: TranslationTable,
+    codes: CodeLengthModel | None = None,
+) -> float:
+    """Compression ratio ``L(D, T) / L(D, ∅)`` of a *fixed* table.
+
+    Replays the table's rules through a fresh
+    :class:`~repro.core.state.CoverState` on ``dataset`` — static
+    evaluation, no search — and returns the attained ratio (< 1 means
+    the table still compresses the data).
+    """
+    state = CoverState(dataset, codes)
+    for rule in table:
+        state.add_rule(rule)
+    return state.compression_ratio()
+
+
+@dataclasses.dataclass
+class DriftReport:
+    """Outcome of one drift check of a published table against a window.
+
+    ``drifted`` is the decision; ``reason`` names the trigger
+    (``"degradation"``, ``"significance"`` or ``""`` when no drift).
+    """
+
+    window_rows: int
+    published_ratio: float
+    refit_ratio: float
+    degradation: float
+    null_ratios: list[float]
+    p_value: float
+    drifted: bool
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for logs and JSON reports."""
+        return dataclasses.asdict(self)
+
+
+class DriftMonitor:
+    """Score a published table against incoming windows and flag drift.
+
+    Args:
+        table: The currently published translation table; swap it via
+            :meth:`update_table` after every publish.
+        min_degradation: Staleness trigger — drift when the published
+            ratio exceeds the refit candidate's by more than this.
+        significance: Randomization trigger — drift when the empirical
+            p-value of the published table's score (versus re-paired
+            windows) rises above this level.
+        n_permutations: Null-sample count per check; the attainable
+            p-value floor is ``1 / (n_permutations + 1)``, so it must be
+            at least ``1 / significance - 1`` for the significance
+            trigger to ever stay quiet (the defaults sit exactly there).
+        seed: Seed of the per-check permutation generator; checks are
+            deterministic functions of ``(window, table, seed)``.
+
+    Example::
+
+        monitor = DriftMonitor(published.table)
+        report = monitor.check(buffer.window_dataset(), refit_result)
+        if report.drifted:
+            registry.publish(...)
+            monitor.update_table(refit_result.table)
+    """
+
+    def __init__(
+        self,
+        table: TranslationTable,
+        min_degradation: float = 0.02,
+        significance: float = 0.05,
+        n_permutations: int = 19,
+        seed: int = 0,
+    ) -> None:
+        if n_permutations < 1:
+            raise ValueError("n_permutations must be positive")
+        if 1.0 / (n_permutations + 1) > significance:
+            raise ValueError(
+                f"{n_permutations} permutation(s) cannot reach p <= "
+                f"{significance}; raise n_permutations or significance"
+            )
+        if min_degradation < 0:
+            raise ValueError("min_degradation must be non-negative")
+        if not 0.0 < significance < 1.0:
+            raise ValueError("significance must be in (0, 1)")
+        self.table = table
+        self.min_degradation = min_degradation
+        self.significance = significance
+        self.n_permutations = n_permutations
+        self.seed = seed
+
+    def update_table(self, table: TranslationTable) -> None:
+        """Adopt a newly published table as the monitored one."""
+        self.table = table
+
+    def check(self, window: TwoViewDataset, refit_result) -> DriftReport:
+        """Score the published table against ``window`` and decide.
+
+        ``refit_result`` is the refit candidate fitted on the same
+        window (any object exposing ``.compression_ratio`` — every
+        TRANSLATOR fit result qualifies); the maintenance loop fits it
+        anyway, so the check reuses it instead of fitting twice.
+        """
+        codes = CodeLengthModel(window)
+        published_ratio = score_table(window, self.table, codes)
+        refit_ratio = float(refit_result.compression_ratio)
+        degradation = published_ratio - refit_ratio
+        rng = np.random.default_rng(self.seed)
+        null_ratios = [
+            score_table(permute_pairing(window, rng), self.table)
+            for __ in range(self.n_permutations)
+        ]
+        at_most = sum(1 for ratio in null_ratios if ratio <= published_ratio)
+        p_value = (at_most + 1) / (self.n_permutations + 1)
+        if degradation > self.min_degradation:
+            drifted, reason = True, "degradation"
+        elif p_value > self.significance:
+            drifted, reason = True, "significance"
+        else:
+            drifted, reason = False, ""
+        return DriftReport(
+            window_rows=window.n_transactions,
+            published_ratio=published_ratio,
+            refit_ratio=refit_ratio,
+            degradation=degradation,
+            null_ratios=null_ratios,
+            p_value=p_value,
+            drifted=drifted,
+            reason=reason,
+        )

@@ -45,6 +45,23 @@ def test_kernel_benchmark_tiny_mode(tmp_path):
 
 
 @pytest.mark.perf_smoke
+def test_stream_benchmark_tiny_mode(tmp_path):
+    bench = _load_bench_module("bench_stream")
+    report = bench.run_grid(tiny=True)
+    assert report["mode"] == "tiny"
+    workload = report["workload"]
+    assert workload["buffer_bit_identical"], "incremental buffer diverged"
+    assert workload["windowed_refit_bit_identical"], "windowed refit diverged"
+    assert workload["incremental_seconds"] > 0 and workload["full_seconds"] > 0
+    assert report["all_identical"]
+    # The JSON entry point must work end to end.
+    output = tmp_path / "BENCH_stream.json"
+    exit_code = bench.main(["--tiny", "--output", str(output)])
+    assert exit_code == 0
+    assert output.exists()
+
+
+@pytest.mark.perf_smoke
 def test_serve_benchmark_tiny_mode(tmp_path):
     bench = _load_bench_module("bench_serve")
     report = bench.run_grid(tiny=True)
