@@ -1,0 +1,401 @@
+"""Microbenchmark: numpy vs native popcount backends (``BENCH_native.json``).
+
+Times the three consumers the backend dispatch layer wires up, on the
+honesty cells the ROADMAP flags as the numpy kernel's known limits:
+
+* **search** — ``TranslatorExact.fit`` at ``n`` in {5k, 20k, 50k}
+  transactions (the regime where the dense child-metric GEMM becomes
+  the shared BLAS floor), same fixed node budget for both backends so
+  the comparison measures pure per-node throughput;
+* **bulk predict** — one huge 4096-row ``CompiledPredictor.predict``
+  call over a wide vocabulary, packed strategy under both backends plus
+  the blas strategy as the served-regime reference;
+* **stream** — tracked-support maintenance over a sliding window fed in
+  small batches (the incremental AND-reduce + popcount path);
+* **fallback** — a subprocess with ``REPRO_NATIVE_DISABLE=1`` proving
+  that a machine without a C toolchain resolves ``backend="auto"`` to
+  numpy and fits the *same model* (fingerprint-compared against the
+  parent's run).
+
+Every cell verifies bit-identity between backends before reporting a
+speedup.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_native.py [--tiny] [--output PATH]
+
+``--tiny`` runs a seconds-scale smoke grid (the ``perf_smoke`` pytest
+marker) that checks all equivalences and emits the same JSON shape
+without asserting speedup floors; cells needing the native kernel are
+marked skipped — not failed — when no compiler is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import native  # noqa: E402
+from repro.core.rules import TranslationRule  # noqa: E402
+from repro.core.translator import TranslatorExact  # noqa: E402
+from repro.data.dataset import Side  # noqa: E402
+from repro.data.synthetic import SyntheticSpec, generate_planted  # noqa: E402
+from repro.serve.compiled import CompiledPredictor  # noqa: E402
+from repro.stream.buffer import StreamBuffer  # noqa: E402
+
+FULL_SETTINGS = {
+    "search_transactions": [5000, 20000, 50000],
+    "search_items_per_view": 40,
+    "search_density": 0.4,
+    "search_max_nodes": 30_000,
+    "search_iterations": 2,
+    "search_repetitions": 2,
+    "predict_rows": 4096,
+    "predict_rules": 512,
+    "predict_source_items": 2048,
+    "predict_target_items": 1024,
+    "predict_repetitions": 3,
+    "stream_window": 32_768,
+    "stream_batch": 256,
+    "stream_trackers": 32,
+    "fallback_transactions": 400,
+}
+TINY_SETTINGS = {
+    "search_transactions": [400],
+    "search_items_per_view": 16,
+    "search_density": 0.4,
+    "search_max_nodes": 1_500,
+    "search_iterations": 2,
+    "search_repetitions": 1,
+    "predict_rows": 256,
+    "predict_rules": 48,
+    "predict_source_items": 256,
+    "predict_target_items": 128,
+    "predict_repetitions": 1,
+    "stream_window": 2_048,
+    "stream_batch": 128,
+    "stream_trackers": 8,
+    "fallback_transactions": 120,
+}
+
+
+def _fingerprint(result) -> list:
+    """JSON-serialisable identity of a fitted model (rules + gains)."""
+    return [
+        [list(record.rule.lhs), list(record.rule.rhs), record.rule.direction.value,
+         repr(record.gain)]
+        for record in result.history
+    ]
+
+
+def _fit(dataset, backend: str, settings: dict):
+    return TranslatorExact(
+        max_iterations=settings["search_iterations"],
+        max_rule_size=3,
+        max_nodes_per_search=settings["search_max_nodes"],
+        backend=backend,
+    ).fit(dataset)
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+def search_cells(settings: dict, native_available: bool) -> list[dict]:
+    rows = []
+    for n in settings["search_transactions"]:
+        dataset, __ = generate_planted(
+            SyntheticSpec(
+                n_transactions=n,
+                n_left=settings["search_items_per_view"],
+                n_right=settings["search_items_per_view"],
+                density_left=settings["search_density"],
+                density_right=settings["search_density"],
+                n_rules=6,
+                seed=3,
+            )
+        )
+        row: dict = {"n_transactions": n}
+        fingerprints = {}
+        for backend in ("numpy", "native"):
+            if backend == "native" and not native_available:
+                row["skipped"] = "native backend unavailable"
+                break
+            elapsed = []
+            for __ in range(settings["search_repetitions"]):
+                start = time.perf_counter()
+                result = _fit(dataset, backend, settings)
+                elapsed.append(time.perf_counter() - start)
+            row[f"{backend}_seconds"] = min(elapsed)
+            fingerprints[backend] = _fingerprint(result)
+        if "native_seconds" in row:
+            row["identical_results"] = (
+                fingerprints["numpy"] == fingerprints["native"]
+            )
+            row["speedup"] = row["numpy_seconds"] / row["native_seconds"]
+        rows.append(row)
+    return rows
+
+
+def _bulk_table(settings: dict, rng) -> list[TranslationRule]:
+    n_src = settings["predict_source_items"]
+    n_tgt = settings["predict_target_items"]
+    rules = []
+    for __ in range(settings["predict_rules"]):
+        lhs = tuple(sorted(rng.choice(n_src, size=rng.integers(1, 4), replace=False)))
+        rhs = tuple(sorted(rng.choice(n_tgt, size=rng.integers(1, 4), replace=False)))
+        rules.append(TranslationRule(lhs, rhs, "->"))
+    return rules
+
+
+def bulk_predict_cell(settings: dict, native_available: bool) -> dict:
+    rng = np.random.default_rng(7)
+    rules = _bulk_table(settings, rng)
+    matrix = rng.random(
+        (settings["predict_rows"], settings["predict_source_items"])
+    ) < 0.05
+    cell: dict = {
+        "n_rows": settings["predict_rows"],
+        "n_rules": settings["predict_rules"],
+        "n_source_items": settings["predict_source_items"],
+    }
+    outputs = {}
+    for label, backend, strategy in (
+        ("blas", "numpy", "blas"),
+        ("packed_numpy", "numpy", "packed"),
+        ("packed_native", "native", "packed"),
+    ):
+        if backend == "native" and not native_available:
+            cell["skipped"] = "native backend unavailable"
+            continue
+        predictor = CompiledPredictor(
+            Side.RIGHT,
+            settings["predict_source_items"],
+            settings["predict_target_items"],
+            rules,
+            backend=backend,
+        )
+        elapsed = []
+        for __ in range(settings["predict_repetitions"]):
+            start = time.perf_counter()
+            outputs[label] = predictor.predict(matrix, strategy=strategy)
+            elapsed.append(time.perf_counter() - start)
+        cell[f"{label}_seconds"] = min(elapsed)
+    cell["identical_results"] = all(
+        np.array_equal(outputs["blas"], output) for output in outputs.values()
+    )
+    if "packed_native_seconds" in cell:
+        cell["speedup_vs_blas"] = (
+            cell["blas_seconds"] / cell["packed_native_seconds"]
+        )
+        cell["speedup_vs_packed_numpy"] = (
+            cell["packed_numpy_seconds"] / cell["packed_native_seconds"]
+        )
+    return cell
+
+
+def stream_cell(settings: dict, native_available: bool) -> dict:
+    rng = np.random.default_rng(11)
+    n_items = 24
+    window = settings["stream_window"]
+    batch = settings["stream_batch"]
+    chunks = [
+        (rng.random((batch, n_items)) < 0.3, rng.random((batch, n_items)) < 0.3)
+        for __ in range(max(2, (2 * window) // batch))
+    ]
+    itemsets = [
+        tuple(sorted(rng.choice(n_items, size=2, replace=False)))
+        for __ in range(settings["stream_trackers"])
+    ]
+    cell: dict = {
+        "window": window,
+        "batch": batch,
+        "trackers": len(itemsets),
+    }
+    counts = {}
+    for backend in ("numpy", "native"):
+        if backend == "native" and not native_available:
+            cell["skipped"] = "native backend unavailable"
+            continue
+        buffer = StreamBuffer(n_items, n_items, capacity=window, backend=backend)
+        trackers = [buffer.track(Side.LEFT, items) for items in itemsets]
+        start = time.perf_counter()
+        for left, right in chunks:
+            buffer.append(left, right)
+            if len(buffer) > window:
+                buffer.evict(len(buffer) - window)
+        cell[f"{backend}_seconds"] = time.perf_counter() - start
+        counts[backend] = [tracker.count for tracker in trackers]
+    if "native_seconds" in cell:
+        cell["identical_results"] = counts["numpy"] == counts["native"]
+        cell["speedup"] = cell["numpy_seconds"] / cell["native_seconds"]
+    return cell
+
+
+def fallback_cell(settings: dict, native_available: bool) -> dict:
+    """Prove the no-compiler path: auto resolves to numpy, same model."""
+    n = settings["fallback_transactions"]
+    script = (
+        "import json, sys\n"
+        "from repro import native\n"
+        "from repro.core.bitset import resolve_backend\n"
+        "from repro.core.translator import TranslatorExact\n"
+        "from repro.data.synthetic import SyntheticSpec, generate_planted\n"
+        f"ds, _ = generate_planted(SyntheticSpec(n_transactions={n}, "
+        "n_left=12, n_right=12, density_left=0.3, density_right=0.3, "
+        "n_rules=4, seed=5))\n"
+        "result = TranslatorExact(max_iterations=2, max_rule_size=3).fit(ds)\n"
+        "print(json.dumps({\n"
+        "    'native_available': native.available(),\n"
+        "    'auto_resolves_to': resolve_backend('auto'),\n"
+        "    'fingerprint': [[list(r.rule.lhs), list(r.rule.rhs), "
+        "r.rule.direction.value, repr(r.gain)] for r in result.history],\n"
+        "}))\n"
+    )
+    env = dict(os.environ)
+    env["REPRO_NATIVE_DISABLE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    cell: dict = {"n_transactions": n}
+    if proc.returncode != 0:
+        cell["error"] = proc.stderr.strip()[-2000:]
+        cell["identical_results"] = False
+        return cell
+    probe = json.loads(proc.stdout)
+    cell["subprocess_native_available"] = probe["native_available"]
+    cell["subprocess_auto_resolves_to"] = probe["auto_resolves_to"]
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=n,
+            n_left=12,
+            n_right=12,
+            density_left=0.3,
+            density_right=0.3,
+            n_rules=4,
+            seed=5,
+        )
+    )
+    # Compare against a native fit when possible — the strongest form of
+    # "the fallback path computes the same model".
+    parent_backend = "native" if native_available else "auto"
+    here = TranslatorExact(
+        max_iterations=2, max_rule_size=3, backend=parent_backend
+    ).fit(dataset)
+    cell["parent_backend"] = here.search_stats[0].backend
+    cell["identical_results"] = (
+        probe["auto_resolves_to"] == "numpy"
+        and not probe["native_available"]
+        and _fingerprint(here) == probe["fingerprint"]
+    )
+    return cell
+
+
+# ----------------------------------------------------------------------
+def run_grid(tiny: bool = False) -> dict:
+    """Run every cell and return the report dictionary."""
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    native_available = native.available()
+    search = search_cells(settings, native_available)
+    bulk = bulk_predict_cell(settings, native_available)
+    stream = stream_cell(settings, native_available)
+    fallback = fallback_cell(settings, native_available)
+    compared = [row for row in search if "identical_results" in row]
+    for extra in (bulk, stream):
+        if "identical_results" in extra:
+            compared.append(extra)
+    speedups = [row["speedup"] for row in search if "speedup" in row]
+    report = {
+        "benchmark": "bitset backend numpy vs native",
+        "mode": "tiny" if tiny else "full",
+        "native_available": native_available,
+        "native_error": native.native_error(),
+        "build_info": {
+            key: value
+            for key, value in native.build_info().items()
+            if key != "library"
+        },
+        "settings": settings,
+        "search": search,
+        "bulk_predict": bulk,
+        "stream": stream,
+        "fallback": fallback,
+        "all_identical": (
+            all(row["identical_results"] for row in compared)
+            and fallback["identical_results"]
+        ),
+        "median_search_speedup": (
+            statistics.median(speedups) if speedups else None
+        ),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_native.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_grid(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for row in report["search"]:
+        if "speedup" in row:
+            print(
+                f"search n={row['n_transactions']:>6}  "
+                f"numpy={row['numpy_seconds']:.2f}s  "
+                f"native={row['native_seconds']:.2f}s  "
+                f"speedup={row['speedup']:.2f}x  "
+                f"identical={row['identical_results']}"
+            )
+        else:
+            print(f"search n={row['n_transactions']:>6}  {row.get('skipped')}")
+    bulk = report["bulk_predict"]
+    if "speedup_vs_blas" in bulk:
+        print(
+            f"bulk predict {bulk['n_rows']} rows: blas={bulk['blas_seconds']:.3f}s  "
+            f"packed(numpy)={bulk['packed_numpy_seconds']:.3f}s  "
+            f"packed(native)={bulk['packed_native_seconds']:.3f}s  "
+            f"-> {bulk['speedup_vs_blas']:.2f}x vs blas, "
+            f"{bulk['speedup_vs_packed_numpy']:.2f}x vs packed"
+        )
+    stream = report["stream"]
+    if "speedup" in stream:
+        print(
+            f"stream window={stream['window']}: numpy={stream['numpy_seconds']:.3f}s  "
+            f"native={stream['native_seconds']:.3f}s  "
+            f"speedup={stream['speedup']:.2f}x"
+        )
+    fallback = report["fallback"]
+    print(
+        f"fallback probe: auto -> {fallback.get('subprocess_auto_resolves_to')}, "
+        f"identical={fallback['identical_results']}"
+    )
+    print(f"report written to {args.output}")
+    if not report["all_identical"]:
+        print("ERROR: backends disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ PUBLIC_PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.multiview",
+    "repro.native",
     "repro.runtime",
     "repro.serve",
     "repro.stream",

@@ -10,8 +10,10 @@ compiled bitset predictor, versioned artifacts and an async
 micro-batching prediction server, a streaming subsystem
 (:mod:`repro.stream`) that ingests live rows into an incrementally
 packed window buffer, detects drift and hot-swaps refitted models into
-the running server, and a benchmark harness regenerating
-every table and figure of the evaluation section.
+the running server, an optional native fused-popcount backend
+(:mod:`repro.native`, compiled on demand with the system C compiler and
+bit-identical to the numpy paths it accelerates), and a benchmark
+harness regenerating every table and figure of the evaluation section.
 
 Quickstart::
 
@@ -59,7 +61,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.runtime import (
     ParallelExecutor,

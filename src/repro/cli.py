@@ -107,12 +107,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _make_translator(args: argparse.Namespace):
     kernel = getattr(args, "kernel", "auto")
+    backend = getattr(args, "backend", "auto")
     n_jobs = getattr(args, "n_jobs", 1)
     if args.method == "exact":
         return TranslatorExact(
             max_iterations=args.max_iterations,
             max_rule_size=args.max_rule_size,
             kernel=kernel,
+            backend=backend,
             n_jobs=n_jobs,
         )
     if args.method == "select":
@@ -263,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
         engine=args.engine,
+        backend=args.backend,
     )
     server = PredictionServer(service, host=args.host, port=args.port)
     models = registry.models()
@@ -279,7 +282,11 @@ def _cmd_predict_batch(args: argparse.Namespace) -> int:
 
     registry = ModelRegistry(args.registry)
     service = PredictionService(
-        registry, max_delay_ms=0.0, cache_size=0, engine=args.engine
+        registry,
+        max_delay_ms=0.0,
+        cache_size=0,
+        engine=args.engine,
+        backend=args.backend,
     )
     rows = json.loads(Path(args.input).read_text(encoding="utf-8"))
     request = {
@@ -332,7 +339,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
     else:
         translator = TranslatorExact(
-            max_rule_size=args.max_rule_size, n_jobs=args.n_jobs
+            max_rule_size=args.max_rule_size,
+            backend=args.backend,
+            n_jobs=args.n_jobs,
         )
     source_path = Path(args.source)
     if source_path.suffix in (".2vp", ".bin", ".packed"):
@@ -354,6 +363,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         left_names=left_names,
         right_names=right_names,
         capacity=args.window,
+        backend=args.backend,
     )
     loop = MaintenanceLoop(
         source,
@@ -630,6 +640,14 @@ def build_parser() -> argparse.ArgumentParser:
         "boolean-array reference path (both produce identical models)",
     )
     method_options.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "native"),
+        default="auto",
+        help="bitset-kernel arithmetic backend: the fused C popcount kernel "
+        "(compiled on demand; auto falls back to numpy without a C "
+        "toolchain) or the numpy reference (both produce identical models)",
+    )
+    method_options.add_argument(
         "--n-jobs",
         type=int,
         default=1,
@@ -850,6 +868,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="compiled",
         help="prediction engine (loop = per-rule reference path)",
     )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "native"),
+        default="auto",
+        help="packed-strategy word-op backend of the compiled predictors",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     predict_batch = subparsers.add_parser(
@@ -877,6 +901,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     predict_batch.add_argument(
         "--engine", choices=("compiled", "loop"), default="compiled"
+    )
+    predict_batch.add_argument(
+        "--backend", choices=("auto", "numpy", "native"), default="auto"
     )
     predict_batch.set_defaults(handler=_cmd_predict_batch)
 
@@ -912,6 +939,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="refit engine (both skip the window repack)",
     )
     stream.add_argument("--max-rule-size", type=int, default=None)
+    stream.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "native"),
+        default="auto",
+        help="word-op backend for the buffer's tracked supports and the "
+        "exact refits",
+    )
     stream.add_argument("--n-jobs", type=int, default=1)
     stream.add_argument("--min-degradation", type=float, default=0.02)
     stream.add_argument("--significance", type=float, default=0.05)

@@ -41,6 +41,31 @@ helpers and the ``and/or/andnot`` row algebra are the module's
 general-purpose surface for other consumers (and are exercised directly
 by the property tests).
 
+Backends
+--------
+The batch primitives that dominate the large-``n`` regimes —
+:func:`and_popcount_rows`, :func:`fixed_weighted_popcount`,
+:func:`child_metrics_rows`, :func:`subset_match_rows`,
+:func:`or_union_rows`, :func:`match_union_rows`, :func:`and_reduce_rows`
+— run on one of two interchangeable backends, selected per call (or per
+consumer) with ``backend="numpy"|"native"|"auto"``, mirroring the
+search's ``kernel=`` selector:
+
+* ``"numpy"`` — the reference vectorised paths in this module; always
+  available.
+* ``"native"`` — the fused C kernel of :mod:`repro.native`, compiled on
+  demand with the system ``cc`` and loaded via ctypes; raises when no
+  toolchain is available.
+* ``"auto"`` — ``"native"`` when a kernel could be built, ``"numpy"``
+  otherwise (the fallback is silent and automatic; set
+  ``REPRO_BACKEND=numpy`` to pin the default, or
+  ``REPRO_NATIVE_DISABLE=1`` to simulate a machine without a compiler).
+
+Both backends are **bit-identical**: every primitive is exact integer
+arithmetic (counts, fixed-point weighted sums, word ops) whose result
+does not depend on the evaluation order, enforced by the property tests
+in ``tests/test_native.py``.
+
 Concurrency
 -----------
 Packed masks and :class:`BitMatrix` instances are immutable once built
@@ -59,12 +84,24 @@ from collections.abc import Iterable, Iterator, Sequence
 import numpy as np
 
 __all__ = [
+    "BACKENDS",
     "WORD_BITS",
     "BitMatrix",
+    "and_popcount_rows",
+    "and_reduce_many_rows",
+    "and_reduce_rows",
+    "child_metrics_rows",
+    "fixed_weight_table",
+    "fixed_weighted_popcount",
+    "match_union_rows",
     "n_words_for",
+    "native_kernel",
+    "or_union_rows",
     "pack_mask",
     "pack_rows_at",
+    "resolve_backend",
     "shift_rows",
+    "subset_match_rows",
     "unpack_mask",
     "popcount",
     "popcount_rows",
@@ -225,6 +262,286 @@ def weighted_popcount(words: np.ndarray, table: np.ndarray) -> float:
         np.ascontiguousarray(words[active]).view(np.uint8), bitorder="little"
     )
     return float(np.dot(bits.astype(np.float64), table[active].reshape(-1)))
+
+
+# ----------------------------------------------------------------------
+# Backend dispatch (numpy reference paths vs the native C kernel)
+# ----------------------------------------------------------------------
+
+BACKENDS = ("auto", "numpy", "native")
+
+# Rows per chunk for the numpy (batch, sets, words) broadcasts; bounds
+# peak memory at ~chunk * n_sets * n_words * 8 B.
+_CHUNK_ROWS = 1024
+
+
+def _native_available() -> bool:
+    from repro import native
+
+    return native.available()
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Normalise a backend spec to ``"numpy"`` or ``"native"``.
+
+    ``"auto"`` resolves to ``"native"`` when the C kernel is (or can be)
+    built for this process and to ``"numpy"`` otherwise — a missing
+    toolchain never raises, which is the module's fallback contract.
+    The ``REPRO_BACKEND`` environment variable pins what ``"auto"``
+    prefers: ``numpy`` forces the reference paths, ``native`` insists on
+    preferring the kernel (still falling back silently when it cannot be
+    built), and any other value raises ``ValueError`` so a typo is never
+    silently ignored.  An explicit ``backend="native"`` argument with no
+    working toolchain raises ``RuntimeError`` carrying the build error.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        import os
+
+        preferred = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        if preferred and preferred not in ("auto", "numpy", "native"):
+            raise ValueError(
+                f"REPRO_BACKEND must be 'numpy', 'native' or 'auto', "
+                f"got {os.environ['REPRO_BACKEND']!r}"
+            )
+        if preferred == "numpy":
+            return "numpy"
+        return "native" if _native_available() else "numpy"
+    if backend == "native" and not _native_available():
+        from repro import native
+
+        raise RuntimeError(
+            f"native backend requested but unavailable: {native.native_error()}"
+        )
+    return backend
+
+
+def native_kernel(backend: str = "auto"):
+    """Resolve ``backend`` to a loaded native kernel, or ``None`` for numpy."""
+    if resolve_backend(backend) == "numpy":
+        return None
+    from repro import native
+
+    return native.load_kernel()
+
+
+def _row_bits(words: np.ndarray) -> np.ndarray:
+    """Little-endian bit expansion of a 2-D word array (reference path)."""
+    if words.shape[1] == 0:
+        return np.zeros((words.shape[0], 0), dtype=np.uint8)
+    return np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), axis=1, bitorder="little"
+    )
+
+
+def fixed_weight_table(weights: np.ndarray) -> np.ndarray:
+    """Lay integer-valued weights out as a flat padded ``int64`` table.
+
+    The fixed-point companion of :func:`weight_table`: entry ``64 * w + b``
+    weighs bit ``b`` of word ``w``, and the padding tail is zero.  The
+    weights may arrive as integer-valued ``float64`` (how the search
+    carries its quantized code lengths); they are converted exactly.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 1:
+        raise ValueError("weights must be 1-dimensional")
+    table = np.zeros(n_words_for(weights.size) * WORD_BITS, dtype=np.int64)
+    table[: weights.size] = weights.astype(np.int64)
+    return table
+
+
+def and_popcount_rows(
+    rows: np.ndarray, mask: np.ndarray | None = None, backend: str = "auto"
+) -> np.ndarray:
+    """Fused per-row ``popcount(rows[i] & mask)`` (``mask=None``: plain)."""
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.and_popcount(rows, mask)
+    return popcount_rows(rows if mask is None else rows & mask)
+
+
+def fixed_weighted_popcount(
+    words: np.ndarray, table: np.ndarray, backend: str = "auto"
+) -> int:
+    """Exact integer ``sum(table[b] for set bits b)`` of one packed mask.
+
+    ``table`` comes from :func:`fixed_weight_table` for the same universe
+    size.  This is the fixed-point sibling of :func:`weighted_popcount`:
+    all arithmetic is int64, so the result is independent of summation
+    order and identical across backends.
+    """
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.weighted_popcount(words, table)
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.size * WORD_BITS != table.size:
+        raise ValueError("words and weight table disagree on universe size")
+    if words.size == 0:
+        return 0
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return int(table[np.flatnonzero(bits)].sum())
+
+
+def child_metrics_rows(
+    rows: np.ndarray,
+    supp: np.ndarray,
+    supp_other: np.ndarray,
+    gain_table: np.ndarray,
+    wsum_table: np.ndarray | None = None,
+    backend: str = "auto",
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray, np.ndarray]:
+    """Fused per-row search metrics over ``new = rows[i] & supp``.
+
+    Returns ``(wsums, gains, counts, joints)`` — for every packed row:
+    the fixed-point weighted popcounts of ``new`` under ``wsum_table``
+    (``None`` when the table is) and ``gain_table``, ``|new|``, and
+    ``|new & supp_other|``.  This is the one call the native search
+    backend makes per node in place of the dense four-column GEMM; the
+    numpy path here is the order-independent reference used by the
+    property tests (the search's numpy backend keeps its original GEMM
+    formulation, which is equal bit for bit).
+    """
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.child_metrics(rows, supp, supp_other, gain_table, wsum_table)
+    rows = np.ascontiguousarray(rows, dtype=np.uint64)
+    new = rows & supp
+    counts = popcount_rows(new)
+    joints = popcount_rows(new & supp_other)
+    # Integer sums < 2**51 are exact in float64, so riding BLAS here is
+    # still bit-identical to the int64 accumulation of the C kernel.
+    bits = _row_bits(new).astype(np.float64)
+    gains = np.rint(bits @ gain_table.astype(np.float64)).astype(np.int64)
+    wsums = None
+    if wsum_table is not None:
+        wsums = np.rint(bits @ wsum_table.astype(np.float64)).astype(np.int64)
+    return wsums, gains, counts, joints
+
+
+def subset_match_rows(
+    rows: np.ndarray, sets: np.ndarray, backend: str = "auto"
+) -> np.ndarray:
+    """``(n_rows, n_sets)`` Boolean packed subset test.
+
+    Entry ``(i, r)`` is true iff ``sets[r]`` is a subset of ``rows[i]``
+    (``rows[i] & sets[r] == sets[r]``).  The native path early-exits per
+    pair on the first disagreeing word; the numpy path evaluates the
+    same test as a chunked broadcast.
+    """
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.subset_match(rows, sets)
+    rows = np.ascontiguousarray(rows, dtype=np.uint64)
+    sets = np.ascontiguousarray(sets, dtype=np.uint64)
+    out = np.empty((rows.shape[0], sets.shape[0]), dtype=bool)
+    for start in range(0, rows.shape[0], _CHUNK_ROWS):
+        chunk = rows[start : start + _CHUNK_ROWS]
+        conjunction = chunk[:, None, :] & sets[None, :, :]
+        out[start : start + _CHUNK_ROWS] = (
+            conjunction == sets[None, :, :]
+        ).all(axis=2)
+    return out
+
+
+def or_union_rows(
+    fired: np.ndarray, cons: np.ndarray, backend: str = "auto"
+) -> np.ndarray:
+    """Weighted OR: per row, the union of the selected consequent rows.
+
+    ``fired`` is a ``(n_rows, n_sets)`` Boolean selector and ``cons`` a
+    ``(n_sets, n_words)`` packed matrix; row ``i`` of the result is the
+    OR of the ``cons`` rows whose flag is set (zero words when none is).
+    """
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.or_union(fired, cons)
+    fired = np.asarray(fired, dtype=bool)
+    cons = np.ascontiguousarray(cons, dtype=np.uint64)
+    out = np.zeros((fired.shape[0], cons.shape[1]), dtype=np.uint64)
+    for start in range(0, fired.shape[0], _CHUNK_ROWS):
+        chunk = fired[start : start + _CHUNK_ROWS]
+        if not chunk.any():
+            continue
+        selected = np.where(chunk[:, :, None], cons[None, :, :], np.uint64(0))
+        out[start : start + _CHUNK_ROWS] = np.bitwise_or.reduce(selected, axis=1)
+    return out
+
+
+def match_union_rows(
+    rows: np.ndarray,
+    ant: np.ndarray,
+    cons: np.ndarray,
+    backend: str = "auto",
+) -> np.ndarray:
+    """Fused subset test + consequent union (the bulk predict primitive).
+
+    Row ``i`` of the result is the OR of ``cons[r]`` over every rule
+    ``r`` whose packed antecedent ``ant[r]`` is a subset of ``rows[i]``
+    — one pass over the packed words on the native backend, never
+    materialising the intermediate fired matrix.
+    """
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.match_union(rows, ant, cons)
+    return or_union_rows(
+        subset_match_rows(rows, ant, backend="numpy"), cons, backend="numpy"
+    )
+
+
+def and_reduce_many_rows(
+    rows: np.ndarray, offsets: np.ndarray, backend: str = "auto"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grouped AND-reduce + popcount over consecutive row groups.
+
+    ``offsets`` is a monotonically increasing index array with
+    ``offsets[0] == 0`` and ``offsets[-1] == n_rows``; group ``g``
+    covers ``rows[offsets[g]:offsets[g + 1]]`` and must be non-empty.
+    Returns ``(regions, counts)``: the per-group AND-reduced words and
+    their populations.  One call updates every tracked itemset of a
+    :class:`repro.stream.StreamBuffer` side, amortising the dispatch
+    overhead that per-itemset calls would pay on tiny word regions.
+    """
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    rows = np.ascontiguousarray(rows, dtype=np.uint64)
+    if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != rows.shape[0]:
+        raise ValueError("offsets must run from 0 to n_rows")
+    if offsets.size > 1 and (np.diff(offsets) < 1).any():
+        raise ValueError("every offset group must be non-empty")
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.and_reduce_many(rows, offsets)
+    if offsets.size == 1:
+        return np.zeros((0, rows.shape[1]), dtype=np.uint64), np.zeros(
+            0, dtype=np.int64
+        )
+    if rows.shape[1] == 0:
+        regions = np.zeros((offsets.size - 1, 0), dtype=np.uint64)
+    else:
+        regions = np.bitwise_and.reduceat(rows, offsets[:-1], axis=0)
+    return regions, popcount_rows(regions)
+
+
+def and_reduce_rows(
+    rows: np.ndarray, backend: str = "auto"
+) -> tuple[np.ndarray, int]:
+    """AND-reduce packed rows; returns ``(region, popcount(region))``.
+
+    The streaming buffer's fused tracked-support update: the region is
+    the packed support of an itemset over the word range covered by
+    ``rows`` and the count is its population, computed in one pass on
+    the native backend.  ``rows`` must have at least one row.
+    """
+    kernel = native_kernel(backend)
+    if kernel is not None:
+        return kernel.and_reduce(rows)
+    rows = np.ascontiguousarray(rows, dtype=np.uint64)
+    if rows.shape[0] == 0:
+        raise ValueError("and_reduce_rows needs at least one row")
+    region = np.bitwise_and.reduce(rows, axis=0)
+    return region, popcount(region)
 
 
 class BitMatrix:

@@ -89,7 +89,14 @@ import math
 import numpy as np
 
 from repro.data.dataset import Side, TwoViewDataset
-from repro.core.bitset import BitMatrix, pack_mask
+from repro.core.bitset import (
+    BACKENDS,
+    WORD_BITS,
+    BitMatrix,
+    fixed_weight_table,
+    pack_mask,
+    resolve_backend,
+)
 from repro.core.rules import TranslationRule
 from repro.core.state import CoverState
 
@@ -97,6 +104,11 @@ __all__ = ["SearchStats", "SearchCache", "ExactRuleSearch"]
 
 _KERNELS = ("auto", "bool", "bitset")
 _MAX_FRACTION_BITS = 42
+#: Transaction count below which ``backend="auto"`` keeps the numpy GEMM
+#: even when the native kernel is available: small operands live in
+#: cache where BLAS is untouchable, and the per-node ctypes call
+#: overhead dominates (measured crossover ~2000 on the dense grid).
+_NATIVE_AUTO_MIN_N = 2048
 
 
 @dataclasses.dataclass
@@ -115,6 +127,7 @@ class SearchStats:
     evaluations_skipped_qub: int = 0
     complete: bool = True
     kernel: str = ""
+    backend: str = ""
     shards: int = 1
 
 
@@ -203,9 +216,13 @@ class _Quantized:
         "tubq_right",
         "netq_left_T",
         "netq_right_T",
+        "pos_left",
+        "neg_left",
+        "pos_right",
+        "neg_right",
     )
 
-    def __init__(self, state: CoverState) -> None:
+    def __init__(self, state: CoverState, keep_sign_masks: bool = False) -> None:
         dataset = state.dataset
         n = dataset.n_transactions
         weights_left = state._weights_left
@@ -230,14 +247,25 @@ class _Quantized:
         self.tubq_right = state.uncovered_right @ self.wq_right
         # Net per-cell weight sign: covering an uncovered cell gains its
         # code length, introducing a new error loses it, anything else 0.
-        sign_left = state.uncovered_left.astype(np.float64) - (
-            ~(dataset.left | state.translated_left)
-        ).astype(np.float64)
-        sign_right = state.uncovered_right.astype(np.float64) - (
-            ~(dataset.right | state.translated_right)
-        ).astype(np.float64)
+        # With ``keep_sign_masks`` the positive/negative cell masks stay
+        # alive (the native search backend expresses net sums as two
+        # fused AND+popcounts on their packed columns instead of a dense
+        # GEMM); otherwise they are temporaries as before, so a numpy
+        # fit never pins two extra dense (n x items) masks.
+        pos_left = state.uncovered_left
+        neg_left = ~(dataset.left | state.translated_left)
+        pos_right = state.uncovered_right
+        neg_right = ~(dataset.right | state.translated_right)
+        sign_left = pos_left.astype(np.float64) - neg_left.astype(np.float64)
+        sign_right = pos_right.astype(np.float64) - neg_right.astype(np.float64)
         self.netq_left_T = np.ascontiguousarray(sign_left.T) * self.wq_left[:, None]
         self.netq_right_T = np.ascontiguousarray(sign_right.T) * self.wq_right[:, None]
+        if keep_sign_masks:
+            self.pos_left, self.neg_left = pos_left, neg_left
+            self.pos_right, self.neg_right = pos_right, neg_right
+        else:
+            self.pos_left = self.neg_left = None
+            self.pos_right = self.neg_right = None
 
     def to_float(self, value: float) -> float:
         return float(value) / self.one
@@ -366,6 +394,20 @@ class _BitsetContext:
         "net_left",
         "net_right",
         "full_words",
+        "kernel",
+        "padded_len",
+        "words_left",
+        "words_right",
+        "tub_table_left",
+        "tub_table_right",
+        "netq_left_i64",
+        "netq_right_i64",
+        "pos_left_words",
+        "neg_left_words",
+        "pos_right_words",
+        "neg_right_words",
+        "wq_left_univ",
+        "wq_right_univ",
     )
 
     def __init__(
@@ -373,6 +415,7 @@ class _BitsetContext:
         universe: list[_Item],
         quantized: _Quantized,
         cache: SearchCache,
+        backend: str = "numpy",
     ) -> None:
         dataset = cache.dataset
         n = dataset.n_transactions
@@ -404,6 +447,46 @@ class _BitsetContext:
         self.net_left = quantized.netq_left_T[left_columns]
         self.net_right = quantized.netq_right_T[right_columns]
         self.full_words = cache.full_words
+        self.kernel = None
+        if backend == "native":
+            from repro import native
+
+            self.kernel = native.load_kernel()
+            self.padded_len = n_words * WORD_BITS
+            # Universe-ordered compact word matrices, sliceable per frame
+            # without a gather (the native childset reads them directly).
+            self.words_left = np.ascontiguousarray(self.words_all[self.left_index])
+            self.words_right = np.ascontiguousarray(
+                self.words_all[self.right_index]
+            )
+            # Static fixed-point weight tables (rub bounds) and the padded
+            # int64 net-weight rows the drivers accumulate frame gains from.
+            self.tub_table_left = fixed_weight_table(quantized.tubq_left)
+            self.tub_table_right = fixed_weight_table(quantized.tubq_right)
+            self.netq_left_i64 = self._padded_i64(quantized.netq_left_T)
+            self.netq_right_i64 = self._padded_i64(quantized.netq_right_T)
+            # Packed positive/negative net-sign columns, universe-ordered:
+            # net sums become wq * (|pos & supp| - |neg & supp|).
+            self.pos_left_words = BitMatrix.from_bool_columns(
+                quantized.pos_left[:, left_columns]
+            ).words
+            self.neg_left_words = BitMatrix.from_bool_columns(
+                quantized.neg_left[:, left_columns]
+            ).words
+            self.pos_right_words = BitMatrix.from_bool_columns(
+                quantized.pos_right[:, right_columns]
+            ).words
+            self.neg_right_words = BitMatrix.from_bool_columns(
+                quantized.neg_right[:, right_columns]
+            ).words
+            self.wq_left_univ = quantized.wq_left[left_columns]
+            self.wq_right_univ = quantized.wq_right[right_columns]
+
+    def _padded_i64(self, netq: np.ndarray) -> np.ndarray:
+        """Exact int64 rows of a netq matrix, padded to the word grid."""
+        out = np.zeros((netq.shape[0], self.padded_len), dtype=np.int64)
+        out[:, : netq.shape[1]] = netq.astype(np.int64)
+        return out
 
 
 class _BitsetChildSet:
@@ -560,6 +643,123 @@ class _BitsetChildSet:
         self.alive_list = (np.flatnonzero(alive) + start).tolist()
 
 
+class _NativeChildSet:
+    """Per-child metrics of one frame via the fused C kernel.
+
+    Exposes exactly the attribute surface of :class:`_BitsetChildSet`,
+    so the bitset driver runs unchanged on either.  One
+    ``child_metrics`` call per side replaces the dense four-column GEMM
+    — each candidate's co-occurrence, new support count, ``rub``
+    weighted sum and directional gain come out of a single pass over its
+    packed words ANDed with the frame support — and the inherited
+    ``net @ support`` products become two fused AND+popcounts on the
+    packed positive/negative net-sign columns.  All quantities are the
+    same exact fixed-point integers the GEMM path computes (int64
+    accumulation vs float64-carried integers), so every exported list is
+    equal to the numpy backend's element for element, and the driver
+    makes the identical decision sequence.
+    """
+
+    __slots__ = (
+        "context",
+        "frame",
+        "start_left",
+        "start_right",
+        "alive_list",
+        "counts_left",
+        "counts_right",
+        "wsums_left",
+        "wsums_right",
+        "fwd_left",
+        "fwd_right",
+        "bwd_left",
+        "bwd_right",
+        "net_left_vals",
+        "net_right_vals",
+    )
+
+    def __init__(
+        self,
+        context: _BitsetContext,
+        quantized: _Quantized,
+        frame: _Frame,
+        start: int,
+        need_rub: bool,
+    ) -> None:
+        self.context = context
+        self.frame = frame
+        kernel = context.kernel
+        start_left = int(np.searchsorted(context.left_index, start))
+        start_right = int(np.searchsorted(context.right_index, start))
+        self.start_left = start_left
+        self.start_right = start_right
+        supp_left = frame.supp_left
+        supp_right = frame.supp_right
+
+        wsums, gains, counts, joints_left = kernel.child_metrics(
+            context.words_left[start_left:],
+            supp_left,
+            supp_right,
+            frame.gain_right,
+            context.tub_table_right if need_rub else None,
+        )
+        self.wsums_left = (
+            wsums.astype(np.float64).tolist() if need_rub else None
+        )
+        self.fwd_left = gains.astype(np.float64).tolist()
+        self.counts_left = counts.astype(np.float64).tolist()
+        if frame.net_right_vals is not None:
+            net_right_sum = frame.net_right_vals[
+                start_right - frame.net_right_start :
+            ]
+        else:
+            pos = kernel.and_popcount(
+                context.pos_right_words[start_right:], supp_left
+            )
+            neg = kernel.and_popcount(
+                context.neg_right_words[start_right:], supp_left
+            )
+            net_right_sum = context.wq_right_univ[start_right:] * (
+                pos - neg
+            ).astype(np.float64)
+        self.net_right_vals = net_right_sum
+        fwd_const = float(kernel.weighted_popcount(supp_left, frame.gain_right))
+        self.fwd_right = (net_right_sum + fwd_const).tolist()
+
+        wsums, gains, counts, joints_right = kernel.child_metrics(
+            context.words_right[start_right:],
+            supp_right,
+            supp_left,
+            frame.gain_left,
+            context.tub_table_left if need_rub else None,
+        )
+        self.wsums_right = (
+            wsums.astype(np.float64).tolist() if need_rub else None
+        )
+        self.bwd_right = gains.astype(np.float64).tolist()
+        self.counts_right = counts.astype(np.float64).tolist()
+        if frame.net_left_vals is not None:
+            net_left_sum = frame.net_left_vals[start_left - frame.net_left_start :]
+        else:
+            pos = kernel.and_popcount(
+                context.pos_left_words[start_left:], supp_right
+            )
+            neg = kernel.and_popcount(
+                context.neg_left_words[start_left:], supp_right
+            )
+            net_left_sum = context.wq_left_univ[start_left:] * (
+                pos - neg
+            ).astype(np.float64)
+        self.net_left_vals = net_left_sum
+        bwd_const = float(kernel.weighted_popcount(supp_right, frame.gain_left))
+        self.bwd_left = (net_left_sum + bwd_const).tolist()
+
+        alive = np.zeros(context.size - start, dtype=bool)
+        alive[context.left_index[start_left:] - start] = joints_left > 0
+        alive[context.right_index[start_right:] - start] = joints_right > 0
+        self.alive_list = (np.flatnonzero(alive) + start).tolist()
+
+
 class ExactRuleSearch:
     """Exact argmax-gain rule search over a cover state.
 
@@ -578,6 +778,17 @@ class ExactRuleSearch:
         ``"bitset"`` (packed, batched), ``"bool"`` (reference), or
         ``"auto"`` (currently ``"bitset"``).  Both kernels return
         bit-identical results; see the module docstring.
+    backend:
+        Arithmetic backend of the bitset kernel's batched child metrics:
+        ``"native"`` (the fused C popcount kernel of
+        :mod:`repro.native`), ``"numpy"`` (the dense GEMM formulation),
+        or ``"auto"`` — native when a C toolchain is available *and*
+        the dataset is large enough to benefit
+        (``n_transactions >= 2048``, the measured crossover below which
+        cache-resident BLAS wins), numpy otherwise; resolution never
+        fails.  Both backends compute the same exact fixed-point
+        integers, so rules, gains and statistics are bit-identical; the
+        ``bool`` kernel ignores this knob.
     cache:
         Optional :class:`SearchCache` reused across searches over the same
         dataset (``TranslatorExact`` passes one per fit).
@@ -602,6 +813,7 @@ class ExactRuleSearch:
         order_items: bool = True,
         seed_pairs: bool = True,
         kernel: str = "auto",
+        backend: str = "auto",
         cache: SearchCache | None = None,
         n_jobs: int | None = 1,
         executor=None,
@@ -620,6 +832,25 @@ class ExactRuleSearch:
         self.order_items = order_items
         self.seed_pairs = seed_pairs
         self.kernel = "bitset" if kernel == "auto" else kernel
+        # Decide the bool-kernel / small-input cases BEFORE resolving, so
+        # a search that could never use the native kernel does not probe
+        # (and possibly compile, or fail on) the C toolchain just to
+        # discard the result.
+        if self.kernel == "bool":
+            # The bool kernel has no batched child metrics to dispatch;
+            # it ignores the knob entirely (spec typos still rejected).
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; expected one of {BACKENDS}"
+                )
+            self.backend = "numpy"
+        elif (
+            backend == "auto"
+            and state.dataset.n_transactions < _NATIVE_AUTO_MIN_N
+        ):
+            self.backend = "numpy"
+        else:
+            self.backend = resolve_backend(backend)
         self.cache = cache if cache is not None else SearchCache(state.dataset)
         self.n_jobs = executor.n_jobs if executor is not None else effective_n_jobs(n_jobs)
         self.executor = executor
@@ -630,8 +861,8 @@ class ExactRuleSearch:
         strictly positive gain (the greedy stopping criterion)."""
         state = self.state
         dataset = state.dataset
-        stats = SearchStats(kernel=self.kernel)
-        quantized = _Quantized(state)
+        stats = SearchStats(kernel=self.kernel, backend=self.backend)
+        quantized = _Quantized(state, keep_sign_masks=self.backend == "native")
         universe = self._build_universe(quantized)
 
         best_rule: TranslationRule | None = None
@@ -701,9 +932,10 @@ class ExactRuleSearch:
         if context is not None:
             root.supp_left = context.full_words
             root.supp_right = context.full_words
-            ones = np.ones(n, dtype=np.float64)
-            root.s_left = ones
-            root.s_right = ones
+            if context.kernel is None:
+                ones = np.ones(n, dtype=np.float64)
+                root.s_left = ones
+                root.s_right = ones
         else:
             all_rows = np.ones(n, dtype=bool)
             root.supp_left = all_rows
@@ -712,7 +944,12 @@ class ExactRuleSearch:
         root.wsum_right = float(quantized.tubq_left.sum())
         root.count_left = n
         root.count_right = n
-        zero_gain = np.zeros(n, dtype=np.float64)
+        if context is not None and context.kernel is not None:
+            # Native frames accumulate gains as padded int64 tables (the
+            # layout the fused weighted popcounts consume directly).
+            zero_gain = np.zeros(context.padded_len, dtype=np.int64)
+        else:
+            zero_gain = np.zeros(n, dtype=np.float64)
         root.gain_left = zero_gain
         root.gain_right = zero_gain
         return root
@@ -776,14 +1013,14 @@ class ExactRuleSearch:
             (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
         ]
         context = (
-            _BitsetContext(universe, quantized, self.cache)
+            _BitsetContext(universe, quantized, self.cache, self.backend)
             if self.kernel == "bitset"
             else None
         )
 
         def run_shard(root_range: tuple[int, int]):
             lo, hi = root_range
-            shard_stats = SearchStats(kernel=self.kernel)
+            shard_stats = SearchStats(kernel=self.kernel, backend=self.backend)
             if self.kernel == "bitset":
                 rule, gain_q = self._traverse_bitset(
                     quantized, universe, shard_stats, seed_rule, seed_q,
@@ -969,7 +1206,15 @@ class ExactRuleSearch:
         entry_length = [entry.length_q for entry in universe]
 
         if context is None:
-            context = _BitsetContext(universe, quantized, self.cache)
+            context = _BitsetContext(universe, quantized, self.cache, self.backend)
+        native = context.kernel is not None
+        childset_class = _NativeChildSet if native else _BitsetChildSet
+        if native:
+            netq_left_rows = context.netq_left_i64
+            netq_right_rows = context.netq_right_i64
+        else:
+            netq_left_rows = netq_left_T
+            netq_right_rows = netq_right_T
         side_position = context.side_position
         words_all = context.words_all
         mask_left_rows = context.mask_left
@@ -988,7 +1233,7 @@ class ExactRuleSearch:
                 if frame.position >= frame.limit:
                     stack.pop()
                     continue
-                childset = _BitsetChildSet(
+                childset = childset_class(
                     context, quantized, frame, frame.position, use_rub
                 )
                 if frame.limit < size:
@@ -1091,13 +1336,14 @@ class ExactRuleSearch:
             if left_side:
                 child.supp_left = words_all[index] & frame.supp_left
                 child.supp_right = frame.supp_right
-                child.s_left = frame.s_left * mask_left_rows[side_position[index]]
-                child.s_right = frame.s_right
+                if not native:
+                    child.s_left = frame.s_left * mask_left_rows[side_position[index]]
+                    child.s_right = frame.s_right
                 child.wsum_left = wsum_new
                 child.wsum_right = frame.wsum_right
                 child.count_left = count_new
                 child.count_right = frame.count_right
-                child.gain_left = frame.gain_left + netq_left_T[column]
+                child.gain_left = frame.gain_left + netq_left_rows[column]
                 child.gain_right = frame.gain_right
                 # s_right unchanged: the net_left @ s_right products carry over.
                 child.net_left_vals = childset.net_left_vals
@@ -1105,14 +1351,15 @@ class ExactRuleSearch:
             else:
                 child.supp_left = frame.supp_left
                 child.supp_right = words_all[index] & frame.supp_right
-                child.s_left = frame.s_left
-                child.s_right = frame.s_right * mask_right_rows[side_position[index]]
+                if not native:
+                    child.s_left = frame.s_left
+                    child.s_right = frame.s_right * mask_right_rows[side_position[index]]
                 child.wsum_left = frame.wsum_left
                 child.wsum_right = wsum_new
                 child.count_left = frame.count_left
                 child.count_right = count_new
                 child.gain_left = frame.gain_left
-                child.gain_right = frame.gain_right + netq_right_T[column]
+                child.gain_right = frame.gain_right + netq_right_rows[column]
                 child.net_right_vals = childset.net_right_vals
                 child.net_right_start = childset.start_right
             stack.append(child)

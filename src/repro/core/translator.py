@@ -154,6 +154,12 @@ class TranslatorExact:
         Support kernel forwarded to :class:`ExactRuleSearch`:
         ``"bitset"`` (packed, batched), ``"bool"`` (reference) or
         ``"auto"``.  Both return bit-identical models.
+    backend:
+        Arithmetic backend forwarded to :class:`ExactRuleSearch`:
+        ``"native"`` (fused C popcount kernel), ``"numpy"`` (dense
+        GEMM), or ``"auto"`` (native when a C toolchain is available
+        and the dataset is large enough to benefit, numpy otherwise).
+        The fitted model is bit-identical either way.
     n_jobs:
         Worker count for the intra-search root-subtree sharding
         (``None``/``-1`` = all CPUs).  The fitted model — every rule and
@@ -179,12 +185,14 @@ class TranslatorExact:
         max_rule_size: int | None = None,
         max_nodes_per_search: int | None = None,
         kernel: str = "auto",
+        backend: str = "auto",
         n_jobs: int | None = 1,
     ) -> None:
         self.max_iterations = max_iterations
         self.max_rule_size = max_rule_size
         self.max_nodes_per_search = max_nodes_per_search
         self.kernel = kernel
+        self.backend = backend
         self.n_jobs = n_jobs
 
     def fit(
@@ -217,6 +225,7 @@ class TranslatorExact:
                 max_rule_size=self.max_rule_size,
                 max_nodes=self.max_nodes_per_search,
                 kernel=self.kernel,
+                backend=self.backend,
                 cache=cache,
                 n_jobs=self.n_jobs,
             )

@@ -1,0 +1,109 @@
+"""Native fused-popcount backend (optional, compiled on demand).
+
+The packed-bitset kernel of :mod:`repro.core.bitset` tops out on BLAS
+for very large transaction counts: the batched child metrics of the
+exact search and the bulk regime of the compiled predictor reduce to
+dense matrix products whose operands are 64x larger than the packed
+words they were derived from.  This package lifts that floor with a
+small dependency-free C kernel (``kernel.c``) exposing
+
+* fused AND + popcount over row batches,
+* fixed-point (exact integer) weighted popcounts — the same quantized
+  scoring the search already uses,
+* a packed subset test and a weighted-OR/consequent-union primitive,
+* a fused AND-reduce + popcount for the streaming buffer's tracked
+  supports.
+
+The shared object is compiled once with the system ``cc`` and cached by
+content hash (:mod:`repro.native.build`); when no compiler is present
+the build fails *softly* — :func:`available` returns ``False``,
+:func:`native_error` explains why, and every consumer's ``auto`` backend
+silently keeps using the numpy paths, which remain bit-identical.
+Backend selection is threaded through
+:func:`repro.core.bitset.resolve_backend` (``backend="numpy"|"native"|
+"auto"``), mirroring the search's ``kernel=`` selector.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.native.api import NativeKernel
+from repro.native.build import NativeBuildError, build_library, compiler_path
+
+__all__ = [
+    "NativeBuildError",
+    "NativeKernel",
+    "available",
+    "build_info",
+    "load_kernel",
+    "native_error",
+    "reset",
+]
+
+_lock = threading.Lock()
+_state: dict[str, object] = {"kernel": None, "error": None, "attempted": False}
+
+
+def load_kernel() -> NativeKernel:
+    """Compile (once) and load the native kernel.
+
+    The first call per process attempts the build; the outcome — a
+    loaded :class:`~repro.native.api.NativeKernel` or a
+    :class:`~repro.native.build.NativeBuildError` — is cached, so
+    repeated calls are cheap either way.  Raises the cached error when
+    the toolchain is unavailable.
+    """
+    with _lock:
+        if not _state["attempted"]:
+            _state["attempted"] = True
+            try:
+                _state["kernel"] = NativeKernel(build_library())
+            except NativeBuildError as error:
+                _state["error"] = error
+            except OSError as error:  # dlopen of a foreign/corrupt object
+                _state["error"] = NativeBuildError(
+                    f"compiled kernel failed to load: {error}"
+                )
+        if _state["kernel"] is None:
+            raise _state["error"]  # type: ignore[misc]
+        return _state["kernel"]  # type: ignore[return-value]
+
+
+def available() -> bool:
+    """Whether the native backend can be used in this process."""
+    try:
+        load_kernel()
+    except NativeBuildError:
+        return False
+    return True
+
+
+def native_error() -> str | None:
+    """Why the native backend is unavailable (``None`` when it works)."""
+    if available():
+        return None
+    return str(_state["error"])
+
+
+def build_info() -> dict[str, object]:
+    """Diagnostics: availability, compiler, library path, ABI version."""
+    info: dict[str, object] = {
+        "available": available(),
+        "compiler": compiler_path(),
+    }
+    kernel = _state["kernel"]
+    if isinstance(kernel, NativeKernel):
+        info["library"] = str(kernel.path)
+        info["abi_version"] = kernel.abi_version
+    else:
+        info["error"] = native_error()
+    return info
+
+
+def reset() -> None:
+    """Forget the cached build outcome (tests re-probe the toolchain)."""
+    with _lock:
+        _state["kernel"] = None
+        _state["error"] = None
+        _state["attempted"] = False

@@ -1,0 +1,257 @@
+"""ctypes bindings for the compiled popcount kernel.
+
+:class:`NativeKernel` is a thin typed wrapper over the shared object
+that :mod:`repro.native.build` compiles: every method validates dtypes
+and contiguity, allocates the output array, and hands raw pointers to
+the C functions (ctypes drops the GIL for the duration of each call, so
+the thread-sharded search parallelises through here).  All semantics —
+word layout, weight-table layout, integer exactness — are documented on
+the C source and on the numpy reference implementations in
+:mod:`repro.core.bitset`, which these calls are bit-identical to.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["NativeKernel"]
+
+_U64 = ctypes.POINTER(ctypes.c_uint64)
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_U8 = ctypes.POINTER(ctypes.c_uint8)
+
+
+def _u64(array: np.ndarray) -> "ctypes._Pointer":
+    return array.ctypes.data_as(_U64)
+
+
+def _i64(array: np.ndarray) -> "ctypes._Pointer":
+    return array.ctypes.data_as(_I64)
+
+
+def _u8(array: np.ndarray) -> "ctypes._Pointer":
+    return array.ctypes.data_as(_U8)
+
+
+def _as_words(array: np.ndarray, name: str) -> np.ndarray:
+    out = np.ascontiguousarray(array, dtype=np.uint64)
+    if out.ndim > 2:
+        raise ValueError(f"{name} must be 1- or 2-dimensional")
+    return out
+
+
+def _as_table(array: np.ndarray, n_words: int, name: str) -> np.ndarray:
+    out = np.ascontiguousarray(array, dtype=np.int64)
+    if out.size != n_words * 64:
+        raise ValueError(
+            f"{name} must have n_words * 64 = {n_words * 64} entries, "
+            f"got {out.size}"
+        )
+    return out
+
+
+class NativeKernel:
+    """Typed handle on one loaded build of the C kernel."""
+
+    def __init__(self, library_path: Path) -> None:
+        self.path = Path(library_path)
+        lib = ctypes.CDLL(str(self.path))
+        lib.repro_abi_version.restype = ctypes.c_int64
+        lib.repro_abi_version.argtypes = []
+        lib.repro_and_popcount.restype = None
+        lib.repro_and_popcount.argtypes = [
+            _U64, ctypes.c_int64, ctypes.c_int64, _U64, _I64,
+        ]
+        lib.repro_weighted_popcount.restype = ctypes.c_int64
+        lib.repro_weighted_popcount.argtypes = [_U64, ctypes.c_int64, _I64]
+        lib.repro_child_metrics.restype = None
+        lib.repro_child_metrics.argtypes = [
+            _U64, ctypes.c_int64, ctypes.c_int64,
+            _U64, _U64, _I64, _I64, _I64, _I64, _I64, _I64,
+        ]
+        lib.repro_subset_match.restype = None
+        lib.repro_subset_match.argtypes = [
+            _U64, ctypes.c_int64, _U64, ctypes.c_int64, ctypes.c_int64, _U8,
+        ]
+        lib.repro_or_union.restype = None
+        lib.repro_or_union.argtypes = [
+            _U8, ctypes.c_int64, ctypes.c_int64, _U64, ctypes.c_int64, _U64,
+        ]
+        lib.repro_match_union.restype = None
+        lib.repro_match_union.argtypes = [
+            _U64, ctypes.c_int64, ctypes.c_int64,
+            _U64, _U64, ctypes.c_int64, ctypes.c_int64, _U64,
+        ]
+        lib.repro_and_reduce.restype = ctypes.c_int64
+        lib.repro_and_reduce.argtypes = [
+            _U64, ctypes.c_int64, ctypes.c_int64, _U64,
+        ]
+        lib.repro_and_reduce_many.restype = None
+        lib.repro_and_reduce_many.argtypes = [
+            _U64, _I64, ctypes.c_int64, ctypes.c_int64, _U64, _I64,
+        ]
+        self._lib = lib
+        self.abi_version = int(lib.repro_abi_version())
+
+    # ------------------------------------------------------------------
+    def and_popcount(
+        self, rows: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-row ``popcount(rows[i] & mask)`` (``mask=None``: plain)."""
+        rows = _as_words(rows, "rows")
+        n_rows, n_words = rows.shape
+        out = np.empty(n_rows, dtype=np.int64)
+        if n_rows == 0:
+            return out
+        mask_ptr = None
+        if mask is not None:
+            mask = _as_words(mask, "mask")
+            if mask.size != n_words:
+                raise ValueError("mask and rows disagree on word count")
+            mask_ptr = _u64(mask)
+        self._lib.repro_and_popcount(
+            _u64(rows), n_rows, n_words, mask_ptr, _i64(out)
+        )
+        return out
+
+    def weighted_popcount(self, words: np.ndarray, table: np.ndarray) -> int:
+        """Fixed-point weighted popcount of one packed mask."""
+        words = _as_words(words, "words")
+        n_words = words.size
+        table = _as_table(table, n_words, "table")
+        if n_words == 0:
+            return 0
+        return int(
+            self._lib.repro_weighted_popcount(_u64(words), n_words, _i64(table))
+        )
+
+    def child_metrics(
+        self,
+        rows: np.ndarray,
+        supp: np.ndarray,
+        supp_other: np.ndarray,
+        gain_table: np.ndarray,
+        wsum_table: np.ndarray | None = None,
+    ) -> tuple[np.ndarray | None, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused per-child search metrics; see ``repro_child_metrics``.
+
+        Returns ``(wsums, gains, counts, joints)`` as int64 arrays
+        (``wsums`` is ``None`` when ``wsum_table`` is).
+        """
+        rows = _as_words(rows, "rows")
+        n_rows, n_words = rows.shape
+        supp = _as_words(supp, "supp")
+        supp_other = _as_words(supp_other, "supp_other")
+        if supp.size != n_words or supp_other.size != n_words:
+            raise ValueError("support masks and rows disagree on word count")
+        gain_table = _as_table(gain_table, n_words, "gain_table")
+        gains = np.empty(n_rows, dtype=np.int64)
+        counts = np.empty(n_rows, dtype=np.int64)
+        joints = np.empty(n_rows, dtype=np.int64)
+        wsums: np.ndarray | None = None
+        wsum_ptr = None
+        wsum_out = None
+        if wsum_table is not None:
+            wsum_table = _as_table(wsum_table, n_words, "wsum_table")
+            wsums = np.empty(n_rows, dtype=np.int64)
+            wsum_ptr = _i64(wsum_table)
+            wsum_out = _i64(wsums)
+        if n_rows:
+            self._lib.repro_child_metrics(
+                _u64(rows), n_rows, n_words,
+                _u64(supp), _u64(supp_other),
+                wsum_ptr, _i64(gain_table),
+                wsum_out, _i64(gains), _i64(counts), _i64(joints),
+            )
+        return wsums, gains, counts, joints
+
+    def subset_match(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        """Boolean ``(n_rows, n_sets)`` packed subset test."""
+        rows = _as_words(rows, "rows")
+        sets = _as_words(sets, "sets")
+        n_rows, n_words = rows.shape
+        n_sets = sets.shape[0]
+        if sets.shape[1] != n_words:
+            raise ValueError("rows and sets disagree on word count")
+        out = np.empty((n_rows, n_sets), dtype=np.uint8)
+        if n_rows and n_sets:
+            self._lib.repro_subset_match(
+                _u64(rows), n_rows, _u64(sets), n_sets, n_words, _u8(out)
+            )
+        return out.view(bool)
+
+    def or_union(self, fired: np.ndarray, cons: np.ndarray) -> np.ndarray:
+        """Per-row OR of the consequent word rows selected by ``fired``."""
+        fired = np.ascontiguousarray(fired, dtype=np.uint8)
+        cons = _as_words(cons, "cons")
+        n_rows, n_rules = fired.shape
+        if cons.shape[0] != n_rules:
+            raise ValueError("fired and cons disagree on rule count")
+        n_words = cons.shape[1]
+        out = np.zeros((n_rows, n_words), dtype=np.uint64)
+        if n_rows and n_rules and n_words:
+            self._lib.repro_or_union(
+                _u8(fired), n_rows, n_rules, _u64(cons), n_words, _u64(out)
+            )
+        return out
+
+    def match_union(
+        self, rows: np.ndarray, ant: np.ndarray, cons: np.ndarray
+    ) -> np.ndarray:
+        """Fused subset test + consequent union (the bulk predict path)."""
+        rows = _as_words(rows, "rows")
+        ant = _as_words(ant, "ant")
+        cons = _as_words(cons, "cons")
+        n_rows, n_words_src = rows.shape
+        n_rules = ant.shape[0]
+        if ant.shape[1] != n_words_src:
+            raise ValueError("rows and antecedents disagree on word count")
+        if cons.shape[0] != n_rules:
+            raise ValueError("antecedents and consequents disagree on rule count")
+        n_words_tgt = cons.shape[1]
+        out = np.zeros((n_rows, n_words_tgt), dtype=np.uint64)
+        if n_rows and n_words_tgt:
+            self._lib.repro_match_union(
+                _u64(rows), n_rows, n_words_src,
+                _u64(ant), _u64(cons), n_rules, n_words_tgt, _u64(out),
+            )
+        return out
+
+    def and_reduce(self, rows: np.ndarray) -> tuple[np.ndarray, int]:
+        """AND-reduce packed rows; returns ``(region, popcount)``."""
+        rows = _as_words(rows, "rows")
+        n_rows, n_words = rows.shape
+        if n_rows == 0:
+            raise ValueError("and_reduce needs at least one row")
+        out = np.empty(n_words, dtype=np.uint64)
+        if n_words == 0:
+            return out, 0
+        count = self._lib.repro_and_reduce(_u64(rows), n_rows, n_words, _u64(out))
+        return out, int(count)
+
+    def and_reduce_many(
+        self, rows: np.ndarray, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Grouped AND-reduce; returns ``(regions, counts)`` per group."""
+        rows = _as_words(rows, "rows")
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        n_rows, n_words = rows.shape
+        n_groups = offsets.size - 1
+        if n_groups < 0 or offsets[0] != 0 or offsets[-1] != n_rows:
+            raise ValueError("offsets must run from 0 to n_rows")
+        out = np.empty((n_groups, n_words), dtype=np.uint64)
+        counts = np.zeros(n_groups, dtype=np.int64)
+        if n_groups and n_words:
+            self._lib.repro_and_reduce_many(
+                _u64(rows), _i64(offsets), n_groups, n_words,
+                _u64(out), _i64(counts),
+            )
+        elif n_groups:
+            out[:] = 0
+        return out, counts
+
+    def __repr__(self) -> str:
+        return f"NativeKernel(path={str(self.path)!r}, abi={self.abi_version})"

@@ -1,0 +1,261 @@
+/* Fused popcount kernels over packed uint64 transaction sets.
+ *
+ * Compiled on demand by repro.native.build with the system C compiler and
+ * loaded through ctypes (repro.native.api).  Everything here is exact
+ * integer arithmetic over the same packed word layout that
+ * repro.core.bitset produces (64 transactions per little-endian word,
+ * padding bits zero), so every function is bit-identical to its numpy
+ * reference path in repro/core/bitset.py.
+ *
+ * Weight tables are fixed-point int64 vectors laid out padded to
+ * n_words * 64 entries (the layout of bitset.weight_table), with the
+ * padding entries zero; the callers guarantee every partial sum stays far
+ * below 2**51 (see repro.core.search._Quantized), so the int64
+ * accumulators can never overflow and the results convert exactly to the
+ * float64 integers the numpy paths carry.
+ *
+ * No external dependencies, C99, single translation unit.
+ */
+
+#include <stdint.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define REPRO_POPCOUNT(x) ((int64_t)__builtin_popcountll(x))
+#define REPRO_CTZ(x) ((int64_t)__builtin_ctzll(x))
+#define REPRO_EXPORT __attribute__((visibility("default")))
+#else
+static int64_t repro_popcount_fallback(uint64_t x) {
+    x = x - ((x >> 1) & 0x5555555555555555ULL);
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    return (int64_t)((x * 0x0101010101010101ULL) >> 56);
+}
+static int64_t repro_ctz_fallback(uint64_t x) {
+    int64_t n = 0;
+    while (!(x & 1ULL)) { x >>= 1; ++n; }
+    return n;
+}
+#define REPRO_POPCOUNT(x) repro_popcount_fallback(x)
+#define REPRO_CTZ(x) repro_ctz_fallback(x)
+#define REPRO_EXPORT
+#endif
+
+/* Bumped whenever an exported signature changes; repro.native.build folds
+ * it into the cache key so a stale shared object is never reused. */
+REPRO_EXPORT int64_t repro_abi_version(void) { return 1; }
+
+/* Per-row popcount of rows[i] & mask (mask == NULL: plain popcount). */
+REPRO_EXPORT void repro_and_popcount(
+    const uint64_t *rows, int64_t n_rows, int64_t n_words,
+    const uint64_t *mask, int64_t *out)
+{
+    int64_t i, w;
+    for (i = 0; i < n_rows; ++i) {
+        const uint64_t *row = rows + i * n_words;
+        int64_t count = 0;
+        if (mask) {
+            for (w = 0; w < n_words; ++w)
+                count += REPRO_POPCOUNT(row[w] & mask[w]);
+        } else {
+            for (w = 0; w < n_words; ++w)
+                count += REPRO_POPCOUNT(row[w]);
+        }
+        out[i] = count;
+    }
+}
+
+/* Fixed-point weighted popcount of one packed mask: the sum of
+ * table[bit] over the set bits.  table has n_words * 64 entries. */
+REPRO_EXPORT int64_t repro_weighted_popcount(
+    const uint64_t *words, int64_t n_words, const int64_t *table)
+{
+    int64_t w, total = 0;
+    for (w = 0; w < n_words; ++w) {
+        uint64_t word = words[w];
+        const int64_t *row = table + w * 64;
+        while (word) {
+            total += row[REPRO_CTZ(word)];
+            word &= word - 1;
+        }
+    }
+    return total;
+}
+
+/* Batched per-child metrics of one search frame: for every candidate row
+ * (a packed item transaction set) compute, over new = row & supp,
+ *
+ *   out_count[i] = |new|
+ *   out_joint[i] = |new & supp_other|
+ *   out_gain[i]  = sum of gain_table over the set bits of new
+ *   out_wsum[i]  = sum of wsum_table over the set bits of new
+ *                  (skipped when wsum_table == NULL)
+ *
+ * in a single pass over the packed words — the fused replacement for the
+ * bitset search kernel's dense 4-column GEMM per node. */
+REPRO_EXPORT void repro_child_metrics(
+    const uint64_t *rows, int64_t n_rows, int64_t n_words,
+    const uint64_t *supp, const uint64_t *supp_other,
+    const int64_t *wsum_table, const int64_t *gain_table,
+    int64_t *out_wsum, int64_t *out_gain,
+    int64_t *out_count, int64_t *out_joint)
+{
+    int64_t i, w;
+    for (i = 0; i < n_rows; ++i) {
+        const uint64_t *row = rows + i * n_words;
+        int64_t count = 0, joint = 0, gain = 0, wsum = 0;
+        for (w = 0; w < n_words; ++w) {
+            uint64_t word = row[w] & supp[w];
+            if (!word)
+                continue;
+            count += REPRO_POPCOUNT(word);
+            joint += REPRO_POPCOUNT(word & supp_other[w]);
+            {
+                const int64_t *gain_row = gain_table + w * 64;
+                uint64_t bits = word;
+                if (wsum_table) {
+                    const int64_t *wsum_row = wsum_table + w * 64;
+                    while (bits) {
+                        int64_t b = REPRO_CTZ(bits);
+                        gain += gain_row[b];
+                        wsum += wsum_row[b];
+                        bits &= bits - 1;
+                    }
+                } else {
+                    while (bits) {
+                        gain += gain_row[REPRO_CTZ(bits)];
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        if (out_wsum)
+            out_wsum[i] = wsum;
+        out_gain[i] = gain;
+        out_count[i] = count;
+        out_joint[i] = joint;
+    }
+}
+
+/* Packed subset test: out[i * n_sets + r] = 1 iff sets[r] is a subset of
+ * rows[i] (rows[i] & sets[r] == sets[r]), with early exit per pair. */
+REPRO_EXPORT void repro_subset_match(
+    const uint64_t *rows, int64_t n_rows,
+    const uint64_t *sets, int64_t n_sets,
+    int64_t n_words, uint8_t *out)
+{
+    int64_t i, r, w;
+    for (i = 0; i < n_rows; ++i) {
+        const uint64_t *row = rows + i * n_words;
+        uint8_t *flags = out + i * n_sets;
+        for (r = 0; r < n_sets; ++r) {
+            const uint64_t *set = sets + r * n_words;
+            uint8_t ok = 1;
+            for (w = 0; w < n_words; ++w) {
+                if ((row[w] & set[w]) != set[w]) {
+                    ok = 0;
+                    break;
+                }
+            }
+            flags[r] = ok;
+        }
+    }
+}
+
+/* Weighted OR / consequent union: out[i] = OR of cons[r] over the rules r
+ * with fired[i * n_rules + r] set. */
+REPRO_EXPORT void repro_or_union(
+    const uint8_t *fired, int64_t n_rows, int64_t n_rules,
+    const uint64_t *cons, int64_t n_words, uint64_t *out)
+{
+    int64_t i, r, w;
+    for (i = 0; i < n_rows; ++i) {
+        const uint8_t *flags = fired + i * n_rules;
+        uint64_t *acc = out + i * n_words;
+        for (w = 0; w < n_words; ++w)
+            acc[w] = 0;
+        for (r = 0; r < n_rules; ++r) {
+            if (flags[r]) {
+                const uint64_t *set = cons + r * n_words;
+                for (w = 0; w < n_words; ++w)
+                    acc[w] |= set[w];
+            }
+        }
+    }
+}
+
+/* Fused predict: subset test and consequent union in one pass, never
+ * materialising the fired matrix.  out must hold n_rows * n_words_tgt
+ * words; it is zeroed here. */
+REPRO_EXPORT void repro_match_union(
+    const uint64_t *rows, int64_t n_rows, int64_t n_words_src,
+    const uint64_t *ant, const uint64_t *cons,
+    int64_t n_rules, int64_t n_words_tgt, uint64_t *out)
+{
+    int64_t i, r, w;
+    for (i = 0; i < n_rows; ++i) {
+        const uint64_t *row = rows + i * n_words_src;
+        uint64_t *acc = out + i * n_words_tgt;
+        for (w = 0; w < n_words_tgt; ++w)
+            acc[w] = 0;
+        for (r = 0; r < n_rules; ++r) {
+            const uint64_t *a = ant + r * n_words_src;
+            uint8_t ok = 1;
+            for (w = 0; w < n_words_src; ++w) {
+                if ((row[w] & a[w]) != a[w]) {
+                    ok = 0;
+                    break;
+                }
+            }
+            if (ok) {
+                const uint64_t *set = cons + r * n_words_tgt;
+                for (w = 0; w < n_words_tgt; ++w)
+                    acc[w] |= set[w];
+            }
+        }
+    }
+}
+
+/* AND-reduce n_rows packed rows into out and return its popcount — the
+ * streaming buffer's fused tracked-support update.  n_rows must be >= 1. */
+REPRO_EXPORT int64_t repro_and_reduce(
+    const uint64_t *rows, int64_t n_rows, int64_t n_words, uint64_t *out)
+{
+    int64_t i, w, count = 0;
+    for (w = 0; w < n_words; ++w)
+        out[w] = rows[w];
+    for (i = 1; i < n_rows; ++i) {
+        const uint64_t *row = rows + i * n_words;
+        for (w = 0; w < n_words; ++w)
+            out[w] &= row[w];
+    }
+    for (w = 0; w < n_words; ++w)
+        count += REPRO_POPCOUNT(out[w]);
+    return count;
+}
+
+/* Grouped AND-reduce: rows holds n_groups consecutive row groups whose
+ * boundaries are offsets[0] .. offsets[n_groups] (offsets[0] == 0);
+ * group g AND-reduces into out[g] with its popcount in counts[g].  One
+ * call updates every tracked itemset of a stream-buffer side, so the
+ * per-call overhead amortises over all of them. */
+REPRO_EXPORT void repro_and_reduce_many(
+    const uint64_t *rows, const int64_t *offsets, int64_t n_groups,
+    int64_t n_words, uint64_t *out, int64_t *counts)
+{
+    int64_t g, i, w;
+    for (g = 0; g < n_groups; ++g) {
+        const uint64_t *first = rows + offsets[g] * n_words;
+        uint64_t *acc = out + g * n_words;
+        int64_t count = 0;
+        for (w = 0; w < n_words; ++w)
+            acc[w] = first[w];
+        for (i = offsets[g] + 1; i < offsets[g + 1]; ++i) {
+            const uint64_t *row = rows + i * n_words;
+            for (w = 0; w < n_words; ++w)
+                acc[w] &= row[w];
+        }
+        for (w = 0; w < n_words; ++w)
+            count += REPRO_POPCOUNT(acc[w]);
+        counts[g] = count;
+    }
+}

@@ -31,10 +31,28 @@ that contract over the same compiled matrices:
 
 ``"packed"``
     Evaluate the same subset test directly on the packed words
-    (``row & ant == ant``) and the union as a broadcast OR of
-    consequent words.  Touches 64x less memory per item than the dense
-    paths — the right tool when vocabularies are wide and batches
-    enormous — and doubles as the strategy-independent reference.
+    (``row & ant == ant``) and the union as a weighted OR of consequent
+    words.  Touches 64x less memory per item than the dense paths — the
+    right tool when vocabularies are wide and batches enormous — and
+    doubles as the strategy-independent reference.  The packed word ops
+    dispatch through the :mod:`repro.core.bitset` backend layer
+    (``backend="numpy"|"native"|"auto"``): with the native C kernel the
+    whole bulk path collapses into one fused subset-test +
+    consequent-union pass (:func:`repro.core.bitset.match_union_rows`)
+    that never materialises the fired matrix.
+
+The ``"blas"`` exactness contract holds while every count involved stays
+at or below ``2**24`` (the largest integer float32 represents exactly).
+Compilation guards this: a predictor whose source vocabulary or rule
+count could exceed the bound warns once and routes ``"auto"`` to
+``"packed"``; requesting ``"blas"`` explicitly on such a predictor
+raises instead of silently returning approximate results.
+
+``"auto"`` otherwise picks BLAS — except on a native-backed predictor
+where the fused packed path is the measured winner: wide compiled
+models (``n_rules x n_ant_words`` past a threshold, 8-19x faster at
+every batch size) and bulk-sized batches on any model.  The dispatch is
+purely a throughput decision; all strategies are bit-identical.
 
 Outputs of both strategies are **bit-identical** to the per-rule loop:
 all three compute the same subset test and the same consequent union,
@@ -51,16 +69,32 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.bitset import BitMatrix, unpack_mask
+from repro.core.bitset import (
+    BitMatrix,
+    match_union_rows,
+    or_union_rows,
+    resolve_backend,
+    subset_match_rows,
+    unpack_mask,
+)
 from repro.core.rules import TranslationRule
 from repro.core.table import TranslationTable
 from repro.data.dataset import Side
 
 __all__ = ["CompiledPredictor"]
 
-# Rows per chunk for the packed strategy's (batch, rules, words)
-# broadcasts; bounds peak memory at ~chunk * n_rules * n_words * 8 B.
-_CHUNK_ROWS = 1024
+#: Largest integer a float32 represents exactly; past it the blas
+#: strategy's "exact float32" contract silently breaks.
+_FLOAT32_EXACT_MAX = 2**24
+
+#: ``strategy="auto"`` dispatch heuristic for native-backed predictors:
+#: the fused packed path beats BLAS whenever the compiled model is wide
+#: (``n_rules * n_ant_words`` at or above this — measured 8-19x there at
+#: every batch size) ...
+_NATIVE_PACKED_MIN_RULE_WORDS = 2048
+#: ... or the batch is bulk-sized (measured parity-or-better from here
+#: up even on narrow models).
+_NATIVE_PACKED_MIN_ROWS = 256
 
 
 class CompiledPredictor:
@@ -78,6 +112,10 @@ class CompiledPredictor:
         rules: The rules to compile; only those firing towards
             ``target`` are kept, and rules with an empty antecedent are
             skipped with a warning (they would fire on every row).
+        backend: Word-op backend of the ``packed`` strategy —
+            ``"native"`` (fused C kernel), ``"numpy"``, or ``"auto"``
+            (native when a C toolchain is available; falls back
+            silently).  Both are bit-identical.
 
     Example::
 
@@ -96,6 +134,8 @@ class CompiledPredictor:
         "n_rules",
         "antecedents",
         "consequents",
+        "backend",
+        "blas_exact",
         "_ant_operand",
         "_ant_sizes",
         "_cons_operand",
@@ -107,10 +147,12 @@ class CompiledPredictor:
         n_source_items: int,
         n_target_items: int,
         rules: Iterable[TranslationRule],
+        backend: str = "auto",
     ) -> None:
         self.target = target
         self.n_source_items = int(n_source_items)
         self.n_target_items = int(n_target_items)
+        self.backend = resolve_backend(backend)
         ant_masks = []
         cons_masks = []
         for rule in rules:
@@ -145,6 +187,22 @@ class CompiledPredictor:
         self._ant_operand = np.ascontiguousarray(ant_bool.T, dtype=np.float32)
         self._ant_sizes = self._ant_operand.sum(axis=0)
         self._cons_operand = np.ascontiguousarray(cons_bool, dtype=np.float32)
+        # Compile-time guard on the blas strategy's exactness contract:
+        # every count it compares is bounded by the source vocabulary
+        # (match counts) or the rule count (emission counts), so both
+        # must stay within float32's exact-integer range.
+        self.blas_exact = (
+            self.n_source_items <= _FLOAT32_EXACT_MAX
+            and self.n_rules <= _FLOAT32_EXACT_MAX
+        )
+        if not self.blas_exact:
+            warnings.warn(
+                f"compiled predictor has n_source_items={self.n_source_items}, "
+                f"n_rules={self.n_rules}; counts past {_FLOAT32_EXACT_MAX} "
+                f"(2**24) are not exact in float32, so strategy='auto' will "
+                f"dispatch to 'packed' instead of 'blas'",
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -154,11 +212,43 @@ class CompiledPredictor:
         target: Side,
         n_source_items: int,
         n_target_items: int,
+        backend: str = "auto",
     ) -> "CompiledPredictor":
         """Compile ``table`` for predicting ``target`` from the other view."""
-        return cls(target, n_source_items, n_target_items, table)
+        return cls(target, n_source_items, n_target_items, table, backend=backend)
 
     # ------------------------------------------------------------------
+    def _resolve_strategy(self, strategy: str, n_rows: int = 0) -> str:
+        """Normalise a strategy spec, enforcing the blas exactness guard.
+
+        ``"auto"`` picks BLAS while its exactness guard holds — except on
+        a native-backed predictor where the fused packed path is the
+        measured winner: wide compiled models (many rules x many
+        antecedent words) at any batch size, and bulk batches on any
+        model.  Every strategy returns bit-identical predictions, so the
+        dispatch is purely a throughput decision.
+        """
+        if strategy == "auto":
+            if not self.blas_exact:
+                return "packed"
+            if self.backend == "native" and (
+                self.n_rules * self.antecedents.n_words
+                >= _NATIVE_PACKED_MIN_RULE_WORDS
+                or n_rows >= _NATIVE_PACKED_MIN_ROWS
+            ):
+                return "packed"
+            return "blas"
+        if strategy == "blas" and not self.blas_exact:
+            raise ValueError(
+                f"strategy 'blas' is not exact for this predictor "
+                f"(n_source_items={self.n_source_items}, "
+                f"n_rules={self.n_rules} exceed the float32 exact-integer "
+                f"bound {_FLOAT32_EXACT_MAX}); use 'packed' or 'auto'"
+            )
+        if strategy not in ("blas", "packed"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return strategy
+
     def _validated(self, source_matrix: np.ndarray) -> np.ndarray:
         source_matrix = np.asarray(source_matrix, dtype=bool)
         if source_matrix.ndim != 2 or source_matrix.shape[1] != self.n_source_items:
@@ -176,24 +266,18 @@ class CompiledPredictor:
         Rule ``r`` fires on row ``t`` iff its antecedent is a subset of
         the transaction — computed either as an exact float32 count
         (``"blas"``) or as ``row & ant == ant`` on the packed words
-        (``"packed"``); ``"auto"`` picks BLAS.
+        (``"packed"``, dispatched through the compiled ``backend``);
+        see :meth:`_resolve_strategy` for how ``"auto"`` dispatches.
         """
         source_matrix = self._validated(source_matrix)
-        if strategy in ("auto", "blas"):
+        strategy = self._resolve_strategy(strategy, source_matrix.shape[0])
+        if strategy == "blas":
             counts = source_matrix.astype(np.float32) @ self._ant_operand
             return counts == self._ant_sizes
-        if strategy != "packed":
-            raise ValueError(f"unknown strategy {strategy!r}")
         rows = BitMatrix.from_bool_rows(source_matrix).words
-        ant = self.antecedents.words
-        fired = np.empty((rows.shape[0], self.n_rules), dtype=bool)
-        for start in range(0, rows.shape[0], _CHUNK_ROWS):
-            chunk = rows[start : start + _CHUNK_ROWS]
-            conjunction = chunk[:, None, :] & ant[None, :, :]
-            fired[start : start + _CHUNK_ROWS] = (
-                conjunction == ant[None, :, :]
-            ).all(axis=2)
-        return fired
+        return subset_match_rows(
+            rows, self.antecedents.words, backend=self.backend
+        )
 
     def predict(
         self, source_matrix: np.ndarray, strategy: str = "auto"
@@ -205,22 +289,26 @@ class CompiledPredictor:
         loop in :func:`repro.core.predict.predict_view` produces.
         """
         source_matrix = self._validated(source_matrix)
-        fired = self.matches(source_matrix, strategy=strategy)
-        if strategy in ("auto", "blas"):
+        strategy = self._resolve_strategy(strategy, source_matrix.shape[0])
+        if strategy == "blas":
+            fired = self.matches(source_matrix, strategy="blas")
             emitted = fired.astype(np.float32) @ self._cons_operand
             return emitted > 0
-        n_rows = fired.shape[0]
-        cons = self.consequents.words
-        out_words = np.zeros((n_rows, cons.shape[1]), dtype=np.uint64)
-        for start in range(0, n_rows, _CHUNK_ROWS):
-            chunk = fired[start : start + _CHUNK_ROWS]
-            if not chunk.any():
-                continue
-            selected = np.where(
-                chunk[:, :, None], cons[None, :, :], np.uint64(0)
+        n_rows = source_matrix.shape[0]
+        if self.backend == "native":
+            # One fused pass: subset test + consequent union per row,
+            # no (rows, rules) fired matrix in between.
+            rows = BitMatrix.from_bool_rows(source_matrix).words
+            out_words = match_union_rows(
+                rows,
+                self.antecedents.words,
+                self.consequents.words,
+                backend="native",
             )
-            out_words[start : start + _CHUNK_ROWS] = np.bitwise_or.reduce(
-                selected, axis=1
+        else:
+            fired = self.matches(source_matrix, strategy="packed")
+            out_words = or_union_rows(
+                fired, self.consequents.words, backend="numpy"
             )
         if self.n_target_items == 0:
             return np.zeros((n_rows, 0), dtype=bool)

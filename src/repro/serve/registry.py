@@ -35,6 +35,11 @@ __all__ = ["ModelRegistry"]
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR = re.compile(r"^v(\d{4,})$")
 
+#: How many times a ``LATEST`` pointer read is retried before the
+#: registry concludes the pointer is genuinely missing or damaged —
+#: a hard cap, so a persistently torn pointer can never spin a reader.
+_LATEST_READ_ATTEMPTS = 5
+
 
 def _version_dirname(version: int) -> str:
     return f"v{version:04d}"
@@ -118,36 +123,64 @@ class ModelRegistry:
 
         Tolerates a concurrent publish racing the read: a transiently
         missing pointer (some platforms expose a brief gap while
-        ``os.replace`` swaps the temp file in) is retried before
-        falling back, and a pointer naming a version newer than the
-        initial directory scan triggers a re-scan instead of being
-        dismissed as damage.  Falls back to the highest published
-        version when the pointer file is genuinely missing or damaged;
-        raises ``KeyError`` for a model with no versions at all.
+        ``os.replace`` swaps the temp file in) is retried — at most
+        :data:`_LATEST_READ_ATTEMPTS` times, never unboundedly — and a
+        pointer naming a version newer than the initial directory scan
+        triggers a re-scan instead of being dismissed as damage.
+
+        A pointer that is *still* missing after the retries means it was
+        never written (``publish(set_latest=False)``), so the highest
+        published version is returned.  A pointer that persistently
+        holds garbage, or names a version that does not exist, is
+        corruption — pointers are written atomically, so no race
+        explains it — and raises a clear
+        :class:`~repro.serve.artifact.ArtifactError` rather than
+        silently serving some other version (the pointer might have
+        been an intentional rollback).  Raises ``KeyError`` for a model
+        with no versions at all.
         """
         versions = self.versions(name)
         if not versions:
             raise KeyError(f"no published versions of model {name!r}")
         pointer = self.model_dir(name) / "LATEST"
         candidate = None
-        for attempt in range(3):
+        failure: str | None = None
+        for __ in range(_LATEST_READ_ATTEMPTS):
+            # Retry immediately (no sleep: this also runs on the
+            # server's event loop): the os.replace gap is shorter than
+            # a read attempt.
             try:
-                candidate = int(pointer.read_text(encoding="utf-8").strip())
-                break
+                text = pointer.read_text(encoding="utf-8")
             except FileNotFoundError:
-                # Retry immediately (no sleep: this also runs on the
-                # server's event loop): the os.replace gap is shorter
-                # than a read attempt.
-                if attempt == 2:  # never written (or publisher died mid-swap)
-                    return versions[-1]
-            except (OSError, ValueError):
+                failure = None
+                continue
+            except OSError as error:
+                failure = f"unreadable ({error})"
+                continue
+            try:
+                candidate = int(text.strip())
+            except ValueError:
+                failure = f"holds {text.strip()!r}, not a version number"
+                continue
+            break
+        else:
+            if failure is None:  # never written (or publisher died mid-swap)
                 return versions[-1]
+            raise ArtifactError(
+                f"LATEST pointer of model {name!r} is damaged after "
+                f"{_LATEST_READ_ATTEMPTS} read attempts: {failure}"
+            )
         if candidate in versions:
             return candidate
         # A publisher may have added the pointed-at version after our
         # directory scan — trust the pointer if a re-scan confirms it.
         versions = self.versions(name) or versions
-        return candidate if candidate in versions else versions[-1]
+        if candidate in versions:
+            return candidate
+        raise ArtifactError(
+            f"LATEST pointer of model {name!r} names version {candidate}, "
+            f"which is not published (have {versions})"
+        )
 
     def resolve(self, name: str, version: int | str | None = None) -> int:
         """Normalise a version spec (``None``/``"latest"``/number) to an int."""
@@ -225,12 +258,16 @@ class ModelRegistry:
         rows = []
         for name in self.models():
             versions = self.versions(name)
-            latest = self.latest_version(name)
-            row: dict[str, object] = {
-                "name": name,
-                "versions": versions,
-                "latest": latest,
-            }
+            row: dict[str, object] = {"name": name, "versions": versions}
+            try:
+                latest = self.latest_version(name)
+            except ArtifactError as error:
+                # One damaged pointer must not take the whole listing
+                # (and the /models endpoint) down with it.
+                row["error"] = str(error)
+                rows.append(row)
+                continue
+            row["latest"] = latest
             try:
                 payload = json.loads(
                     self.artifact_path(name, latest).read_text(encoding="utf-8")

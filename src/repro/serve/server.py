@@ -46,6 +46,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.core.bitset import resolve_backend
 from repro.core.predict import predict_view
 from repro.data.dataset import Side
 from repro.runtime.cache import content_key
@@ -169,6 +170,7 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self._lanes: dict[object, _Lane] = {}
+        self._flush_tasks: set[asyncio.Task] = set()
         self.batches = 0
         self.batched_rows = 0
 
@@ -192,7 +194,9 @@ class MicroBatcher:
             self._lanes[key] = lane
             lane.pending.append((rows, future))
             lane.n_rows += rows.shape[0]
-            asyncio.ensure_future(self._flush_after_delay(key, lane, run))
+            task = asyncio.ensure_future(self._flush_after_delay(key, lane, run))
+            self._flush_tasks.add(task)
+            task.add_done_callback(self._flush_tasks.discard)
         else:
             lane.pending.append((rows, future))
             lane.n_rows += rows.shape[0]
@@ -200,27 +204,53 @@ class MicroBatcher:
             lane.kick.set()
         return await future
 
-    async def _flush_after_delay(self, key: object, lane: _Lane, run) -> None:
-        try:
-            await asyncio.wait_for(
-                lane.kick.wait(), timeout=self.max_delay_ms / 1000.0
-            )
-        except asyncio.TimeoutError:
-            pass
-        # Detach the lane first so late arrivals start a fresh batch.
+    def _detach(self, key: object, lane: _Lane) -> None:
+        """Remove the lane mapping so late arrivals start a fresh batch."""
         if self._lanes.get(key) is lane:
             del self._lanes[key]
-        pending = lane.pending
-        if not pending:
-            return
-        batch = np.concatenate([rows for rows, __ in pending], axis=0)
+
+    async def _flush_after_delay(self, key: object, lane: _Lane, run) -> None:
         try:
+            try:
+                await asyncio.wait_for(
+                    lane.kick.wait(), timeout=self.max_delay_ms / 1000.0
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._detach(key, lane)
+            pending = lane.pending
+            if not pending:
+                return
+            batch = np.concatenate([rows for rows, __ in pending], axis=0)
             predictions = await asyncio.to_thread(run, batch)
-        except BaseException as error:  # propagate to every waiter
-            for __, future in pending:
+        except asyncio.CancelledError:
+            # Server shutdown: never swallow or re-wrap the cancellation
+            # — detach the lane, hand every still-pending waiter a clean
+            # CancelledError instead of a hang, and let it propagate so
+            # the flush task really ends cancelled (asyncio's
+            # bookkeeping depends on it).
+            self._detach(key, lane)
+            for __, future in lane.pending:
+                if not future.done():
+                    future.cancel()
+            raise
+        except Exception as error:
+            # Runner/model failure: deliver the real error to every
+            # waiter and end the flush normally.
+            self._detach(key, lane)
+            for __, future in lane.pending:
                 if not future.done():
                     future.set_exception(error)
             return
+        except BaseException as error:
+            # KeyboardInterrupt/SystemExit: deliver it to the waiters so
+            # none hangs, then propagate — it must not be swallowed into
+            # a normal task completion.
+            self._detach(key, lane)
+            for __, future in lane.pending:
+                if not future.done():
+                    future.set_exception(error)
+            raise
         self.batches += 1
         self.batched_rows += batch.shape[0]
         offset = 0
@@ -229,6 +259,21 @@ class MicroBatcher:
             if not future.done():
                 future.set_result(predictions[offset : offset + size])
             offset += size
+
+    async def shutdown(self) -> None:
+        """Cancel outstanding flush tasks; their waiters get a clean
+        ``CancelledError`` rather than hanging on a dead event loop.
+
+        The gather collects the children's cancellations/errors without
+        raising, while a cancellation aimed at the *caller* (say a
+        timeout around server teardown) still propagates out of the
+        ``await`` — shutdown never swallows its own cancellation.
+        """
+        tasks = [task for task in self._flush_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
 
 class PredictionService:
@@ -258,6 +303,9 @@ class PredictionService:
             consulted again; bounds the hot-swap staleness window after
             a publish without putting O(versions) directory scans on
             every request (cache hits included).
+        backend: Word-op backend forwarded to every compiled predictor
+            (``"numpy"``, ``"native"`` or ``"auto"``); affects the
+            packed strategy only and is bit-identical either way.
     """
 
     def __init__(
@@ -269,6 +317,7 @@ class PredictionService:
         engine: str = "compiled",
         max_predictors: int = 32,
         latest_ttl_seconds: float = 1.0,
+        backend: str = "auto",
     ) -> None:
         if engine not in ("compiled", "loop"):
             raise ValueError(f"unknown serving engine {engine!r}")
@@ -276,6 +325,10 @@ class PredictionService:
             raise ValueError("max_predictors must be positive")
         self.registry = registry
         self.engine = engine
+        # Resolve eagerly so a misconfigured backend (e.g. "native" on a
+        # compiler-less machine) fails at service construction, not as a
+        # 500 on the first /predict that compiles a predictor.
+        self.backend = resolve_backend(backend)
         self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
         self.response_cache = LRUCache(cache_size)
         self.stats: dict[str, ModelStats] = {}
@@ -314,7 +367,7 @@ class PredictionService:
             n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
             n_target = artifact.n_right if target is Side.RIGHT else artifact.n_left
             cached = CompiledPredictor.from_table(
-                artifact.table, target, n_source, n_target
+                artifact.table, target, n_source, n_target, backend=self.backend
             )
             self._predictors.put(key, cached)
         return cached  # type: ignore[return-value]
@@ -386,6 +439,10 @@ class PredictionService:
             return await self._predict_matrix(
                 name, version, target, matrix, stats, cache_key
             )
+        except asyncio.CancelledError:
+            # Shutdown, not a model failure: propagate untouched and
+            # uncounted (re-wrapping it would break task cancellation).
+            raise
         except BaseException:
             stats.errors += 1
             raise
@@ -438,6 +495,8 @@ class PredictionService:
             return await self._predict_matrix(
                 name, version, target, matrix, stats, cache_key
             )
+        except asyncio.CancelledError:
+            raise
         except BaseException:
             stats.errors += 1
             raise
@@ -609,11 +668,16 @@ class PredictionServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting connections and close the server."""
+        """Stop accepting connections and close the server.
+
+        Outstanding micro-batcher flushes are cancelled so no waiter is
+        left hanging on an event loop that is about to go away.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.service.batcher.shutdown()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""

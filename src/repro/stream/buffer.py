@@ -39,10 +39,13 @@ import numpy as np
 from repro.core.bitset import (
     WORD_BITS,
     BitMatrix,
+    and_reduce_many_rows,
+    and_reduce_rows,
     n_words_for,
     pack_rows_at,
     popcount,
     popcount_rows,
+    resolve_backend,
     shift_rows,
 )
 from repro.core.search import SearchCache
@@ -96,6 +99,13 @@ class StreamBuffer:
             :meth:`window_dataset`.
         capacity: Initial row capacity hint (the buffer grows as
             needed); useful to pre-size for a known window.
+        backend: Word-op backend of the incremental tracked-support
+            updates — ``"native"`` (fused C AND-reduce + popcount),
+            ``"numpy"``, or ``"auto"``.  Tracker regions are only a few
+            words per append, where the measured native gain is parity
+            at best, so ``"auto"`` stays on numpy; pass ``"native"``
+            explicitly to force the C kernel.  Counts are bit-identical
+            either way.
 
     Example::
 
@@ -115,11 +125,16 @@ class StreamBuffer:
         left_names: Sequence[str] | None = None,
         right_names: Sequence[str] | None = None,
         capacity: int = 256,
+        backend: str = "auto",
     ) -> None:
         if n_left < 0 or n_right < 0:
             raise ValueError("vocabulary sizes must be non-negative")
         if capacity < 1:
             raise ValueError("capacity must be positive")
+        # "auto" deliberately stays on numpy: the per-append regions are
+        # a few words, below any size where the native kernel wins
+        # (see BENCH_native.json's stream honesty cell).
+        self.backend = "numpy" if backend == "auto" else resolve_backend(backend)
         cap_rows = n_words_for(capacity) * WORD_BITS
         self._left = _SideStore(n_left, cap_rows)
         self._right = _SideStore(n_right, cap_rows)
@@ -240,22 +255,38 @@ class StreamBuffer:
                 store.words[:, w0 + 1 : w0 + packed.shape[1]] = packed[:, 1:]
             store.counts += popcount_rows(packed)
         offset_mask = _low_mask(offset) if offset else None
-        for tracker in self._trackers:
-            store = self._store(tracker.side)
-            # The AND over the itemset's freshly written tail words
+        for side in (Side.LEFT, Side.RIGHT):
+            side_trackers = [t for t in self._trackers if t.side is side]
+            if not side_trackers:
+                continue
+            store = self._store(side)
+            # The AND over each itemset's freshly written tail words
             # recomputes exactly the bits of this word range; positions
             # below ``offset`` reproduce their previous value, so the
             # count increment is the region's popcount minus theirs.
-            old_partial = (
-                int(tracker.words[w0] & offset_mask).bit_count()
-                if offset_mask is not None
-                else 0
+            # All of a side's itemsets go through ONE grouped fused
+            # AND-reduce — the regions are only a few words each, so the
+            # win is amortising the dispatch overhead across trackers.
+            index: list[int] = []
+            offsets = [0]
+            for tracker in side_trackers:
+                index.extend(tracker.items)
+                offsets.append(len(index))
+            regions, counts = and_reduce_many_rows(
+                store.words[index, w0:w_hi],
+                np.asarray(offsets, dtype=np.int64),
+                backend=self.backend,
             )
-            region = np.bitwise_and.reduce(
-                store.words[list(tracker.items), w0:w_hi], axis=0
-            )
-            tracker.words[w0:w_hi] = region
-            tracker.count += popcount(region) - old_partial
+            for tracker, region, region_count in zip(
+                side_trackers, regions, counts
+            ):
+                old_partial = (
+                    int(tracker.words[w0] & offset_mask).bit_count()
+                    if offset_mask is not None
+                    else 0
+                )
+                tracker.words[w0:w_hi] = region
+                tracker.count += int(region_count) - old_partial
         self._end = end + k
         self.appended_total += k
 
@@ -390,8 +421,9 @@ class StreamBuffer:
         tracker = TrackedItemset(side, items)
         # Bits outside [start, end) are zero in every item column, so the
         # full-width AND is already correctly windowed.
-        tracker.words = np.bitwise_and.reduce(store.words[list(items)], axis=0)
-        tracker.count = popcount(tracker.words)
+        tracker.words, tracker.count = and_reduce_rows(
+            store.words[list(items)], backend=self.backend
+        )
         self._trackers.append(tracker)
         return tracker
 

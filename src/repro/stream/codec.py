@@ -68,12 +68,31 @@ def _pack_payload(matrix: np.ndarray) -> bytes:
 
 
 def _unpack_payload(payload: memoryview, n_rows: int, n_items: int) -> np.ndarray:
-    """Inverse of :func:`_pack_payload` (one vectorised ``unpackbits``)."""
+    """Inverse of :func:`_pack_payload` (one vectorised ``unpackbits``).
+
+    Rejects rows whose padding bits (positions ``n_items ..
+    row_words * 64``) are set: the encoder always writes them zero, so a
+    frame with set padding is malformed, and truncating it silently
+    would make two different byte strings decode to the same matrix —
+    ``decode(encode(x))`` must be the *only* accepted representation.
+    """
     row_bytes = n_words_for(n_items) * (WORD_BITS // 8)
     raw = np.frombuffer(payload, dtype=np.uint8, count=n_rows * row_bytes)
     if n_items == 0:
+        if raw.any():
+            raise ValueError("packed frame has set padding bits in its payload")
         return np.zeros((n_rows, 0), dtype=bool)
-    bits = np.unpackbits(raw.reshape(n_rows, row_bytes), axis=1, bitorder="little")
+    raw = raw.reshape(n_rows, row_bytes)
+    full_bytes, spare_bits = divmod(n_items, 8)
+    tail = raw[:, full_bytes:]
+    if spare_bits and tail.size:
+        # The byte straddling the boundary may carry its low bits.
+        boundary_mask = np.uint8((0xFF << spare_bits) & 0xFF)
+        if (tail[:, 0] & boundary_mask).any() or tail[:, 1:].any():
+            raise ValueError("packed frame has set padding bits in its final word")
+    elif tail.any():
+        raise ValueError("packed frame has set padding bits in its final word")
+    bits = np.unpackbits(raw, axis=1, bitorder="little")
     return bits[:, :n_items].astype(bool)
 
 
@@ -113,6 +132,28 @@ def encode_packed_rows(
     )
 
 
+def _dimension(meta: dict, field: str, required: bool = True) -> int | None:
+    """Strictly validated non-negative integer header dimension.
+
+    Only true JSON integers are accepted — a float, bool, string or
+    negative value is a malformed frame, not something to coerce —
+    and the value must fall in ``[0, _MAX_DIM]``.
+    """
+    value = meta.get(field)
+    if value is None and not required:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(
+            f"packed frame header field {field!r} must be a non-negative "
+            f"integer, got {value!r}"
+        )
+    if not 0 <= value <= _MAX_DIM:
+        raise ValueError(
+            f"packed frame header declares absurd dimension {field}={value}"
+        )
+    return value
+
+
 def _parse_meta(raw: bytes) -> tuple[dict, int, int, int | None, int]:
     """Validate header bytes; returns ``(meta, n_rows, n_items, n_right,
     payload_bytes)``."""
@@ -122,17 +163,9 @@ def _parse_meta(raw: bytes) -> tuple[dict, int, int, int | None, int]:
         raise ValueError(f"packed frame header is not valid JSON: {error}") from error
     if not isinstance(meta, dict):
         raise ValueError("packed frame header must be a JSON object")
-    try:
-        n_rows, n_items = int(meta["n_rows"]), int(meta["n_items"])
-    except (KeyError, TypeError, ValueError) as error:
-        raise ValueError(
-            "packed frame header must carry integer n_rows and n_items"
-        ) from error
-    n_right = meta.get("n_items_right")
-    n_right = None if n_right is None else int(n_right)
-    for dim in (n_rows, n_items) + (() if n_right is None else (n_right,)):
-        if not 0 <= dim <= _MAX_DIM:
-            raise ValueError(f"packed frame header declares absurd dimension {dim}")
+    n_rows = _dimension(meta, "n_rows")
+    n_items = _dimension(meta, "n_items")
+    n_right = _dimension(meta, "n_items_right", required=False)
     word_bytes = WORD_BITS // 8
     body = n_rows * n_words_for(n_items) * word_bytes
     if n_right is not None:
@@ -215,8 +248,13 @@ def decode_packed_rows(buffer: bytes) -> tuple[dict, np.ndarray, np.ndarray | No
     """Decode a single packed frame (e.g. a ``/predict`` request body).
 
     Returns ``(meta, matrix, right)`` where ``right`` is ``None`` for
-    single-view frames.  Raises ``ValueError`` on malformed input,
-    including trailing bytes after the frame.
+    single-view frames.  Raises ``ValueError`` on malformed input —
+    bad magic/version, non-integer or negative header dimensions, a
+    payload shorter than the header declares, trailing bytes after the
+    frame, and set padding bits in any row's final word — so
+    ``decode(encode(x))`` is the only accepted representation and the
+    server can map every malformed body to a 400, never a 500 or a
+    silent mis-decode.
     """
     meta, left, right, consumed = _decode_frame(buffer, 0)
     if consumed != len(buffer):

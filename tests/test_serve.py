@@ -244,9 +244,27 @@ class TestRegistry:
         with pytest.raises(KeyError):
             registry.set_latest("car", 42)
 
-    def test_damaged_latest_pointer_falls_back(self, registry):
+    def test_damaged_latest_pointer_raises_after_capped_retries(self, registry):
+        # A persistently torn pointer is corruption, not a race: the read
+        # loop is capped and surfaces a clear ArtifactError instead of
+        # spinning or silently serving some other version.
         (registry.model_dir("car") / "LATEST").write_text("not-a-number")
+        with pytest.raises(ArtifactError, match="LATEST pointer.*damaged"):
+            registry.latest_version("car")
+        # The damaged model degrades its /models row, not the listing.
+        rows = registry.describe()
+        assert rows[0]["name"] == "car"
+        assert "LATEST pointer" in str(rows[0]["error"])
+
+    def test_missing_latest_pointer_falls_back(self, registry):
+        # Never written (publish(set_latest=False)): highest version wins.
+        (registry.model_dir("car") / "LATEST").unlink(missing_ok=True)
         assert registry.latest_version("car") == 1
+
+    def test_pointer_naming_unpublished_version_raises(self, registry):
+        (registry.model_dir("car") / "LATEST").write_text("42\n")
+        with pytest.raises(ArtifactError, match="names version 42"):
+            registry.latest_version("car")
 
     def test_versions_are_immutable(self, registry, car_model):
         dataset, result = car_model
@@ -384,6 +402,47 @@ class TestMicroBatcher:
         results = asyncio.run(scenario())
         assert all(isinstance(result, RuntimeError) for result in results)
 
+    def test_cancelled_flush_releases_waiters_promptly(self):
+        # Shutdown discipline: cancelling the flush task while it waits
+        # for batch company must hand every pending waiter a clean
+        # CancelledError immediately — never a hang, never a re-wrapped
+        # exception — and the cancellation itself must propagate (the
+        # flush task ends *cancelled*, not swallowed-and-completed).
+        async def scenario():
+            batcher = MicroBatcher(max_batch=64, max_delay_ms=60_000.0)
+            rows = np.ones((1, 2), dtype=bool)
+            waiter = asyncio.ensure_future(
+                batcher.submit("lane", rows, lambda batch: batch)
+            )
+            await asyncio.sleep(0.01)  # let the flush task start waiting
+            (flush_task,) = batcher._flush_tasks
+            flush_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await asyncio.wait_for(waiter, timeout=5.0)
+            assert flush_task.cancelled(), "flush task swallowed its cancellation"
+            assert "lane" not in batcher._lanes, "cancelled lane left behind"
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+
+    def test_shutdown_cancels_outstanding_flushes(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=64, max_delay_ms=60_000.0)
+            rows = np.ones((1, 2), dtype=bool)
+            waiters = [
+                asyncio.ensure_future(
+                    batcher.submit(lane, rows, lambda batch: batch)
+                )
+                for lane in ("a", "b")
+            ]
+            await asyncio.sleep(0.01)
+            await batcher.shutdown()
+            results = await asyncio.gather(*waiters, return_exceptions=True)
+            assert all(
+                isinstance(result, asyncio.CancelledError) for result in results
+            )
+            assert not batcher._flush_tasks and not batcher._lanes
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
 
 class TestPredictionService:
     def test_concurrent_predicts_coalesce(self, registry):

@@ -216,6 +216,75 @@ class TestStreamBuffer:
         assert buffer.bit_matrix(Side.LEFT).n_bits == 0
         assert buffer.window_dataset().n_transactions == 0
 
+    def test_eviction_landing_on_word_boundaries(self, rng):
+        # Evictions whose window start lands exactly on a 64-bit word
+        # edge exercise the tail_mask=None branches (the whole dead word
+        # is zeroed, nothing straddles) and the word-aligned slice path
+        # of bit_matrix.
+        chunk = rng.random((256, 6)) < 0.4
+        buffer = StreamBuffer(6, 6, capacity=8)
+        buffer.append(chunk, chunk)
+        tracker = buffer.track(Side.LEFT, (0, 3))
+        start = 0
+        for step in (64, 64, 63, 1):  # boundary, boundary, stray, re-align
+            buffer.evict(step)
+            start += step
+            live = chunk[start:]
+            assert len(buffer) == 256 - start
+            assert np.array_equal(
+                buffer.bit_matrix(Side.LEFT).words,
+                BitMatrix.from_bool_columns(live).words,
+            ), f"diverged after evicting to {start}"
+            assert np.array_equal(buffer.item_counts(Side.LEFT), live.sum(axis=0))
+            assert tracker.count == int((live[:, 0] & live[:, 3]).sum())
+        # Draining the rest exactly to the end is also a boundary case.
+        buffer.evict(len(buffer))
+        assert len(buffer) == 0 and tracker.count == 0
+
+    def test_word_boundary_appends_keep_trackers_exact(self, rng):
+        # Appends of exactly one word (offset 0 tail) and appends that
+        # finish a word (offset + k == 64) take the offset_mask=None and
+        # full-tail-word paths of the tracker update.
+        buffer = StreamBuffer(4, 4, capacity=4)
+        tracker = buffer.track(Side.RIGHT, (1,))
+        reference = np.zeros((0, 4), dtype=bool)
+        for k in (64, 64, 32, 32, 128, 1, 63):
+            chunk = rng.random((k, 4)) < 0.5
+            buffer.append(chunk, chunk)
+            reference = np.concatenate([reference, chunk])
+            assert tracker.count == int(reference[:, 1].sum())
+        assert np.array_equal(
+            buffer.bit_matrix(Side.RIGHT).words,
+            BitMatrix.from_bool_columns(reference).words,
+        )
+
+    def test_empty_appends_are_noops(self, rng):
+        # k=0 chunks must change nothing — including at a misaligned
+        # offset, where pack_rows_at gets a zero-row matrix.
+        buffer = StreamBuffer(3, 5, capacity=2)
+        tracker = buffer.track(Side.LEFT, (0,))
+        empty_l = np.zeros((0, 3), dtype=bool)
+        empty_r = np.zeros((0, 5), dtype=bool)
+        buffer.append(empty_l, empty_r)  # offset 0
+        assert len(buffer) == 0 and buffer.appended_total == 0
+        chunk_l = rng.random((37, 3)) < 0.5  # leave a mid-word tail
+        chunk_r = rng.random((37, 5)) < 0.5
+        buffer.append(chunk_l, chunk_r)
+        before_words = buffer.bit_matrix(Side.LEFT).words.copy()
+        before_count = tracker.count
+        buffer.append(empty_l, empty_r)  # offset 37 % 64
+        assert len(buffer) == 37
+        assert tracker.count == before_count
+        assert np.array_equal(buffer.bit_matrix(Side.LEFT).words, before_words)
+
+    def test_pack_rows_at_zero_row_chunks(self):
+        # The primitive itself: a (0, n_items) chunk at any offset packs
+        # to all-zero words of the right shape.
+        for offset in (0, 1, 37, 63):
+            packed = pack_rows_at(np.zeros((0, 5), dtype=bool), offset)
+            assert packed.shape == (5, (offset + 63) // 64 if offset else 0)
+            assert not packed.any()
+
 
 class TestWindowedRefit:
     def test_exact_refit_is_bit_identical(self):
@@ -349,6 +418,76 @@ class TestCodec:
             decode_packed_rows(good + b"xx")
         with pytest.raises(ValueError, match="version"):
             decode_packed_rows(good[:4] + b"\x09" + good[5:])
+
+    @staticmethod
+    def _frame(header: dict, payload: bytes) -> bytes:
+        """Hand-rolled frame with an arbitrary (possibly invalid) header."""
+        import struct
+
+        header_bytes = json.dumps(header).encode("utf-8")
+        return (
+            b"2VPB\x01"
+            + struct.pack("<I", len(header_bytes))
+            + header_bytes
+            + payload
+        )
+
+    @pytest.mark.parametrize(
+        "n_rows,n_items",
+        [(-1, 4), (2, -4), (1.5, 4), (2, 3.0), ("2", 4), (True, 4), (None, 4)],
+    )
+    def test_non_integer_or_negative_dimensions_rejected(self, n_rows, n_items):
+        frame = self._frame(
+            {"n_rows": n_rows, "n_items": n_items}, b"\x00" * 64
+        )
+        with pytest.raises(ValueError, match="integer|dimension"):
+            decode_packed_rows(frame)
+
+    def test_bad_right_view_dimension_rejected(self):
+        frame = self._frame(
+            {"n_rows": 1, "n_items": 4, "n_items_right": -2}, b"\x00" * 8
+        )
+        with pytest.raises(ValueError, match="integer|dimension"):
+            decode_packed_rows(frame)
+
+    def test_payload_must_exactly_match_header(self, rng):
+        matrix = rng.random((3, 10)) < 0.4
+        good = encode_packed_rows(matrix)
+        # One word (8 bytes) per row: short by a row, and long by a word.
+        with pytest.raises(ValueError, match="truncated"):
+            decode_packed_rows(good[:-8])
+        with pytest.raises(ValueError, match="trailing"):
+            decode_packed_rows(good + b"\x00" * 8)
+
+    @pytest.mark.parametrize("n_items", [10, 70, 127])
+    def test_set_padding_bits_rejected(self, rng, n_items):
+        # decode(encode(x)) must be the ONLY accepted representation:
+        # setting any padding bit of a row's final word is a malformed
+        # frame, never a silent truncation.
+        matrix = rng.random((4, n_items)) < 0.5
+        good = bytearray(encode_packed_rows(matrix, {"model": "m"}))
+        row_bytes = ((n_items + 63) // 64) * 8
+        payload_start = len(good) - 4 * row_bytes
+        # Highest byte of row 2's final word is pure padding for all the
+        # parametrised widths (n_items % 64 < 57).
+        victim = payload_start + 3 * row_bytes - 1
+        good[victim] |= 0x80
+        with pytest.raises(ValueError, match="padding"):
+            decode_packed_rows(bytes(good))
+        # The straddling byte's low bits are data, its high bits padding.
+        if n_items % 8:
+            good = bytearray(encode_packed_rows(matrix, {"model": "m"}))
+            straddle = payload_start + (n_items // 8)
+            good[straddle] |= 1 << 7  # top bit of the boundary byte
+            with pytest.raises(ValueError, match="padding"):
+                decode_packed_rows(bytes(good))
+
+    def test_zero_item_frames_decode_and_reject_stray_payload(self):
+        frame = self._frame({"n_rows": 1, "n_items": 0}, b"")
+        __, matrix, right = decode_packed_rows(frame)
+        assert matrix.shape == (1, 0) and right is None
+        with pytest.raises(ValueError, match="trailing"):
+            decode_packed_rows(self._frame({"n_rows": 1, "n_items": 0}, b"\x01"))
 
 
 class TestSources:
@@ -545,6 +684,20 @@ class TestBinaryPredict:
             rng.random((2, 2)) < 0.5, {"model": "live"}
         )[:-1]
         assert asyncio.run(status_of(truncated)) == 400
+        # Set padding bits and bad header dimensions are 400s (malformed
+        # client input), never 500s.
+        padded = bytearray(
+            encode_packed_rows(rng.random((2, 2)) < 0.5, {"model": "live"})
+        )
+        padded[-1] |= 0x80  # padding bit of the last row's only word
+        status, payload = asyncio.run(
+            service.handle("POST", "/predict", bytes(padded))
+        )
+        assert status == 400 and "padding" in payload["error"]
+        bogus = TestCodec._frame(
+            {"model": "live", "n_rows": -1, "n_items": 2}, b""
+        )
+        assert asyncio.run(status_of(bogus)) == 400
 
     def test_packed_cache_key_includes_shape(self, crossed_registry):
         # A (2, 2) frame and an (invalid) (1, 4) frame with identical
