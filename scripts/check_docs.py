@@ -40,6 +40,7 @@ PUBLIC_PACKAGES = [
     "repro.eval",
     "repro.multiview",
     "repro.native",
+    "repro.resilience",
     "repro.runtime",
     "repro.serve",
     "repro.stream",

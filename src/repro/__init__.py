@@ -10,7 +10,10 @@ compiled bitset predictor, versioned artifacts and an async
 micro-batching prediction server, a streaming subsystem
 (:mod:`repro.stream`) that ingests live rows into an incrementally
 packed window buffer, detects drift and hot-swaps refitted models into
-the running server, an optional native fused-popcount backend
+the running server, a resilience toolkit (:mod:`repro.resilience`) with
+retry/circuit-breaker policies, programmable fault injection,
+supervised restarts and crash-safe window checkpoints, an optional
+native fused-popcount backend
 (:mod:`repro.native`, compiled on demand with the system C compiler and
 bit-identical to the numpy paths it accelerates), and a benchmark
 harness regenerating every table and figure of the evaluation section.
@@ -61,7 +64,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.runtime import (
     ParallelExecutor,

@@ -267,10 +267,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         backend=args.backend,
     )
-    server = PredictionServer(service, host=args.host, port=args.port)
+    server = PredictionServer(
+        service,
+        host=args.host,
+        port=args.port,
+        read_timeout=args.read_timeout,
+        drain_timeout=args.drain_timeout,
+    )
     models = registry.models()
     print(f"# serving {len(models)} model(s) {models} from {args.registry}")
-    print(f"# http://{args.host}:{args.port}  (/healthz, /models, /predict)")
+    print(
+        f"# http://{args.host}:{args.port}  "
+        f"(/healthz, /readyz, /models, /predict)"
+    )
     server.run()
     return 0
 
@@ -344,53 +353,92 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             n_jobs=args.n_jobs,
         )
     source_path = Path(args.source)
-    if source_path.suffix in (".2vp", ".bin", ".packed"):
-        if args.follow:
-            print(
-                "--follow is only supported for JSONL sources "
-                "(packed files are read once)",
-                file=sys.stderr,
-            )
-            return 2
-        source = PackedSource(source_path, max_rows=args.max_rows)
-    else:
-        source = JsonlSource(
-            source_path, follow=args.follow, max_rows=args.max_rows
+    if source_path.suffix in (".2vp", ".bin", ".packed") and args.follow:
+        print(
+            "--follow is only supported for JSONL sources "
+            "(packed files are read once)",
+            file=sys.stderr,
         )
-    buffer = StreamBuffer(
-        n_left,
-        n_right,
-        left_names=left_names,
-        right_names=right_names,
-        capacity=args.window,
-        backend=args.backend,
-    )
-    loop = MaintenanceLoop(
-        source,
-        buffer,
-        ModelRegistry(args.registry),
-        args.name,
-        translator,
-        policy=RefitPolicy(
-            window=args.window,
-            policy=args.policy,
-            check_every=args.check_every,
-            min_rows=args.min_rows,
-            always_publish=args.always_publish,
-        ),
-        monitor_factory=lambda table: DriftMonitor(
-            table,
-            min_degradation=args.min_degradation,
-            significance=args.significance,
-            n_permutations=args.permutations,
-            seed=args.seed,
-        ),
-    )
+        return 2
+    registry = ModelRegistry(args.registry)
+
+    # Sources, buffers and loops are built per supervised attempt: a
+    # crashed loop must restart with a fresh source iterator and an
+    # empty buffer restored from its checkpoint, not the half-dead
+    # originals.
+    def build_loop() -> MaintenanceLoop:
+        if source_path.suffix in (".2vp", ".bin", ".packed"):
+            source = PackedSource(source_path, max_rows=args.max_rows)
+        else:
+            source = JsonlSource(
+                source_path,
+                follow=args.follow,
+                max_rows=args.max_rows,
+                strict=args.strict_source,
+            )
+        buffer = StreamBuffer(
+            n_left,
+            n_right,
+            left_names=left_names,
+            right_names=right_names,
+            capacity=args.window,
+            backend=args.backend,
+        )
+        return MaintenanceLoop(
+            source,
+            buffer,
+            registry,
+            args.name,
+            translator,
+            policy=RefitPolicy(
+                window=args.window,
+                policy=args.policy,
+                check_every=args.check_every,
+                min_rows=args.min_rows,
+                always_publish=args.always_publish,
+            ),
+            monitor_factory=lambda table: DriftMonitor(
+                table,
+                min_degradation=args.min_degradation,
+                significance=args.significance,
+                n_permutations=args.permutations,
+                seed=args.seed,
+            ),
+            checkpoint_dir=args.checkpoint_dir,
+        )
+
     print(
         f"# streaming {args.source} into model {args.name!r} "
         f"({args.policy} window of {args.window}, registry {args.registry})"
     )
-    asyncio.run(loop.run())
+    loops: list[MaintenanceLoop] = []
+
+    def attempt_run(attempt: int):
+        loop = build_loop()
+        loops.append(loop)
+        return loop.run()
+
+    if args.max_restarts > 0:
+        from repro.resilience import Supervisor
+
+        supervisor = Supervisor(attempt_run, max_restarts=args.max_restarts)
+        asyncio.run(supervisor.run())
+        for event in supervisor.events:
+            print(
+                f"# restart {event.attempt}/{args.max_restarts} after "
+                f"{event.error} (backoff {event.delay:.2f}s)"
+            )
+    else:
+        loops.append(build_loop())
+        asyncio.run(loops[-1].run())
+    loop = loops[-1]
+    if loop.checkpoint_recovery_error:
+        print(f"# checkpoint ignored: {loop.checkpoint_recovery_error}")
+    if loop.resumed_rows:
+        print(f"# resumed from checkpoint at row {loop.resumed_rows}")
+    malformed = getattr(loop.source, "malformed_rows", 0)
+    if malformed:
+        print(f"# {malformed} malformed source line(s) skipped")
     published = [event for event in loop.events if event.published]
     for event in loop.events:
         state = (
@@ -874,6 +922,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="packed-strategy word-op backend of the compiled predictors",
     )
+    serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        help="per-connection budget (s) for receiving a request; slow "
+        "clients get a 408",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="grace period (s) for in-flight requests on SIGINT/SIGTERM "
+        "before stragglers are cancelled",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     predict_batch = subparsers.add_parser(
@@ -961,6 +1023,25 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--always-publish", action="store_true",
         help="publish every refit candidate regardless of drift",
+    )
+    stream.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for crash-recovery window checkpoints; a "
+        "restarted loop resumes from the last check boundary",
+    )
+    stream.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        help="supervise the loop: restart it up to this many times on a "
+        "crash (resuming from --checkpoint-dir when set)",
+    )
+    stream.add_argument(
+        "--strict-source", action="store_true",
+        help="fail on the first malformed JSONL line instead of "
+        "skipping and counting it",
     )
     stream.set_defaults(handler=_cmd_stream)
     return parser

@@ -1,0 +1,247 @@
+"""Programmable fault injection for chaos tests.
+
+Production code marks its hazardous operations with
+:func:`fault_point`::
+
+    payload = fault_point("registry.artifact.bytes", data=payload)
+    stream.write(payload)
+    fault_point("registry.publish.before_latest")
+
+With no injector installed a fault point is a counter-free no-op (one
+module-global ``is None`` check).  A test installs a
+:class:`FaultInjector` carrying a *fault plan* — which operation, which
+call number, what failure — and the marked code then fails exactly the
+way real infrastructure does:
+
+============  =====================================================
+kind          effect at the matching fault point
+============  =====================================================
+``error``     raise :class:`InjectedFault` (an ordinary exception)
+``crash``     raise :class:`CrashPoint` — subclasses
+              ``BaseException`` so it pierces ``except Exception``
+              handlers the way a ``kill -9`` pierces everything
+``delay``     block for ``delay`` seconds (stalled disk / peer)
+``corrupt``   flip a byte of the operation's ``data`` (bit rot)
+``truncate``  drop the tail of ``data`` (torn / partial write)
+============  =====================================================
+
+Plans are deterministic — "fail the 3rd write, then work" — so chaos
+tests are exact replays, not flaky roulette.  Install via the context
+manager (:meth:`FaultInjector.active`) so the global hook is always
+restored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import threading
+import time
+from collections import Counter
+
+__all__ = [
+    "CrashPoint",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "fault_point",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A scripted failure raised at a fault point (an ordinary error)."""
+
+
+class CrashPoint(BaseException):
+    """A scripted *process death* raised at a fault point.
+
+    Subclasses ``BaseException`` so ordinary ``except Exception``
+    recovery code cannot swallow it — exactly like a power loss or
+    ``kill -9``, the only handlers that may see it are the supervisor
+    and test harnesses.
+    """
+
+
+@dataclasses.dataclass
+class FaultRule:
+    """One entry of a fault plan.
+
+    Attributes
+    ----------
+    op:
+        ``fnmatch`` pattern matched against the fault point's operation
+        name (``"registry.*"`` matches every registry operation).
+    kind:
+        ``"error"``, ``"crash"``, ``"delay"``, ``"corrupt"`` or
+        ``"truncate"``.
+    nth:
+        1-based index of the first *matching call* that fires.
+    times:
+        How many consecutive matching calls fire from ``nth`` on
+        (``-1`` = every one, forever).
+    delay:
+        Seconds to block for ``kind="delay"``.
+    at:
+        Byte offset for ``corrupt``/``truncate`` (``None`` = middle of
+        the data).
+    message:
+        Optional detail carried by the raised exception.
+    """
+
+    op: str
+    kind: str = "error"
+    nth: int = 1
+    times: int = 1
+    delay: float = 0.0
+    at: int | None = None
+    message: str = ""
+
+    _KINDS = ("error", "crash", "delay", "corrupt", "truncate")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use {self._KINDS})")
+        if self.nth < 1:
+            raise ValueError("nth is 1-based and must be positive")
+        if self.times < -1 or self.times == 0:
+            raise ValueError("times must be positive or -1 (forever)")
+
+    def applies(self, call_number: int) -> bool:
+        """Whether this rule fires on matching call ``call_number``."""
+        if call_number < self.nth:
+            return False
+        return self.times == -1 or call_number < self.nth + self.times
+
+
+class FaultInjector:
+    """A scriptable set of :class:`FaultRule` entries plus call counters.
+
+    Build a plan with :meth:`plan` (fluent), install it around the code
+    under test with :meth:`active`, then assert on :attr:`fired`::
+
+        injector = FaultInjector().plan(
+            "registry.artifact.bytes", kind="truncate", nth=2
+        )
+        with injector.active():
+            registry.publish(artifact)      # second write is torn
+        assert injector.fired
+
+    Counters are per *operation name* (not per rule) and thread-safe —
+    maintenance loops hop between the event loop and worker threads.
+    """
+
+    def __init__(self, rules: list[FaultRule] | None = None) -> None:
+        self.rules: list[FaultRule] = list(rules or [])
+        self.calls: Counter[str] = Counter()
+        #: ``(operation, kind, call_number)`` of every fault fired.
+        self.fired: list[tuple[str, str, int]] = []
+        self._lock = threading.Lock()
+
+    def plan(self, op: str, kind: str = "error", **kwargs) -> "FaultInjector":
+        """Append a :class:`FaultRule`; returns ``self`` for chaining."""
+        self.rules.append(FaultRule(op=op, kind=kind, **kwargs))
+        return self
+
+    # ------------------------------------------------------------------
+    def fire(self, op: str, data: bytes | None = None) -> bytes | None:
+        """Evaluate the plan at fault point ``op``; returns ``data``.
+
+        Called by :func:`fault_point`.  At most one rule acts per call
+        (the first whose pattern and call number match); byte-mangling
+        kinds return the modified ``data``, raising kinds raise.
+        """
+        with self._lock:
+            self.calls[op] += 1
+            number = self.calls[op]
+            rule = next(
+                (
+                    rule
+                    for rule in self.rules
+                    if fnmatch.fnmatch(op, rule.op)
+                    and rule.applies(self._matched(rule, op, number))
+                ),
+                None,
+            )
+            if rule is not None:
+                self.fired.append((op, rule.kind, number))
+        if rule is None:
+            return data
+        detail = rule.message or f"injected {rule.kind} at {op} (call {number})"
+        if rule.kind == "error":
+            raise InjectedFault(detail)
+        if rule.kind == "crash":
+            raise CrashPoint(detail)
+        if rule.kind == "delay":
+            time.sleep(rule.delay)
+            return data
+        if data is None:
+            raise InjectedFault(
+                f"fault rule {rule.kind!r} at {op} needs byte data, "
+                "but the fault point carries none"
+            )
+        at = rule.at if rule.at is not None else len(data) // 2
+        at = max(0, min(at, max(0, len(data) - 1)))
+        if rule.kind == "corrupt":
+            if not data:
+                return data
+            return data[:at] + bytes([data[at] ^ 0xFF]) + data[at + 1 :]
+        return data[:at]  # truncate: the torn write kept only a prefix
+
+    def _matched(self, rule: FaultRule, op: str, number: int) -> int:
+        # Counters are per operation name; a wildcard rule sees each
+        # concrete operation's own call number, which keeps "fail the
+        # 2nd artifact write" meaningful under interleaved operations.
+        return number
+
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Make this injector the process-wide active one."""
+        global _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def uninstall(self) -> None:
+        """Deactivate (only if currently active)."""
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+    def active(self) -> "_Installed":
+        """Context manager: install on enter, uninstall on exit."""
+        return _Installed(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(rules={len(self.rules)}, "
+            f"calls={sum(self.calls.values())}, fired={len(self.fired)})"
+        )
+
+
+class _Installed:
+    """Context manager returned by :meth:`FaultInjector.active`."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self._injector = injector
+
+    def __enter__(self) -> FaultInjector:
+        return self._injector.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self._injector.uninstall()
+
+
+_ACTIVE: FaultInjector | None = None
+
+
+def fault_point(op: str, data: bytes | None = None) -> bytes | None:
+    """Declare a hazardous operation; a no-op unless an injector is active.
+
+    Returns ``data`` unchanged (or chaos-modified: corrupted or
+    truncated); raising fault kinds raise from here.  Sprinkle at the
+    points where real infrastructure fails — before/after writes,
+    around renames, per consumed row — and leave them in production
+    code: the inactive cost is one global ``is None`` check.
+    """
+    if _ACTIVE is None:
+        return data
+    return _ACTIVE.fire(op, data)

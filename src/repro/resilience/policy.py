@@ -1,0 +1,313 @@
+"""Retry, deadline and circuit-breaker policies.
+
+The decision pieces of the fault-tolerance layer, shared by the
+registry, the prediction service and the maintenance supervisor.  All
+three are plain objects driven by an injectable monotonic clock, so
+unit tests exercise every state transition without sleeping, and a
+:class:`RetryPolicy`'s jitter is *deterministic* under a seed — two
+processes configured identically back off identically, and chaos tests
+replay exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from collections.abc import Callable, Iterator
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """An operation ran past its :class:`Deadline`."""
+
+
+class CircuitOpenError(RuntimeError):
+    """A :class:`CircuitBreaker` is open: the guarded call was refused."""
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic seeded jitter.
+
+    ``delay(attempt)`` grows as ``base_delay * multiplier**attempt``,
+    capped at ``max_delay``, then spread by ``±jitter`` (a fraction of
+    the delay) using a PRNG seeded from ``(seed, attempt)`` — the same
+    policy always produces the same schedule, so backoff behaviour in
+    chaos tests and across restarted replicas is reproducible, while
+    distinct seeds de-synchronise a fleet (no thundering herd).
+
+    Args:
+        attempts: Total tries (first call + retries); must be >= 1.
+        base_delay: Seconds before the first retry.
+        multiplier: Per-attempt growth factor.
+        max_delay: Ceiling on any single delay (pre-jitter).
+        jitter: Fractional spread, e.g. ``0.25`` = ±25%.
+        seed: Jitter seed; equal seeds give equal schedules.
+
+    Example::
+
+        >>> from repro.resilience import RetryPolicy
+        >>> policy = RetryPolicy(attempts=3, base_delay=0.1, jitter=0.0)
+        >>> [round(d, 3) for d in policy.delays()]
+        [0.1, 0.2]
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1.0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter == 0.0 or delay == 0.0:
+            return delay
+        rng = random.Random(self.seed * 1_000_003 + attempt)
+        spread = self.jitter * (2.0 * rng.random() - 1.0)  # in [-jitter, +jitter]
+        return max(0.0, delay * (1.0 + spread))
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule (``attempts - 1`` delays)."""
+        return (self.delay(attempt) for attempt in range(self.attempts - 1))
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        deadline: "Deadline | None" = None,
+        sleep: Callable[[float], None] = time.sleep,
+        **kwargs,
+    ):
+        """Run ``fn(*args, **kwargs)``, retrying ``retry_on`` failures.
+
+        Sleeps the policy's (deterministic) backoff between attempts;
+        an optional ``deadline`` bounds the whole sequence — no retry
+        starts past it.  The last failure propagates when attempts (or
+        the deadline) run out.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            if deadline is not None and deadline.expired():
+                deadline.check("retry sequence")
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as error:
+                last = error
+                if attempt == self.attempts - 1:
+                    raise
+                pause = self.delay(attempt)
+                if deadline is not None and pause > deadline.remaining():
+                    raise
+                sleep(pause)
+        raise last  # pragma: no cover - loop always returns or raises
+
+    async def call_async(
+        self,
+        fn: Callable,
+        *args,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        deadline: "Deadline | None" = None,
+        **kwargs,
+    ):
+        """Async variant of :meth:`call` (backoff via ``asyncio.sleep``)."""
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            if deadline is not None and deadline.expired():
+                deadline.check("retry sequence")
+            try:
+                result = fn(*args, **kwargs)
+                if asyncio.iscoroutine(result):
+                    result = await result
+                return result
+            except asyncio.CancelledError:
+                raise
+            except retry_on as error:
+                last = error
+                if attempt == self.attempts - 1:
+                    raise
+                pause = self.delay(attempt)
+                if deadline is not None and pause > deadline.remaining():
+                    raise
+                await asyncio.sleep(pause)
+        raise last  # pragma: no cover - loop always returns or raises
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(attempts={self.attempts}, base_delay={self.base_delay}, "
+            f"multiplier={self.multiplier}, max_delay={self.max_delay}, "
+            f"jitter={self.jitter}, seed={self.seed})"
+        )
+
+
+class Deadline:
+    """A wall-time budget measured on a monotonic clock.
+
+    Args:
+        seconds: Budget from *now*; ``None`` means unbounded.
+        clock: Monotonic time source (injectable for tests).
+
+    Example::
+
+        >>> from repro.resilience import Deadline
+        >>> tick = iter([0.0, 1.0, 3.0]).__next__
+        >>> deadline = Deadline(2.0, clock=tick)
+        >>> deadline.remaining()
+        1.0
+        >>> deadline.expired()
+        True
+    """
+
+    def __init__(
+        self,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError("deadline seconds must be non-negative")
+        self._clock = clock
+        self.started = clock()
+        self.expires = None if seconds is None else self.started + seconds
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unbounded, never negative)."""
+        if self.expires is None:
+            return float("inf")
+        return max(0.0, self.expires - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.expires is not None and self._clock() >= self.expires
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out."""
+        if self.expired():
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+
+class CircuitBreaker:
+    """Stop hammering a failing dependency; probe it after a cooldown.
+
+    Classic three-state breaker: *closed* (calls flow; consecutive
+    failures are counted), *open* (calls are refused with
+    :class:`CircuitOpenError` until ``reset_timeout`` passes), and
+    *half-open* (one probe call is let through — success closes the
+    breaker, failure re-opens it).  The prediction service puts one in
+    front of registry artifact loads so a corrupt artifact directory
+    costs one disk attempt per cooldown, not one per request.
+
+    Args:
+        failure_threshold: Consecutive failures that open the breaker.
+        reset_timeout: Seconds the breaker stays open before probing.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open`` or ``half-open``."""
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the half-open state only the *first* caller gets the probe;
+        concurrent callers are refused until the probe resolves.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def guard(self, dependency: str = "dependency") -> None:
+        """:meth:`allow` or raise :class:`CircuitOpenError`."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit for {dependency} is {self.state} after "
+                f"{self._failures} consecutive failure(s)"
+            )
+
+    def record_success(self) -> None:
+        """Note a successful call: close the breaker, reset counters."""
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """Note a failed call: count it, opening/re-opening as needed."""
+        self._failures += 1
+        self._probing = False
+        if self._failures >= self.failure_threshold or self._opened_at is not None:
+            self._opened_at = self._clock()
+
+    def call(self, fn: Callable, *args, dependency: str = "dependency", **kwargs):
+        """Run ``fn`` under the breaker, recording the outcome."""
+        self.guard(dependency)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, failures={self._failures}, "
+            f"threshold={self.failure_threshold}, reset={self.reset_timeout})"
+        )

@@ -1,0 +1,340 @@
+"""Supervision and window checkpointing for long-running loops.
+
+Two halves, used together by the streaming maintenance subsystem:
+
+* :class:`Supervisor` — restart a crashed asyncio task with capped,
+  deterministic backoff (a :class:`~repro.resilience.policy.RetryPolicy`
+  schedule).  It restarts on ordinary exceptions *and*
+  :class:`~repro.resilience.faults.CrashPoint` (the chaos harness's
+  simulated process death), gives up after ``max_restarts`` by
+  re-raising the final failure, and records every restart in
+  :attr:`Supervisor.events`.
+* :class:`WindowCheckpoint` + :func:`save_checkpoint` /
+  :func:`load_checkpoint` — an atomic, fsynced, hash-verified snapshot
+  of a stream window (both Boolean view matrices) and its source
+  offset (``rows_seen``).  A restarted
+  :class:`~repro.stream.maintenance.MaintenanceLoop` restores the
+  window, skips the already-consumed rows of its (replayable) source
+  and continues — because incremental packing is bit-identical to
+  from-scratch packing, the resumed loop publishes models
+  **bit-identical** to an uncrashed run (enforced by
+  ``tests/test_resilience.py``).
+
+The checkpoint file is a single ``.npz`` (zip CRCs catch torn tails)
+holding the two packed-origin Boolean window matrices plus a JSON
+metadata entry with a SHA-256 over the array bytes; it is written to a
+temp file, fsynced, then ``os.replace``\\ d — a crash can only ever
+leave the *previous* complete checkpoint behind, never a torn one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import tempfile
+from collections.abc import Callable
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.faults import CrashPoint, fault_point
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "CheckpointError",
+    "RestartEvent",
+    "Supervisor",
+    "WindowCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+#: Schema version of the checkpoint file format.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable, torn or hash-mismatched."""
+
+
+@dataclasses.dataclass
+class RestartEvent:
+    """One supervisor restart (kept in :attr:`Supervisor.events`)."""
+
+    attempt: int
+    delay: float
+    error: str
+
+
+class Supervisor:
+    """Restart a crashing coroutine with capped backoff.
+
+    Args:
+        factory: ``factory(attempt)`` builds a **fresh** awaitable for
+            each run (attempt 0 is the first start).  Rebuilding matters:
+            a crashed maintenance loop needs a new source iterator and a
+            new buffer restored from its checkpoint, not the half-dead
+            originals.
+        max_restarts: Restarts allowed after the first start; the
+            failure that exhausts them propagates to the caller.
+        policy: Backoff schedule between restarts (deterministic; the
+            default sleeps at most ~0.1 s total so supervised tests stay
+            fast).
+        restart_on: Exception types that trigger a restart.  Includes
+            :class:`~repro.resilience.faults.CrashPoint` by default;
+            ``KeyboardInterrupt``/``SystemExit``/``CancelledError``
+            always propagate.
+
+    Example::
+
+        supervisor = Supervisor(lambda attempt: make_loop().run())
+        await supervisor.run()
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], object],
+        max_restarts: int = 3,
+        policy: RetryPolicy | None = None,
+        restart_on: tuple[type[BaseException], ...] = (Exception, CrashPoint),
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self.factory = factory
+        self.max_restarts = max_restarts
+        self.policy = policy if policy is not None else RetryPolicy(
+            attempts=max_restarts + 1,
+            base_delay=0.01,
+            max_delay=0.05,
+            jitter=0.0,
+        )
+        self.restart_on = restart_on
+        self.events: list[RestartEvent] = []
+
+    @property
+    def restarts(self) -> int:
+        """How many restarts have happened so far."""
+        return len(self.events)
+
+    async def run(self):
+        """Run (and re-run) the supervised task; returns its result.
+
+        The awaitable from ``factory(attempt)`` is awaited; a failure
+        matching ``restart_on`` is recorded and, while restarts remain,
+        retried after the policy's backoff.  The terminal failure is
+        re-raised unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                return await self.factory(attempt)
+            except asyncio.CancelledError:
+                raise
+            except self.restart_on as error:
+                if attempt >= self.max_restarts:
+                    raise
+                delay = self.policy.delay(attempt)
+                self.events.append(
+                    RestartEvent(
+                        attempt=attempt + 1,
+                        delay=delay,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+                attempt += 1
+                if delay > 0:
+                    await asyncio.sleep(delay)
+
+
+@dataclasses.dataclass
+class WindowCheckpoint:
+    """A resumable snapshot of a stream window and its source offset.
+
+    Attributes
+    ----------
+    model_name:
+        The maintained registry model (sanity-checked on restore).
+    rows_seen:
+        Source rows consumed when the snapshot was taken — the resumed
+        loop skips exactly this many rows of its replayed source.
+    rows_since_check:
+        The maintenance loop's check-cadence counter at snapshot time.
+    left, right:
+        Boolean view matrices of the live window (the canonical window
+        content; re-packing them is bit-identical to the crashed
+        buffer's incremental columns).
+    appended_total, evicted_total:
+        The buffer's lifetime counters (restored for observability).
+    published_version:
+        Registry version last published by the loop, if any.
+    """
+
+    model_name: str
+    rows_seen: int
+    rows_since_check: int
+    left: np.ndarray
+    right: np.ndarray
+    appended_total: int = 0
+    evicted_total: int = 0
+    published_version: int | None = None
+
+    @classmethod
+    def capture(
+        cls,
+        buffer,
+        model_name: str,
+        rows_seen: int,
+        rows_since_check: int = 0,
+        published_version: int | None = None,
+    ) -> "WindowCheckpoint":
+        """Snapshot a :class:`~repro.stream.buffer.StreamBuffer` window."""
+        window = buffer.window_dataset()
+        return cls(
+            model_name=model_name,
+            rows_seen=rows_seen,
+            rows_since_check=rows_since_check,
+            left=np.array(window.left, dtype=bool, copy=True),
+            right=np.array(window.right, dtype=bool, copy=True),
+            appended_total=buffer.appended_total,
+            evicted_total=buffer.evicted_total,
+            published_version=published_version,
+        )
+
+    def restore_into(self, buffer) -> None:
+        """Refill an **empty** buffer with the checkpointed window.
+
+        Incremental packing is bit-identical to from-scratch packing,
+        so the restored buffer's packed columns (and therefore every
+        subsequent refit) match the crashed buffer's exactly.
+        """
+        if len(buffer) != 0:
+            raise ValueError("checkpoint restore needs an empty buffer")
+        if (buffer.n_left, buffer.n_right) != (
+            self.left.shape[1],
+            self.right.shape[1],
+        ):
+            raise CheckpointError(
+                f"checkpoint vocabularies ({self.left.shape[1]}, "
+                f"{self.right.shape[1]}) do not match the buffer "
+                f"({buffer.n_left}, {buffer.n_right})"
+            )
+        if self.left.shape[0]:
+            buffer.append(self.left, self.right)
+        buffer.restore_counters(self.appended_total, self.evicted_total)
+
+    def _meta(self) -> dict:
+        return {
+            "checkpoint_schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "model_name": self.model_name,
+            "rows_seen": self.rows_seen,
+            "rows_since_check": self.rows_since_check,
+            "appended_total": self.appended_total,
+            "evicted_total": self.evicted_total,
+            "published_version": self.published_version,
+            "array_sha256": _array_digest(self.left, self.right),
+        }
+
+
+def _array_digest(left: np.ndarray, right: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(repr((left.shape, right.shape)).encode("ascii"))
+    digest.update(np.ascontiguousarray(left).tobytes())
+    digest.update(np.ascontiguousarray(right).tobytes())
+    return digest.hexdigest()
+
+
+def save_checkpoint(path: str | os.PathLike, checkpoint: WindowCheckpoint) -> Path:
+    """Atomically write ``checkpoint`` to ``path`` (fsync + ``os.replace``).
+
+    The bytes are fully serialised first, fsynced to a temp file in the
+    target directory, then swapped in — a crash at any instant leaves
+    either the previous checkpoint or the new one, never a torn file.
+    Returns the path written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
+    meta = json.dumps(checkpoint._meta(), sort_keys=True).encode("utf-8")
+    np.savez(
+        buffer,
+        left=checkpoint.left,
+        right=checkpoint.right,
+        meta=np.frombuffer(meta, dtype=np.uint8),
+    )
+    data = fault_point("checkpoint.bytes", data=buffer.getvalue())
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-ckpt-")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+            stream.flush()
+            os.fsync(stream.fileno())
+        fault_point("checkpoint.replace")
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def load_checkpoint(path: str | os.PathLike) -> WindowCheckpoint | None:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``None`` when no checkpoint exists; raises
+    :class:`CheckpointError` for a file that exists but is unreadable,
+    schema-incompatible or hash-mismatched — callers (the maintenance
+    loop) treat that as "no usable checkpoint" and start fresh rather
+    than resuming from damaged state.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            left = np.ascontiguousarray(archive["left"], dtype=bool)
+            right = np.ascontiguousarray(archive["right"], dtype=bool)
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+    except Exception as error:
+        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    schema = meta.get("checkpoint_schema_version")
+    if schema != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint schema {schema!r} in {path} "
+            f"(this library reads version {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    if meta.get("array_sha256") != _array_digest(left, right):
+        raise CheckpointError(
+            f"checkpoint {path} failed its content hash — refusing to "
+            "resume from corrupt state"
+        )
+    return WindowCheckpoint(
+        model_name=str(meta["model_name"]),
+        rows_seen=int(meta["rows_seen"]),
+        rows_since_check=int(meta.get("rows_since_check") or 0),
+        left=left,
+        right=right,
+        appended_total=int(meta.get("appended_total") or 0),
+        evicted_total=int(meta.get("evicted_total") or 0),
+        published_version=meta.get("published_version"),
+    )
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)

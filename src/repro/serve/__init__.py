@@ -23,6 +23,7 @@ reference, and ``benchmarks/bench_serve.py`` for throughput numbers
 
 from repro.serve.artifact import (
     ARTIFACT_SCHEMA_VERSION,
+    ArtifactCorruptError,
     ArtifactError,
     ModelArtifact,
     load_artifact,
@@ -40,6 +41,7 @@ from repro.serve.server import (
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactCorruptError",
     "ArtifactError",
     "CompiledPredictor",
     "LRUCache",

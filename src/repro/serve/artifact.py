@@ -26,15 +26,19 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
 from repro.core.table import TranslationTable
 from repro.data.dataset import TwoViewDataset
+from repro.resilience.faults import fault_point
 from repro.runtime.cache import content_key
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactCorruptError",
     "ArtifactError",
     "ModelArtifact",
     "load_artifact",
@@ -47,6 +51,16 @@ ARTIFACT_SCHEMA_VERSION = 1
 
 class ArtifactError(ValueError):
     """A model artifact is corrupt, mismatched or otherwise unusable."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """The artifact's *bytes* are damaged: torn write, bit rot, tampering.
+
+    Distinct from other :class:`ArtifactError` causes (say an artifact
+    written by a newer schema, which is perfectly intact) because the
+    registry reacts differently: corrupt files are quarantined into
+    ``_corrupt/``, schema mismatches are left alone.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -172,7 +186,7 @@ class ModelArtifact:
             expected = content_key(body)
             stored = payload.get("content_hash")
             if stored != expected:
-                raise ArtifactError(
+                raise ArtifactCorruptError(
                     f"artifact content hash mismatch: stored {stored!r}, "
                     f"recomputed {expected!r} — refusing to serve a "
                     "corrupt or tampered model"
@@ -195,22 +209,70 @@ class ModelArtifact:
 
 
 def save_artifact(artifact: ModelArtifact, path: str | Path) -> str:
-    """Write ``artifact`` to ``path`` as JSON; returns its content hash."""
+    """Write ``artifact`` to ``path`` as JSON; returns its content hash.
+
+    The write is crash-safe against the *machine*, not just the
+    process: the document goes to a temp file in the target directory,
+    is flushed and **fsynced**, then ``os.replace``\\ d over ``path``
+    (followed by a best-effort directory fsync).  A power loss at any
+    instant leaves either the old file or the complete new one — never
+    a torn artifact a ``LATEST`` pointer could be aimed at.
+    """
+    path = Path(path)
     payload = artifact.payload()
-    Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    encoded = (
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+    # Chaos hook: a fault plan may corrupt or truncate the bytes here,
+    # simulating the torn write this function's fsync discipline is
+    # designed to confine (tests/test_resilience.py).
+    encoded = fault_point("registry.artifact.bytes", data=encoded)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-artifact-")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(encoded)
+            stream.flush()
+            os.fsync(stream.fileno())
+        fault_point("registry.artifact.replace")
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
     return str(payload["content_hash"])
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync: make the rename itself durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_artifact(path: str | Path, verify: bool = True) -> ModelArtifact:
     """Read an artifact written by :func:`save_artifact`.
 
-    Raises :class:`ArtifactError` on unreadable JSON, an unknown schema
-    version, or (with ``verify``) a content-hash mismatch.
+    Raises :class:`ArtifactCorruptError` on unreadable JSON or (with
+    ``verify``) a content-hash mismatch, and plain
+    :class:`ArtifactError` for intact-but-unusable documents (unknown
+    schema version, missing fields).
     """
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except (OSError, ValueError) as error:
+    except FileNotFoundError as error:
         raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+    except (OSError, ValueError) as error:
+        raise ArtifactCorruptError(
+            f"cannot read artifact {path}: {error}"
+        ) from error
     return ModelArtifact.from_payload(payload, verify=verify)

@@ -26,14 +26,25 @@ import json
 import os
 import re
 import tempfile
+import time
 from pathlib import Path
 
-from repro.serve.artifact import ArtifactError, ModelArtifact, load_artifact, save_artifact
+from repro.resilience.faults import fault_point
+from repro.serve.artifact import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
 
 __all__ = ["ModelRegistry"]
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR = re.compile(r"^v(\d{4,})$")
+
+#: Directory (inside a model's directory) holding quarantined versions.
+_CORRUPT_DIR = "_corrupt"
 
 #: How many times a ``LATEST`` pointer read is retried before the
 #: registry concludes the pointer is genuinely missing or damaged —
@@ -154,6 +165,11 @@ class ModelRegistry:
             except FileNotFoundError:
                 failure = None
                 continue
+            except UnicodeDecodeError:
+                # Flipped bits can leave bytes that aren't text at all —
+                # damage, same as a non-numeric pointer.
+                failure = "holds undecodable bytes, not a version number"
+                continue
             except OSError as error:
                 failure = f"unreadable ({error})"
                 continue
@@ -209,19 +225,36 @@ class ModelRegistry:
         directory = self.model_dir(artifact.name) / _version_dirname(version)
         directory.mkdir(parents=True, exist_ok=False)
         save_artifact(stamped, directory / "artifact.json")
+        # Chaos hook: a crash here leaves a fully published version that
+        # LATEST does not point at yet — readers keep serving the
+        # previous version, which is exactly the intended failure mode.
+        fault_point("registry.publish.before_latest")
         if set_latest:
             self.set_latest(artifact.name, version)
         return stamped
 
     def set_latest(self, name: str, version: int) -> None:
-        """Atomically point ``latest`` at a published ``version``."""
+        """Atomically point ``latest`` at a published ``version``.
+
+        The pointer temp file is flushed and **fsynced** before the
+        ``os.replace`` swap: without the fsync the rename can reach
+        disk before the pointer's *contents* do, and a machine crash
+        would then publish a pointer to garbage — atomic w.r.t. a
+        process crash but not a power loss.
+        """
         if version not in self.versions(name):
             raise KeyError(f"model {name!r} has no version {version}")
         directory = self.model_dir(name)
         handle, temp_name = tempfile.mkstemp(dir=directory, prefix=".tmp-LATEST-")
         try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(f"{version}\n")
+            data = fault_point(
+                "registry.latest.bytes", data=f"{version}\n".encode("ascii")
+            )
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+                stream.flush()
+                os.fsync(stream.fileno())
+            fault_point("registry.latest.replace")
             os.replace(temp_name, directory / "LATEST")
         except BaseException:
             try:
@@ -237,15 +270,71 @@ class ModelRegistry:
 
         Raises ``KeyError`` for unknown names/versions and
         :class:`~repro.serve.artifact.ArtifactError` for corrupt files.
+        A version whose *bytes* are damaged (torn write, bit rot — a
+        :class:`~repro.serve.artifact.ArtifactCorruptError`) is
+        **quarantined** into ``<model>/_corrupt/`` as a side effect, so
+        one bad file costs one failed load instead of poisoning every
+        subsequent ``latest`` resolution and :meth:`describe` row; if
+        ``LATEST`` pointed at it, the pointer is healed back to the
+        newest surviving version.
         """
         number = self.resolve(name, version)
-        artifact = load_artifact(self.artifact_path(name, number), verify=verify)
+        try:
+            artifact = load_artifact(self.artifact_path(name, number), verify=verify)
+        except ArtifactCorruptError as error:
+            quarantined_to = self.quarantine(name, number)
+            raise ArtifactCorruptError(
+                f"{error} [version {number} of model {name!r} quarantined "
+                f"to {quarantined_to}]"
+            ) from error
         if artifact.name != name:
             raise ArtifactError(
                 f"artifact at {self.artifact_path(name, number)} claims to be "
                 f"model {artifact.name!r}, expected {name!r}"
             )
         return artifact
+
+    def quarantine(self, name: str, version: int) -> Path:
+        """Move a damaged version out of the serving tree.
+
+        The version directory is renamed into ``<model>/_corrupt/``
+        (timestamped, so repeated incidents never collide) where
+        :meth:`versions` no longer sees it — the evidence is preserved
+        for a post-mortem without breaking the registry.  A ``LATEST``
+        pointer naming the quarantined version is repointed at the
+        newest surviving version (or removed when none survive).
+        Returns the quarantine path.
+        """
+        directory = self.model_dir(name) / _version_dirname(version)
+        corrupt_root = self.model_dir(name) / _CORRUPT_DIR
+        corrupt_root.mkdir(parents=True, exist_ok=True)
+        destination = (
+            corrupt_root / f"{_version_dirname(version)}-{int(time.time() * 1000)}"
+        )
+        if directory.exists():
+            os.replace(directory, destination)
+        survivors = self.versions(name)
+        pointer = self.model_dir(name) / "LATEST"
+        try:
+            pointed = int(pointer.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            pointed = None
+        if pointed == version:
+            if survivors:
+                self.set_latest(name, survivors[-1])
+            else:
+                try:
+                    pointer.unlink()
+                except OSError:  # pragma: no cover - raced unlink
+                    pass
+        return destination
+
+    def quarantined(self, name: str) -> list[str]:
+        """Quarantine directory entries of one model (newest last)."""
+        corrupt_root = self.model_dir(name) / _CORRUPT_DIR
+        if not corrupt_root.is_dir():
+            return []
+        return sorted(entry.name for entry in corrupt_root.iterdir())
 
     def describe(self) -> list[dict[str, object]]:
         """One summary row per model (for ``/models`` and the CLI).
@@ -259,6 +348,9 @@ class ModelRegistry:
         for name in self.models():
             versions = self.versions(name)
             row: dict[str, object] = {"name": name, "versions": versions}
+            quarantined = self.quarantined(name)
+            if quarantined:
+                row["quarantined"] = len(quarantined)
             try:
                 latest = self.latest_version(name)
             except ArtifactError as error:

@@ -22,9 +22,10 @@ the standard library only (``asyncio`` + a minimal HTTP/1.1 codec):
 Endpoints::
 
     GET  /healthz   liveness + uptime
-    GET  /models    registry contents + per-model serving stats
+    GET  /readyz    readiness: ready / degraded / draining (503)
     POST /predict   {"model": .., "version": "latest"|int,
                      "target": "L"|"R", "rows": [[item index, ..], ..]}
+    GET  /models    registry contents + per-model serving stats
 
 ``rows`` are sparse item-index lists over the source view's vocabulary;
 responses mirror that shape for the predicted target view.  ``/predict``
@@ -32,6 +33,17 @@ alternatively accepts a **binary packed-bitset frame**
 (:mod:`repro.stream.codec`, detected by its magic bytes) whose header
 carries the request fields — the payload becomes the source matrix via
 one vectorised unpack, skipping JSON entirely.
+
+Fault tolerance (:mod:`repro.resilience`): client reads run under a
+per-connection deadline (a stalled slow-loris sender gets 408, never a
+pinned handler task); :meth:`PredictionServer.stop` *drains* — the
+listener closes, in-flight requests finish within ``drain_timeout``,
+late arrivals get 503 and ``/readyz`` reports the drain; registry
+artifact loads sit behind a per-model
+:class:`~repro.resilience.policy.CircuitBreaker` with **last-good
+degradation** — when the registry turns up corrupt mid-serve, requests
+keep being answered from the already-loaded model version, flagged
+``stale``, instead of turning into 500s.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ import numpy as np
 from repro.core.bitset import resolve_backend
 from repro.core.predict import predict_view
 from repro.data.dataset import Side
+from repro.resilience.policy import CircuitBreaker, CircuitOpenError, Deadline
 from repro.runtime.cache import content_key
 from repro.serve.artifact import ArtifactError, ModelArtifact
 from repro.serve.compiled import CompiledPredictor
@@ -131,6 +144,9 @@ class ModelStats:
     batches: int = 0
     cache_hits: int = 0
     errors: int = 0
+    #: Responses served from the last-good model version because the
+    #: registry's current version could not be resolved or loaded.
+    stale: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict form for JSON responses."""
@@ -306,6 +322,12 @@ class PredictionService:
         backend: Word-op backend forwarded to every compiled predictor
             (``"numpy"``, ``"native"`` or ``"auto"``); affects the
             packed strategy only and is bit-identical either way.
+        breaker_factory: Builds the per-model
+            :class:`~repro.resilience.policy.CircuitBreaker` guarding
+            registry artifact loads — after repeated load failures the
+            registry directory is left alone for a cooldown and
+            requests are answered from the last-good model (flagged
+            ``stale``) instead of hammering a corrupt disk.
     """
 
     def __init__(
@@ -318,6 +340,7 @@ class PredictionService:
         max_predictors: int = 32,
         latest_ttl_seconds: float = 1.0,
         backend: str = "auto",
+        breaker_factory: Callable[[], CircuitBreaker] | None = None,
     ) -> None:
         if engine not in ("compiled", "loop"):
             raise ValueError(f"unknown serving engine {engine!r}")
@@ -337,18 +360,85 @@ class PredictionService:
         self._artifacts: LRUCache = LRUCache(2 * max_predictors)
         self._predictors: LRUCache = LRUCache(max_predictors)
         self._latest: dict[str, tuple[float, int]] = {}
+        #: Set by the server when a graceful drain starts; /readyz then
+        #: reports 503 so load balancers stop routing here.
+        self.draining = False
+        self._breaker_factory = breaker_factory or (
+            lambda: CircuitBreaker(failure_threshold=3, reset_timeout=5.0)
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Last version of each model that loaded successfully — the
+        #: degradation target when the registry turns up damaged.
+        self._last_good: dict[str, int] = {}
+        #: Models currently being served stale (cleared on recovery).
+        self._degraded: set[str] = set()
 
     # ------------------------------------------------------------------
     # Model access
     # ------------------------------------------------------------------
     def artifact(self, name: str, version: int) -> ModelArtifact:
-        """Load (and memoise, LRU-bounded) one published model version."""
+        """Load (and memoise, LRU-bounded) one published model version.
+
+        Disk loads run behind the model's circuit breaker: repeated
+        :class:`~repro.serve.artifact.ArtifactError` failures open it,
+        and while it is open un-cached loads are refused with
+        :class:`~repro.resilience.policy.CircuitOpenError` instead of
+        re-reading a known-bad registry on every request.  Cached
+        artifacts are always served — a broken disk never takes away a
+        model that is already in memory.
+        """
         key = (name, version)
         cached = self._artifacts.get(key)
         if cached is None:
-            cached = self.registry.load(name, version)
+            breaker = self._breaker(name)
+            breaker.guard(f"artifact loads of model {name!r}")
+            try:
+                cached = self.registry.load(name, version)
+            except ArtifactError:
+                breaker.record_failure()
+                raise
+            except Exception:
+                # Unknown version (KeyError) etc.: not a registry-health
+                # signal, so it neither trips nor resets the breaker.
+                raise
+            breaker.record_success()
             self._artifacts.put(key, cached)
+            self._last_good[name] = version
         return cached  # type: ignore[return-value]
+
+    def _breaker(self, name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = self._breakers[name] = self._breaker_factory()
+        return breaker
+
+    def _serving_artifact(
+        self, name: str, version: int
+    ) -> tuple[ModelArtifact, int, bool]:
+        """Resolve the artifact to answer with, degrading to last-good.
+
+        Returns ``(artifact, version, stale)``.  When the requested
+        version cannot be loaded (corrupt bytes, open breaker) but an
+        earlier version of the model loaded fine before, that version
+        answers instead and ``stale`` is ``True`` — the service keeps
+        serving through registry damage rather than turning every
+        request into a 500.
+        """
+        try:
+            return self.artifact(name, version), version, False
+        except (ArtifactError, CircuitOpenError):
+            fallback = self._last_good.get(name)
+            if fallback is None or fallback == version:
+                raise
+            artifact = self.artifact(name, fallback)
+            return artifact, fallback, True
+
+    def _note_degraded(self, name: str, stale: bool, stats: ModelStats) -> None:
+        if stale:
+            stats.stale += 1
+            self._degraded.add(name)
+        else:
+            self._degraded.discard(name)
 
     def predictor(
         self, name: str, version: int, target: Side
@@ -375,25 +465,35 @@ class PredictionService:
     def _stats_for(self, name: str) -> ModelStats:
         return self.stats.setdefault(name, ModelStats())
 
-    def _resolve_version(self, name: str, version) -> int:
+    def _resolve_version(self, name: str, version) -> tuple[int, bool]:
         """Registry version resolution, memoised for the request hot path.
 
         Explicit versions already loaded are trusted (versions are
         immutable); ``latest`` is re-read from disk at most once per
-        :attr:`latest_ttl_seconds` per model.
+        :attr:`latest_ttl_seconds` per model.  Returns ``(version,
+        stale)`` — when a damaged ``LATEST`` pointer makes resolution
+        raise :class:`~repro.serve.artifact.ArtifactError` but a
+        last-good version is known, that version is returned with
+        ``stale=True`` instead of failing the request.
         """
         if version is None or version == "latest":
             now = time.monotonic()
             cached = self._latest.get(name)
             if cached is not None and now - cached[0] < self.latest_ttl_seconds:
-                return cached[1]
-            number = self.registry.latest_version(name)
+                return cached[1], False
+            try:
+                number = self.registry.latest_version(name)
+            except ArtifactError:
+                fallback = self._last_good.get(name)
+                if fallback is None:
+                    raise
+                return fallback, True
             self._latest[name] = (now, number)
-            return number
+            return number, False
         number = int(version)
         if (name, number) in self._artifacts:
-            return number
-        return self.registry.resolve(name, number)
+            return number, False
+        return self.registry.resolve(name, number), False
 
     # ------------------------------------------------------------------
     # Prediction
@@ -416,11 +516,14 @@ class PredictionService:
             isinstance(row, list) for row in rows
         ):
             raise ValueError("'rows' must be a list of item-index lists")
-        version = self._resolve_version(name, request.get("version"))
+        version, stale = self._resolve_version(name, request.get("version"))
         stats = self._stats_for(name)
         stats.requests += 1
         stats.rows += len(rows)
         try:
+            artifact, version, load_stale = self._serving_artifact(name, version)
+            stale = stale or load_stale
+            self._note_degraded(name, stale, stats)
             cache_key = (
                 name,
                 version,
@@ -428,17 +531,21 @@ class PredictionService:
             )
             cached = self._cached_response(cache_key, stats)
             if cached is not None:
+                if stale:
+                    cached["stale"] = True
                 return cached
             # Lazy import: repro.stream's package init reaches back into
             # repro.serve, so a module-level import here would cycle.
             from repro.stream.source import rows_to_matrix
 
-            artifact = self.artifact(name, version)
             n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
             matrix = rows_to_matrix(rows, n_source)
-            return await self._predict_matrix(
+            response = await self._predict_matrix(
                 name, version, target, matrix, stats, cache_key
             )
+            if stale:
+                response["stale"] = True
+            return response
         except asyncio.CancelledError:
             # Shutdown, not a model failure: propagate untouched and
             # uncounted (re-wrapping it would break task cancellation).
@@ -466,11 +573,14 @@ class PredictionService:
         if not isinstance(name, str) or not name:
             raise ValueError("packed frame header must name a 'model'")
         target = Side(str(meta.get("target", "R")).upper())
-        version = self._resolve_version(name, meta.get("version"))
+        version, stale = self._resolve_version(name, meta.get("version"))
         stats = self._stats_for(name)
         stats.requests += 1
         stats.rows += matrix.shape[0]
         try:
+            artifact, version, load_stale = self._serving_artifact(name, version)
+            stale = stale or load_stale
+            self._note_degraded(name, stale, stats)
             # Hash the wire payload (canonical packed words, 8x fewer
             # bytes than the unpacked matrix); the shape disambiguates
             # frames whose payloads happen to coincide.
@@ -484,17 +594,21 @@ class PredictionService:
             )
             cached = self._cached_response(cache_key, stats)
             if cached is not None:
+                if stale:
+                    cached["stale"] = True
                 return cached
-            artifact = self.artifact(name, version)
             n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
             if matrix.shape[1] != n_source:
                 raise ValueError(
                     f"packed frame carries {matrix.shape[1]} items, the "
                     f"source vocabulary has {n_source}"
                 )
-            return await self._predict_matrix(
+            response = await self._predict_matrix(
                 name, version, target, matrix, stats, cache_key
             )
+            if stale:
+                response["stale"] = True
+            return response
         except asyncio.CancelledError:
             raise
         except BaseException:
@@ -574,6 +688,38 @@ class PredictionService:
             "uptime_seconds": round(time.time() - self.started_unix, 3),
         }
 
+    def readyz_payload(self) -> dict:
+        """Readiness document for ``GET /readyz``.
+
+        Distinct from liveness: a *live* process may still be the wrong
+        place to route traffic.  ``draining`` means a graceful stop is
+        in progress (the endpoint returns 503 so load balancers eject
+        this replica while in-flight requests finish); ``degraded``
+        means requests are being answered from last-good model versions
+        because the registry is damaged — still serving, but an
+        operator should look.
+        """
+        degraded = sorted(self._degraded)
+        if self.draining:
+            status = "draining"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ready"
+        return {
+            "status": status,
+            "draining": self.draining,
+            "degraded_models": degraded,
+            "breakers": {
+                name: breaker.state for name, breaker in self._breakers.items()
+            },
+            "stale_responses": {
+                name: stats.stale
+                for name, stats in self.stats.items()
+                if stats.stale
+            },
+        }
+
     def models_payload(self) -> dict:
         """Registry contents + serving stats for ``GET /models``."""
         rows = self.registry.describe()
@@ -605,6 +751,9 @@ class PredictionService:
         try:
             if method == "GET" and path == "/healthz":
                 return 200, self.healthz_payload()
+            if method == "GET" and path == "/readyz":
+                payload = self.readyz_payload()
+                return (503 if self.draining else 200), payload
             if method == "GET" and path == "/models":
                 return 200, self.models_payload()
             if method == "POST" and path == "/predict":
@@ -620,6 +769,11 @@ class PredictionService:
             return 404, {"error": f"no route {method} {path}"}
         except KeyError as error:
             return 404, {"error": str(error.args[0] if error.args else error)}
+        except CircuitOpenError as error:
+            # The registry is known-bad and no last-good fallback exists
+            # for this model: tell the client to back off rather than
+            # pretending the request itself was wrong.
+            return 503, {"error": str(error)}
         except ArtifactError as error:
             # Before ValueError: ArtifactError subclasses it, and a corrupt
             # published model is a server-side problem, not a bad request.
@@ -630,6 +784,15 @@ class PredictionService:
             return 500, {"error": f"{type(error).__name__}: {error}"}
 
 
+class _RequestError(Exception):
+    """A request failed before dispatch; carries the HTTP response."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(str(payload.get("error", "")))
+        self.status = status
+        self.payload = payload
+
+
 class PredictionServer:
     """Socket layer: a minimal asyncio HTTP/1.1 front for the service.
 
@@ -637,11 +800,17 @@ class PredictionServer:
         service: The :class:`PredictionService` to expose.
         host, port: Bind address; ``port=0`` picks a free port (read it
             back from :attr:`port` after :meth:`start`).
+        read_timeout: Per-connection budget (seconds) for receiving the
+            request line, headers and body.  A stalled (slow-loris)
+            client gets a 408 and its connection back — it can never
+            pin a handler task forever.
+        drain_timeout: Default grace period :meth:`stop` gives
+            in-flight requests before cancelling the stragglers.
 
     Example::
 
         server = PredictionServer(PredictionService(registry), port=8100)
-        server.run()   # blocks; Ctrl-C to stop
+        server.run()   # blocks; SIGINT/SIGTERM drain gracefully
     """
 
     #: Largest accepted request body; protects the server from a client
@@ -653,31 +822,80 @@ class PredictionServer:
         service: PredictionService,
         host: str = "127.0.0.1",
         port: int = 8100,
+        read_timeout: float = 30.0,
+        drain_timeout: float = 5.0,
     ) -> None:
+        if read_timeout <= 0:
+            raise ValueError("read_timeout must be positive")
+        if drain_timeout < 0:
+            raise ValueError("drain_timeout must be non-negative")
         self.service = service
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
+        self.drain_timeout = drain_timeout
         self._server: asyncio.AbstractServer | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._draining = False
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections (non-blocking)."""
+        self._draining = False
+        self.service.draining = False
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        """Stop accepting connections and close the server.
+    @property
+    def inflight(self) -> int:
+        """Connections currently being handled."""
+        return len(self._inflight)
 
-        Outstanding micro-batcher flushes are cancelled so no waiter is
-        left hanging on an event loop that is about to go away.
+    async def stop(self, drain_timeout: float | None = None) -> dict:
+        """Gracefully drain and stop the server.
+
+        The listener closes first (no new connections), then every
+        in-flight request gets up to ``drain_timeout`` seconds (default:
+        the constructor's) to finish normally — their responses are
+        written and their connections closed cleanly, never reset.
+        Only stragglers still running at the deadline are cancelled,
+        and outstanding micro-batcher flushes are shut down last so no
+        waiter hangs on a dead event loop.
+
+        Returns a summary: ``{"inflight_at_stop", "completed",
+        "cancelled"}``.
         """
+        timeout = self.drain_timeout if drain_timeout is None else drain_timeout
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Flag the drain only after the listener is fully closed: every
+        # task in _inflight was accepted before the drain and is owed a
+        # real response; anything arriving later sees 503.
+        self._draining = True
+        self.service.draining = True
+        inflight_at_stop = len(self._inflight)
+        deadline = Deadline(timeout)
+        while self._inflight and not deadline.expired():
+            await asyncio.wait(
+                set(self._inflight),
+                timeout=deadline.remaining() or 0.001,
+                return_when=asyncio.ALL_COMPLETED,
+            )
+        stragglers = set(self._inflight)
+        for task in stragglers:
+            task.cancel()
+        if stragglers:
+            await asyncio.gather(*stragglers, return_exceptions=True)
         await self.service.batcher.shutdown()
+        return {
+            "inflight_at_stop": inflight_at_stop,
+            "completed": inflight_at_stop - len(stragglers),
+            "cancelled": len(stragglers),
+        }
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -687,10 +905,39 @@ class PredictionServer:
         async with self._server:
             await self._server.serve_forever()
 
-    def run(self) -> None:
-        """Blocking entry point used by ``repro-translator serve``."""
+    async def _serve_until_signalled(self) -> None:
+        """Serve until SIGINT/SIGTERM, then drain gracefully."""
+        import signal
+
+        await self.start()
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        registered = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+                registered.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # pragma: no cover - platform without signal support
         try:
-            asyncio.run(self.serve_forever())
+            if registered:
+                await stop_requested.wait()
+                await self.stop()
+            else:  # pragma: no cover - platform without signal support
+                await self.serve_forever()
+        finally:
+            for signum in registered:
+                loop.remove_signal_handler(signum)
+
+    def run(self) -> None:
+        """Blocking entry point used by ``repro-translator serve``.
+
+        SIGINT/SIGTERM trigger a graceful :meth:`stop` — in-flight
+        requests finish (up to ``drain_timeout``) before the process
+        exits, so a rolling restart never resets client connections.
+        """
+        try:
+            asyncio.run(self._serve_until_signalled())
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             pass
 
@@ -698,40 +945,73 @@ class PredictionServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inflight.add(task)
         try:
             status, payload = await self._handle_one(reader)
-        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
-            status, payload = 400, {"error": "malformed HTTP request"}
-        body = json.dumps(payload).encode("utf-8")
-        reason = {
-            200: "OK",
-            400: "Bad Request",
-            404: "Not Found",
-            413: "Payload Too Large",
-        }.get(status, "Internal Server Error")
-        writer.write(
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n".encode("ascii")
-            + body
-        )
-        try:
-            await writer.drain()
-        finally:
-            writer.close()
+            body = json.dumps(payload).encode("utf-8")
+            reason = {
+                200: "OK",
+                400: "Bad Request",
+                404: "Not Found",
+                408: "Request Timeout",
+                413: "Payload Too Large",
+                503: "Service Unavailable",
+            }.get(status, "Internal Server Error")
+            writer.write(
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+                + body
+            )
             try:
-                await writer.wait_closed()
-            except ConnectionError:  # pragma: no cover - client went away
-                pass
+                await writer.drain()
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:  # pragma: no cover - client went away
+                    pass
+        finally:
+            if task is not None:
+                self._inflight.discard(task)
 
     async def _handle_one(
         self, reader: asyncio.StreamReader
     ) -> tuple[int, dict]:
+        if self._draining:
+            # Connections are normally all accepted before stop() closes
+            # the listener; this guard covers the pathological handler
+            # task that first runs after the drain flag went up.
+            return 503, {"error": "server is draining"}
+        try:
+            method, path, body = await asyncio.wait_for(
+                self._read_request(reader), self.read_timeout
+            )
+        except asyncio.TimeoutError:
+            return 408, {
+                "error": (
+                    f"request not received within {self.read_timeout:g}s"
+                )
+            }
+        except _RequestError as error:
+            return error.status, error.payload
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+            return 400, {"error": "malformed HTTP request"}
+        return await self.service.handle(method, path, body)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        """Read one request; the caller bounds this with ``read_timeout``."""
         request_line = (await reader.readline()).decode("ascii", "replace").strip()
         parts = request_line.split()
         if len(parts) < 2:
-            return 400, {"error": f"malformed request line {request_line!r}"}
+            raise _RequestError(
+                400, {"error": f"malformed request line {request_line!r}"}
+            )
         method, path = parts[0].upper(), parts[1]
         content_length = 0
         while True:
@@ -743,10 +1023,11 @@ class PredictionServer:
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    return 400, {"error": "invalid Content-Length"}
+                    raise _RequestError(400, {"error": "invalid Content-Length"})
         if content_length > self.MAX_BODY_BYTES:
-            return 413, {
-                "error": f"request body exceeds {self.MAX_BODY_BYTES} bytes"
-            }
+            raise _RequestError(
+                413,
+                {"error": f"request body exceeds {self.MAX_BODY_BYTES} bytes"},
+            )
         body = await reader.readexactly(content_length) if content_length else b""
-        return await self.service.handle(method, path, body)
+        return method, path, body

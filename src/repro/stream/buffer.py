@@ -154,6 +154,20 @@ class StreamBuffer:
     def __len__(self) -> int:
         return self._end - self._start
 
+    def restore_counters(self, appended_total: int, evicted_total: int) -> None:
+        """Reset the lifetime counters to checkpointed values.
+
+        Only meaningful when refilling a fresh buffer from a
+        :class:`~repro.resilience.supervisor.WindowCheckpoint` — the
+        restoring ``append`` bumped ``appended_total`` as if the window
+        were new rows, so the snapshot's lifetime counters are put back
+        for continuity of observability.
+        """
+        if appended_total < 0 or evicted_total < 0:
+            raise ValueError("lifetime counters must be non-negative")
+        self.appended_total = appended_total
+        self.evicted_total = evicted_total
+
     @property
     def n_left(self) -> int:
         """Left vocabulary width."""

@@ -23,10 +23,19 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import os
+from pathlib import Path
 
 from repro.core.beam import TranslatorBeam
 from repro.core.table import TranslationTable
 from repro.core.translator import TranslatorExact
+from repro.resilience.faults import fault_point
+from repro.resilience.supervisor import (
+    CheckpointError,
+    WindowCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.serve.artifact import ModelArtifact
 from repro.serve.registry import ModelRegistry
 from repro.stream.buffer import StreamBuffer
@@ -128,6 +137,15 @@ class MaintenanceLoop:
         monitor_factory: How monitors are built when ``monitor`` is not
             given — a callable taking the baseline table (the CLI routes
             its threshold flags through this).
+        checkpoint_dir: Optional directory for crash-recovery
+            checkpoints.  After every drift check the loop atomically
+            snapshots its window and source offset
+            (:func:`repro.resilience.supervisor.save_checkpoint`); a
+            restarted loop (fresh buffer, replayed source) restores the
+            window, skips the already-consumed rows and continues —
+            publishing models bit-identical to an uncrashed run.  An
+            unreadable or stale-schema checkpoint is ignored (fresh
+            start) and noted in :attr:`checkpoint_recovery_error`.
 
     Example::
 
@@ -145,6 +163,7 @@ class MaintenanceLoop:
         policy: RefitPolicy | None = None,
         monitor: DriftMonitor | None = None,
         monitor_factory=DriftMonitor,
+        checkpoint_dir: str | os.PathLike | None = None,
     ) -> None:
         self.source = source
         self.buffer = buffer
@@ -154,11 +173,23 @@ class MaintenanceLoop:
         self.policy = policy if policy is not None else RefitPolicy()
         self.monitor = monitor
         self.monitor_factory = monitor_factory
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_recovery_error: str | None = None
+        self.resumed_rows = 0
         self.events: list[MaintenanceEvent] = []
         self.rows_seen = 0
         self._rows_since_check = 0
         self._published_table: TranslationTable | None = None
         self._published_version: int | None = None
+
+    @property
+    def checkpoint_path(self) -> Path | None:
+        """Where this loop's checkpoint lives (``None`` when disabled)."""
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"{self.model_name}.ckpt.npz"
 
     # ------------------------------------------------------------------
     def _adopt_published(self) -> None:
@@ -181,8 +212,50 @@ class MaintenanceLoop:
     #: contents at each drift check are identical to row-wise feeding.
     ingest_chunk = 64
 
+    # ------------------------------------------------------------------
+    def _resume_from_checkpoint(self) -> int:
+        """Restore window + offset from disk; returns source rows to skip."""
+        path = self.checkpoint_path
+        if path is None or len(self.buffer) != 0:
+            return 0
+        try:
+            checkpoint = load_checkpoint(path)
+            if checkpoint is None:
+                return 0
+            if checkpoint.model_name != self.model_name:
+                raise CheckpointError(
+                    f"checkpoint {path} is for model "
+                    f"{checkpoint.model_name!r}, not {self.model_name!r}"
+                )
+            checkpoint.restore_into(self.buffer)
+        except CheckpointError as error:
+            # Damaged or foreign state: a fresh start is always correct
+            # (the source replays from row 0), just slower.
+            self.checkpoint_recovery_error = str(error)
+            return 0
+        self.rows_seen = checkpoint.rows_seen
+        self._rows_since_check = checkpoint.rows_since_check
+        self.resumed_rows = checkpoint.rows_seen
+        return checkpoint.rows_seen
+
+    def _save_checkpoint(self) -> None:
+        path = self.checkpoint_path
+        if path is None:
+            return
+        save_checkpoint(
+            path,
+            WindowCheckpoint.capture(
+                self.buffer,
+                model_name=self.model_name,
+                rows_seen=self.rows_seen,
+                rows_since_check=self._rows_since_check,
+                published_version=self._published_version,
+            ),
+        )
+
     async def run(self) -> None:
         """Consume the source to exhaustion, checking and publishing."""
+        to_skip = self._resume_from_checkpoint()
         self._adopt_published()
         policy = self.policy
         pending_left: list = []
@@ -203,6 +276,12 @@ class MaintenanceLoop:
                     self.buffer.evict(overflow)
 
         async for left_items, right_items in self.source:
+            if to_skip > 0:
+                # Replayed rows the checkpoint already accounts for —
+                # consumed from the source but not recounted.
+                to_skip -= 1
+                continue
+            fault_point("maintenance.row")
             pending_left.append(left_items)
             pending_right.append(right_items)
             self.rows_seen += 1
@@ -216,17 +295,27 @@ class MaintenanceLoop:
                     flush()
                 if check_due:
                     await self._check_and_maybe_publish()
+                    # Checkpoint right after the check boundary:
+                    # publish-then-checkpoint gives at-least-once
+                    # publish semantics (a crash in between republishes
+                    # an identical table under a new version —
+                    # harmless), never lost windows.
+                    self._save_checkpoint()
             else:  # tumbling: blocks fill to exactly `window` rows
                 if len(self.buffer) + len(pending_left) >= policy.window:
                     flush()
                     await self._check_and_maybe_publish()
                     self.buffer.evict(len(self.buffer))
+                    # After eviction: a resumed tumbling loop starts its
+                    # next block empty, exactly like the uncrashed run.
+                    self._save_checkpoint()
         flush()
         # A finite source's final rows still get a check — the partial
         # tumbling block, or a sliding stream shorter than check_every
         # (which would otherwise never even bootstrap a model).
         if len(self.buffer) >= policy.min_rows and self._rows_since_check > 0:
             await self._check_and_maybe_publish()
+            self._save_checkpoint()
 
     # ------------------------------------------------------------------
     async def _check_and_maybe_publish(self) -> None:

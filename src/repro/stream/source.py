@@ -124,6 +124,17 @@ class JsonlSource:
         poll_interval: Seconds between EOF polls while following.
         max_rows: Optional hard row cap (applies with or without
             ``follow``).
+        strict: With the default ``False``, a malformed line is skipped
+            and counted in :attr:`malformed_rows` instead of killing the
+            whole stream — one producer hiccup should not take down a
+            maintenance loop mid-run.  Set ``True`` to fail loudly on
+            the first bad line (the right mode for validating a file).
+
+    Attributes
+    ----------
+    malformed_rows:
+        Lines skipped so far in lenient mode (monotone across
+        iterations; surfaced by the maintenance loop's stats).
     """
 
     def __init__(
@@ -132,11 +143,14 @@ class JsonlSource:
         follow: bool = False,
         poll_interval: float = 0.05,
         max_rows: int | None = None,
+        strict: bool = False,
     ) -> None:
         self.path = Path(path)
         self.follow = follow
         self.poll_interval = poll_interval
         self.max_rows = max_rows
+        self.strict = strict
+        self.malformed_rows = 0
         self._stopped = False
 
     def stop(self) -> None:
@@ -164,7 +178,14 @@ class JsonlSource:
                 line, pending = pending, ""
                 if not line.strip():
                     continue
-                yield _parse_jsonl_line(line)
+                try:
+                    row = _parse_jsonl_line(line)
+                except (ValueError, TypeError):
+                    if self.strict:
+                        raise
+                    self.malformed_rows += 1
+                    continue
+                yield row
                 emitted += 1
                 if self.max_rows is not None and emitted >= self.max_rows:
                     return

@@ -581,10 +581,26 @@ class TestSources:
         path.write_text('{"left": 3, "right": []}\n')
 
         async def drain():
-            return [row async for row in JsonlSource(path)]
+            return [row async for row in JsonlSource(path, strict=True)]
 
         with pytest.raises(ValueError, match="item-index lists"):
             asyncio.run(drain())
+
+    def test_jsonl_source_lenient_skips_and_counts(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text(
+            '{"left": [0], "right": [1]}\n'
+            "not json at all\n"
+            '{"left": 3, "right": []}\n'
+            '{"left": [2], "right": [0]}\n'
+        )
+        source = JsonlSource(path)  # lenient is the default
+
+        async def drain():
+            return [row async for row in source]
+
+        assert asyncio.run(drain()) == [([0], [1]), ([2], [0])]
+        assert source.malformed_rows == 2
 
     def test_packed_source(self, tmp_path, rng):
         left = rng.random((6, 4)) < 0.5
