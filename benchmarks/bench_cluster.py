@@ -1,0 +1,397 @@
+"""Cluster benchmark: replica router + mmap artifacts (``BENCH_cluster.json``).
+
+Measures the two claims of the horizontal serving tier:
+
+1. **Cold start** — building a :class:`repro.serve.CompiledPredictor`
+   by mapping the binary ``compiled.bin`` sidecar
+   (:mod:`repro.serve.binfmt`) versus the JSON path (parse
+   ``artifact.json``, rebuild the rule masks, re-pack the uint64
+   matrices).  The mapped path is a header read plus zero-copy numpy
+   views, so it should be >= 10x faster on the largest model — this is
+   what makes ``serve --workers N`` cheap to scale, since every worker
+   repeats the load.  The cell also verifies the no-copy property
+   (``np.shares_memory`` against the raw mapping) and bit-identity of
+   both predictors' outputs.
+
+2. **Fan-out** — req/s and latency percentiles of a
+   :class:`repro.serve.ReplicaRouter` at 1/2/4/8 workers under a
+   fixed-concurrency packed-``/predict`` load, against the
+   *single-process floor* (one bare
+   :class:`repro.serve.PredictionServer`, no router).  The
+   ``workers=1`` cell doubles as the **router-overhead honesty cell**:
+   it is the same worker count as the floor, so the throughput ratio
+   is pure routing tax.  ``cpu_count`` is recorded because throughput
+   can only scale with workers when there are cores to run them —
+   on a single-core machine the extra workers timeslice one core and
+   the grid documents the overhead instead of a speedup
+   (``scaling_expected`` says which regime the numbers were measured
+   in; the ``perf_smoke`` tier never asserts speedups the hardware
+   cannot produce).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--tiny] [--output PATH]
+
+``--tiny`` runs a seconds-scale smoke (in-process replicas, 2 worker
+counts) used by ``tests/test_perf_smoke.py``; the full run uses
+spawned worker processes like the real CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.dataset import Side, TwoViewDataset  # noqa: E402
+from repro.serve import (  # noqa: E402
+    CompiledPredictor,
+    ModelArtifact,
+    ModelRegistry,
+    PredictionServer,
+    PredictionService,
+    ReplicaRouter,
+    load_artifact,
+    map_artifact,
+)
+from repro.serve.router import (  # noqa: E402
+    local_replica_factory,
+    process_replica_factory,
+)
+from repro.stream.codec import encode_packed_rows  # noqa: E402
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from bench_serve import synthetic_table  # noqa: E402
+
+FULL_SETTINGS = {
+    "model": {"n_rules": 2048, "n_items_per_view": 384},
+    "worker_counts": [1, 2, 4, 8],
+    "replica_mode": "process",
+    "requests": 240,
+    "concurrency": 32,
+    "rows_per_request": 64,
+    "distinct_bodies": 32,
+    "density": 0.3,
+    "cold_start_repetitions": 7,
+}
+TINY_SETTINGS = {
+    "model": {"n_rules": 64, "n_items_per_view": 48},
+    "worker_counts": [1, 2],
+    "replica_mode": "local",
+    "requests": 48,
+    "concurrency": 8,
+    "rows_per_request": 8,
+    "distinct_bodies": 8,
+    "density": 0.3,
+    "cold_start_repetitions": 2,
+}
+
+
+def _publish_model(registry: ModelRegistry, settings: dict) -> ModelArtifact:
+    model = settings["model"]
+    n_items = model["n_items_per_view"]
+    table = synthetic_table(model["n_rules"], n_items)
+    rng = np.random.default_rng(11)
+    dataset = TwoViewDataset(
+        rng.random((32, n_items)) < settings["density"],
+        rng.random((32, n_items)) < settings["density"],
+        name="bench-cluster",
+    )
+
+    class _Result:
+        def __init__(self):
+            self.table = table
+
+        def summary(self):
+            return {"n_rules": len(table)}
+
+    return registry.publish(
+        ModelArtifact.from_result("bench", dataset, _Result(), {})
+    )
+
+
+def _request_bodies(settings: dict) -> list[bytes]:
+    """Distinct packed ``/predict`` bodies, cycled by the load generator."""
+    n_items = settings["model"]["n_items_per_view"]
+    rng = np.random.default_rng(17)
+    bodies = []
+    for __ in range(settings["distinct_bodies"]):
+        matrix = rng.random(
+            (settings["rows_per_request"], n_items)
+        ) < settings["density"]
+        bodies.append(
+            encode_packed_rows(matrix, meta={"model": "bench", "target": "R"})
+        )
+    return bodies
+
+
+async def _http(host: str, port: int, method: str, path: str, body: bytes):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read(-1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, sep, payload = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise ConnectionError("torn response")
+    return int(head.split()[1]), payload
+
+
+async def _run_load(
+    host: str, port: int, bodies: list[bytes], total: int, concurrency: int
+) -> dict:
+    """Fixed-concurrency closed-loop load; returns throughput + latency."""
+    latencies: list[float] = []
+    errors = 0
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one(index: int) -> None:
+        nonlocal errors
+        async with semaphore:
+            start = time.perf_counter()
+            try:
+                status, __ = await _http(
+                    host, port, "POST", "/predict", bodies[index % len(bodies)]
+                )
+                if status != 200:
+                    errors += 1
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                errors += 1
+            latencies.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one(i) for i in range(total)))
+    wall = time.perf_counter() - start
+    latencies.sort()
+
+    def percentile(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "requests": total,
+        "errors": errors,
+        "wall_seconds": wall,
+        "requests_per_second": total / wall,
+        "p50_ms": percentile(0.50) * 1000,
+        "p99_ms": percentile(0.99) * 1000,
+    }
+
+
+def run_cold_start(registry: ModelRegistry, settings: dict) -> dict:
+    """Mapped vs JSON cold start on the bench model (min over reps)."""
+    artifact_path = registry.artifact_path("bench", 1)
+    sidecar_path = registry.sidecar_path("bench", 1)
+    repetitions = settings["cold_start_repetitions"]
+
+    json_times, mapped_times = [], []
+    for __ in range(repetitions):
+        start = time.perf_counter()
+        artifact = load_artifact(artifact_path)
+        json_predictor = CompiledPredictor.from_table(
+            artifact.table, Side.RIGHT, artifact.n_left, artifact.n_right
+        )
+        json_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        mapped = map_artifact(sidecar_path)
+        mapped_predictor = CompiledPredictor.from_mapped(mapped, Side.RIGHT)
+        mapped_times.append(time.perf_counter() - start)
+
+    raw = np.frombuffer(mapped.buffer, dtype=np.uint8)
+    shares = bool(
+        np.shares_memory(mapped_predictor.antecedents.words, raw)
+        and np.shares_memory(mapped_predictor.consequents.words, raw)
+    )
+    rng = np.random.default_rng(23)
+    batch = rng.random(
+        (64, settings["model"]["n_items_per_view"])
+    ) < settings["density"]
+    identical = bool(
+        np.array_equal(mapped_predictor.predict(batch), json_predictor.predict(batch))
+    )
+    json_seconds = min(json_times)
+    mapped_seconds = min(mapped_times)
+    return {
+        "n_rules": settings["model"]["n_rules"],
+        "json_seconds": json_seconds,
+        "mapped_seconds": mapped_seconds,
+        "speedup": json_seconds / mapped_seconds,
+        "zero_copy": shares,
+        "identical_results": identical,
+        "sidecar_bytes": sidecar_path.stat().st_size,
+    }
+
+
+def run_cluster_grid(registry: ModelRegistry, settings: dict) -> dict:
+    """Floor (bare server) + router at each worker count, same load."""
+    bodies = _request_bodies(settings)
+    total = settings["requests"]
+    concurrency = settings["concurrency"]
+
+    async def measure_floor() -> dict:
+        service = PredictionService(registry)
+        server = PredictionServer(service, port=0, name="floor")
+        await server.start()
+        try:
+            return await _run_load(
+                server.host, server.port, bodies, total, concurrency
+            )
+        finally:
+            await server.stop()
+
+    async def measure_router(workers: int) -> dict:
+        if settings["replica_mode"] == "process":
+            factory = process_replica_factory(str(registry.root))
+        else:
+            factory = local_replica_factory(registry)
+        router = ReplicaRouter(
+            factory, workers=workers, probe_interval=0  # load only, no sweeps
+        )
+        await router.start()
+        try:
+            # One warm-up request per worker so every replica compiles
+            # (maps) the model before the timed window.
+            for __ in range(workers):
+                await _http(router.host, router.port, "POST", "/predict", bodies[0])
+            return await _run_load(
+                router.host, router.port, bodies, total, concurrency
+            )
+        finally:
+            await router.stop()
+
+    floor = asyncio.run(measure_floor())
+    grid = []
+    for workers in settings["worker_counts"]:
+        cell = asyncio.run(measure_router(workers))
+        cell["workers"] = workers
+        cell["speedup_vs_floor"] = (
+            cell["requests_per_second"] / floor["requests_per_second"]
+        )
+        grid.append(cell)
+
+    by_workers = {cell["workers"]: cell for cell in grid}
+    overhead = None
+    if 1 in by_workers:
+        overhead = {
+            "router_rps": by_workers[1]["requests_per_second"],
+            "bare_rps": floor["requests_per_second"],
+            "throughput_ratio": (
+                by_workers[1]["requests_per_second"]
+                / floor["requests_per_second"]
+            ),
+            "added_p50_ms": by_workers[1]["p50_ms"] - floor["p50_ms"],
+        }
+    scaling_counts = [w for w in (1, 2, 4) if w in by_workers]
+    monotonic = all(
+        by_workers[a]["requests_per_second"]
+        <= by_workers[b]["requests_per_second"]
+        for a, b in zip(scaling_counts, scaling_counts[1:])
+    )
+    p99_ok = (
+        by_workers[4]["p99_ms"] <= floor["p99_ms"] if 4 in by_workers else None
+    )
+    return {
+        "floor": floor,
+        "grid": grid,
+        "router_overhead_workers1": overhead,
+        "monotonic_1_to_4": monotonic,
+        "p99_at_4_not_worse_than_floor": p99_ok,
+        "zero_errors": all(cell["errors"] == 0 for cell in grid)
+        and floor["errors"] == 0,
+    }
+
+
+def run_grid(tiny: bool = False) -> dict:
+    """Run the benchmark and return the report dictionary."""
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as root:
+        registry = ModelRegistry(Path(root) / "registry")
+        _publish_model(registry, settings)
+        cold_start = run_cold_start(registry, settings)
+        cluster = run_cluster_grid(registry, settings)
+    return {
+        "benchmark": "cluster: replica router + mmap artifacts",
+        "mode": "tiny" if tiny else "full",
+        "settings": settings,
+        "cpu_count": os.cpu_count(),
+        "scaling_expected": (os.cpu_count() or 1) >= 4,
+        "cold_start": cold_start,
+        **cluster,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_cluster.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_grid(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    cold = report["cold_start"]
+    print(
+        f"cold start ({cold['n_rules']} rules): "
+        f"json={cold['json_seconds'] * 1000:.2f}ms  "
+        f"mapped={cold['mapped_seconds'] * 1000:.2f}ms  "
+        f"speedup={cold['speedup']:.1f}x  zero_copy={cold['zero_copy']}  "
+        f"identical={cold['identical_results']}"
+    )
+    floor = report["floor"]
+    print(
+        f"floor (bare server):   "
+        f"{floor['requests_per_second']:8.1f} req/s  "
+        f"p50={floor['p50_ms']:6.2f}ms  p99={floor['p99_ms']:6.2f}ms"
+    )
+    for cell in report["grid"]:
+        print(
+            f"router workers={cell['workers']}:     "
+            f"{cell['requests_per_second']:8.1f} req/s  "
+            f"p50={cell['p50_ms']:6.2f}ms  p99={cell['p99_ms']:6.2f}ms  "
+            f"x{cell['speedup_vs_floor']:.2f} vs floor  "
+            f"errors={cell['errors']}"
+        )
+    print(
+        f"cpu_count={report['cpu_count']}  "
+        f"scaling_expected={report['scaling_expected']}  "
+        f"monotonic_1_to_4={report['monotonic_1_to_4']}  "
+        f"zero_errors={report['zero_errors']}"
+    )
+    print(f"report written to {args.output}")
+    if not (cold["zero_copy"] and cold["identical_results"]):
+        print("ERROR: mapped predictor failed verification", file=sys.stderr)
+        return 1
+    if not report["zero_errors"]:
+        print("ERROR: requests failed under load", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,8 @@ PUBLIC_PACKAGES = [
     "repro.resilience",
     "repro.runtime",
     "repro.serve",
+    "repro.serve.binfmt",
+    "repro.serve.router",
     "repro.stream",
 ]
 
@@ -97,7 +99,7 @@ def missing_docstrings() -> list[str]:
             if obj is None:
                 problems.append(f"{package_name}.{name}: missing attribute")
                 continue
-            if isinstance(obj, (str, int, float, dict, list, tuple)):
+            if isinstance(obj, (str, bytes, int, float, dict, list, tuple)):
                 continue  # constants (e.g. PAPER_DATASETS, BACKENDS)
             if not inspect.getdoc(obj):
                 problems.append(f"{package_name}.{name}: no docstring")

@@ -64,7 +64,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.runtime import (
     ParallelExecutor,

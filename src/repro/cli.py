@@ -248,10 +248,13 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     name = args.name or default_name
     artifact = ModelArtifact.from_result(name, dataset, result, fit_params)
     registry = ModelRegistry(args.registry)
-    published = registry.publish(artifact)
+    published = registry.publish(artifact, sidecar=not args.no_sidecar)
     print(f"# published {published.name} v{published.version} "
           f"({len(published.table)} rules) to {args.registry}")
     print(f"# content hash: {published.content_hash}")
+    sidecar_path = registry.sidecar_path(published.name, published.version)
+    if sidecar_path.exists():
+        print(f"# mmap sidecar: {sidecar_path} ({sidecar_path.stat().st_size} bytes)")
     return 0
 
 
@@ -259,6 +262,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ModelRegistry, PredictionServer, PredictionService
 
     registry = ModelRegistry(args.registry)
+    models = registry.models()
+    print(f"# serving {len(models)} model(s) {models} from {args.registry}")
+    if args.workers > 1:
+        from repro.serve.router import ReplicaRouter, process_replica_factory
+
+        factory = process_replica_factory(
+            str(args.registry),
+            service_config={
+                "max_batch": args.max_batch,
+                "max_delay_ms": args.max_delay_ms,
+                "cache_size": args.cache_size,
+                "engine": args.engine,
+                "backend": args.backend,
+            },
+            server_config={
+                "read_timeout": args.read_timeout,
+                "drain_timeout": args.drain_timeout,
+            },
+        )
+        router = ReplicaRouter(
+            factory,
+            workers=args.workers,
+            registry=registry,
+            host=args.host,
+            port=args.port,
+            probe_interval=args.probe_interval,
+            read_timeout=args.read_timeout,
+        )
+        print(
+            f"# router http://{args.host}:{args.port} over {args.workers} "
+            f"worker process(es)  (/healthz, /readyz, /statz, /models, /predict)"
+        )
+        router.run()
+        return 0
     service = PredictionService(
         registry,
         max_batch=args.max_batch,
@@ -274,8 +311,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         read_timeout=args.read_timeout,
         drain_timeout=args.drain_timeout,
     )
-    models = registry.models()
-    print(f"# serving {len(models)} model(s) {models} from {args.registry}")
     print(
         f"# http://{args.host}:{args.port}  "
         f"(/healthz, /readyz, /models, /predict)"
@@ -882,6 +917,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="publish this saved table JSON instead of fitting",
     )
+    publish.add_argument(
+        "--no-sidecar",
+        action="store_true",
+        help="skip the binary mmap sidecar (compiled.bin) next to the JSON",
+    )
     publish.set_defaults(handler=_cmd_publish)
 
     serve = subparsers.add_parser(
@@ -935,6 +975,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="grace period (s) for in-flight requests on SIGINT/SIGTERM "
         "before stragglers are cancelled",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker replicas; >1 runs the replica router over N spawned "
+        "processes sharing the mmap'd model artifacts",
+    )
+    serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        help="router health-probe sweep period (s); 0 disables probing",
     )
     serve.set_defaults(handler=_cmd_serve)
 

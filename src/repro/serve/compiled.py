@@ -73,6 +73,7 @@ from repro.core.bitset import (
     BitMatrix,
     match_union_rows,
     or_union_rows,
+    popcount_rows,
     resolve_backend,
     subset_match_rows,
     unpack_mask,
@@ -95,6 +96,18 @@ _NATIVE_PACKED_MIN_RULE_WORDS = 2048
 #: ... or the batch is bulk-sized (measured parity-or-better from here
 #: up even on narrow models).
 _NATIVE_PACKED_MIN_ROWS = 256
+
+
+def _unpack_rows(matrix: BitMatrix) -> np.ndarray:
+    """Boolean ``(n_items, n_bits)`` form of a packed matrix's rows."""
+    if matrix.n_items == 0 or matrix.n_bits == 0:
+        return np.zeros((matrix.n_items, matrix.n_bits), dtype=bool)
+    bits = np.unpackbits(
+        np.ascontiguousarray(matrix.words).view(np.uint8),
+        axis=1,
+        bitorder="little",
+    )
+    return bits[:, : matrix.n_bits].astype(bool)
 
 
 class CompiledPredictor:
@@ -183,10 +196,16 @@ class CompiledPredictor:
         self.antecedents = BitMatrix.from_bool_rows(ant_bool)
         #: Packed consequent itemsets, one row per compiled rule.
         self.consequents = BitMatrix.from_bool_rows(cons_bool)
-        # BLAS operands: 0/1 float32 forms of the packed matrices.
-        self._ant_operand = np.ascontiguousarray(ant_bool.T, dtype=np.float32)
-        self._ant_sizes = self._ant_operand.sum(axis=0)
-        self._cons_operand = np.ascontiguousarray(cons_bool, dtype=np.float32)
+        # BLAS operands (0/1 float32 forms of the packed matrices) are
+        # derived lazily on first blas use — see _blas_operands — so
+        # building a predictor, in particular a zero-copy mapped one,
+        # never pays for a strategy it may not run.
+        self._ant_operand = None
+        self._ant_sizes = None
+        self._cons_operand = None
+        self._check_blas_exact()
+
+    def _check_blas_exact(self) -> None:
         # Compile-time guard on the blas strategy's exactness contract:
         # every count it compares is bounded by the source vocabulary
         # (match counts) or the rule count (emission counts), so both
@@ -201,10 +220,73 @@ class CompiledPredictor:
                 f"n_rules={self.n_rules}; counts past {_FLOAT32_EXACT_MAX} "
                 f"(2**24) are not exact in float32, so strategy='auto' will "
                 f"dispatch to 'packed' instead of 'blas'",
-                stacklevel=2,
+                stacklevel=3,
             )
 
+    def _blas_operands(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Materialise (once) the float32 BLAS operands from the packed matrices.
+
+        Unpacking reverses the exact byte layout the packing produced, so
+        the operands are identical to the ones the eager constructor used
+        to build.  Safe under the micro-batcher's worker threads: the
+        computation is idempotent and the final attribute stores are
+        atomic, so a rare double-materialisation costs time, not
+        correctness.
+        """
+        if self._ant_operand is None:
+            ant_bool = _unpack_rows(self.antecedents)
+            cons_bool = _unpack_rows(self.consequents)
+            sizes = popcount_rows(self.antecedents.words).astype(np.float32)
+            self._cons_operand = np.ascontiguousarray(cons_bool, dtype=np.float32)
+            self._ant_sizes = sizes
+            self._ant_operand = np.ascontiguousarray(ant_bool.T, dtype=np.float32)
+        return self._ant_operand, self._ant_sizes, self._cons_operand
+
     # ------------------------------------------------------------------
+    @classmethod
+    def from_mapped(
+        cls,
+        mapped,
+        target: Side,
+        backend: str = "auto",
+    ) -> "CompiledPredictor":
+        """Construct a predictor over a mapped binary artifact, zero-copy.
+
+        ``mapped`` is a :class:`repro.serve.binfmt.MappedArtifact`; the
+        antecedent/consequent matrices become numpy views straight into
+        its ``mmap`` buffer — no unpacking, no repacking, no allocation
+        proportional to the model — so N server processes mapping the
+        same published sidecar share one page-cache copy of the compiled
+        tables.  The packed strategy runs directly on the views; the
+        blas operands, if that strategy is ever selected, materialise
+        lazily (a private copy, as they are a different carrier).
+
+        Bit-identical to compiling the JSON artifact's table with
+        :meth:`from_table`: the sidecar stores exactly the matrices that
+        compilation produces (enforced by ``tests/test_binfmt.py``).
+        """
+        sections = mapped.direction_sections(target)
+        obj = cls.__new__(cls)
+        obj.target = target
+        if target is Side.RIGHT:
+            obj.n_source_items = mapped.n_left
+            obj.n_target_items = mapped.n_right
+        else:
+            obj.n_source_items = mapped.n_right
+            obj.n_target_items = mapped.n_left
+        obj.backend = resolve_backend(backend)
+        ant_words, cons_words = sections
+        obj.n_rules = int(ant_words.shape[0])
+        # BitMatrix leaves an already-contiguous uint64 array untouched,
+        # so these wrap the mmap views without copying.
+        obj.antecedents = BitMatrix(ant_words, obj.n_source_items)
+        obj.consequents = BitMatrix(cons_words, obj.n_target_items)
+        obj._ant_operand = None
+        obj._ant_sizes = None
+        obj._cons_operand = None
+        obj._check_blas_exact()
+        return obj
+
     @classmethod
     def from_table(
         cls,
@@ -272,8 +354,9 @@ class CompiledPredictor:
         source_matrix = self._validated(source_matrix)
         strategy = self._resolve_strategy(strategy, source_matrix.shape[0])
         if strategy == "blas":
-            counts = source_matrix.astype(np.float32) @ self._ant_operand
-            return counts == self._ant_sizes
+            ant_operand, ant_sizes, __ = self._blas_operands()
+            counts = source_matrix.astype(np.float32) @ ant_operand
+            return counts == ant_sizes
         rows = BitMatrix.from_bool_rows(source_matrix).words
         return subset_match_rows(
             rows, self.antecedents.words, backend=self.backend
@@ -292,7 +375,8 @@ class CompiledPredictor:
         strategy = self._resolve_strategy(strategy, source_matrix.shape[0])
         if strategy == "blas":
             fired = self.matches(source_matrix, strategy="blas")
-            emitted = fired.astype(np.float32) @ self._cons_operand
+            __, __, cons_operand = self._blas_operands()
+            emitted = fired.astype(np.float32) @ cons_operand
             return emitted > 0
         n_rows = source_matrix.shape[0]
         if self.backend == "native":

@@ -37,6 +37,7 @@ from repro.serve.artifact import (
     load_artifact,
     save_artifact,
 )
+from repro.serve.binfmt import SIDECAR_NAME, verify_sidecar, write_compiled
 
 __all__ = ["ModelRegistry"]
 
@@ -96,6 +97,16 @@ class ModelRegistry:
     def artifact_path(self, name: str, version: int) -> Path:
         """Path of one version's ``artifact.json``."""
         return self.model_dir(name) / _version_dirname(version) / "artifact.json"
+
+    def sidecar_path(self, name: str, version: int) -> Path:
+        """Path of one version's binary ``compiled.bin`` sidecar.
+
+        The sidecar lives *inside* the version directory, so quarantine
+        (a whole-directory rename) always moves the JSON artifact and
+        its compiled twin together — a quarantined version can never
+        leave a live sidecar behind for a worker to map.
+        """
+        return self.model_dir(name) / _version_dirname(version) / SIDECAR_NAME
 
     # ------------------------------------------------------------------
     # Listing / resolution
@@ -211,13 +222,22 @@ class ModelRegistry:
     # Publish / load
     # ------------------------------------------------------------------
     def publish(
-        self, artifact: ModelArtifact, set_latest: bool = True
+        self,
+        artifact: ModelArtifact,
+        set_latest: bool = True,
+        sidecar: bool = True,
     ) -> ModelArtifact:
         """Store ``artifact`` as the next version of ``artifact.name``.
 
         Returns the stamped artifact (``.version`` filled in).  Version
         directories are immutable — a concurrent publisher racing for
         the same number loses with ``FileExistsError`` and should retry.
+
+        With ``sidecar`` (the default) the version also gets a binary
+        ``compiled.bin`` twin (:func:`repro.serve.binfmt.write_compiled`)
+        that workers ``mmap`` instead of re-parsing the JSON; both files
+        land before ``LATEST`` moves, so the pointer never exposes a
+        version whose sidecar is still being written.
         """
         versions = self.versions(artifact.name)
         version = (versions[-1] + 1) if versions else 1
@@ -225,6 +245,8 @@ class ModelRegistry:
         directory = self.model_dir(artifact.name) / _version_dirname(version)
         directory.mkdir(parents=True, exist_ok=False)
         save_artifact(stamped, directory / "artifact.json")
+        if sidecar:
+            write_compiled(stamped, directory / SIDECAR_NAME)
         # Chaos hook: a crash here leaves a fully published version that
         # LATEST does not point at yet — readers keep serving the
         # previous version, which is exactly the intended failure mode.
@@ -297,14 +319,30 @@ class ModelRegistry:
     def quarantine(self, name: str, version: int) -> Path:
         """Move a damaged version out of the serving tree.
 
-        The version directory is renamed into ``<model>/_corrupt/``
-        (timestamped, so repeated incidents never collide) where
-        :meth:`versions` no longer sees it — the evidence is preserved
-        for a post-mortem without breaking the registry.  A ``LATEST``
-        pointer naming the quarantined version is repointed at the
-        newest surviving version (or removed when none survive).
-        Returns the quarantine path.
+        The version directory — the JSON artifact *and* its binary
+        sidecar travel together, the sidecar lives inside it — is
+        renamed into ``<model>/_corrupt/`` (timestamped, so repeated
+        incidents never collide) where :meth:`versions` no longer sees
+        it; the evidence is preserved for a post-mortem without
+        breaking the registry.  A ``LATEST`` pointer naming the
+        quarantined version is healed to the newest surviving version
+        whose sidecar (if present) passes hash verification — survivors
+        that fail it are quarantined in the same sweep, so the pointer
+        never lands on a version that would poison every worker mapping
+        it — or removed when none survive.  Returns the quarantine path.
         """
+        destination = self._move_to_corrupt(name, version)
+        pointer = self.model_dir(name) / "LATEST"
+        try:
+            pointed = int(pointer.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            pointed = None
+        if pointed == version:
+            self._heal_latest(name)
+        return destination
+
+    def _move_to_corrupt(self, name: str, version: int) -> Path:
+        """Rename one version directory into ``_corrupt/`` (timestamped)."""
         directory = self.model_dir(name) / _version_dirname(version)
         corrupt_root = self.model_dir(name) / _CORRUPT_DIR
         corrupt_root.mkdir(parents=True, exist_ok=True)
@@ -313,21 +351,35 @@ class ModelRegistry:
         )
         if directory.exists():
             os.replace(directory, destination)
-        survivors = self.versions(name)
+        return destination
+
+    def _heal_latest(self, name: str) -> None:
+        """Re-point ``LATEST`` at the newest *fully intact* survivor.
+
+        Candidates are taken newest-first; one whose binary sidecar
+        exists but fails verification is itself quarantined and the
+        scan continues — a versions-only loop, so it terminates.  With
+        no intact survivor left the pointer is removed.
+        """
         pointer = self.model_dir(name) / "LATEST"
-        try:
-            pointed = int(pointer.read_text(encoding="utf-8").strip())
-        except (OSError, ValueError):
-            pointed = None
-        if pointed == version:
-            if survivors:
-                self.set_latest(name, survivors[-1])
-            else:
+        while True:
+            survivors = self.versions(name)
+            if not survivors:
                 try:
                     pointer.unlink()
                 except OSError:  # pragma: no cover - raced unlink
                     pass
-        return destination
+                return
+            candidate = survivors[-1]
+            sidecar = self.sidecar_path(name, candidate)
+            if sidecar.exists():
+                try:
+                    verify_sidecar(sidecar)
+                except ArtifactError:
+                    self._move_to_corrupt(name, candidate)
+                    continue
+            self.set_latest(name, candidate)
+            return
 
     def quarantined(self, name: str) -> list[str]:
         """Quarantine directory entries of one model (newest last)."""

@@ -61,6 +61,7 @@ import numpy as np
 from repro.core.bitset import resolve_backend
 from repro.core.predict import predict_view
 from repro.data.dataset import Side
+from repro.resilience.faults import CrashPoint, fault_point
 from repro.resilience.policy import CircuitBreaker, CircuitOpenError, Deadline
 from repro.runtime.cache import content_key
 from repro.serve.artifact import ArtifactError, ModelArtifact
@@ -322,6 +323,13 @@ class PredictionService:
         backend: Word-op backend forwarded to every compiled predictor
             (``"numpy"``, ``"native"`` or ``"auto"``); affects the
             packed strategy only and is bit-identical either way.
+        prefer_mapped: When the registry version has a binary
+            ``compiled.bin`` sidecar (:mod:`repro.serve.binfmt`),
+            build predictors as zero-copy ``mmap`` views over it
+            instead of re-packing the JSON table — every worker
+            process on the machine then shares one page-cache copy of
+            the model.  A missing or damaged sidecar silently falls
+            back to the JSON path; the answers are bit-identical.
         breaker_factory: Builds the per-model
             :class:`~repro.resilience.policy.CircuitBreaker` guarding
             registry artifact loads — after repeated load failures the
@@ -341,6 +349,7 @@ class PredictionService:
         latest_ttl_seconds: float = 1.0,
         backend: str = "auto",
         breaker_factory: Callable[[], CircuitBreaker] | None = None,
+        prefer_mapped: bool = True,
     ) -> None:
         if engine not in ("compiled", "loop"):
             raise ValueError(f"unknown serving engine {engine!r}")
@@ -352,6 +361,11 @@ class PredictionService:
         # compiler-less machine) fails at service construction, not as a
         # 500 on the first /predict that compiles a predictor.
         self.backend = resolve_backend(backend)
+        self.prefer_mapped = prefer_mapped
+        #: How many resident predictors were built from mmap sidecars
+        #: vs recompiled from JSON (operator visibility via /statz).
+        self.mapped_loads = 0
+        self.compiled_loads = 0
         self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
         self.response_cache = LRUCache(cache_size)
         self.stats: dict[str, ModelStats] = {}
@@ -454,13 +468,49 @@ class PredictionService:
         cached = self._predictors.get(key)
         if cached is None:
             artifact = self.artifact(name, version)
-            n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
-            n_target = artifact.n_right if target is Side.RIGHT else artifact.n_left
-            cached = CompiledPredictor.from_table(
-                artifact.table, target, n_source, n_target, backend=self.backend
-            )
+            cached = self._mapped_predictor(artifact, name, version, target)
+            if cached is None:
+                n_source = (
+                    artifact.n_left if target is Side.RIGHT else artifact.n_right
+                )
+                n_target = (
+                    artifact.n_right if target is Side.RIGHT else artifact.n_left
+                )
+                cached = CompiledPredictor.from_table(
+                    artifact.table, target, n_source, n_target, backend=self.backend
+                )
+                self.compiled_loads += 1
             self._predictors.put(key, cached)
         return cached  # type: ignore[return-value]
+
+    def _mapped_predictor(
+        self, artifact: ModelArtifact, name: str, version: int, target: Side
+    ) -> CompiledPredictor | None:
+        """Try the zero-copy mmap path; ``None`` means fall back to JSON.
+
+        The sidecar must verify (hash over every payload byte) *and*
+        name the exact JSON artifact being served — a sidecar from a
+        different publish can never answer for this version.
+        """
+        if not self.prefer_mapped:
+            return None
+        from repro.serve.binfmt import map_artifact
+
+        path = self.registry.sidecar_path(name, version)
+        try:
+            mapped = map_artifact(path)
+        except (ArtifactError, OSError):
+            return None
+        if mapped.artifact_hash != artifact.content_hash:
+            mapped.close()
+            return None
+        # The numpy views keep the mapping referenced; the predictor is
+        # valid for as long as the LRU holds it.
+        predictor = CompiledPredictor.from_mapped(
+            mapped, target, backend=self.backend
+        )
+        self.mapped_loads += 1
+        return predictor
 
     def _stats_for(self, name: str) -> ModelStats:
         return self.stats.setdefault(name, ModelStats())
@@ -793,6 +843,29 @@ class _RequestError(Exception):
         self.payload = payload
 
 
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+def http_response_bytes(status: int, body: bytes) -> bytes:
+    """One complete ``Connection: close`` JSON response as raw bytes."""
+    reason = _REASONS.get(status, "Internal Server Error")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode("ascii")
+        + body
+    )
+
+
 class PredictionServer:
     """Socket layer: a minimal asyncio HTTP/1.1 front for the service.
 
@@ -824,6 +897,7 @@ class PredictionServer:
         port: int = 8100,
         read_timeout: float = 30.0,
         drain_timeout: float = 5.0,
+        name: str = "server",
     ) -> None:
         if read_timeout <= 0:
             raise ValueError("read_timeout must be positive")
@@ -834,14 +908,20 @@ class PredictionServer:
         self.port = port
         self.read_timeout = read_timeout
         self.drain_timeout = drain_timeout
+        #: Replica identity: the router names its workers ``w1..wN`` and
+        #: chaos tests aim fault plans at ``serve.<name>.request``.
+        self.name = name
         self._server: asyncio.AbstractServer | None = None
         self._inflight: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
         self._draining = False
+        self._crashed = False
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections (non-blocking)."""
         self._draining = False
+        self._crashed = False
         self.service.draining = False
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port
@@ -852,6 +932,11 @@ class PredictionServer:
     def inflight(self) -> int:
         """Connections currently being handled."""
         return len(self._inflight)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether an injected :class:`CrashPoint` killed this replica."""
+        return self._crashed
 
     async def stop(self, drain_timeout: float | None = None) -> dict:
         """Gracefully drain and stop the server.
@@ -909,7 +994,8 @@ class PredictionServer:
         """Serve until SIGINT/SIGTERM, then drain gracefully."""
         import signal
 
-        await self.start()
+        if self._server is None:
+            await self.start()
         stop_requested = asyncio.Event()
         loop = asyncio.get_running_loop()
         registered = []
@@ -948,24 +1034,20 @@ class PredictionServer:
         task = asyncio.current_task()
         if task is not None:
             self._inflight.add(task)
+        self._writers.add(writer)
         try:
-            status, payload = await self._handle_one(reader)
+            try:
+                status, payload = await self._handle_one(reader)
+            except CrashPoint:
+                # An injected crash models kill -9 at replica scope: no
+                # response, no goodbye — every open connection is reset
+                # and the listener vanishes.  The exception stops here
+                # (the "process" that died is this server, not the test
+                # harness hosting it).
+                self._die()
+                return
             body = json.dumps(payload).encode("utf-8")
-            reason = {
-                200: "OK",
-                400: "Bad Request",
-                404: "Not Found",
-                408: "Request Timeout",
-                413: "Payload Too Large",
-                503: "Service Unavailable",
-            }.get(status, "Internal Server Error")
-            writer.write(
-                f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n".encode("ascii")
-                + body
-            )
+            writer.write(http_response_bytes(status, body))
             try:
                 await writer.drain()
             finally:
@@ -975,8 +1057,32 @@ class PredictionServer:
                 except ConnectionError:  # pragma: no cover - client went away
                     pass
         finally:
+            self._writers.discard(writer)
             if task is not None:
                 self._inflight.discard(task)
+
+    def _die(self) -> None:
+        """Simulate a hard replica death (chaos testing only).
+
+        Mirrors what ``kill -9`` does to a worker process: the listener
+        disappears mid-accept and every established connection — the
+        one that hit the crash *and* any concurrent in-flight neighbour
+        — is reset without a response.  The router above must observe
+        connection resets/refusals, never a torn HTTP payload.
+        """
+        self._crashed = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        current = asyncio.current_task()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writers.clear()
+        for task in list(self._inflight):
+            if task is not current:
+                task.cancel()
 
     async def _handle_one(
         self, reader: asyncio.StreamReader
@@ -986,6 +1092,9 @@ class PredictionServer:
             # the listener; this guard covers the pathological handler
             # task that first runs after the drain flag went up.
             return 503, {"error": "server is draining"}
+        # Chaos hook: fault plans target one replica by name, e.g.
+        # plan("serve.w2.request", kind="crash") kills w2 mid-batch.
+        fault_point(f"serve.{self.name}.request")
         try:
             method, path, body = await asyncio.wait_for(
                 self._read_request(reader), self.read_timeout
@@ -1006,28 +1115,41 @@ class PredictionServer:
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, bytes]:
         """Read one request; the caller bounds this with ``read_timeout``."""
-        request_line = (await reader.readline()).decode("ascii", "replace").strip()
-        parts = request_line.split()
-        if len(parts) < 2:
-            raise _RequestError(
-                400, {"error": f"malformed request line {request_line!r}"}
-            )
-        method, path = parts[0].upper(), parts[1]
-        content_length = 0
-        while True:
-            line = (await reader.readline()).decode("ascii", "replace")
-            if line in ("\r\n", "\n", ""):
-                break
-            header, _, value = line.partition(":")
-            if header.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _RequestError(400, {"error": "invalid Content-Length"})
-        if content_length > self.MAX_BODY_BYTES:
-            raise _RequestError(
-                413,
-                {"error": f"request body exceeds {self.MAX_BODY_BYTES} bytes"},
-            )
-        body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body
+        return await read_http_request(reader, self.MAX_BODY_BYTES)
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request: ``(method, path, body)``.
+
+    Shared by :class:`PredictionServer` and the replica router
+    (:mod:`repro.serve.router`) so both fronts reject malformed input
+    identically.  Raises :class:`_RequestError` carrying the HTTP
+    response for protocol violations; the caller bounds the read time.
+    """
+    request_line = (await reader.readline()).decode("ascii", "replace").strip()
+    parts = request_line.split()
+    if len(parts) < 2:
+        raise _RequestError(
+            400, {"error": f"malformed request line {request_line!r}"}
+        )
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = (await reader.readline()).decode("ascii", "replace")
+        if line in ("\r\n", "\n", ""):
+            break
+        header, _, value = line.partition(":")
+        if header.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _RequestError(400, {"error": "invalid Content-Length"})
+    if content_length > max_body_bytes:
+        raise _RequestError(
+            413,
+            {"error": f"request body exceeds {max_body_bytes} bytes"},
+        )
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body

@@ -90,6 +90,56 @@ def test_native_benchmark_tiny_mode(tmp_path):
 
 
 @pytest.mark.perf_smoke
+def test_mapped_cold_start_does_not_copy(tmp_path):
+    # The whole point of the binary sidecar is that loading it is a
+    # header read plus views into the mapping — prove no bytes were
+    # copied by checking every predictor array shares memory with the
+    # raw mmap buffer, and that the views still answer bit-identically.
+    import numpy as np
+
+    from repro.data.dataset import Side
+    from repro.serve import CompiledPredictor, ModelRegistry, map_artifact
+
+    bench = _load_bench_module("bench_cluster")
+    registry = ModelRegistry(tmp_path / "registry")
+    artifact = bench._publish_model(registry, bench.TINY_SETTINGS)
+    mapped = map_artifact(registry.sidecar_path("bench", 1))
+    predictor = CompiledPredictor.from_mapped(mapped, Side.RIGHT)
+    raw = np.frombuffer(mapped.buffer, dtype=np.uint8)
+    assert np.shares_memory(predictor.antecedents.words, raw)
+    assert np.shares_memory(predictor.consequents.words, raw)
+    reference = CompiledPredictor.from_table(
+        artifact.table, Side.RIGHT, artifact.n_left, artifact.n_right
+    )
+    rng = np.random.default_rng(3)
+    batch = rng.random((16, artifact.n_left)) < 0.3
+    assert np.array_equal(predictor.predict(batch), reference.predict(batch))
+
+
+@pytest.mark.perf_smoke
+def test_cluster_benchmark_tiny_mode(tmp_path):
+    # Asserts correctness properties only (zero-copy, bit-identity,
+    # zero dropped requests) — never throughput scaling, which the
+    # hardware may not be able to produce (see scaling_expected).
+    bench = _load_bench_module("bench_cluster")
+    report = bench.run_grid(tiny=True)
+    assert report["mode"] == "tiny"
+    cold = report["cold_start"]
+    assert cold["zero_copy"], "mapped predictor copied its matrices"
+    assert cold["identical_results"], "mapped and JSON predictors disagreed"
+    assert cold["json_seconds"] > 0 and cold["mapped_seconds"] > 0
+    assert report["grid"], "tiny cluster grid must not be empty"
+    assert report["zero_errors"], "requests failed under load"
+    assert report["router_overhead_workers1"] is not None
+    assert report["floor"]["requests_per_second"] > 0
+    # The JSON entry point must work end to end.
+    output = tmp_path / "BENCH_cluster.json"
+    exit_code = bench.main(["--tiny", "--output", str(output)])
+    assert exit_code == 0
+    assert output.exists()
+
+
+@pytest.mark.perf_smoke
 def test_serve_benchmark_tiny_mode(tmp_path):
     bench = _load_bench_module("bench_serve")
     report = bench.run_grid(tiny=True)
