@@ -1,0 +1,348 @@
+"""Corpus-scale benchmark: out-of-core discovery (``BENCH_corpus.json``).
+
+Three cells, each an honesty check as much as a timing:
+
+* **out_of_core** — ingest a corpus 10x larger than the biggest in-RAM
+  benchmark (500k rows vs the 50k ceiling of ``bench_native.py``) from
+  a chunked generator that never materialises the full matrix, then run
+  the sketch-pruned exact top-k query while ``tracemalloc`` watches the
+  query's peak allocation.  Reported alongside: the packed payload the
+  scan streamed through and the bytes a dense in-RAM load would need —
+  ``rss_bounded`` certifies the peak stayed far below both.
+* **sketch_prune** — the same query with and without sketch pruning on
+  the same store.  Both must return **bit-identical** top-k rules
+  (sketches may only prune and order, never approximate); the cell
+  reports the speedup and the fraction of candidate pairs the sound
+  bounds eliminated.
+* **honesty** — at tier-1 scale, the store-backed top-k is compared
+  bit-for-bit against the dense in-RAM reference *and* against the
+  exact engine (``ExactRuleSearch`` capped at pair rules), and a
+  budget-interrupted anytime search must satisfy
+  ``gain + gap_bound >= optimal gain``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py [--tiny] [--output PATH]
+
+``--tiny`` runs a seconds-scale smoke grid (the ``perf_smoke`` /
+``corpus_smoke`` pytest markers) that checks every equivalence and
+emits the same JSON shape without asserting speedup floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.search import ExactRuleSearch  # noqa: E402
+from repro.core.state import CoverState  # noqa: E402
+from repro.corpus import (  # noqa: E402
+    ColumnStore,
+    exact_topk_pairs,
+    ingest_chunks,
+    ingest_dataset,
+    topk_pairs,
+)
+from repro.data.synthetic import SyntheticSpec, generate_planted  # noqa: E402
+
+FULL_SETTINGS = {
+    "corpus_transactions": 500_000,
+    "corpus_items_per_view": 32,
+    "corpus_density": 0.06,
+    "corpus_planted_pairs": 6,
+    "corpus_pattern_rate": 0.12,
+    "chunk_rows": 16_384,
+    "block_words": 64,
+    "sample_rows": 4096,
+    "minhash_hashes": 8,
+    "k": 10,
+    "batch_size": 512,
+    "prune_batch_size": 64,
+    "honesty_transactions": 500,
+    "seed": 13,
+}
+TINY_SETTINGS = {
+    "corpus_transactions": 20_000,
+    "corpus_items_per_view": 16,
+    "corpus_density": 0.06,
+    "corpus_planted_pairs": 4,
+    "corpus_pattern_rate": 0.12,
+    "chunk_rows": 4096,
+    "block_words": 16,
+    "sample_rows": 1024,
+    "minhash_hashes": 8,
+    "k": 5,
+    "batch_size": 128,
+    "prune_batch_size": 32,
+    "honesty_transactions": 300,
+    "seed": 13,
+}
+
+
+def corpus_chunks(settings: dict):
+    """Chunked planted-corpus generator — never materialises the corpus.
+
+    Each chunk is produced by its own ``default_rng((seed, index))`` so
+    the stream is reproducible chunk-by-chunk with O(chunk) memory.  A
+    handful of planted item pairs co-activate across the views, and
+    every item's background activity is *temporally clustered*: item
+    ``i`` only fires inside its own contiguous window of the stream (a
+    sliding window covering half the corpus).  Real logs behave this
+    way — features come and go over time — and it is exactly the
+    structure the store's per-block count sketches exploit: two items
+    whose active windows barely overlap get a near-zero sound overlap
+    bound without touching the payload.
+    """
+    n = settings["corpus_transactions"]
+    n_items = settings["corpus_items_per_view"]
+    chunk = settings["chunk_rows"]
+    pairs = [
+        (p, (p * 5 + 1) % n_items)
+        for p in range(settings["corpus_planted_pairs"])
+    ]
+
+    def window(item: int) -> tuple[int, int]:
+        # Item i is active on a half-corpus window starting at a stride
+        # of n/2 per (n_items-1) items, so windows sweep the stream.
+        lo = (item * (n // 2)) // max(n_items - 1, 1)
+        return lo, lo + n // 2
+
+    for index, start in enumerate(range(0, n, chunk)):
+        rows = min(chunk, n - start)
+        rng = np.random.default_rng((settings["seed"], index))
+        left = rng.random((rows, n_items)) < settings["corpus_density"]
+        right = rng.random((rows, n_items)) < settings["corpus_density"]
+        positions = start + np.arange(rows)
+        for item in range(n_items):
+            lo, hi = window(item)
+            active = (positions >= lo) & (positions < hi)
+            left[~active, item] = False
+            right[~active, item] = False
+        for x, y in pairs:
+            lo, hi = window(x)
+            member = (rng.random(rows) < settings["corpus_pattern_rate"]) & (
+                (positions >= lo) & (positions < hi)
+            )
+            left[member, x] = True
+            right[member, y] = True
+        yield left, right
+
+
+def ingest_corpus(settings: dict, path: Path) -> dict:
+    n_items = settings["corpus_items_per_view"]
+    start = time.perf_counter()
+    ingest_chunks(
+        corpus_chunks(settings),
+        path,
+        n_transactions=settings["corpus_transactions"],
+        n_left=n_items,
+        n_right=n_items,
+        block_words=settings["block_words"],
+        sample_size=settings["sample_rows"],
+        n_hashes=settings["minhash_hashes"],
+        seed=settings["seed"],
+        name="bench-corpus",
+    )
+    return {"ingest_seconds": time.perf_counter() - start,
+            "file_bytes": path.stat().st_size}
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+def out_of_core_cell(settings: dict, store: ColumnStore, ingest: dict) -> dict:
+    n = settings["corpus_transactions"]
+    payload = store.n_blocks * store.block_nbytes
+    dense_bytes = n * (store.n_left + store.n_right)  # bool matrix in RAM
+    store.pair_overlaps(np.array([0]), np.array([0]))  # warm caches
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = topk_pairs(
+        store, k=settings["k"], batch_size=settings["batch_size"]
+    )
+    elapsed = time.perf_counter() - start
+    __, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "n_transactions": n,
+        "n_items_per_view": settings["corpus_items_per_view"],
+        "largest_ram_benchmark_transactions": 50_000,  # bench_native ceiling
+        "scale_factor_vs_ram_benchmark": n / 50_000,
+        "n_blocks": store.n_blocks,
+        "payload_bytes": payload,
+        "dense_bytes": dense_bytes,
+        "file_bytes": ingest["file_bytes"],
+        "ingest_seconds": ingest["ingest_seconds"],
+        "query_seconds": elapsed,
+        "query_peak_rss_bytes": peak,
+        "rss_bounded": peak < payload / 2 and peak < dense_bytes / 8,
+        "n_rules": len(result.rules),
+        "pruned_fraction": result.pruned_fraction,
+    }
+
+
+def sketch_prune_cell(settings: dict, store: ColumnStore) -> dict:
+    timings = {}
+    results = {}
+    # Same (fine) batch size for both arms so the comparison is purely
+    # bound-driven pruning vs an exhaustive scan.
+    for label, prune in (("pruned", True), ("full_scan", False)):
+        start = time.perf_counter()
+        results[label] = topk_pairs(
+            store, k=settings["k"], batch_size=settings["prune_batch_size"],
+            prune=prune,
+        )
+        timings[label] = time.perf_counter() - start
+    pruned, full = results["pruned"], results["full_scan"]
+    return {
+        "k": settings["k"],
+        "pruned_seconds": timings["pruned"],
+        "full_scan_seconds": timings["full_scan"],
+        "speedup": timings["full_scan"] / timings["pruned"],
+        "n_pairs": full.n_pairs,
+        "pruned_pairs_scanned": pruned.n_scanned,
+        "full_pairs_scanned": full.n_scanned,
+        "scanned_fraction": pruned.n_scanned / max(1, full.n_scanned),
+        "pruned_blocks_read": pruned.n_blocks_read,
+        "full_blocks_read": full.n_blocks_read,
+        "identical_results": pruned.fingerprint() == full.fingerprint(),
+    }
+
+
+def honesty_cell(settings: dict, tmp_dir: Path) -> dict:
+    """Tier-1-scale bit-identity against the dense path and the engine."""
+    dataset, __ = generate_planted(
+        SyntheticSpec(
+            n_transactions=settings["honesty_transactions"],
+            n_left=14,
+            n_right=12,
+            density_left=0.3,
+            density_right=0.3,
+            n_rules=5,
+            seed=settings["seed"],
+        )
+    )
+    path = tmp_dir / "honesty.col"
+    ingest_dataset(dataset, path, chunk_rows=128, block_words=2)
+    with ColumnStore(path) as store:
+        sketched = topk_pairs(store, k=settings["k"])
+        dense = exact_topk_pairs(dataset, k=settings["k"],
+                                 quant_bits=store.quant_bits)
+    # Engine cross-check: the best pair rule is the exact search's
+    # optimum under a two-item cap.
+    rule, gain, __ = ExactRuleSearch(
+        CoverState(dataset), max_rule_size=2
+    ).find_best_rule()
+    top_matches_engine = bool(
+        sketched.rules
+        and sketched.rules[0] == rule
+        and repr(sketched.gains[0]) == repr(gain)
+    )
+    # Anytime honesty: an interrupted search's gain + gap_bound must
+    # dominate the true optimum found by the complete search.
+    full_rule, full_gain, full_stats = ExactRuleSearch(
+        CoverState(dataset), max_rule_size=3
+    ).find_best_rule()
+    __, partial_gain, partial_stats = ExactRuleSearch(
+        CoverState(dataset), max_rule_size=3, max_nodes=50
+    ).find_best_rule()
+    gap_sound = partial_gain + partial_stats.gap_bound >= full_gain - 1e-9
+    return {
+        "n_transactions": settings["honesty_transactions"],
+        "topk_bit_identical": sketched.fingerprint() == dense.fingerprint(),
+        "top1_matches_exact_engine": top_matches_engine,
+        "anytime_gap_bound_sound": bool(gap_sound),
+        "anytime_partial_gain": partial_gain,
+        "anytime_gap_bound": partial_stats.gap_bound,
+        "anytime_optimal_gain": full_gain,
+        "identical_results": bool(
+            sketched.fingerprint() == dense.fingerprint()
+            and top_matches_engine
+            and gap_sound
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+def run_grid(tiny: bool = False, work_dir: Path | None = None) -> dict:
+    """Run every cell and return the report dictionary."""
+    import tempfile
+
+    settings = TINY_SETTINGS if tiny else FULL_SETTINGS
+    if work_dir is None:
+        work_dir = Path(tempfile.mkdtemp(prefix="bench_corpus_"))
+    work_dir.mkdir(parents=True, exist_ok=True)
+    store_path = work_dir / "corpus.col"
+    ingest = ingest_corpus(settings, store_path)
+    with ColumnStore(store_path) as store:
+        out_of_core = out_of_core_cell(settings, store, ingest)
+        sketch_prune = sketch_prune_cell(settings, store)
+    honesty = honesty_cell(settings, work_dir)
+    return {
+        "benchmark": "out-of-core corpus discovery",
+        "mode": "tiny" if tiny else "full",
+        "settings": settings,
+        "out_of_core": out_of_core,
+        "sketch_prune": sketch_prune,
+        "honesty": honesty,
+        "all_identical": bool(
+            sketch_prune["identical_results"] and honesty["identical_results"]
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_corpus.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_grid(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    cell = report["out_of_core"]
+    print(
+        f"out-of-core n={cell['n_transactions']:,} "
+        f"({cell['scale_factor_vs_ram_benchmark']:.0f}x the RAM benchmark): "
+        f"ingest={cell['ingest_seconds']:.2f}s  query={cell['query_seconds']:.3f}s  "
+        f"peak RSS={cell['query_peak_rss_bytes'] / 1e6:.2f}MB over a "
+        f"{cell['payload_bytes'] / 1e6:.1f}MB payload  "
+        f"bounded={cell['rss_bounded']}"
+    )
+    cell = report["sketch_prune"]
+    print(
+        f"sketch prune: full={cell['full_scan_seconds']:.3f}s  "
+        f"pruned={cell['pruned_seconds']:.3f}s  speedup={cell['speedup']:.2f}x  "
+        f"scanned {cell['pruned_pairs_scanned']}/{cell['n_pairs']} pairs  "
+        f"identical={cell['identical_results']}"
+    )
+    cell = report["honesty"]
+    print(
+        f"honesty n={cell['n_transactions']}: "
+        f"topk_bit_identical={cell['topk_bit_identical']}  "
+        f"top1_matches_engine={cell['top1_matches_exact_engine']}  "
+        f"gap_bound_sound={cell['anytime_gap_bound_sound']}"
+    )
+    print(f"report written to {args.output}")
+    if not report["all_identical"]:
+        print("ERROR: sketched and exact paths disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ PUBLIC_PACKAGES = [
     "repro.mining",
     "repro.core",
     "repro.baselines",
+    "repro.corpus",
     "repro.eval",
     "repro.multiview",
     "repro.native",

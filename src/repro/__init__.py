@@ -12,8 +12,10 @@ micro-batching prediction server, a streaming subsystem
 packed window buffer, detects drift and hot-swaps refitted models into
 the running server, a resilience toolkit (:mod:`repro.resilience`) with
 retry/circuit-breaker policies, programmable fault injection,
-supervised restarts and crash-safe window checkpoints, an optional
-native fused-popcount backend
+supervised restarts and crash-safe window checkpoints, a corpus-scale
+discovery layer (:mod:`repro.corpus`) with an out-of-core packed column
+store, sound sketch-based candidate pruning and anytime budgeted search
+with reported gap bounds, an optional native fused-popcount backend
 (:mod:`repro.native`, compiled on demand with the system C compiler and
 bit-identical to the numpy paths it accelerates), and a benchmark
 harness regenerating every table and figure of the evaluation section.
@@ -64,7 +66,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.runtime import (
     ParallelExecutor,

@@ -109,13 +109,22 @@ def _make_translator(args: argparse.Namespace):
     kernel = getattr(args, "kernel", "auto")
     backend = getattr(args, "backend", "auto")
     n_jobs = getattr(args, "n_jobs", 1)
+    max_nodes = getattr(args, "max_nodes", None)
+    time_budget = getattr(args, "time_budget", None)
+    if args.method != "exact" and (max_nodes is not None or time_budget is not None):
+        raise SystemExit(
+            "--max-nodes/--time-budget are anytime budgets of the exact "
+            "search; use --method exact"
+        )
     if args.method == "exact":
         return TranslatorExact(
             max_iterations=args.max_iterations,
             max_rule_size=args.max_rule_size,
+            max_nodes_per_search=max_nodes,
             kernel=kernel,
             backend=backend,
             n_jobs=n_jobs,
+            time_budget_per_search=time_budget,
         )
     if args.method == "select":
         return TranslatorSelect(
@@ -502,15 +511,39 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
     translator = _make_translator(args)
-    result = translator.fit(dataset)
+    if args.store is not None:
+        if args.dataset is not None:
+            raise SystemExit("pass either a dataset or --store, not both")
+        if args.method != "exact":
+            raise SystemExit("--store fitting requires --method exact")
+        from repro.corpus import ColumnStore
+
+        with ColumnStore(args.store) as store:
+            result = translator.fit(store=store)
+        dataset = result.state.dataset
+        print(f"# loaded store {args.store} "
+              f"({store.n_transactions} rows, {store.n_blocks} block(s))")
+    elif args.dataset is not None:
+        dataset = _resolve_dataset(args.dataset, args.scale)
+        result = translator.fit(dataset)
+    else:
+        raise SystemExit("fit needs a dataset argument or --store")
     print(f"# {result.method} on {dataset.name}")
     print(
         f"# |T|={result.n_rules}  L%={100 * result.compression_ratio:.2f}  "
         f"|C|%={100 * result.correction_fraction:.2f}  "
         f"runtime={result.runtime_seconds:.2f}s"
     )
+    if getattr(args, "max_nodes", None) is not None or getattr(
+        args, "time_budget", None
+    ) is not None:
+        achieved = sum(record.gain for record in result.history)
+        print(
+            f"# anytime: achieved gain {achieved:.2f} bits, "
+            f"gap bound {result.gap_bound:.2f} bits "
+            f"({'complete' if result.converged else 'budget-interrupted'})"
+        )
     table = result.table
     if args.prune:
         pruned = prune_table(dataset, table)
@@ -523,6 +556,32 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     if args.output:
         table.save(args.output)
         print(f"# table written to {args.output}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.corpus import ColumnStore, ingest_dataset
+
+    dataset = _resolve_dataset(args.dataset, args.scale)
+    digest = ingest_dataset(
+        dataset,
+        args.output,
+        chunk_rows=args.chunk_rows,
+        block_words=args.block_words,
+        sample_size=args.sample_rows,
+        n_hashes=args.minhash_hashes,
+        seed=args.seed,
+    )
+    size = args.output.stat().st_size
+    with ColumnStore(args.output) as store:
+        print(f"# ingested {dataset.name} -> {args.output} ({size} bytes)")
+        print(
+            f"# {store.n_transactions} rows x "
+            f"({store.n_left}+{store.n_right}) items in {store.n_blocks} "
+            f"block(s) of {store.rows_per_block} rows; quant_bits="
+            f"{store.quant_bits}"
+        )
+        print(f"# header digest: {digest}")
     return 0
 
 
@@ -737,17 +796,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers for intra-fit parallelism (exact search sharding, "
         "beam expansion); -1 = all CPUs; results identical to --n-jobs 1",
     )
+    method_options.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="anytime node budget per best-rule search (exact method only); "
+        "interrupted searches report an honest gap bound",
+    )
+    method_options.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="anytime wall-clock budget in seconds per best-rule search "
+        "(exact method only), enforced as deterministic checkpointed "
+        "node slices",
+    )
 
     fit = subparsers.add_parser(
         "fit", help="induce a translation table", parents=[common, method_options]
     )
-    fit.add_argument("dataset")
+    fit.add_argument("dataset", nargs="?", default=None)
+    fit.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="fit from an ingested column store (see `ingest`) instead of "
+        "a dataset; exact method only",
+    )
     fit.add_argument("--limit", type=int, default=30, help="rules to print")
     fit.add_argument("--output", type=Path, default=None, help="write table JSON here")
     fit.add_argument(
         "--prune", action="store_true", help="post-hoc prune the fitted table"
     )
     fit.set_defaults(handler=_cmd_fit)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="pack a dataset into an out-of-core column store (RPROCOL1)",
+        parents=[common],
+    )
+    ingest.add_argument("dataset", help="registry name or .2v path")
+    ingest.add_argument(
+        "--output", type=Path, required=True, help="column store file to write"
+    )
+    ingest.add_argument(
+        "--chunk-rows", type=int, default=8192, help="rows streamed per chunk"
+    )
+    ingest.add_argument(
+        "--block-words",
+        type=int,
+        default=128,
+        help="uint64 words per column block (block = 64*words rows)",
+    )
+    ingest.add_argument(
+        "--sample-rows",
+        type=int,
+        default=2048,
+        help="row-sample size for the sound sketch bounds",
+    )
+    ingest.add_argument(
+        "--minhash-hashes",
+        type=int,
+        default=8,
+        help="minhash signature length (ordering heuristic; 0 disables)",
+    )
+    ingest.add_argument("--seed", type=int, default=0, help="sketch sampling seed")
+    ingest.set_defaults(handler=_cmd_ingest)
 
     predict = subparsers.add_parser(
         "predict",

@@ -85,6 +85,7 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import math
+import warnings
 
 import numpy as np
 
@@ -100,7 +101,7 @@ from repro.core.bitset import (
 from repro.core.rules import TranslationRule
 from repro.core.state import CoverState
 
-__all__ = ["SearchStats", "SearchCache", "ExactRuleSearch"]
+__all__ = ["SearchStats", "SearchCheckpoint", "SearchCache", "ExactRuleSearch"]
 
 _KERNELS = ("auto", "bool", "bitset")
 _MAX_FRACTION_BITS = 42
@@ -119,6 +120,14 @@ class SearchStats:
     they are summed over shards, which may exceed the serial counts
     (each shard starts from the weaker seed incumbent); ``shards``
     records how many root ranges were traversed (1 = serial).
+
+    ``gap_bound`` is the anytime honesty report: an upper bound, in
+    bits, on how much better than the returned gain the true optimum
+    could be.  It is ``0.0`` whenever ``complete`` is true (the search
+    proved optimality); after a budget interrupt it is computed from the
+    ``rub`` bounds of the unexplored frontier, so "gain + gap_bound"
+    always dominates the optimal gain.  Without ``use_rub`` only the
+    loose root-mass bound is available.
     """
 
     nodes_visited: int = 0
@@ -129,6 +138,83 @@ class SearchStats:
     kernel: str = ""
     backend: str = ""
     shards: int = 1
+    gap_bound: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchCheckpoint:
+    """Resumable state of a budget-interrupted ``bitset``-kernel search.
+
+    Captured on :class:`ExactRuleSearch` (``search.last_checkpoint``)
+    when a ``max_nodes`` budget interrupts the traversal, and accepted
+    back via ``ExactRuleSearch(checkpoint=...)``.  The DFS stack is a
+    root-to-leaf path, so the whole suspended traversal is described by
+    the universe index that created each stacked frame plus each
+    frame's child cursor; everything else (supports, bounds, gain
+    vectors) is recomputed on resume by replaying those child
+    creations.  A resumed search makes the identical decision sequence
+    an uninterrupted run would have made — rule, gain and statistics
+    are bit-identical (statistics accumulate across the legs).
+
+    Checkpoints are only valid against a search over the same cover
+    state, options and kernel; ``universe_size`` guards the obvious
+    mismatches.  Use :meth:`to_dict` / :meth:`from_dict` to persist.
+    """
+
+    path: tuple[int, ...]
+    cursors: tuple[int, ...]
+    root_lo: int
+    root_hi: int
+    best_lhs: tuple[int, ...] | None
+    best_rhs: tuple[int, ...] | None
+    best_direction: str | None
+    best_q: float
+    nodes_visited: int
+    nodes_pruned_rub: int
+    evaluations: int
+    evaluations_skipped_qub: int
+    universe_size: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "path": list(self.path),
+            "cursors": list(self.cursors),
+            "root_lo": self.root_lo,
+            "root_hi": self.root_hi,
+            "best_lhs": list(self.best_lhs) if self.best_lhs is not None else None,
+            "best_rhs": list(self.best_rhs) if self.best_rhs is not None else None,
+            "best_direction": self.best_direction,
+            "best_q": self.best_q,
+            "nodes_visited": self.nodes_visited,
+            "nodes_pruned_rub": self.nodes_pruned_rub,
+            "evaluations": self.evaluations,
+            "evaluations_skipped_qub": self.evaluations_skipped_qub,
+            "universe_size": self.universe_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_dict` output."""
+        return cls(
+            path=tuple(payload["path"]),
+            cursors=tuple(payload["cursors"]),
+            root_lo=int(payload["root_lo"]),
+            root_hi=int(payload["root_hi"]),
+            best_lhs=(
+                tuple(payload["best_lhs"]) if payload["best_lhs"] is not None else None
+            ),
+            best_rhs=(
+                tuple(payload["best_rhs"]) if payload["best_rhs"] is not None else None
+            ),
+            best_direction=payload["best_direction"],
+            best_q=float(payload["best_q"]),
+            nodes_visited=int(payload["nodes_visited"]),
+            nodes_pruned_rub=int(payload["nodes_pruned_rub"]),
+            evaluations=int(payload["evaluations"]),
+            evaluations_skipped_qub=int(payload["evaluations_skipped_qub"]),
+            universe_size=int(payload["universe_size"]),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -801,6 +887,12 @@ class ExactRuleSearch:
     executor:
         Optional pre-built :class:`repro.runtime.executor.ParallelExecutor`
         used for the shards, overriding ``n_jobs``.
+    checkpoint:
+        Optional :class:`SearchCheckpoint` from a previous
+        budget-interrupted search over the same state and options; the
+        traversal resumes exactly where it stopped (``bitset`` kernel
+        only).  After an interrupted run the new checkpoint is exposed
+        as ``search.last_checkpoint``.
     """
 
     def __init__(
@@ -817,6 +909,7 @@ class ExactRuleSearch:
         cache: SearchCache | None = None,
         n_jobs: int | None = 1,
         executor=None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> None:
         if kernel not in _KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
@@ -854,6 +947,20 @@ class ExactRuleSearch:
         self.cache = cache if cache is not None else SearchCache(state.dataset)
         self.n_jobs = executor.n_jobs if executor is not None else effective_n_jobs(n_jobs)
         self.executor = executor
+        if checkpoint is not None and self.kernel != "bitset":
+            raise ValueError("checkpoint resume requires the bitset kernel")
+        self.resume_from = checkpoint
+        #: Populated by :meth:`find_best_rule` when a ``max_nodes``
+        #: budget interrupts the traversal; ``None`` on complete runs.
+        self.last_checkpoint: SearchCheckpoint | None = None
+        if self.max_nodes is not None and self.n_jobs > 1:
+            warnings.warn(
+                "an anytime max_nodes budget is traversal-order dependent, "
+                f"so this budgeted search runs serially; n_jobs={self.n_jobs} "
+                "is ignored",
+                UserWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     def find_best_rule(self) -> tuple[TranslationRule | None, float, SearchStats]:
@@ -868,11 +975,36 @@ class ExactRuleSearch:
         best_rule: TranslationRule | None = None
         best_q = 0.0
 
-        seed_allowed = self.max_rule_size is None or self.max_rule_size >= 2
-        if self.seed_pairs and seed_allowed and dataset.n_left and dataset.n_right:
-            best_rule, best_q = self._seed_best_pair(quantized, best_rule, best_q)
+        resume = self.resume_from
+        if resume is not None:
+            if resume.universe_size != len(universe):
+                raise ValueError(
+                    "checkpoint does not match this search universe "
+                    f"({resume.universe_size} != {len(universe)} items)"
+                )
+            # The checkpoint's incumbent already dominates the pair seed
+            # (the interrupted leg seeded before traversing), so seeding
+            # again would be redundant work.
+            if resume.best_lhs is not None:
+                best_rule = TranslationRule(
+                    resume.best_lhs, resume.best_rhs, resume.best_direction
+                )
+            best_q = resume.best_q
+            stats.nodes_visited = resume.nodes_visited
+            stats.nodes_pruned_rub = resume.nodes_pruned_rub
+            stats.evaluations = resume.evaluations
+            stats.evaluations_skipped_qub = resume.evaluations_skipped_qub
+        else:
+            seed_allowed = self.max_rule_size is None or self.max_rule_size >= 2
+            if self.seed_pairs and seed_allowed and dataset.n_left and dataset.n_right:
+                best_rule, best_q = self._seed_best_pair(quantized, best_rule, best_q)
 
-        if self.n_jobs > 1 and self.max_nodes is None and len(universe) > 1:
+        if (
+            self.n_jobs > 1
+            and self.max_nodes is None
+            and resume is None
+            and len(universe) > 1
+        ):
             best_rule, best_q = self._traverse_parallel(
                 quantized, universe, stats, best_rule, best_q
             )
@@ -954,6 +1086,237 @@ class ExactRuleSearch:
         root.gain_right = zero_gain
         return root
 
+    # ------------------------------------------------------------------
+    # Anytime support: gap bounds, checkpoint capture, checkpoint replay
+    # ------------------------------------------------------------------
+    def _frame_gap_bound(self, quantized: _Quantized, stack, best_q: float) -> float:
+        """Gap bound from frame-level ``rub`` masses (bool kernel, loose).
+
+        Sound because every descendant of a stacked frame has
+        ``rub <= wsum_left + wsum_right - (len_lhs + len_rhs + one)`` of
+        that frame (supports only shrink, lengths only grow).  Without
+        ``use_rub`` the per-frame masses are not maintained, so only the
+        root's total-mass bound is available.
+        """
+        one = quantized.one
+        if not self.use_rub:
+            root = stack[0]
+            bound = root.wsum_left + root.wsum_right - one
+        else:
+            bound = -math.inf
+            for depth, frame in enumerate(stack):
+                # Exhausted mid-stack frames have no unexplored children
+                # of their own; their one live descendant is a deeper
+                # frame, which bounds itself.  The top frame is always
+                # included — it owns the interrupted, unprocessed node.
+                if depth + 1 < len(stack) and frame.position >= frame.limit:
+                    continue
+                bound = max(
+                    bound,
+                    frame.wsum_left
+                    + frame.wsum_right
+                    - (frame.len_lhs + frame.len_rhs + one),
+                )
+        if bound == -math.inf:
+            return 0.0
+        return max(0.0, quantized.to_float(bound - best_q))
+
+    def _capture_interrupt(
+        self,
+        quantized: _Quantized,
+        universe: list[_Item],
+        context,
+        stack,
+        stats: SearchStats,
+        best_rule: TranslationRule | None,
+        best_q: float,
+        nodes_visited: int,
+        use_rub: bool,
+    ) -> None:
+        """Record the gap bound and resume checkpoint at a budget break.
+
+        The gap bound is the maximum ``rub`` over the unexplored
+        frontier: for every stacked frame, the not-yet-expanded children
+        from its cursor on, each bounded exactly the way the traversal
+        itself would bound them.  Every unexplored node lives in one of
+        those subtrees, so no rule outside the bound can exist.
+        """
+        one = quantized.one
+        if not use_rub:
+            root = stack[0]
+            bound = root.wsum_left + root.wsum_right - one
+        else:
+            entry_is_left = [entry.side is Side.LEFT for entry in universe]
+            entry_length = [entry.length_q for entry in universe]
+            side_position = context.side_position
+            bound = -math.inf
+            for frame in stack:
+                childset = frame.childset
+                if childset is None:
+                    if frame.position < frame.limit:
+                        bound = max(
+                            bound,
+                            frame.wsum_left
+                            + frame.wsum_right
+                            - (frame.len_lhs + frame.len_rhs + one),
+                        )
+                    continue
+                base_cost = frame.len_lhs + frame.len_rhs + one
+                for index in childset.alive_list[frame.cursor :]:
+                    left_side = entry_is_left[index]
+                    offset = side_position[index] - (
+                        childset.start_left if left_side else childset.start_right
+                    )
+                    if left_side:
+                        rub = (
+                            childset.wsums_left[offset]
+                            + frame.wsum_right
+                            - base_cost
+                            - entry_length[index]
+                        )
+                    else:
+                        rub = (
+                            frame.wsum_left
+                            + childset.wsums_right[offset]
+                            - base_cost
+                            - entry_length[index]
+                        )
+                    if rub > bound:
+                        bound = rub
+        if bound == -math.inf:
+            stats.gap_bound = 0.0
+        else:
+            stats.gap_bound = max(0.0, quantized.to_float(bound - best_q))
+        self.last_checkpoint = SearchCheckpoint(
+            path=tuple(frame.position - 1 for frame in stack[1:]),
+            cursors=tuple(frame.cursor for frame in stack),
+            root_lo=stack[0].position,
+            root_hi=stack[0].limit,
+            best_lhs=best_rule.lhs if best_rule is not None else None,
+            best_rhs=best_rule.rhs if best_rule is not None else None,
+            best_direction=(
+                best_rule.direction.value if best_rule is not None else None
+            ),
+            best_q=best_q,
+            nodes_visited=nodes_visited,
+            nodes_pruned_rub=stats.nodes_pruned_rub,
+            evaluations=stats.evaluations,
+            evaluations_skipped_qub=stats.evaluations_skipped_qub,
+            universe_size=len(universe),
+        )
+
+    def _rebuild_checkpoint_stack(
+        self,
+        quantized: _Quantized,
+        universe: list[_Item],
+        context,
+        checkpoint: SearchCheckpoint,
+        use_rub: bool,
+    ):
+        """Replay a checkpoint's root-to-leaf path into a live frame stack.
+
+        Re-creates each frame on the path exactly the way the original
+        traversal created it (same childset construction, same metric
+        lookups), then restores the saved cursors.  The top frame's
+        childset is deliberately left unbuilt — the driver reconstructs
+        it on the first iteration, just as the original run did.
+        """
+        size = len(universe)
+        native = context.kernel is not None
+        childset_class = _NativeChildSet if native else _BitsetChildSet
+        entry_is_left = [entry.side is Side.LEFT for entry in universe]
+        entry_column = [entry.column for entry in universe]
+        entry_length = [entry.length_q for entry in universe]
+        side_position = context.side_position
+        words_all = context.words_all
+        mask_left_rows = context.mask_left
+        mask_right_rows = context.mask_right
+        if native:
+            netq_left_rows = context.netq_left_i64
+            netq_right_rows = context.netq_right_i64
+        else:
+            netq_left_rows = quantized.netq_left_T
+            netq_right_rows = quantized.netq_right_T
+
+        stack = [
+            self._make_root(
+                quantized, context, checkpoint.root_lo, checkpoint.root_hi
+            )
+        ]
+        for index in checkpoint.path:
+            frame = stack[-1]
+            childset = childset_class(
+                context, quantized, frame, frame.position, use_rub
+            )
+            if frame.limit < size:
+                cut = bisect.bisect_left(childset.alive_list, frame.limit)
+                childset.alive_list = childset.alive_list[:cut]
+            frame.childset = childset
+            left_side = entry_is_left[index]
+            column = entry_column[index]
+            side_offset = side_position[index] - (
+                childset.start_left if left_side else childset.start_right
+            )
+            if left_side:
+                new_len_lhs = frame.len_lhs + entry_length[index]
+                new_len_rhs = frame.len_rhs
+            else:
+                new_len_lhs = frame.len_lhs
+                new_len_rhs = frame.len_rhs + entry_length[index]
+            wsum_new = 0.0
+            if use_rub:
+                wsum_new = (
+                    childset.wsums_left[side_offset]
+                    if left_side
+                    else childset.wsums_right[side_offset]
+                )
+            count_new = (
+                childset.counts_left[side_offset]
+                if left_side
+                else childset.counts_right[side_offset]
+            )
+            child = _Frame()
+            child.position = index + 1
+            child.limit = size
+            child.len_lhs = new_len_lhs
+            child.len_rhs = new_len_rhs
+            if left_side:
+                child.lhs = frame.lhs + (column,)
+                child.rhs = frame.rhs
+                child.supp_left = words_all[index] & frame.supp_left
+                child.supp_right = frame.supp_right
+                if not native:
+                    child.s_left = frame.s_left * mask_left_rows[side_position[index]]
+                    child.s_right = frame.s_right
+                child.wsum_left = wsum_new
+                child.wsum_right = frame.wsum_right
+                child.count_left = count_new
+                child.count_right = frame.count_right
+                child.gain_left = frame.gain_left + netq_left_rows[column]
+                child.gain_right = frame.gain_right
+                child.net_left_vals = childset.net_left_vals
+                child.net_left_start = childset.start_left
+            else:
+                child.lhs = frame.lhs
+                child.rhs = frame.rhs + (column,)
+                child.supp_left = frame.supp_left
+                child.supp_right = words_all[index] & frame.supp_right
+                if not native:
+                    child.s_left = frame.s_left
+                    child.s_right = frame.s_right * mask_right_rows[side_position[index]]
+                child.wsum_left = frame.wsum_left
+                child.wsum_right = wsum_new
+                child.count_left = frame.count_left
+                child.count_right = count_new
+                child.gain_left = frame.gain_left
+                child.gain_right = frame.gain_right + netq_right_rows[column]
+                child.net_right_vals = childset.net_right_vals
+                child.net_right_start = childset.start_right
+            stack.append(child)
+        for frame, cursor in zip(stack, checkpoint.cursors):
+            frame.cursor = cursor
+        return stack
+
     def _traverse(
         self,
         quantized: _Quantized,
@@ -972,7 +1335,10 @@ class ExactRuleSearch:
         if self.max_rule_size is not None and self.max_rule_size <= 0:
             return best_rule, best_q
         if self.kernel == "bitset":
-            return self._traverse_bitset(quantized, universe, stats, best_rule, best_q)
+            return self._traverse_bitset(
+                quantized, universe, stats, best_rule, best_q,
+                resume=self.resume_from,
+            )
         return self._traverse_bool(quantized, universe, stats, best_rule, best_q)
 
     def _traverse_parallel(
@@ -1090,7 +1456,13 @@ class ExactRuleSearch:
                 continue
             nodes_visited += 1
             if max_nodes is not None and nodes_visited > max_nodes:
+                # The over-budget node was never processed — do not count
+                # it, and report how much gain the unexplored frontier
+                # could still hold (loose frame-level bounds here; the
+                # bitset kernel reports the tight per-child bounds).
+                nodes_visited -= 1
                 stats.complete = False
+                stats.gap_bound = self._frame_gap_bound(quantized, stack, best_q)
                 break
             left_side = entry_is_left[index]
             column = entry_column[index]
@@ -1190,6 +1562,7 @@ class ExactRuleSearch:
         context: _BitsetContext | None = None,
         root_lo: int = 0,
         root_hi: int | None = None,
+        resume: SearchCheckpoint | None = None,
     ) -> tuple[TranslationRule | None, float]:
         # Same decision sequence as _traverse_bool — child metrics come
         # from the frame's batched childset, and only co-occurring
@@ -1221,11 +1594,16 @@ class ExactRuleSearch:
         mask_right_rows = context.mask_right
 
         nodes_visited = stats.nodes_visited
-        stack = [
-            self._make_root(
-                quantized, context, root_lo, size if root_hi is None else root_hi
+        if resume is not None:
+            stack = self._rebuild_checkpoint_stack(
+                quantized, universe, context, resume, use_rub
             )
-        ]
+        else:
+            stack = [
+                self._make_root(
+                    quantized, context, root_lo, size if root_hi is None else root_hi
+                )
+            ]
         while stack:
             frame = stack[-1]
             childset = frame.childset
@@ -1251,7 +1629,17 @@ class ExactRuleSearch:
             frame.cursor = cursor + 1
             nodes_visited += 1
             if max_nodes is not None and nodes_visited > max_nodes:
+                # The over-budget node at ``cursor`` was never processed:
+                # rewind it so the checkpoint re-visits it, making the
+                # resumed decision sequence (and statistics) bit-identical
+                # to an uninterrupted run's.
+                frame.cursor = cursor
+                nodes_visited -= 1
                 stats.complete = False
+                self._capture_interrupt(
+                    quantized, universe, context, stack, stats,
+                    best_rule, best_q, nodes_visited, use_rub,
+                )
                 break
             left_side = entry_is_left[index]
             column = entry_column[index]

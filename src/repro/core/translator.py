@@ -105,6 +105,23 @@ class TranslatorResult:
         """``L(D, T)`` in bits."""
         return self.state.total_length()
 
+    @property
+    def gap_bound(self) -> float:
+        """Anytime honesty: worst per-search bound on unexplored gain.
+
+        ``0.0`` when every best-rule search ran to completion (the model
+        is the greedy algorithm's exact output).  After budgeted
+        searches it is the maximum
+        :attr:`~repro.core.search.SearchStats.gap_bound` over the fit's
+        iterations — no *single* interrupted search left more than this
+        many bits of gain unexplored.  It bounds each greedy step, not
+        the end-to-end model quality (greedy choices compound), which is
+        exactly what the per-iteration searches can prove.
+        """
+        if not self.search_stats:
+            return 0.0
+        return max(stats.gap_bound for stats in self.search_stats)
+
     def summary(self) -> dict[str, object]:
         """One row of a Table 2 / Table 3 style report."""
         return {
@@ -167,6 +184,15 @@ class TranslatorExact:
         pruning statistics may differ.  Ignored while an anytime
         ``max_nodes_per_search`` budget is set (budgeted searches run
         serially; see :mod:`repro.core.search`).
+    time_budget_per_search:
+        Optional wall-clock budget in seconds per best-rule search.
+        Runs each search through
+        :class:`repro.corpus.anytime.AnytimeSearch` — deterministic
+        node-budget slices with the clock checked between slices — so
+        the *decisions* within each slice stay bit-reproducible even
+        though how many slices fit is machine-dependent.  Requires the
+        (default) bitset kernel.  ``result.gap_bound`` reports how much
+        gain the interrupted searches could have left unexplored.
 
     Example
     -------
@@ -187,6 +213,7 @@ class TranslatorExact:
         kernel: str = "auto",
         backend: str = "auto",
         n_jobs: int | None = 1,
+        time_budget_per_search: float | None = None,
     ) -> None:
         self.max_iterations = max_iterations
         self.max_rule_size = max_rule_size
@@ -194,21 +221,47 @@ class TranslatorExact:
         self.kernel = kernel
         self.backend = backend
         self.n_jobs = n_jobs
+        self.time_budget_per_search = time_budget_per_search
+        if time_budget_per_search is not None and kernel == "bool":
+            raise ValueError(
+                "time_budget_per_search requires the bitset kernel "
+                "(checkpointed slices)"
+            )
 
     def fit(
         self,
-        dataset: TwoViewDataset,
+        dataset: TwoViewDataset | None = None,
         codes: CodeLengthModel | None = None,
         cache: SearchCache | None = None,
+        store=None,
     ) -> TranslatorResult:
-        """Induce a translation table for ``dataset``.
+        """Induce a translation table for ``dataset`` (or a column store).
 
         ``cache`` optionally injects a pre-built :class:`SearchCache` for
         ``dataset`` (the streaming buffer builds one from its
         incrementally maintained packed columns, skipping the repack);
         it must have been constructed for this exact dataset object.
+
+        ``store`` accepts a :class:`repro.corpus.ColumnStore` instead of
+        a dataset: the store's already-packed column blocks are stitched
+        into the search cache directly (no repacking), and the Boolean
+        views are materialised once.  This is the deliberate exit from
+        out-of-core mode — a full multi-item fit needs the columns
+        resident; use :func:`repro.corpus.topk_pairs` for queries that
+        must stay O(block).
         """
         start = time.perf_counter()
+        if store is not None:
+            if dataset is not None or cache is not None:
+                raise ValueError("pass either store= or dataset=/cache=, not both")
+            dataset = store.to_dataset()
+            cache = SearchCache(
+                dataset,
+                left_bits=store.left_bits(),
+                right_bits=store.right_bits(),
+            )
+        if dataset is None:
+            raise ValueError("fit needs a dataset or a store")
         state = CoverState(dataset, codes)
         history: list[IterationRecord] = []
         all_stats: list[SearchStats] = []
@@ -220,16 +273,30 @@ class TranslatorExact:
         if cache is None:
             cache = SearchCache(dataset)
         while self.max_iterations is None or len(state.table) < self.max_iterations:
-            search = ExactRuleSearch(
-                state,
-                max_rule_size=self.max_rule_size,
-                max_nodes=self.max_nodes_per_search,
-                kernel=self.kernel,
-                backend=self.backend,
-                cache=cache,
-                n_jobs=self.n_jobs,
-            )
-            rule, gain, stats = search.find_best_rule()
+            if self.time_budget_per_search is not None:
+                from repro.corpus.anytime import AnytimeSearch
+
+                outcome = AnytimeSearch(
+                    state,
+                    max_nodes=self.max_nodes_per_search,
+                    time_budget=self.time_budget_per_search,
+                    max_rule_size=self.max_rule_size,
+                    kernel=self.kernel,
+                    backend=self.backend,
+                    cache=cache,
+                ).run()
+                rule, gain, stats = outcome.rule, outcome.gain, outcome.stats
+            else:
+                search = ExactRuleSearch(
+                    state,
+                    max_rule_size=self.max_rule_size,
+                    max_nodes=self.max_nodes_per_search,
+                    kernel=self.kernel,
+                    backend=self.backend,
+                    cache=cache,
+                    n_jobs=self.n_jobs,
+                )
+                rule, gain, stats = search.find_best_rule()
             all_stats.append(stats)
             converged = converged and stats.complete
             if rule is None:

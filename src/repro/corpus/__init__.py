@@ -1,0 +1,48 @@
+"""Corpus-scale discovery: out-of-core storage, sketches, anytime search.
+
+The in-RAM engine (:mod:`repro.core`) is exact and fast but assumes the
+two-view matrix fits in memory.  This package scales the *discovery
+entry points* to corpora that do not, without ever compromising the
+exactness contract:
+
+* :mod:`repro.corpus.store` — ``RPROCOL1``, a packed, digest-verified
+  column file written once by an ingest step and streamed block-by-block
+  through the same popcount kernels the engine uses.  Peak RSS of a
+  scan is O(one block), not O(corpus).
+* :mod:`repro.corpus.sketch` — per-column row-sample and minhash
+  summaries.  Sample overlaps give **sound upper bounds** that prune
+  candidates; minhash estimates only order them.  Reported rules are
+  always re-verified exactly.
+* :mod:`repro.corpus.discover` — the threshold-algorithm top-k pair
+  query over a store, bit-identical to a full exact scan.
+* :mod:`repro.corpus.anytime` — node/time budgets over the exact
+  search with checkpointed slices and honest gap bounds.
+
+See ``docs/corpus.md`` for the file format and the soundness argument.
+"""
+
+from .anytime import AnytimeResult, AnytimeSearch
+from .discover import TopKResult, exact_topk_pairs, topk_pairs
+from .sketch import ColumnSketches, SketchBuilder
+from .store import (
+    STORE_MAGIC,
+    STORE_VERSION,
+    ColumnStore,
+    ingest_chunks,
+    ingest_dataset,
+)
+
+__all__ = [
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "AnytimeResult",
+    "AnytimeSearch",
+    "ColumnSketches",
+    "ColumnStore",
+    "SketchBuilder",
+    "TopKResult",
+    "exact_topk_pairs",
+    "ingest_chunks",
+    "ingest_dataset",
+    "topk_pairs",
+]

@@ -1,0 +1,452 @@
+"""Corpus-scale discovery: store round-trips, sketch soundness, anytime budgets.
+
+The contracts pinned here (see ``docs/corpus.md``):
+
+* the ``RPROCOL1`` store round-trips a dataset exactly and **never
+  mis-decodes** — any corruption or truncation raises
+  :class:`ArtifactCorruptError`;
+* sketch bounds are *sound* (always upper-bound the exact values) and
+  the sketch-pruned top-k is **bit-identical** to the exact engine;
+* streamed scans keep peak memory O(block), not O(corpus);
+* a budget-interrupted search resumes bit-identically from its
+  checkpoint, and ``gain + gap_bound`` always dominates the optimum.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.search import ExactRuleSearch, SearchCheckpoint
+from repro.core.state import CoverState
+from repro.core.translator import TranslatorExact
+from repro.corpus import (
+    AnytimeSearch,
+    ColumnStore,
+    SketchBuilder,
+    exact_topk_pairs,
+    ingest_chunks,
+    ingest_dataset,
+    topk_pairs,
+)
+from repro.data.dataset import TwoViewDataset
+from repro.data.synthetic import SyntheticSpec, generate_planted
+from repro.resilience import FaultInjector
+from repro.serve.artifact import ArtifactCorruptError
+from tests.conftest import random_two_view
+
+pytestmark = pytest.mark.corpus_smoke
+
+
+@pytest.fixture()
+def planted():
+    data, _ = generate_planted(SyntheticSpec(n_transactions=500, seed=11))
+    return data
+
+
+@pytest.fixture()
+def store_path(tmp_path, planted):
+    path = tmp_path / "corpus.col"
+    ingest_dataset(planted, path, chunk_rows=97, block_words=2)
+    return path
+
+
+class TestStoreRoundTrip:
+    def test_dataset_round_trip(self, planted, store_path):
+        with ColumnStore(store_path) as store:
+            assert store.n_transactions == planted.n_transactions
+            assert store.n_blocks > 1  # block_words=2 -> 128-row blocks
+            back = store.to_dataset()
+            assert np.array_equal(back.left, planted.left)
+            assert np.array_equal(back.right, planted.right)
+            assert back.left_names == planted.left_names
+            store.verify()
+
+    def test_counts_and_overlaps_match_dense(self, planted, store_path):
+        with ColumnStore(store_path) as store:
+            counts_left, counts_right = store.column_counts()
+            assert np.array_equal(counts_left, planted.left.sum(axis=0))
+            assert np.array_equal(counts_right, planted.right.sum(axis=0))
+            xs = np.arange(planted.n_left, dtype=np.int64)
+            ys = xs % planted.n_right
+            streamed = store.pair_overlaps(xs, ys)
+            dense = np.array(
+                [
+                    int((planted.left[:, x] & planted.right[:, y]).sum())
+                    for x, y in zip(xs, ys)
+                ]
+            )
+            assert np.array_equal(streamed, dense)
+
+    def test_quant_bits_match_engine(self, planted, store_path):
+        from repro.core.search import _Quantized
+
+        with ColumnStore(store_path) as store:
+            engine = _Quantized(CoverState(planted))
+            assert float(1 << store.quant_bits) == engine.one
+
+    def test_ingest_row_count_mismatch(self, tmp_path, planted):
+        with pytest.raises(ValueError, match="expected 500"):
+            ingest_chunks(
+                iter([(planted.left[:100], planted.right[:100])]),
+                tmp_path / "short.col",
+                n_transactions=planted.n_transactions,
+                n_left=planted.n_left,
+                n_right=planted.n_right,
+            )
+        assert not (tmp_path / "short.col").exists()
+
+
+class TestStoreCorruption:
+    """Chaos contract: a damaged store raises, never mis-decodes."""
+
+    def test_truncated_file_raises_at_open(self, store_path, tmp_path):
+        clipped = tmp_path / "clipped.col"
+        clipped.write_bytes(store_path.read_bytes()[:-64])
+        with pytest.raises(ArtifactCorruptError):
+            ColumnStore(clipped)
+
+    def test_on_disk_bit_flip_is_caught(self, store_path, tmp_path):
+        raw = bytearray(store_path.read_bytes())
+        flipped = tmp_path / "flipped.col"
+        # Flip one payload bit in every block region and expect the scan
+        # (or open, for header bytes) to refuse each time.
+        with ColumnStore(store_path) as store:
+            offsets = [
+                store._payload_start + offset + 3 for offset, __ in store._blocks
+            ]
+        for offset in offsets:
+            damaged = bytearray(raw)
+            damaged[offset] ^= 0x10
+            flipped.write_bytes(bytes(damaged))
+            with pytest.raises(ArtifactCorruptError):
+                with ColumnStore(flipped) as store:
+                    for __ in store.iter_blocks():
+                        pass
+
+    def test_injected_block_corruption_raises(self, store_path):
+        injector = FaultInjector().plan(
+            "corpus.store.block.bytes", kind="corrupt", nth=2
+        )
+        with ColumnStore(store_path) as store:
+            with injector.active():
+                store.read_block(0)  # first read passes through
+                with pytest.raises(ArtifactCorruptError):
+                    store.read_block(1)
+            assert injector.fired
+
+    def test_injected_truncation_raises(self, store_path):
+        injector = FaultInjector().plan("corpus.store.block.bytes", kind="truncate")
+        with ColumnStore(store_path) as store:
+            with injector.active():
+                with pytest.raises(ArtifactCorruptError):
+                    store.read_block(0)
+
+    def test_torn_header_write_is_unreadable(self, tmp_path, planted):
+        injector = FaultInjector().plan("corpus.store.bytes", kind="corrupt", at=100)
+        with injector.active():
+            ingest_dataset(planted, tmp_path / "torn.col", chunk_rows=128)
+        with pytest.raises(ArtifactCorruptError):
+            ColumnStore(tmp_path / "torn.col")
+
+    def test_scan_fault_point_fires(self, store_path):
+        injector = FaultInjector().plan("corpus.store.scan", kind="error")
+        from repro.resilience import InjectedFault
+
+        with ColumnStore(store_path) as store:
+            with injector.active():
+                with pytest.raises(InjectedFault):
+                    store.pair_overlaps(np.array([0]), np.array([0]))
+
+
+class TestSketchSoundness:
+    """Property loops: sketch bounds must always dominate exact values."""
+
+    def test_overlap_bounds_are_sound(self):
+        rng = np.random.default_rng(42)
+        for trial in range(20):
+            n = int(rng.integers(60, 400))
+            n_left = int(rng.integers(2, 12))
+            n_right = int(rng.integers(2, 12))
+            density = float(rng.uniform(0.05, 0.6))
+            left = rng.random((n, n_left)) < density
+            right = rng.random((n, n_right)) < density
+            builder = SketchBuilder(
+                n, n_left, n_right,
+                sample_size=int(rng.integers(8, n + 1)),
+                n_hashes=int(rng.integers(0, 6)),
+                seed=trial,
+            )
+            step = int(rng.integers(17, 97))
+            for start in range(0, n, step):
+                builder.update(start, left[start:start + step], right[start:start + step])
+            sketches = builder.finish()
+            counts_left = left.sum(axis=0).astype(np.int64)
+            counts_right = right.sum(axis=0).astype(np.int64)
+            exact = left.T.astype(np.int64) @ right.astype(np.int64)
+            bounds = sketches.overlap_upper_bounds(counts_left, counts_right)
+            assert (bounds >= exact).all(), f"unsound bound in trial {trial}"
+
+    def test_full_sample_bounds_are_exact(self):
+        # With every row sampled the slack term vanishes and the bound
+        # collapses to the exact overlap.
+        rng = np.random.default_rng(0)
+        left = rng.random((128, 5)) < 0.4
+        right = rng.random((128, 6)) < 0.4
+        builder = SketchBuilder(128, 5, 6, sample_size=128, n_hashes=4, seed=1)
+        builder.update(0, left, right)
+        sketches = builder.finish()
+        exact = left.T.astype(np.int64) @ right.astype(np.int64)
+        bounds = sketches.overlap_upper_bounds(
+            left.sum(axis=0).astype(np.int64), right.sum(axis=0).astype(np.int64)
+        )
+        assert np.array_equal(bounds, exact)
+
+    def test_store_sketch_round_trip(self, store_path):
+        with ColumnStore(store_path) as store:
+            sketches = store.sketches()
+            counts_left, counts_right = store.column_counts()
+            dense = store.to_dataset()
+            exact = dense.left.T.astype(np.int64) @ dense.right.astype(np.int64)
+            bounds = sketches.overlap_upper_bounds(counts_left, counts_right)
+            assert (bounds >= exact).all()
+
+
+class TestTopKIdentity:
+    """Sketched + re-verified top-k must equal the exact engine bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pruned_matches_exact(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        dataset = random_two_view(rng, n=300, n_left=12, n_right=10, density=0.3)
+        path = tmp_path / f"c{seed}.col"
+        ingest_dataset(dataset, path, chunk_rows=64, block_words=1)
+        with ColumnStore(path) as store:
+            pruned = topk_pairs(store, k=7)
+            baseline = topk_pairs(store, k=7, prune=False)
+            dense = exact_topk_pairs(dataset, k=7, quant_bits=store.quant_bits)
+        assert pruned.fingerprint() == dense.fingerprint()
+        assert baseline.fingerprint() == dense.fingerprint()
+        assert pruned.n_scanned <= baseline.n_scanned
+
+    def test_top1_matches_search_seed(self, planted, store_path):
+        # The best pair rule is exactly what the exact search's seeding
+        # step finds; a size-2-capped search must agree with the store.
+        with ColumnStore(store_path) as store:
+            top = topk_pairs(store, k=1)
+        rule, gain, __ = ExactRuleSearch(
+            CoverState(planted), max_rule_size=2
+        ).find_best_rule()
+        assert top.rules and top.rules[0] == rule
+        assert repr(top.gains[0]) == repr(gain)
+
+    def test_prune_false_has_no_sketch_reads(self, store_path, monkeypatch):
+        with ColumnStore(store_path) as store:
+            # Baseline mode must not touch the sketch sections at all —
+            # otherwise the benchmark's prune-vs-baseline comparison
+            # would charge the baseline for sketch work.
+            def boom():
+                raise AssertionError("baseline scan read the sketches")
+
+            monkeypatch.setattr(store, "sketches", boom)
+            topk_pairs(store, k=3, prune=False)
+
+
+class TestPeakMemory:
+    def test_scan_rss_stays_block_sized(self, tmp_path):
+        # 256k rows x (16+16) items at block_words=16 -> a 1 MiB payload
+        # across 256 blocks; a streamed scan must stay far below that.
+        n = 262144
+        chunk = 8192
+
+        def chunks():
+            for start in range(0, n, chunk):
+                crng = np.random.default_rng((5, start))
+                yield (
+                    crng.random((min(chunk, n - start), 16)) < 0.3,
+                    crng.random((min(chunk, n - start), 16)) < 0.3,
+                )
+
+        path = tmp_path / "big.col"
+        ingest_chunks(
+            chunks(), path, n_transactions=n, n_left=16, n_right=16,
+            block_words=16, sample_size=512,
+        )
+        with ColumnStore(path) as store:
+            payload = store.n_blocks * store.block_nbytes
+            store.pair_overlaps(np.array([0]), np.array([0]))  # warm caches
+            tracemalloc.start()
+            topk_pairs(store, k=3, batch_size=64)
+            __, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        # Peak is O(pair batch + one block + sketch tables) -- far below
+        # the payload the scan streamed through (and independent of the
+        # corpus length).
+        assert payload > 1_000_000
+        assert peak < payload / 3, f"peak {peak} vs payload {payload}"
+
+
+class TestAnytimeBudgets:
+    def test_interrupted_resume_is_bit_identical(self, planted):
+        full_search = ExactRuleSearch(CoverState(planted), max_rule_size=4)
+        full = full_search.find_best_rule()
+        assert full[2].complete and full[2].gap_bound == 0.0
+
+        state = CoverState(planted)
+        checkpoint = None
+        stats = None
+        legs = 0
+        while True:
+            search = ExactRuleSearch(
+                state,
+                max_rule_size=4,
+                max_nodes=(stats.nodes_visited + 64) if stats else 64,
+                checkpoint=checkpoint,
+            )
+            rule, gain, stats = search.find_best_rule()
+            legs += 1
+            if stats.complete:
+                break
+            # Honesty invariant on every interrupted leg.
+            assert gain + stats.gap_bound >= full[1] - 1e-9
+            checkpoint = search.last_checkpoint
+        assert legs > 3
+        assert (rule, repr(gain)) == (full[0], repr(full[1]))
+        assert stats.nodes_visited == full[2].nodes_visited
+        assert stats.evaluations == full[2].evaluations
+        assert stats.nodes_pruned_rub == full[2].nodes_pruned_rub
+
+    def test_checkpoint_json_round_trip(self, planted):
+        search = ExactRuleSearch(CoverState(planted), max_rule_size=4, max_nodes=40)
+        __, gain, stats = search.find_best_rule()
+        assert not stats.complete and stats.nodes_visited == 40
+        checkpoint = search.last_checkpoint
+        assert checkpoint is not None
+        rebuilt = SearchCheckpoint.from_dict(
+            json.loads(json.dumps(checkpoint.to_dict()))
+        )
+        assert rebuilt == checkpoint
+
+    def test_checkpoint_requires_bitset(self, planted):
+        search = ExactRuleSearch(CoverState(planted), max_nodes=10)
+        search.find_best_rule()
+        with pytest.raises(ValueError, match="bitset"):
+            ExactRuleSearch(
+                CoverState(planted), kernel="bool",
+                checkpoint=search.last_checkpoint,
+            )
+
+    def test_bool_kernel_budget_reports_gap(self, planted):
+        __, gain, stats = ExactRuleSearch(
+            CoverState(planted), kernel="bool", max_rule_size=3, max_nodes=30
+        ).find_best_rule()
+        full = ExactRuleSearch(
+            CoverState(planted), kernel="bool", max_rule_size=3
+        ).find_best_rule()
+        assert not stats.complete and stats.nodes_visited == 30
+        assert gain + stats.gap_bound >= full[1] - 1e-9
+
+    def test_n_jobs_budget_warning(self, planted):
+        with pytest.warns(UserWarning, match="n_jobs=3 is ignored"):
+            ExactRuleSearch(CoverState(planted), max_nodes=10, n_jobs=3)
+
+    def test_anytime_search_completes_and_matches(self, planted):
+        full = ExactRuleSearch(CoverState(planted), max_rule_size=3).find_best_rule()
+        result = AnytimeSearch(
+            CoverState(planted), time_budget=60.0, slice_nodes=128, max_rule_size=3
+        ).run()
+        assert result.stats.complete and result.checkpoint is None
+        assert (result.rule, repr(result.gain)) == (full[0], repr(full[1]))
+        assert result.n_slices >= 1
+
+    def test_anytime_node_budget_stops(self, planted):
+        result = AnytimeSearch(
+            CoverState(planted), max_nodes=100, time_budget=60.0,
+            slice_nodes=32, max_rule_size=4,
+        ).run()
+        assert result.stats.nodes_visited == 100
+        assert not result.stats.complete
+        assert result.checkpoint is not None
+        assert result.stats.gap_bound >= 0.0
+
+    def test_anytime_rejects_bool_kernel(self, planted):
+        with pytest.raises(ValueError, match="bitset"):
+            AnytimeSearch(CoverState(planted), kernel="bool")
+
+
+class TestTranslatorIntegration:
+    def test_fit_from_store_matches_dense(self, planted, store_path):
+        with ColumnStore(store_path) as store:
+            from_store = TranslatorExact(max_rule_size=3, max_iterations=4).fit(
+                store=store
+            )
+        dense = TranslatorExact(max_rule_size=3, max_iterations=4).fit(planted)
+        assert [(r.rule, repr(r.gain)) for r in from_store.history] == [
+            (r.rule, repr(r.gain)) for r in dense.history
+        ]
+        assert from_store.gap_bound == 0.0
+
+    def test_fit_rejects_store_and_dataset(self, planted, store_path):
+        with ColumnStore(store_path) as store:
+            with pytest.raises(ValueError, match="not both"):
+                TranslatorExact().fit(planted, store=store)
+        with pytest.raises(ValueError, match="dataset or a store"):
+            TranslatorExact().fit()
+
+    def test_time_budget_requires_bitset(self):
+        with pytest.raises(ValueError, match="bitset"):
+            TranslatorExact(kernel="bool", time_budget_per_search=1.0)
+
+    def test_budgeted_fit_reports_gap(self, planted):
+        result = TranslatorExact(
+            max_rule_size=4, max_iterations=1, max_nodes_per_search=50
+        ).fit(planted)
+        assert not result.converged
+        assert result.gap_bound > 0.0
+
+
+class TestCorpusCli:
+    def test_ingest_then_fit(self, tmp_path, planted, capsys):
+        from repro.cli import main
+        from repro.data.io import save_dataset
+
+        data_path = tmp_path / "planted.2v"
+        save_dataset(planted, data_path)
+        store_file = tmp_path / "planted.col"
+        assert main([
+            "ingest", str(data_path), "--output", str(store_file),
+            "--chunk-rows", "128",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and "quant_bits" in out
+        assert main([
+            "fit", "--store", str(store_file), "--method", "exact",
+            "--max-rule-size", "2", "--max-iterations", "2", "--limit", "2",
+        ]) == 0
+        assert "translator-exact" in capsys.readouterr().out
+
+    def test_fit_budget_prints_gap(self, tmp_path, planted, capsys):
+        from repro.cli import main
+        from repro.data.io import save_dataset
+
+        data_path = tmp_path / "planted.2v"
+        save_dataset(planted, data_path)
+        assert main([
+            "fit", str(data_path), "--method", "exact", "--max-rule-size", "3",
+            "--max-iterations", "1", "--max-nodes", "100", "--limit", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gap bound" in out
+
+    def test_budget_flags_require_exact(self, tmp_path, planted):
+        from repro.cli import main
+        from repro.data.io import save_dataset
+
+        data_path = tmp_path / "planted.2v"
+        save_dataset(planted, data_path)
+        with pytest.raises(SystemExit):
+            main(["fit", str(data_path), "--method", "greedy", "--max-nodes", "10"])

@@ -155,3 +155,28 @@ def test_serve_benchmark_tiny_mode(tmp_path):
     exit_code = bench.main(["--tiny", "--output", str(output)])
     assert exit_code == 0
     assert output.exists()
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.corpus_smoke
+def test_corpus_benchmark_tiny_mode(tmp_path):
+    bench = _load_bench_module("bench_corpus")
+    report = bench.run_grid(tiny=True, work_dir=tmp_path)
+    assert report["mode"] == "tiny"
+    out_of_core = report["out_of_core"]
+    assert out_of_core["ingest_seconds"] > 0 and out_of_core["query_seconds"] > 0
+    # rss_bounded is only asserted in the full run: on a tiny payload the
+    # fixed interpreter overheads dominate, so the ratio is meaningless.
+    prune = report["sketch_prune"]
+    assert prune["identical_results"], "pruned top-k diverged from the full scan"
+    assert prune["pruned_pairs_scanned"] <= prune["full_pairs_scanned"]
+    honesty = report["honesty"]
+    assert honesty["topk_bit_identical"], "store top-k diverged from the dense path"
+    assert honesty["top1_matches_exact_engine"]
+    assert honesty["anytime_gap_bound_sound"]
+    assert report["all_identical"]
+    # The JSON entry point must work end to end.
+    output = tmp_path / "BENCH_corpus.json"
+    exit_code = bench.main(["--tiny", "--output", str(output)])
+    assert exit_code == 0
+    assert output.exists()

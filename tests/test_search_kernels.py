@@ -33,6 +33,14 @@ def search_outcome(state, kernel, **kwargs):
     rule, gain, stats = ExactRuleSearch(state, kernel=kernel, **kwargs).find_best_rule()
     payload = dataclasses.asdict(stats)
     payload.pop("kernel")
+    # The gap bound of a budget-interrupted search is sound on both
+    # kernels but kernel-dependent in tightness (the bitset kernel has
+    # the per-child frontier bound), so it is not part of the
+    # bit-identity contract.  Complete searches must report exactly 0.
+    gap_bound = payload.pop("gap_bound")
+    assert gap_bound >= 0.0
+    if payload["complete"]:
+        assert gap_bound == 0.0
     return rule, gain, payload
 
 

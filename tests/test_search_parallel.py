@@ -84,7 +84,8 @@ class TestShardedSearchIdentity:
     def test_node_budget_forces_serial(self, planted_dataset):
         state = CoverState(planted_dataset)
         serial = best_rule(state, "bitset", max_nodes=100)
-        budgeted = best_rule(state, "bitset", max_nodes=100, n_jobs=4)
+        with pytest.warns(UserWarning, match="n_jobs=4 is ignored"):
+            budgeted = best_rule(state, "bitset", max_nodes=100, n_jobs=4)
         # Anytime budgets are order-dependent: the sharded path must
         # refuse to engage, returning the serial outcome exactly,
         # statistics included.
