@@ -1,0 +1,257 @@
+"""Microbenchmark: observability overhead (``BENCH_obs.json``).
+
+The instrument seam's promise is that observability is effectively
+free: **disabled**, every hook costs one module attribute load plus a
+``None`` comparison; **enabled**, the counters are cheap enough that
+the search and serving hot paths stay within a ~2% overhead budget.
+This benchmark keeps both promises honest:
+
+* ``search`` — :meth:`ExactRuleSearch.find_best_rule` on a synthetic
+  two-view dataset, instrumented vs not.  The search path exercises
+  the densest hook site: the bitset dispatch counter fires on every
+  batched kernel primitive.
+* ``serve`` — end-to-end ``/predict`` requests through a
+  :class:`PredictionService` (micro-batcher, compiled predictor,
+  response cache off), instrumented vs not.
+* ``guard_ns`` — the disabled-mode cost measured directly: a
+  microbenchmark of the literal ``if obs.ACTIVE is not None`` check,
+  reported in nanoseconds per call.
+
+Modes are interleaved A/B/A/B and summarised by their per-arm minimum
+(the least-interrupted round), so a load spike cannot masquerade as
+hook overhead.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--tiny] [--output PATH]
+
+The default run writes ``BENCH_obs.json`` at the repository root and
+fails (exit 1) if the enabled-mode overhead exceeds the 2% acceptance
+ceiling on either hot path (with a small absolute-time floor so
+micro-jitter on a sub-millisecond path cannot flake the check).
+``--tiny`` shrinks the grid to a seconds-scale smoke run and skips the
+ceiling assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.rules import TranslationRule  # noqa: E402
+from repro.core.search import CoverState, ExactRuleSearch  # noqa: E402
+from repro.core.table import TranslationTable  # noqa: E402
+from repro.data.dataset import TwoViewDataset  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ModelArtifact,
+    ModelRegistry,
+    PredictionService,
+)
+
+ACCEPTANCE_MAX_OVERHEAD_PCT = 2.0
+#: Below this per-iteration wall-clock delta the "overhead" is timer
+#: jitter, not hook cost — the acceptance check ignores it.
+JITTER_FLOOR_SECONDS = 2e-4
+
+
+def make_dataset(n_rows: int, n_left: int = 14, n_right: int = 11) -> TwoViewDataset:
+    rng = np.random.default_rng(7)
+    return TwoViewDataset(
+        rng.random((n_rows, n_left)) < 0.4,
+        rng.random((n_rows, n_right)) < 0.4,
+        name="obs-bench",
+    )
+
+
+def time_modes(run, rounds: int) -> dict:
+    """Interleave disabled/enabled rounds of ``run()``; median seconds."""
+    timings: dict[str, list[float]] = {"disabled": [], "enabled": []}
+    for _ in range(rounds):
+        for mode in ("disabled", "enabled"):
+            if mode == "enabled":
+                obs.instrument(registry=obs.MetricsRegistry())
+            else:
+                obs.instrument(enabled=False)
+            started = time.perf_counter()
+            run()
+            timings[mode].append(time.perf_counter() - started)
+    obs.instrument(enabled=False)
+    # min, not median: the least-interrupted round of each arm is the
+    # fairest estimate of the code's intrinsic cost on a shared box.
+    disabled = min(timings["disabled"])
+    enabled = min(timings["enabled"])
+    return {
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "overhead_s": enabled - disabled,
+        "overhead_pct": 100.0 * (enabled - disabled) / disabled,
+        "rounds": rounds,
+    }
+
+
+def bench_search(tiny: bool) -> dict:
+    dataset = make_dataset(400 if tiny else 2000)
+    rounds = 5 if tiny else 15
+
+    def run() -> None:
+        # A fresh state each run: find_best_rule on an empty table is
+        # the per-iteration unit of every fit method (node-capped as in
+        # bench_search_kernel so a round stays sub-second).
+        ExactRuleSearch(
+            CoverState(dataset), max_rule_size=3, max_nodes=30_000
+        ).find_best_rule()
+
+    run()  # warm caches/JIT-compiled kernels outside the timed region
+    return time_modes(run, rounds)
+
+
+def bench_serve(tiny: bool) -> dict:
+    rng = np.random.default_rng(13)
+    n_left, n_right = 14, 11
+    rules = TranslationTable(
+        [
+            TranslationRule((0, 1), (2,), "->"),
+            TranslationRule((2, 3), (0, 4), "<->"),
+            TranslationRule((5,), (1,), "<-"),
+            TranslationRule((6, 7), (5, 6), "->"),
+        ]
+    )
+    dataset = make_dataset(64, n_left, n_right)
+
+    class _Result:
+        def __init__(self):
+            self.table = rules
+
+        def summary(self):
+            return {"n_rules": len(rules)}
+
+    n_requests = 40 if tiny else 200
+    rounds = 5 if tiny else 15
+    rows = [
+        [int(i) for i in np.flatnonzero(rng.random(n_left) < 0.3)]
+        for _ in range(n_requests)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.publish(ModelArtifact.from_result("obs-bench", dataset, _Result(), {}))
+        service = PredictionService(registry, cache_size=0, max_delay_ms=0.0)
+
+        async def drive() -> None:
+            for row in rows:
+                await service.predict(
+                    {"model": "obs-bench", "target": "R", "rows": [row]}
+                )
+
+        def run() -> None:
+            asyncio.run(drive())
+
+        run()  # warm: artifact load + predictor compile
+        result = time_modes(run, rounds)
+    result["requests_per_round"] = n_requests
+    return result
+
+
+def bench_guard(iterations: int = 2_000_000) -> float:
+    """Nanoseconds per disabled-mode hook check (load + None compare)."""
+    obs.instrument(enabled=False)
+
+    def loop(n: int) -> int:
+        hits = 0
+        for _ in range(n):
+            if obs.ACTIVE is not None:  # the entire disabled-mode cost
+                hits += 1
+        return hits
+
+    loop(10_000)
+    started = time.perf_counter()
+    loop(iterations)
+    elapsed = time.perf_counter() - started
+    # Subtract the bare loop so we report the check, not Python's for.
+    def bare(n: int) -> int:
+        hits = 0
+        for _ in range(n):
+            hits += 0
+        return hits
+
+    started = time.perf_counter()
+    bare(iterations)
+    baseline = time.perf_counter() - started
+    return max(0.0, (elapsed - baseline) / iterations * 1e9)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_obs.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    print("# observability overhead benchmark"
+          + (" (tiny)" if args.tiny else ""))
+    search = bench_search(args.tiny)
+    print(
+        f"search: disabled {search['disabled_s'] * 1e3:.2f}ms, "
+        f"enabled {search['enabled_s'] * 1e3:.2f}ms "
+        f"({search['overhead_pct']:+.2f}%)"
+    )
+    serve = bench_serve(args.tiny)
+    print(
+        f"serve:  disabled {serve['disabled_s'] * 1e3:.2f}ms, "
+        f"enabled {serve['enabled_s'] * 1e3:.2f}ms "
+        f"({serve['overhead_pct']:+.2f}%) "
+        f"[{serve['requests_per_round']} requests/round]"
+    )
+    guard_ns = bench_guard(200_000 if args.tiny else 2_000_000)
+    print(f"guard:  {guard_ns:.1f}ns per disabled-mode check")
+
+    failures = []
+    if not args.tiny:
+        for name, cell in (("search", search), ("serve", serve)):
+            if (
+                cell["overhead_pct"] > ACCEPTANCE_MAX_OVERHEAD_PCT
+                and cell["overhead_s"] > JITTER_FLOOR_SECONDS
+            ):
+                failures.append(
+                    f"{name} enabled overhead {cell['overhead_pct']:.2f}% "
+                    f"exceeds {ACCEPTANCE_MAX_OVERHEAD_PCT}%"
+                )
+
+    report = {
+        "benchmark": "obs",
+        "tiny": args.tiny,
+        "search": search,
+        "serve": serve,
+        "guard_ns_per_check": guard_ns,
+        "acceptance": {
+            "enabled_max_overhead_pct": ACCEPTANCE_MAX_OVERHEAD_PCT,
+            "jitter_floor_seconds": JITTER_FLOOR_SECONDS,
+            "checked": not args.tiny,
+            "pass": not failures,
+            "failures": failures,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"# wrote {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

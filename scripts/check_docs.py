@@ -41,6 +41,9 @@ PUBLIC_PACKAGES = [
     "repro.eval",
     "repro.multiview",
     "repro.native",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.resilience",
     "repro.runtime",
     "repro.serve",

@@ -66,7 +66,7 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from repro.runtime import (
     ParallelExecutor,

@@ -18,6 +18,7 @@ Subcommands mirroring the library's main entry points::
     repro-translator serve [options]              async prediction server
     repro-translator predict-batch [options]      offline batched prediction
     repro-translator stream [options]             streaming model maintenance
+    repro-translator trace-dump PATH [options]    render request-trace spans
 
 ``DATASET`` is either a registry name (``house``, ``cal500``, ...) or a
 path to a ``.2v`` file.  Also runnable as ``python -m repro``.
@@ -268,11 +269,23 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs as _obs
     from repro.serve import ModelRegistry, PredictionServer, PredictionService
 
     registry = ModelRegistry(args.registry)
     models = registry.models()
     print(f"# serving {len(models)} model(s) {models} from {args.registry}")
+    tracer = None
+    if args.trace_dir:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        role = "router" if args.workers > 1 else "server"
+        exporter = _obs.JsonlSpanExporter(trace_dir / f"spans-{role}.jsonl")
+        tracer = _obs.Tracer(exporter)
+        print(f"# tracing spans to {trace_dir} (header: {_obs.TRACE_HEADER})")
+    if args.metrics:
+        _obs.instrument(tracer=tracer)
+        print("# engine instrumentation enabled (scrape GET /metrics)")
     if args.workers > 1:
         from repro.serve.router import ReplicaRouter, process_replica_factory
 
@@ -289,6 +302,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "read_timeout": args.read_timeout,
                 "drain_timeout": args.drain_timeout,
             },
+            obs_config={
+                "instrument": bool(args.metrics),
+                "trace_dir": str(args.trace_dir) if args.trace_dir else None,
+            },
         )
         router = ReplicaRouter(
             factory,
@@ -298,10 +315,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             probe_interval=args.probe_interval,
             read_timeout=args.read_timeout,
+            tracer=tracer,
         )
         print(
             f"# router http://{args.host}:{args.port} over {args.workers} "
-            f"worker process(es)  (/healthz, /readyz, /statz, /models, /predict)"
+            f"worker process(es)  "
+            f"(/healthz, /readyz, /statz, /metrics, /models, /predict)"
         )
         router.run()
         return 0
@@ -312,6 +331,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         engine=args.engine,
         backend=args.backend,
+        tracer=tracer,
     )
     server = PredictionServer(
         service,
@@ -322,9 +342,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"# http://{args.host}:{args.port}  "
-        f"(/healthz, /readyz, /models, /predict)"
+        f"(/healthz, /readyz, /metrics, /models, /predict)"
     )
     server.run()
+    return 0
+
+
+def _cmd_trace_dump(args: argparse.Namespace) -> int:
+    from repro.obs.trace import build_span_tree, read_spans, span_files
+
+    path = Path(args.path)
+    if path.is_dir():
+        files: list = []
+        for base in sorted(path.glob("spans-*.jsonl")):
+            files.extend(span_files(str(base)))
+    else:
+        files = span_files(str(path)) if path.exists() else []
+    if not files:
+        print(f"# no span files under {path}", file=sys.stderr)
+        return 1
+    spans: list[dict] = []
+    for file in files:
+        spans.extend(read_spans(file))
+    if args.trace:
+        spans = [span for span in spans if span.get("trace_id") == args.trace]
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    trees = build_span_tree(spans)
+    print(f"# {len(spans)} span(s) in {len(trees)} trace(s) "
+          f"from {len(files)} file(s)")
+    for trace_id in sorted(trees):
+        records = trees[trace_id]
+        children: dict[object, list[dict]] = {}
+        ids = {record.get("span_id") for record in records}
+        for record in records:
+            parent = record.get("parent_id")
+            # Orphans (parent exported elsewhere or lost) print as roots.
+            children.setdefault(parent if parent in ids else None, []).append(record)
+        print(f"trace {trace_id}")
+        stack = [(span, 1) for span in reversed(children.get(None, []))]
+        while stack:
+            span, depth = stack.pop()
+            start, end = span.get("start_time"), span.get("end_time")
+            timing = (
+                f"{(end - start) * 1000.0:.3f}ms"
+                if isinstance(start, (int, float)) and isinstance(end, (int, float))
+                else "?"
+            )
+            attrs = span.get("attributes") or {}
+            extra = "".join(f" {key}={attrs[key]}" for key in sorted(attrs))
+            print(f"{'  ' * depth}{span['name']}  [{timing}]"
+                  f"  span={span['span_id']}{extra}")
+            stack.extend(
+                (child, depth + 1)
+                for child in reversed(children.get(span.get("span_id"), []))
+            )
     return 0
 
 
@@ -1103,7 +1176,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="router health-probe sweep period (s); 0 disables probing",
     )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable engine instrumentation (search/kernel/stream counters "
+        "on GET /metrics; serving metrics are always exported)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="directory for JSONL span exports (spans-<role>.jsonl per "
+        "process); enables request tracing",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace_dump = subparsers.add_parser(
+        "trace-dump",
+        help="render exported request-trace spans as linked trees",
+    )
+    trace_dump.add_argument(
+        "path",
+        help="a spans-*.jsonl file or a directory written via "
+        "`serve --trace-dir`",
+    )
+    trace_dump.add_argument(
+        "--trace", default=None, help="only show this 16-hex trace id"
+    )
+    trace_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="dump raw span records as JSON instead of trees",
+    )
+    trace_dump.set_defaults(handler=_cmd_trace_dump)
 
     predict_batch = subparsers.add_parser(
         "predict-batch",

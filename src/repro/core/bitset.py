@@ -83,6 +83,8 @@ from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
+
 __all__ = [
     "BACKENDS",
     "WORD_BITS",
@@ -358,6 +360,10 @@ def and_popcount_rows(
 ) -> np.ndarray:
     """Fused per-row ``popcount(rows[i] & mask)`` (``mask=None``: plain)."""
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "and_popcount_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.and_popcount(rows, mask)
     return popcount_rows(rows if mask is None else rows & mask)
@@ -374,6 +380,10 @@ def fixed_weighted_popcount(
     order and identical across backends.
     """
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "fixed_weighted_popcount", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.weighted_popcount(words, table)
     words = np.ascontiguousarray(words, dtype=np.uint64)
@@ -405,6 +415,10 @@ def child_metrics_rows(
     formulation, which is equal bit for bit).
     """
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "child_metrics_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.child_metrics(rows, supp, supp_other, gain_table, wsum_table)
     rows = np.ascontiguousarray(rows, dtype=np.uint64)
@@ -432,6 +446,10 @@ def subset_match_rows(
     same test as a chunked broadcast.
     """
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "subset_match_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.subset_match(rows, sets)
     rows = np.ascontiguousarray(rows, dtype=np.uint64)
@@ -456,6 +474,10 @@ def or_union_rows(
     OR of the ``cons`` rows whose flag is set (zero words when none is).
     """
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "or_union_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.or_union(fired, cons)
     fired = np.asarray(fired, dtype=bool)
@@ -484,6 +506,10 @@ def match_union_rows(
     materialising the intermediate fired matrix.
     """
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "match_union_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.match_union(rows, ant, cons)
     return or_union_rows(
@@ -511,6 +537,10 @@ def and_reduce_many_rows(
     if offsets.size > 1 and (np.diff(offsets) < 1).any():
         raise ValueError("every offset group must be non-empty")
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "and_reduce_many_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.and_reduce_many(rows, offsets)
     if offsets.size == 1:
@@ -535,6 +565,10 @@ def and_reduce_rows(
     the native backend.  ``rows`` must have at least one row.
     """
     kernel = native_kernel(backend)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.count_bitset(
+            "and_reduce_rows", "native" if kernel is not None else "numpy"
+        )
     if kernel is not None:
         return kernel.and_reduce(rows)
     rows = np.ascontiguousarray(rows, dtype=np.uint64)

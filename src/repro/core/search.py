@@ -85,9 +85,12 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import math
+import time
 import warnings
 
 import numpy as np
+
+from repro import obs as _obs
 
 from repro.data.dataset import Side, TwoViewDataset
 from repro.core.bitset import (
@@ -966,6 +969,17 @@ class ExactRuleSearch:
     def find_best_rule(self) -> tuple[TranslationRule | None, float, SearchStats]:
         """Return ``(rule, gain, stats)``; ``rule`` is None when no rule has
         strictly positive gain (the greedy stopping criterion)."""
+        inst = _obs.ACTIVE
+        if inst is None:
+            return self._find_best_rule_impl()
+        started = time.perf_counter()
+        result = self._find_best_rule_impl()
+        inst.observe_search(result[2], time.perf_counter() - started)
+        return result
+
+    def _find_best_rule_impl(
+        self,
+    ) -> tuple[TranslationRule | None, float, SearchStats]:
         state = self.state
         dataset = state.dataset
         stats = SearchStats(kernel=self.kernel, backend=self.backend)

@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.data.dataset import Side, TwoViewDataset
 from repro.core.encoding import CodeLengthModel
 from repro.core.rules import TranslationRule
@@ -303,7 +304,7 @@ class TranslatorExact:
                 break
             state.add_rule(rule)
             history.append(_record(state, rule, gain))
-        return TranslatorResult(
+        result = TranslatorResult(
             method="translator-exact",
             dataset_name=dataset.name,
             table=state.table,
@@ -313,6 +314,12 @@ class TranslatorExact:
             converged=converged,
             search_stats=all_stats,
         )
+        inst = _obs.ACTIVE
+        if inst is not None:
+            inst.observe_fit(
+                result.method, result.runtime_seconds, len(history)
+            )
+        return result
 
 
 class _CandidateBased:

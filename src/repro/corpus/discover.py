@@ -31,6 +31,7 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.rules import TranslationRule
 from repro.data.dataset import TwoViewDataset
 
@@ -305,6 +306,8 @@ def topk_pairs(
         scanned = hi
         selected = _select_topk(entries, k)
         entries = list(selected)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.corpus_scan(scanned, n_candidates - scanned)
     return _as_result(
         selected, one, bits, n_pairs, scanned, batches * store.n_blocks
     )

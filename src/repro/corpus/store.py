@@ -56,6 +56,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import obs as _obs
+
 from repro.core.bitset import BitMatrix, and_popcount_rows, n_words_for
 from repro.data.dataset import TwoViewDataset
 from repro.resilience.faults import fault_point
@@ -667,6 +669,8 @@ class ColumnStore:
         words = np.frombuffer(raw, dtype=np.uint64).reshape(
             self.n_left + self.n_right, self.block_words
         )
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.corpus_blocks(1, self.block_nbytes)
         return words[: self.n_left], words[self.n_left :]
 
     def iter_blocks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:

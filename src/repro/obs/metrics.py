@@ -1,0 +1,674 @@
+"""Dependency-free metrics registry with Prometheus text exposition.
+
+The observability layer's accounting core: :class:`Counter`,
+:class:`Gauge` and :class:`Histogram` metrics, optionally labelled,
+collected by a :class:`MetricsRegistry` and rendered in the Prometheus
+text exposition format (version 0.0.4) for ``GET /metrics`` scrapes.
+Everything here is standard library only — the serving tier must not
+grow a dependency just to be observable.
+
+Design points:
+
+* **Thread safety** — every metric guards its children and values with
+  one lock; increments from worker threads (the micro-batcher runs
+  predictor calls via ``asyncio.to_thread``) interleave with scrapes
+  without tearing.  The property test in ``tests/test_obs.py`` hammers
+  a counter from many threads while scraping concurrently.
+* **Fixed log-scale latency buckets** — :data:`LATENCY_BUCKETS` doubles
+  from 100 µs to ~13 s, so one bucket layout serves every latency
+  histogram in the repo and dashboards can be written once.
+* **Process default plus injectable instances** — module-level
+  :data:`REGISTRY` is the process-wide default the engine hooks write
+  to; tests (and each :class:`~repro.serve.server.PredictionService`)
+  build private :class:`MetricsRegistry` instances so counters never
+  bleed between fixtures or replicas.
+* **Round-trippable exposition** — :func:`parse_exposition` parses
+  exactly what :meth:`MetricsRegistry.render` emits; the replica router
+  uses it to aggregate per-replica scrapes (:func:`inject_label` +
+  :func:`merge_expositions`) and ``scripts/check_metrics.py`` uses it
+  to lint live scrapes in CI.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "METRICS_CONTENT_TYPE",
+    "MetricError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "inject_label",
+    "merge_expositions",
+    "parse_exposition",
+    "render_registries",
+    "valid_metric_name",
+]
+
+#: ``Content-Type`` of a Prometheus text-format scrape response.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Fixed log-scale latency buckets (seconds): 100 µs doubling to ~13 s.
+#: One shared layout keeps every latency histogram in the repo
+#: comparable and lets the bucket-boundary tests be exact.
+LATENCY_BUCKETS = tuple(0.0001 * 2**k for k in range(18))
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class MetricError(ValueError):
+    """A metric was declared or used inconsistently (name, kind, labels)."""
+
+
+def valid_metric_name(name: str) -> bool:
+    """Whether ``name`` satisfies the Prometheus metric-name grammar."""
+    return bool(_METRIC_NAME.match(name))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers plainly, floats via ``repr``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bucket(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    return f"{bound:.10g}"
+
+
+class _Metric:
+    """Shared machinery of the three metric kinds (do not instantiate)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        if not valid_metric_name(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise MetricError(f"invalid label name {label!r}")
+        if len(set(labelnames)) != len(labelnames):
+            raise MetricError(f"duplicate label names in {tuple(labelnames)}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            # The unlabelled child: the metric itself proxies to it.
+            self._children[()] = self._new_child()
+
+    # -- child management ----------------------------------------------
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        """Return (creating on first use) the child for one label set."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _child(self):
+        if self.labelnames:
+            raise MetricError(
+                f"metric {self.name} is labelled {self.labelnames}; "
+                "use .labels(...) first"
+            )
+        return self._children[()]
+
+    def _snapshot(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return list(self._children.items())
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        """Flat ``(sample name, labels, value)`` triples for exposition."""
+        out: list[tuple[str, dict[str, str], float]] = []
+        for key, child in self._snapshot():
+            labels = dict(zip(self.labelnames, key))
+            out.extend(child.child_samples(self.name, labels))
+        return out
+
+
+class _CounterChild:
+    """One (label set) cell of a :class:`Counter`."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    def _set_total(self, value: float) -> None:
+        """Internal monotonic assignment (``ModelStats`` field setters)."""
+        if value < 0:
+            raise MetricError("counters cannot go negative")
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current cumulative value."""
+        with self._lock:
+            return self._value
+
+    def child_samples(self, name, labels):
+        """Exposition triples of this cell."""
+        return [(name, labels, self.value)]
+
+
+class Counter(_Metric):
+    """A monotonically increasing cumulative metric.
+
+    Example::
+
+        >>> from repro.obs.metrics import Counter
+        >>> requests = Counter("demo_requests_total", "Requests served.",
+        ...                    labelnames=("route",))
+        >>> requests.labels(route="/predict").inc()
+        >>> requests.labels(route="/predict").value
+        1
+    """
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1) -> None:
+        """Increment the (unlabelled) counter by ``amount``."""
+        self._child().inc(amount)
+
+    def _set_total(self, value: float) -> None:
+        """Internal monotonic assignment (legacy ``+=`` attribute API)."""
+        self._child()._set_total(value)
+
+    @property
+    def value(self) -> float:
+        """Current value of the (unlabelled) counter."""
+        return self._child().value
+
+
+class _GaugeChild:
+    """One (label set) cell of a :class:`Gauge`."""
+
+    __slots__ = ("_value", "_function", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._function: Callable[[], float] | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount`` from the gauge."""
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function()`` at scrape time instead of a stored value."""
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float:
+        """Current value (calling the callback when one is installed)."""
+        with self._lock:
+            function = self._function
+            if function is None:
+                return self._value
+        return float(function())
+
+    def child_samples(self, name, labels):
+        """Exposition triples of this cell."""
+        return [(name, labels, self.value)]
+
+
+class Gauge(_Metric):
+    """A metric that can go up and down (or reflect a live callback).
+
+    Example::
+
+        >>> from repro.obs.metrics import Gauge
+        >>> depth = Gauge("demo_queue_depth", "Rows queued.")
+        >>> depth.set(3); depth.dec(); depth.value
+        2.0
+    """
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        """Set the (unlabelled) gauge to ``value``."""
+        self._child().set(value)
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` to the (unlabelled) gauge."""
+        self._child().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount`` from the (unlabelled) gauge."""
+        self._child().dec(amount)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function()`` at scrape time (unlabelled gauge)."""
+        self._child().set_function(function)
+
+    @property
+    def value(self) -> float:
+        """Current value of the (unlabelled) gauge."""
+        return self._child().value
+
+
+class _HistogramChild:
+    """One (label set) cell of a :class:`Histogram`."""
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        A value exactly on a bucket boundary lands in that bucket —
+        Prometheus ``le`` semantics are *less than or equal*.
+        """
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def child_samples(self, name, labels):
+        """Exposition triples: cumulative buckets, ``_sum``, ``_count``."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        out = []
+        cumulative = 0
+        for bound, bucket in zip((*self._bounds, math.inf), counts):
+            cumulative += bucket
+            out.append(
+                (
+                    f"{name}_bucket",
+                    {**labels, "le": _format_bucket(bound)},
+                    cumulative,
+                )
+            )
+        out.append((f"{name}_sum", dict(labels), total_sum))
+        out.append((f"{name}_count", dict(labels), total_count))
+        return out
+
+
+class Histogram(_Metric):
+    """Observations bucketed over fixed bounds (defaults to latency buckets).
+
+    Example::
+
+        >>> from repro.obs.metrics import Histogram
+        >>> h = Histogram("demo_seconds", "Latency.", buckets=(0.1, 1.0))
+        >>> h.observe(0.1)   # boundary value lands in the 0.1 bucket
+        >>> h.count
+        1
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError("bucket bounds must be strictly increasing")
+        if math.inf in bounds:
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the (unlabelled) histogram."""
+        self._child().observe(value)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded on the (unlabelled) histogram."""
+        return self._child().count
+
+    @property
+    def sum(self) -> float:
+        """Sum of values observed on the (unlabelled) histogram."""
+        return self._child().sum
+
+
+class MetricsRegistry:
+    """A named collection of metrics with text-format exposition.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent get-or-create
+    accessors: asking twice for the same name returns the same object,
+    and asking with a different kind or label set raises
+    :class:`MetricError` (a silent redefinition would corrupt scrapes).
+
+    Example::
+
+        >>> from repro.obs.metrics import MetricsRegistry
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("demo_total", "Demo.").inc(2)
+        >>> "demo_total 2" in registry.render()
+        True
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+    def register(self, metric: _Metric) -> _Metric:
+        """Add a metric built elsewhere; name collisions raise."""
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None and existing is not metric:
+                raise MetricError(
+                    f"metric {metric.name!r} is already registered"
+                )
+            self._metrics[metric.name] = metric
+        return metric
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` (bounds fixed on creation)."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- introspection --------------------------------------------------
+    def metrics(self) -> list[_Metric]:
+        """Registered metrics, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- exposition -----------------------------------------------------
+    def render(self) -> str:
+        """Prometheus text-format exposition of every registered metric."""
+        return render_registries([self])
+
+
+def render_registries(registries: Iterable[MetricsRegistry]) -> str:
+    """Render several registries as one exposition document.
+
+    When two registries carry the same metric name, the first one wins —
+    a service scraping its private registry plus the process default
+    never emits a duplicate family.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+    for registry in registries:
+        for metric in registry.metrics():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            help_text = metric.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {metric.name} {help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, labels, value in metric.samples():
+                lines.append(_render_sample(sample_name, labels, value))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_sample(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(str(labels[key]))}"'
+            for key in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def parse_exposition(
+    text: str,
+) -> tuple[dict[str, tuple[str, str]], list[tuple[str, dict[str, str], float]]]:
+    """Parse a text-format exposition into ``(families, samples)``.
+
+    ``families`` maps each announced metric name to ``(kind, help)``;
+    ``samples`` is a list of ``(sample name, labels, value)`` triples in
+    document order.  Raises ``ValueError`` on any malformed line — the
+    CI lint leans on this to prove scrapes are well-formed.
+    """
+    families: dict[str, tuple[str, str]] = {}
+    helps: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown metric type in line {raw!r}")
+            families[name] = (kind, helps.get(name, ""))
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line {raw!r}")
+        name, label_body, value_text = match.groups()
+        labels: dict[str, str] = {}
+        if label_body:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(label_body):
+                labels[pair.group(1)] = _unescape_label(pair.group(2))
+                consumed = pair.end()
+            remainder = label_body[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"malformed labels in line {raw!r}")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)  # raises ValueError when malformed
+        samples.append((name, labels, value))
+    return families, samples
+
+
+def inject_label(text: str, label: str, value: str) -> str:
+    """Add ``label="value"`` to every sample of an exposition document.
+
+    The replica router uses this to mark each worker's scrape with
+    ``replica="wN"`` before merging; an existing label of the same name
+    is overwritten (the router's view of identity wins).
+    """
+    if not _LABEL_NAME.match(label):
+        raise MetricError(f"invalid label name {label!r}")
+    families, samples = parse_exposition(text)
+    relabelled = [
+        (name, {**labels, label: value}, sample_value)
+        for name, labels, sample_value in samples
+    ]
+    return _render_parsed(families, relabelled)
+
+
+def merge_expositions(texts: Iterable[str]) -> str:
+    """Merge several exposition documents into one.
+
+    Samples are concatenated grouped by family; the first document to
+    announce a family's ``TYPE``/``HELP`` wins.  Callers are expected to
+    have disambiguated colliding series via :func:`inject_label`.
+    """
+    families: dict[str, tuple[str, str]] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for text in texts:
+        doc_families, doc_samples = parse_exposition(text)
+        for name, meta in doc_families.items():
+            families.setdefault(name, meta)
+        samples.extend(doc_samples)
+    return _render_parsed(families, samples)
+
+
+def _family_of(sample_name: str, families: dict[str, tuple[str, str]]) -> str:
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return sample_name
+
+
+def _render_parsed(families, samples) -> str:
+    grouped: dict[str, list[tuple[str, dict[str, str], float]]] = {}
+    order: list[str] = []
+    for sample in samples:
+        family = _family_of(sample[0], families)
+        if family not in grouped:
+            grouped[family] = []
+            order.append(family)
+        grouped[family].append(sample)
+    lines: list[str] = []
+    for family in order:
+        kind, help_text = families.get(family, ("untyped", ""))
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+        for name, labels, value in grouped[family]:
+            lines.append(_render_sample(name, labels, value))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Process-wide default registry: the engine profiling hooks
+#: (:func:`repro.obs.instrument`) register their metrics here unless an
+#: explicit registry is injected.
+REGISTRY = MetricsRegistry()

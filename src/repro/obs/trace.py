@@ -1,0 +1,331 @@
+"""Request tracing: span contexts, header propagation, JSONL export.
+
+A trace is a tree of :class:`Span` records sharing one ``trace_id``.
+The replica router opens a root span per client request, encodes it in
+the ``X-Repro-Trace`` header (:func:`format_trace_header`), and each
+replica continues the trace across its service handler and micro-batch
+flush — so one client request yields a linked span tree even when the
+batch executes rows from several requests.
+
+Determinism: a :class:`Tracer` takes an injectable ``clock`` and
+``id_source``, so tests can pin both and assert exact span records.
+Spans are exported as JSON Lines through :class:`JsonlSpanExporter`,
+which rotates the file once it crosses a size cap (keeping a bounded
+number of rotated generations) so long-running servers cannot fill the
+disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from collections.abc import Callable, Iterable
+
+__all__ = [
+    "JsonlSpanExporter",
+    "Span",
+    "TRACE_HEADER",
+    "TraceContext",
+    "Tracer",
+    "format_trace_header",
+    "parse_trace_header",
+]
+
+#: HTTP header carrying trace context between router and replicas.
+TRACE_HEADER = "X-Repro-Trace"
+
+_ID_BITS = 64
+
+
+class TraceContext:
+    """The identity of one span: ``trace_id`` plus its own ``span_id``.
+
+    What travels in the ``X-Repro-Trace`` header; a child span created
+    under this context records ``span_id`` as its ``parent_id``.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+
+def format_trace_header(context: TraceContext) -> str:
+    """Encode a context as the ``X-Repro-Trace`` value: ``trace_id-span_id``."""
+    return f"{context.trace_id}-{context.span_id}"
+
+
+def parse_trace_header(value: str | None) -> TraceContext | None:
+    """Decode an ``X-Repro-Trace`` value; ``None`` on absent/malformed input.
+
+    Malformed headers are deliberately dropped rather than raised — a
+    bad client header must never fail the request it annotates.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 2:
+        return None
+    trace_id, span_id = parts
+    if not trace_id or not span_id:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Use as a context manager (``with tracer.span(...)``) or call
+    :meth:`finish` explicitly.  ``attributes`` set before the span
+    finishes are included in the exported record.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "end_time",
+        "attributes",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        start_time: float,
+        tracer: "Tracer",
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_time = start_time
+        self.end_time: float | None = None
+        self.attributes: dict[str, object] = {}
+        self._tracer = tracer
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity, suitable for header propagation."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach one key/value to the exported record."""
+        self.attributes[key] = value
+
+    def finish(self) -> None:
+        """Stop the clock and export the span (idempotent)."""
+        if self.end_time is not None:
+            return
+        self.end_time = self._tracer._clock()
+        self._tracer._export(self)
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON-serialisable record written by the exporter."""
+        record: dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+        }
+        if self.attributes:
+            record["attributes"] = self.attributes
+        return record
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.finish()
+
+
+class Tracer:
+    """Creates spans and hands finished ones to an exporter.
+
+    ``clock`` and ``id_source`` are injectable: pass a fake clock and a
+    seeded ``random.Random`` (its ``getrandbits``) to make span records
+    fully deterministic in tests.  The default id source is a private
+    seeded-from-urandom generator, so tracing never perturbs the global
+    ``random`` state the search engine may rely on.
+    """
+
+    def __init__(
+        self,
+        exporter: "SpanExporter | None" = None,
+        clock: Callable[[], float] = time.time,
+        id_source: Callable[[int], int] | None = None,
+    ) -> None:
+        if id_source is None:
+            id_source = random.Random(int.from_bytes(os.urandom(8), "big")).getrandbits
+        self._exporter = exporter
+        self._clock = clock
+        self._id_source = id_source
+        self._lock = threading.Lock()
+
+    def _new_id(self) -> str:
+        with self._lock:
+            return f"{self._id_source(_ID_BITS):016x}"
+
+    def span(
+        self,
+        name: str,
+        parent: "TraceContext | Span | None" = None,
+        attributes: dict[str, object] | None = None,
+    ) -> Span:
+        """Start a span; a new trace when ``parent`` is ``None``.
+
+        ``parent`` may be a :class:`TraceContext` (e.g. parsed from the
+        wire) or another :class:`Span`.
+        """
+        if isinstance(parent, Span):
+            parent = parent.context
+        trace_id = parent.trace_id if parent is not None else self._new_id()
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            start_time=self._clock(),
+            tracer=self,
+        )
+        if attributes:
+            span.attributes.update(attributes)
+        return span
+
+    def _export(self, span: Span) -> None:
+        if self._exporter is not None:
+            self._exporter.export(span)
+
+
+class SpanExporter:
+    """Destination for finished spans; subclasses override :meth:`export`."""
+
+    def export(self, span: Span) -> None:
+        """Receive one finished span."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (default: nothing to do)."""
+
+
+class JsonlSpanExporter(SpanExporter):
+    """Append finished spans to a JSON Lines file with size-capped rotation.
+
+    When the file would exceed ``max_bytes`` the current file is renamed
+    to ``<path>.1`` (shifting older generations up to ``backups``, the
+    oldest dropped) and a fresh file is started — the total footprint is
+    bounded by ``max_bytes * (backups + 1)`` plus one record.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 8 * 1024 * 1024,
+        backups: int = 2,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups cannot be negative")
+        self.path = str(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._lock = threading.Lock()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def export(self, span: Span) -> None:
+        """Append one span record, rotating first if the cap is hit."""
+        line = json.dumps(span.as_dict(), sort_keys=True) + "\n"
+        with self._lock:
+            size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+            if size and size + len(line) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+
+    def _rotate(self) -> None:
+        if self.backups == 0:
+            os.replace(self.path, self.path + ".old")
+            os.remove(self.path + ".old")
+            return
+        oldest = f"{self.path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.backups - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+
+
+def read_spans(path: str) -> list[dict[str, object]]:
+    """Load span records from one JSONL file (skipping blank lines)."""
+    records: list[dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def span_files(path: str) -> list[str]:
+    """The JSONL file plus rotated generations, oldest first."""
+    candidates = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        candidates.append(f"{path}.{index}")
+        index += 1
+    candidates.reverse()
+    if os.path.exists(path):
+        candidates.append(path)
+    return candidates
+
+
+def build_span_tree(
+    records: Iterable[dict[str, object]],
+) -> dict[str, list[dict[str, object]]]:
+    """Group span records into trees keyed by ``trace_id``.
+
+    Each value is the trace's spans sorted by start time; used by the
+    ``trace-dump`` CLI command and the end-to-end span-tree test.
+    """
+    trees: dict[str, list[dict[str, object]]] = {}
+    for record in records:
+        trees.setdefault(str(record.get("trace_id")), []).append(record)
+    for spans in trees.values():
+        spans.sort(key=lambda r: (r.get("start_time") or 0, str(r.get("span_id"))))
+    return trees

@@ -12,9 +12,12 @@ replay exactly.
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 import time
 from collections.abc import Callable, Iterator
+
+from repro import obs as _obs
 
 __all__ = [
     "CircuitBreaker",
@@ -23,6 +26,8 @@ __all__ = [
     "DeadlineExceeded",
     "RetryPolicy",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class DeadlineExceeded(TimeoutError):
@@ -284,16 +289,30 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """Note a successful call: close the breaker, reset counters."""
+        was_open = self._opened_at is not None
         self._failures = 0
         self._opened_at = None
         self._probing = False
+        if was_open:
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.breaker_event("closed")
+            logger.info("circuit breaker closed after successful probe")
 
     def record_failure(self) -> None:
         """Note a failed call: count it, opening/re-opening as needed."""
         self._failures += 1
         self._probing = False
         if self._failures >= self.failure_threshold or self._opened_at is not None:
+            newly_opened = self._opened_at is None
             self._opened_at = self._clock()
+            if newly_opened:
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.breaker_event("opened")
+                logger.warning(
+                    "circuit breaker opened after %d consecutive failure(s)",
+                    self._failures,
+                    extra={"failures": self._failures},
+                )
 
     def call(self, fn: Callable, *args, dependency: str = "dependency", **kwargs):
         """Run ``fn`` under the breaker, recording the outcome."""

@@ -34,6 +34,7 @@ import dataclasses
 import hashlib
 import io
 import json
+import logging
 import os
 import tempfile
 from collections.abc import Callable
@@ -41,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.resilience.faults import CrashPoint, fault_point
 from repro.resilience.policy import RetryPolicy
 
@@ -52,6 +54,8 @@ __all__ = [
     "load_checkpoint",
     "save_checkpoint",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Schema version of the checkpoint file format.
 CHECKPOINT_SCHEMA_VERSION = 1
@@ -144,6 +148,20 @@ class Supervisor:
                         delay=delay,
                         error=f"{type(error).__name__}: {error}",
                     )
+                )
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.supervisor_restart()
+                logger.warning(
+                    "supervised task failed (%s); restart %d/%d in %.3fs",
+                    f"{type(error).__name__}: {error}",
+                    attempt + 1,
+                    self.max_restarts,
+                    delay,
+                    extra={
+                        "attempt": attempt + 1,
+                        "max_restarts": self.max_restarts,
+                        "delay": delay,
+                    },
                 )
                 attempt += 1
                 if delay > 0:

@@ -37,6 +37,8 @@ Endpoints::
     GET  /readyz    ready / degraded (someone ejected) / 503 (nobody)
     GET  /statz     per-model ModelStats summed across replicas,
                     plus per-replica health and router counters
+    GET  /metrics   Prometheus text: router series + every admitted
+                    replica's scrape relabelled with replica="wN"
     GET  /models    forwarded to one admitted replica
     POST /predict   forwarded least-loaded, rerouted on failure
 
@@ -50,9 +52,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import time
 from collections.abc import Awaitable, Callable
 
+from repro import obs as _obs
 from repro.resilience.policy import CircuitBreaker, Deadline
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import (
@@ -70,6 +74,8 @@ __all__ = [
     "process_replica_factory",
 ]
 
+logger = logging.getLogger(__name__)
+
 #: Transport-level failures that mean "this replica did not answer" —
 #: rerouted to another replica, never surfaced to the client.
 _TRANSPORT_ERRORS = (
@@ -78,6 +84,10 @@ _TRANSPORT_ERRORS = (
     asyncio.TimeoutError,
     OSError,
 )
+
+#: Paths with their own router latency series; everything else shares
+#: one ``other`` series so path spam cannot mint unbounded series.
+_TIMED_ENDPOINTS = ("/healthz", "/readyz", "/statz", "/metrics", "/models", "/predict")
 
 
 class Replica:
@@ -169,6 +179,14 @@ class ReplicaRouter:
         breaker_factory: Per-replica breaker recipe; the default
             ejects after 2 consecutive failures and begins probing
             for re-admission 0.5s later.
+        metrics: The :class:`repro.obs.MetricsRegistry` backing the
+            router's counters; ``GET /metrics`` serves it merged with
+            every admitted replica's own scrape (each replica's series
+            relabelled with ``replica="wN"``).
+        tracer: Optional :class:`repro.obs.Tracer`; forwarded
+            ``/predict`` requests then open a ``router.predict`` root
+            span (or continue the client's ``X-Repro-Trace``) and
+            propagate the header to the worker.
     """
 
     MAX_BODY_BYTES = PredictionServer.MAX_BODY_BYTES
@@ -184,6 +202,8 @@ class ReplicaRouter:
         request_timeout: float = 30.0,
         read_timeout: float = 30.0,
         breaker_factory: Callable[[], CircuitBreaker] | None = None,
+        metrics: "_obs.MetricsRegistry | None" = None,
+        tracer: "_obs.Tracer | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -200,10 +220,35 @@ class ReplicaRouter:
         )
         self.replicas: list[Replica] = []
         self.started_unix = time.time()
-        #: Router-level counters surfaced via /statz.
-        self.rerouted = 0
-        self.rejected = 0
-        self.swaps = 0
+        self.metrics = metrics if metrics is not None else _obs.MetricsRegistry()
+        self.tracer = tracer
+        # Router-level counters surfaced via /statz; registry-backed so
+        # the same numbers appear on /metrics (exposed to code and tests
+        # as plain int attributes via the properties below).
+        self._rerouted = self.metrics.counter(
+            "repro_router_rerouted_total",
+            "Requests retried on another replica after a failed attempt.",
+        )
+        self._rejected = self.metrics.counter(
+            "repro_router_rejected_total",
+            "Requests answered 503 because no replica was available.",
+        )
+        self._swaps = self.metrics.counter(
+            "repro_router_swaps_total",
+            "Completed rolling swaps of the replica pool.",
+        )
+        self.metrics.gauge(
+            "repro_router_replicas", "Replicas currently in the pool."
+        ).set_function(lambda: len(self.replicas))
+        self.metrics.gauge(
+            "repro_router_admitted",
+            "Replicas currently eligible for traffic.",
+        ).set_function(lambda: len(self.admitted()))
+        self._request_seconds = self.metrics.histogram(
+            "repro_router_request_seconds",
+            "Wall-clock seconds per routed request, by endpoint.",
+            labelnames=("endpoint",),
+        )
         self._server: asyncio.AbstractServer | None = None
         self._inflight: set[asyncio.Task] = set()
         self._probe_task: asyncio.Task | None = None
@@ -211,6 +256,36 @@ class ReplicaRouter:
         self._seen_latest: dict[str, int] = {}
         self._swap_lock = asyncio.Lock()
         self._draining = False
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters (attribute API preserved)
+    # ------------------------------------------------------------------
+    @property
+    def rerouted(self) -> int:
+        """Requests retried on another replica after a failed attempt."""
+        return int(self._rerouted.value)
+
+    @rerouted.setter
+    def rerouted(self, value: int) -> None:
+        self._rerouted._set_total(int(value))
+
+    @property
+    def rejected(self) -> int:
+        """Requests answered 503 because no replica was available."""
+        return int(self._rejected.value)
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._rejected._set_total(int(value))
+
+    @property
+    def swaps(self) -> int:
+        """Completed rolling swaps of the replica pool."""
+        return int(self._swaps.value)
+
+    @swaps.setter
+    def swaps(self, value: int) -> None:
+        self._swaps._set_total(int(value))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -225,6 +300,13 @@ class ReplicaRouter:
         if replica.breaker is None:  # factory left health tracking to us
             replica.breaker = self.breaker_factory()
         self.replicas.append(replica)
+        logger.info(
+            "spawned replica %s at %s:%d",
+            replica.name,
+            replica.host,
+            replica.port,
+            extra={"replica": replica.name, "port": replica.port},
+        )
         return replica
 
     async def start(self) -> None:
@@ -334,7 +416,11 @@ class ReplicaRouter:
         return None
 
     async def forward(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        trace: "_obs.TraceContext | None" = None,
     ) -> tuple[int, bytes]:
         """Send one request to the pool; reroute until someone answers.
 
@@ -342,25 +428,54 @@ class ReplicaRouter:
         (refused/reset connections, timeouts, short reads) and 503s
         from draining workers count against the replica's breaker and
         move the request to the next candidate; every replica
-        exhausted yields an honest router-level 503.
+        exhausted yields an honest router-level 503.  With a tracer
+        configured a ``router.predict`` span roots (or continues, when
+        the client sent ``X-Repro-Trace``) the request's span tree and
+        its context travels to the worker.
         """
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.span(
+                f"router{path.replace('/', '.')}", parent=trace
+            )
+        try:
+            return await self._forward_attempts(method, path, body, span)
+        finally:
+            if span is not None:
+                span.finish()
+
+    async def _forward_attempts(
+        self, method: str, path: str, body: bytes, span
+    ) -> tuple[int, bytes]:
+        trace = span.context if span is not None else None
         tried: set[Replica] = set()
         first = True
+        reroutes = 0
         while True:
             replica = self.pick(tried)
             if replica is None:
                 self.rejected += 1
+                if span is not None:
+                    span.set_attribute("rejected", True)
+                logger.warning(
+                    "no replica available for %s %s after %d attempt(s)",
+                    method,
+                    path,
+                    len(tried),
+                    extra={"path": path, "attempts": len(tried)},
+                )
                 return 503, json.dumps(
                     {"error": "no replica available", "router": True}
                 ).encode("utf-8")
             if not first:
                 self.rerouted += 1
+                reroutes += 1
             first = False
             replica.inflight += 1
             replica.requests += 1
             try:
                 status, payload = await self._request_replica(
-                    replica, method, path, body
+                    replica, method, path, body, trace=trace
                 )
             except _TRANSPORT_ERRORS:
                 replica.errors += 1
@@ -376,10 +491,19 @@ class ReplicaRouter:
                 tried.add(replica)
                 continue
             replica.breaker.record_success()
+            if span is not None:
+                span.set_attribute("replica", replica.name)
+                if reroutes:
+                    span.set_attribute("reroutes", reroutes)
             return status, payload
 
     async def _request_replica(
-        self, replica: Replica, method: str, path: str, body: bytes
+        self,
+        replica: Replica,
+        method: str,
+        path: str,
+        body: bytes,
+        trace: "_obs.TraceContext | None" = None,
     ) -> tuple[int, bytes]:
         """One HTTP exchange with one replica; raises on any tear."""
         reader, writer = await asyncio.wait_for(
@@ -387,9 +511,15 @@ class ReplicaRouter:
             self.request_timeout,
         )
         try:
+            trace_line = (
+                f"{_obs.TRACE_HEADER}: {_obs.format_trace_header(trace)}\r\n"
+                if trace is not None
+                else ""
+            )
             writer.write(
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {replica.host}\r\n"
+                f"{trace_line}"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n".encode("ascii")
                 + body
@@ -621,6 +751,13 @@ class ReplicaRouter:
                         for key, value in stats.items():
                             if isinstance(value, (int, float)):
                                 bucket[key] = bucket.get(key, 0) + value
+                            else:
+                                # Non-numeric stat values cannot be
+                                # summed; surface them per replica
+                                # instead of silently dropping them.
+                                bucket.setdefault(
+                                    "non_numeric", {}
+                                ).setdefault(replica.name, {})[key] = value
                 except (*_TRANSPORT_ERRORS, ValueError):
                     row["unreachable"] = True
             per_replica.append(row)
@@ -634,26 +771,91 @@ class ReplicaRouter:
             },
         }
 
+    async def metrics_text(self) -> str:
+        """``GET /metrics``: router registry merged with replica scrapes.
+
+        The router's own series come first, then each admitted
+        replica's scrape with a ``replica="wN"`` label injected on every
+        sample so per-worker series never collide.  A replica whose
+        scrape is unreachable or malformed is skipped — the router's
+        document must always be valid.
+        """
+        registries = [self.metrics]
+        if all(_obs.REGISTRY is not r for r in registries):
+            registries.append(_obs.REGISTRY)
+        documents = [_obs.render_registries(registries)]
+        for replica in list(self.replicas):
+            if replica not in self.admitted():
+                continue
+            try:
+                status, payload = await self._request_replica(
+                    replica, "GET", "/metrics", b""
+                )
+                if status != 200:
+                    continue
+                documents.append(
+                    _obs.inject_label(
+                        payload.decode("utf-8"), "replica", replica.name
+                    )
+                )
+            except (*_TRANSPORT_ERRORS, ValueError):
+                continue
+        return _obs.merge_expositions(documents)
+
     async def handle(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, bytes]:
-        """Route one request; returns ``(status, response bytes)``."""
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, str]:
+        """Route one request; returns ``(status, body bytes, content type)``."""
+        started = time.perf_counter()
+        endpoint = path if path in _TIMED_ENDPOINTS else "other"
+        try:
+            return await self._handle_routed(method, path, body, headers)
+        finally:
+            self._request_seconds.labels(endpoint=endpoint).observe(
+                time.perf_counter() - started
+            )
+
+    async def _handle_routed(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None,
+    ) -> tuple[int, bytes, str]:
+        json_type = "application/json"
         if method == "GET" and path == "/healthz":
             payload = self.healthz_payload()
-            return 200, json.dumps(payload).encode("utf-8")
+            return 200, json.dumps(payload).encode("utf-8"), json_type
         if method == "GET" and path == "/readyz":
             code, payload = self.readyz_payload()
-            return code, json.dumps(payload).encode("utf-8")
+            return code, json.dumps(payload).encode("utf-8"), json_type
         if method == "GET" and path == "/statz":
             payload = await self.statz_payload()
-            return 200, json.dumps(payload).encode("utf-8")
+            return 200, json.dumps(payload).encode("utf-8"), json_type
+        if method == "GET" and path == "/metrics":
+            text = await self.metrics_text()
+            return 200, text.encode("utf-8"), _obs.METRICS_CONTENT_TYPE
         if (method == "POST" and path == "/predict") or (
             method == "GET" and path == "/models"
         ):
-            return await self.forward(method, path, body)
-        return 404, json.dumps(
-            {"error": f"no route {method} {path}"}
-        ).encode("utf-8")
+            trace = None
+            if headers:
+                trace = _obs.parse_trace_header(
+                    headers.get(_obs.TRACE_HEADER.lower())
+                )
+            status, payload_bytes = await self.forward(
+                method, path, body, trace=trace
+            )
+            return status, payload_bytes, json_type
+        return (
+            404,
+            json.dumps({"error": f"no route {method} {path}"}).encode("utf-8"),
+            json_type,
+        )
 
     # ------------------------------------------------------------------
     # Socket front (mirrors PredictionServer's shape)
@@ -664,6 +866,7 @@ class ReplicaRouter:
         task = asyncio.current_task()
         if task is not None:
             self._inflight.add(task)
+        content_type = "application/json"
         try:
             if self._draining:
                 status, body = 503, json.dumps(
@@ -671,7 +874,7 @@ class ReplicaRouter:
                 ).encode("utf-8")
             else:
                 try:
-                    method, path, request_body = await asyncio.wait_for(
+                    method, path, request_body, headers = await asyncio.wait_for(
                         read_http_request(reader, self.MAX_BODY_BYTES),
                         self.read_timeout,
                     )
@@ -687,8 +890,10 @@ class ReplicaRouter:
                         {"error": "malformed HTTP request"}
                     ).encode("utf-8")
                 else:
-                    status, body = await self.handle(method, path, request_body)
-            writer.write(http_response_bytes(status, body))
+                    status, body, content_type = await self.handle(
+                        method, path, request_body, headers
+                    )
+            writer.write(http_response_bytes(status, body, content_type))
             try:
                 await writer.drain()
             finally:
@@ -738,13 +943,29 @@ def local_replica_factory(
 
 def _process_replica_main(conn, registry_root: str, config: dict) -> None:
     """Worker-process entry point (top level for ``spawn`` pickling)."""
+    import os
+
     registry = ModelRegistry(registry_root)
-    service = PredictionService(registry, **config.get("service", {}))
+    name = config.get("name", "worker")
+    obs_config = config.get("obs") or {}
+    tracer = None
+    if obs_config.get("trace_dir"):
+        # One span file per worker: JSONL appends from separate
+        # processes would interleave mid-record on a shared file.
+        exporter = _obs.JsonlSpanExporter(
+            os.path.join(obs_config["trace_dir"], f"spans-{name}.jsonl")
+        )
+        tracer = _obs.Tracer(exporter)
+    if obs_config.get("instrument"):
+        _obs.instrument(tracer=tracer)
+    service = PredictionService(
+        registry, tracer=tracer, **config.get("service", {})
+    )
     server = PredictionServer(
         service,
         host=config.get("host", "127.0.0.1"),
         port=0,
-        name=config.get("name", "worker"),
+        name=name,
         **config.get("server", {}),
     )
 
@@ -763,6 +984,7 @@ def process_replica_factory(
     service_config: dict | None = None,
     server_config: dict | None = None,
     spawn_timeout: float = 60.0,
+    obs_config: dict | None = None,
 ) -> ReplicaFactory:
     """Replicas as spawned OS processes (the ``serve --workers N`` CLI).
 
@@ -772,6 +994,12 @@ def process_replica_factory(
     that ignores the drain is killed after a grace period.  Because
     every worker maps the same ``compiled.bin`` sidecar, N workers cost
     one page-cache copy of the model, not N heap copies.
+
+    ``obs_config`` configures per-worker observability:
+    ``{"instrument": True}`` installs the engine metric hooks in each
+    worker (scraped through the router's ``/metrics``), and
+    ``{"trace_dir": path}`` gives each worker a
+    :class:`repro.obs.JsonlSpanExporter` at ``<path>/spans-<name>.jsonl``.
     """
     import multiprocessing
 
@@ -780,6 +1008,7 @@ def process_replica_factory(
         "host": host,
         "service": dict(service_config or {}),
         "server": dict(server_config or {}),
+        "obs": dict(obs_config or {}),
     }
 
     async def factory(name: str) -> Replica:

@@ -49,15 +49,16 @@ keep being answered from the already-loaded model version, flagged
 from __future__ import annotations
 
 import asyncio
-import dataclasses
 import hashlib
 import json
+import logging
 import time
 from collections import OrderedDict
 from collections.abc import Callable
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.bitset import resolve_backend
 from repro.core.predict import predict_view
 from repro.data.dataset import Side
@@ -75,6 +76,8 @@ __all__ = [
     "PredictionServer",
     "PredictionService",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class LRUCache:
@@ -136,33 +139,86 @@ class LRUCache:
         self._entries.clear()
 
 
-@dataclasses.dataclass
 class ModelStats:
-    """Serving counters of one model (reported under ``/models``)."""
+    """Serving counters of one model (reported under ``/models``).
 
-    requests: int = 0
-    rows: int = 0
-    batches: int = 0
-    cache_hits: int = 0
-    errors: int = 0
-    #: Responses served from the last-good model version because the
+    The counters live in a :class:`repro.obs.MetricsRegistry` (one
+    family per field, labelled by model) so the same numbers feed both
+    the JSON payloads and the ``/metrics`` scrape — while the attribute
+    API (``stats.requests += 1``, plain ``int`` reads, :meth:`as_dict`)
+    stays exactly what the pre-registry dataclass exposed.
+    """
+
+    #: Field names in their (stable) JSON order; ``stale`` counts
+    #: responses served from the last-good model version because the
     #: registry's current version could not be resolved or loaded.
-    stale: int = 0
+    FIELDS = ("requests", "rows", "batches", "cache_hits", "errors", "stale")
+
+    _HELP = {
+        "requests": "Prediction requests received per model.",
+        "rows": "Prediction rows received per model.",
+        "batches": "Physical predictor batches run per model.",
+        "cache_hits": "Responses answered from the response cache per model.",
+        "errors": "Failed prediction requests per model.",
+        "stale": "Responses served from a last-good (stale) model version.",
+    }
+
+    def __init__(
+        self,
+        model: str = "",
+        registry: "_obs.MetricsRegistry | None" = None,
+    ) -> None:
+        if registry is None:
+            registry = _obs.MetricsRegistry()
+        self._cells = {
+            field: registry.counter(
+                f"repro_serve_model_{field}_total",
+                self._HELP[field],
+                labelnames=("model",),
+            ).labels(model=model)
+            for field in self.FIELDS
+        }
 
     def as_dict(self) -> dict[str, int]:
-        """Plain-dict form for JSON responses."""
-        return dataclasses.asdict(self)
+        """Plain-dict form for JSON responses (stable field order)."""
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"ModelStats({fields})"
+
+
+def _stats_field(field: str):
+    """Property backing one :class:`ModelStats` field with its counter cell."""
+
+    def _get(self) -> int:
+        return int(self._cells[field].value)
+
+    def _set(self, value) -> None:
+        self._cells[field]._set_total(int(value))
+
+    return property(_get, _set, doc=ModelStats._HELP[field])
+
+
+for _field in ModelStats.FIELDS:
+    setattr(ModelStats, _field, _stats_field(_field))
+del _field
 
 
 class _Lane:
     """Pending work of one ``(model, version, target)`` batching lane."""
 
-    __slots__ = ("pending", "n_rows", "kick")
+    __slots__ = ("pending", "n_rows", "kick", "spans")
 
     def __init__(self) -> None:
         self.pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self.n_rows = 0
         self.kick = asyncio.Event()
+        #: Trace contexts of the traced requests riding this lane; the
+        #: flush span links to the first one as its parent and records
+        #: the rest, so one client request yields a connected span tree
+        #: even when its rows execute inside a shared batch.
+        self.spans: list[_obs.TraceContext] = []
 
 
 class MicroBatcher:
@@ -179,13 +235,22 @@ class MicroBatcher:
     Args:
         max_batch: Row count that triggers an immediate flush.
         max_delay_ms: Longest time a request waits for batch company.
+        tracer: Optional :class:`repro.obs.Tracer`; when set, each flush
+            of a lane carrying traced requests emits a ``serve.flush``
+            span parented to the first traced request.
     """
 
-    def __init__(self, max_batch: int = 256, max_delay_ms: float = 2.0) -> None:
+    def __init__(
+        self,
+        max_batch: int = 256,
+        max_delay_ms: float = 2.0,
+        tracer: "_obs.Tracer | None" = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
+        self.tracer = tracer
         self._lanes: dict[object, _Lane] = {}
         self._flush_tasks: set[asyncio.Task] = set()
         self.batches = 0
@@ -196,12 +261,14 @@ class MicroBatcher:
         key: object,
         rows: np.ndarray,
         run: Callable[[np.ndarray], np.ndarray],
+        trace: "_obs.TraceContext | None" = None,
     ) -> np.ndarray:
         """Queue ``rows`` on lane ``key``; resolves to their predictions.
 
         ``run`` maps a concatenated ``(n, n_source)`` matrix to the
         ``(n, n_target)`` prediction matrix; all submissions of one lane
-        must pass an equivalent runner.
+        must pass an equivalent runner.  ``trace`` links this request's
+        span into the flush's span tree.
         """
         loop = asyncio.get_running_loop()
         lane = self._lanes.get(key)
@@ -217,6 +284,8 @@ class MicroBatcher:
         else:
             lane.pending.append((rows, future))
             lane.n_rows += rows.shape[0]
+        if trace is not None:
+            lane.spans.append(trace)
         if lane.n_rows >= self.max_batch:
             lane.kick.set()
         return await future
@@ -239,7 +308,24 @@ class MicroBatcher:
             if not pending:
                 return
             batch = np.concatenate([rows for rows, __ in pending], axis=0)
-            predictions = await asyncio.to_thread(run, batch)
+            flush_span = None
+            if self.tracer is not None and lane.spans:
+                flush_span = self.tracer.span(
+                    "serve.flush",
+                    parent=lane.spans[0],
+                    attributes={
+                        "rows": int(batch.shape[0]),
+                        "requests": len(pending),
+                        "linked_spans": [
+                            ctx.span_id for ctx in lane.spans[1:]
+                        ],
+                    },
+                )
+            try:
+                predictions = await asyncio.to_thread(run, batch)
+            finally:
+                if flush_span is not None:
+                    flush_span.finish()
         except asyncio.CancelledError:
             # Server shutdown: never swallow or re-wrap the cancellation
             # — detach the lane, hand every still-pending waiter a clean
@@ -336,6 +422,13 @@ class PredictionService:
             registry directory is left alone for a cooldown and
             requests are answered from the last-good model (flagged
             ``stale``) instead of hammering a corrupt disk.
+        metrics: The :class:`repro.obs.MetricsRegistry` backing this
+            service's counters and the ``GET /metrics`` scrape.  Each
+            service defaults to a private registry so replicas (and test
+            fixtures) never share series.
+        tracer: Optional :class:`repro.obs.Tracer`; when set, requests
+            carrying an ``X-Repro-Trace`` header produce linked
+            ``serve.predict`` / ``serve.flush`` spans.
     """
 
     def __init__(
@@ -350,6 +443,8 @@ class PredictionService:
         backend: str = "auto",
         breaker_factory: Callable[[], CircuitBreaker] | None = None,
         prefer_mapped: bool = True,
+        metrics: "_obs.MetricsRegistry | None" = None,
+        tracer: "_obs.Tracer | None" = None,
     ) -> None:
         if engine not in ("compiled", "loop"):
             raise ValueError(f"unknown serving engine {engine!r}")
@@ -366,10 +461,26 @@ class PredictionService:
         #: vs recompiled from JSON (operator visibility via /statz).
         self.mapped_loads = 0
         self.compiled_loads = 0
-        self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
+        self.metrics = metrics if metrics is not None else _obs.MetricsRegistry()
+        self.tracer = tracer
+        self.batcher = MicroBatcher(
+            max_batch=max_batch, max_delay_ms=max_delay_ms, tracer=tracer
+        )
         self.response_cache = LRUCache(cache_size)
         self.stats: dict[str, ModelStats] = {}
         self.started_unix = time.time()
+        self._request_seconds = self.metrics.histogram(
+            "repro_serve_request_seconds",
+            "Wall-clock seconds per HTTP request, by endpoint.",
+            labelnames=("endpoint",),
+        )
+        self.metrics.gauge(
+            "repro_serve_uptime_seconds", "Seconds since service start."
+        ).set_function(lambda: time.time() - self.started_unix)
+        self.metrics.gauge(
+            "repro_serve_response_cache_entries",
+            "Entries currently held in the response cache.",
+        ).set_function(lambda: len(self.response_cache))
         self.latest_ttl_seconds = latest_ttl_seconds
         self._artifacts: LRUCache = LRUCache(2 * max_predictors)
         self._predictors: LRUCache = LRUCache(max_predictors)
@@ -513,7 +624,10 @@ class PredictionService:
         return predictor
 
     def _stats_for(self, name: str) -> ModelStats:
-        return self.stats.setdefault(name, ModelStats())
+        stats = self.stats.get(name)
+        if stats is None:
+            stats = self.stats[name] = ModelStats(name, registry=self.metrics)
+        return stats
 
     def _resolve_version(self, name: str, version) -> tuple[int, bool]:
         """Registry version resolution, memoised for the request hot path.
@@ -548,12 +662,15 @@ class PredictionService:
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
-    async def predict(self, request: dict) -> dict:
+    async def predict(
+        self, request: dict, trace: "_obs.TraceContext | None" = None
+    ) -> dict:
         """Answer one ``/predict`` request body (already parsed).
 
         Raises ``ValueError`` for malformed requests and ``KeyError``
         for unknown models/versions; the HTTP layer maps those to 400
-        and 404.
+        and 404.  ``trace`` (parsed from ``X-Repro-Trace``) links the
+        request's spans under the caller's trace.
         """
         if not isinstance(request, dict):
             raise ValueError("request body must be a JSON object")
@@ -570,6 +687,13 @@ class PredictionService:
         stats = self._stats_for(name)
         stats.requests += 1
         stats.rows += len(rows)
+        span = None
+        if self.tracer is not None and trace is not None:
+            span = self.tracer.span(
+                "serve.predict",
+                parent=trace,
+                attributes={"model": name, "rows": len(rows)},
+            )
         try:
             artifact, version, load_stale = self._serving_artifact(name, version)
             stale = stale or load_stale
@@ -591,7 +715,13 @@ class PredictionService:
             n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
             matrix = rows_to_matrix(rows, n_source)
             response = await self._predict_matrix(
-                name, version, target, matrix, stats, cache_key
+                name,
+                version,
+                target,
+                matrix,
+                stats,
+                cache_key,
+                trace=span.context if span is not None else None,
             )
             if stale:
                 response["stale"] = True
@@ -603,8 +733,13 @@ class PredictionService:
         except BaseException:
             stats.errors += 1
             raise
+        finally:
+            if span is not None:
+                span.finish()
 
-    async def predict_packed(self, body: bytes) -> dict:
+    async def predict_packed(
+        self, body: bytes, trace: "_obs.TraceContext | None" = None
+    ) -> dict:
         """Answer one binary packed-frame ``/predict`` request body.
 
         The body is a single-view frame from
@@ -627,6 +762,13 @@ class PredictionService:
         stats = self._stats_for(name)
         stats.requests += 1
         stats.rows += matrix.shape[0]
+        span = None
+        if self.tracer is not None and trace is not None:
+            span = self.tracer.span(
+                "serve.predict",
+                parent=trace,
+                attributes={"model": name, "rows": int(matrix.shape[0])},
+            )
         try:
             artifact, version, load_stale = self._serving_artifact(name, version)
             stale = stale or load_stale
@@ -654,7 +796,13 @@ class PredictionService:
                     f"source vocabulary has {n_source}"
                 )
             response = await self._predict_matrix(
-                name, version, target, matrix, stats, cache_key
+                name,
+                version,
+                target,
+                matrix,
+                stats,
+                cache_key,
+                trace=span.context if span is not None else None,
             )
             if stale:
                 response["stale"] = True
@@ -664,6 +812,9 @@ class PredictionService:
         except BaseException:
             stats.errors += 1
             raise
+        finally:
+            if span is not None:
+                span.finish()
 
     def _cached_response(self, cache_key: object, stats: ModelStats) -> dict | None:
         """Response-cache lookup shared by the JSON and packed paths."""
@@ -683,6 +834,7 @@ class PredictionService:
         matrix: np.ndarray,
         stats: ModelStats,
         cache_key: object,
+        trace: "_obs.TraceContext | None" = None,
     ) -> dict:
         if matrix.shape[0]:
             run = self._runner(name, version, target)
@@ -694,7 +846,7 @@ class PredictionService:
                 return run(batch)
 
             predictions = await self.batcher.submit(
-                (name, version, target.value), matrix, counted_run
+                (name, version, target.value), matrix, counted_run, trace=trace
             )
         else:
             predictions = np.zeros((0, 0), dtype=bool)
@@ -791,13 +943,53 @@ class PredictionService:
             },
         }
 
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` exposition document.
+
+        The service registry first (model counters, request latency),
+        then the engine instrumentation registry (when installed) and
+        the process default — deduplicated by family name, first wins.
+        """
+        registries = [self.metrics]
+        inst = _obs.ACTIVE
+        if inst is not None and all(inst.registry is not r for r in registries):
+            registries.append(inst.registry)
+        if all(_obs.REGISTRY is not r for r in registries):
+            registries.append(_obs.REGISTRY)
+        return _obs.render_registries(registries)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     async def handle(
-        self, method: str, path: str, body: bytes | None = None
-    ) -> tuple[int, dict]:
-        """Route one request; returns ``(status, response payload)``."""
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict | str]:
+        """Route one request; returns ``(status, response payload)``.
+
+        The payload is a JSON-able dict for every route except
+        ``GET /metrics``, whose payload is the Prometheus text document
+        (a ``str`` — the transport picks the content type off that).
+        """
+        started = time.perf_counter()
+        endpoint = path if path in ENDPOINTS else "other"
+        try:
+            return await self._handle_routed(method, path, body, headers)
+        finally:
+            self._request_seconds.labels(endpoint=endpoint).observe(
+                time.perf_counter() - started
+            )
+
+    async def _handle_routed(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str] | None,
+    ) -> tuple[int, dict | str]:
         try:
             if method == "GET" and path == "/healthz":
                 return 200, self.healthz_payload()
@@ -806,15 +998,29 @@ class PredictionService:
                 return (503 if self.draining else 200), payload
             if method == "GET" and path == "/models":
                 return 200, self.models_payload()
+            if method == "GET" and path == "/metrics":
+                return 200, self.metrics_text()
             if method == "POST" and path == "/predict":
                 from repro.stream.codec import PACKED_MAGIC
 
+                trace = None
+                if headers:
+                    trace = _obs.parse_trace_header(
+                        headers.get(_obs.TRACE_HEADER.lower())
+                    )
                 if (body or b"").startswith(PACKED_MAGIC):
+                    if trace is not None:
+                        return 200, await self.predict_packed(body, trace=trace)
                     return 200, await self.predict_packed(body)
                 try:
                     request = json.loads((body or b"").decode("utf-8") or "null")
                 except ValueError:
                     return 400, {"error": "request body is not valid JSON"}
+                # Untraced requests call predict(request) exactly as
+                # before — callers wrap/replace predict with
+                # single-argument callables.
+                if trace is not None:
+                    return 200, await self.predict(request, trace=trace)
                 return 200, await self.predict(request)
             return 404, {"error": f"no route {method} {path}"}
         except KeyError as error:
@@ -853,13 +1059,19 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
+#: Paths that get their own request-latency series; anything else is
+#: bucketed under ``other`` so hostile path spam cannot mint series.
+ENDPOINTS = ("/healthz", "/readyz", "/models", "/metrics", "/predict", "/statz")
 
-def http_response_bytes(status: int, body: bytes) -> bytes:
-    """One complete ``Connection: close`` JSON response as raw bytes."""
+
+def http_response_bytes(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    """One complete ``Connection: close`` response as raw bytes."""
     reason = _REASONS.get(status, "Internal Server Error")
     return (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n".encode("ascii")
         + body
@@ -927,6 +1139,13 @@ class PredictionServer:
             self._handle_client, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "replica %s listening on %s:%d",
+            self.name,
+            self.host,
+            self.port,
+            extra={"replica": self.name, "host": self.host, "port": self.port},
+        )
 
     @property
     def inflight(self) -> int:
@@ -976,11 +1195,20 @@ class PredictionServer:
         if stragglers:
             await asyncio.gather(*stragglers, return_exceptions=True)
         await self.service.batcher.shutdown()
-        return {
+        summary = {
             "inflight_at_stop": inflight_at_stop,
             "completed": inflight_at_stop - len(stragglers),
             "cancelled": len(stragglers),
         }
+        logger.info(
+            "replica %s drained: %d in flight, %d completed, %d cancelled",
+            self.name,
+            inflight_at_stop,
+            summary["completed"],
+            summary["cancelled"],
+            extra={"replica": self.name, **summary},
+        )
+        return summary
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -1046,8 +1274,14 @@ class PredictionServer:
                 # harness hosting it).
                 self._die()
                 return
-            body = json.dumps(payload).encode("utf-8")
-            writer.write(http_response_bytes(status, body))
+            if isinstance(payload, str):
+                # /metrics: the payload already is the wire document.
+                body = payload.encode("utf-8")
+                content_type = _obs.METRICS_CONTENT_TYPE
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
+            writer.write(http_response_bytes(status, body, content_type))
             try:
                 await writer.drain()
             finally:
@@ -1096,7 +1330,7 @@ class PredictionServer:
         # plan("serve.w2.request", kind="crash") kills w2 mid-batch.
         fault_point(f"serve.{self.name}.request")
         try:
-            method, path, body = await asyncio.wait_for(
+            method, path, body, headers = await asyncio.wait_for(
                 self._read_request(reader), self.read_timeout
             )
         except asyncio.TimeoutError:
@@ -1109,21 +1343,22 @@ class PredictionServer:
             return error.status, error.payload
         except (asyncio.IncompleteReadError, ConnectionError, ValueError):
             return 400, {"error": "malformed HTTP request"}
-        return await self.service.handle(method, path, body)
+        return await self.service.handle(method, path, body, headers)
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes, dict[str, str]]:
         """Read one request; the caller bounds this with ``read_timeout``."""
         return await read_http_request(reader, self.MAX_BODY_BYTES)
 
 
 async def read_http_request(
     reader: asyncio.StreamReader, max_body_bytes: int
-) -> tuple[str, str, bytes]:
-    """Parse one HTTP/1.1 request: ``(method, path, body)``.
+) -> tuple[str, str, bytes, dict[str, str]]:
+    """Parse one HTTP/1.1 request: ``(method, path, body, headers)``.
 
-    Shared by :class:`PredictionServer` and the replica router
+    Header names come back lower-cased (last value wins).  Shared by
+    :class:`PredictionServer` and the replica router
     (:mod:`repro.serve.router`) so both fronts reject malformed input
     identically.  Raises :class:`_RequestError` carrying the HTTP
     response for protocol violations; the caller bounds the read time.
@@ -1136,12 +1371,15 @@ async def read_http_request(
         )
     method, path = parts[0].upper(), parts[1]
     content_length = 0
+    headers: dict[str, str] = {}
     while True:
         line = (await reader.readline()).decode("ascii", "replace")
         if line in ("\r\n", "\n", ""):
             break
         header, _, value = line.partition(":")
-        if header.strip().lower() == "content-length":
+        header = header.strip().lower()
+        headers[header] = value.strip()
+        if header == "content-length":
             try:
                 content_length = int(value.strip())
             except ValueError:
@@ -1152,4 +1390,4 @@ async def read_http_request(
             {"error": f"request body exceeds {max_body_bytes} bytes"},
         )
     body = await reader.readexactly(content_length) if content_length else b""
-    return method, path, body
+    return method, path, body, headers

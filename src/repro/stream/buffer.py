@@ -36,6 +36,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.bitset import (
     WORD_BITS,
     BitMatrix,
@@ -303,6 +304,8 @@ class StreamBuffer:
                 tracker.count += int(region_count) - old_partial
         self._end = end + k
         self.appended_total += k
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.stream_append(k, len(self))
 
     def evict(self, k: int) -> None:
         """Drop the ``k`` oldest live transactions from the window.
@@ -339,6 +342,8 @@ class StreamBuffer:
                 dead[-1] &= ~tail_mask
         self._start = hi
         self.evicted_total += k
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.stream_evict(k, len(self))
         dead_w = self._start // WORD_BITS
         live_w = n_words_for(self._end) - dead_w
         if dead_w >= 8 and dead_w >= live_w:

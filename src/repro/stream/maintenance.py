@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import logging
 import os
 from pathlib import Path
 
+from repro import obs as _obs
 from repro.core.beam import TranslatorBeam
 from repro.core.table import TranslationTable
 from repro.core.translator import TranslatorExact
@@ -43,6 +45,8 @@ from repro.stream.drift import DriftMonitor, DriftReport
 from repro.stream.source import rows_to_matrix
 
 __all__ = ["MaintenanceEvent", "MaintenanceLoop", "RefitPolicy", "fit_window"]
+
+logger = logging.getLogger(__name__)
 
 
 def fit_window(translator, buffer: StreamBuffer, name: str = "stream-window"):
@@ -232,6 +236,11 @@ class MaintenanceLoop:
             # Damaged or foreign state: a fresh start is always correct
             # (the source replays from row 0), just slower.
             self.checkpoint_recovery_error = str(error)
+            logger.warning(
+                "checkpoint recovery failed, starting fresh: %s",
+                error,
+                extra={"model": self.model_name, "checkpoint": str(path)},
+            )
             return 0
         self.rows_seen = checkpoint.rows_seen
         self._rows_since_check = checkpoint.rows_since_check
@@ -320,9 +329,14 @@ class MaintenanceLoop:
     # ------------------------------------------------------------------
     async def _check_and_maybe_publish(self) -> None:
         self._rows_since_check = 0
+        inst = _obs.ACTIVE
+        if inst is not None:
+            inst.maintenance_event("check", rows_seen=self.rows_seen)
         result = await asyncio.to_thread(
             fit_window, self.translator, self.buffer, f"{self.model_name}-window"
         )
+        if inst is not None:
+            inst.maintenance_event("refit")
         report: DriftReport | None = None
         if self._published_table is None:
             publish = True  # bootstrap: nothing is serving yet
@@ -341,7 +355,37 @@ class MaintenanceLoop:
             publish = (
                 report.drifted and report.degradation > self.monitor.min_degradation
             ) or self.policy.always_publish
+            if report.drifted and inst is not None:
+                inst.maintenance_event("drift")
+            logger.info(
+                "drift check: drifted=%s degradation=%.6f publish=%s",
+                report.drifted,
+                report.degradation,
+                publish,
+                extra={
+                    "model": self.model_name,
+                    "rows_seen": self.rows_seen,
+                    "window_rows": len(self.buffer),
+                    "drifted": report.drifted,
+                    "degradation": report.degradation,
+                    "drift_reason": report.reason or None,
+                    "will_publish": publish,
+                },
+            )
         version = self._publish(result, report) if publish else None
+        if version is not None:
+            if inst is not None:
+                inst.maintenance_event("publish")
+            logger.info(
+                "published model version %d",
+                version,
+                extra={
+                    "model": self.model_name,
+                    "version": version,
+                    "rows_seen": self.rows_seen,
+                    "window_rows": len(self.buffer),
+                },
+            )
         self.events.append(
             MaintenanceEvent(
                 rows_seen=self.rows_seen,
