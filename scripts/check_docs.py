@@ -34,6 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 PUBLIC_PACKAGES = [
     "repro",
     "repro.data",
+    "repro.data.schema",
     "repro.mining",
     "repro.core",
     "repro.baselines",

@@ -1,0 +1,127 @@
+"""Schema round-trip lint: serialisation must be byte-stable.
+
+The invertible-binning pipeline threads
+:class:`repro.data.schema.ViewSchema` payloads through translation-table
+JSON, model artifacts, binary sidecars and ``.2v`` files.  Each carrier
+promises *byte equality* under a serialise/parse/serialise round trip —
+the property that keeps content hashes reproducible and lets old readers
+skip the sections they do not know.  This lint checks every carrier,
+runnable standalone::
+
+    PYTHONPATH=src python scripts/check_schema.py
+
+and inside tier-1 via ``tests/test_schema.py``
+(``pytest -m multiview_smoke``).
+
+Checks
+------
+1. ``ViewSchema``: ``from_payload(to_payload()).to_payload()`` is
+   byte-identical for every schema the mixed datasets produce (both
+   discretisation methods).
+2. ``TranslationTable``: schema-less tables emit the version-2 document
+   unchanged; schema-carrying tables round-trip version 3 byte-identically.
+3. ``ModelArtifact``: payloads round-trip byte-identically, content hash
+   included, with and without schemas.
+4. ``.2v`` files: ``save_dataset``/``load_dataset`` preserve schemas and
+   re-save byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sample_datasets():
+    from repro.data.mixed import MIXED_DATASETS, make_mixed_dataset
+
+    for name in MIXED_DATASETS:
+        for discretize in ("mdl", "equal-height"):
+            yield make_mixed_dataset(name, discretize=discretize, scale=0.05)
+
+
+def schema_roundtrip_failures() -> list[str]:
+    """Carriers whose schema serialisation is not byte-stable."""
+    from repro.core.table import TranslationTable
+    from repro.core.rules import TranslationRule
+    from repro.data.io import load_dataset, save_dataset
+    from repro.data.schema import ViewSchema
+    from repro.serve.artifact import ModelArtifact
+
+    failures: list[str] = []
+    rule = TranslationRule((0,), (0,), "->")
+    for dataset in _sample_datasets():
+        tag = f"{dataset.name}"
+        for side, schema in (("left", dataset.left_schema), ("right", dataset.right_schema)):
+            payload = schema.to_payload()
+            rebuilt = ViewSchema.from_payload(payload).to_payload()
+            if _canonical(payload) != _canonical(rebuilt):
+                failures.append(f"{tag}.{side}: ViewSchema payload not byte-stable")
+
+        bare = TranslationTable([rule])
+        bare_payload = bare.to_payload()
+        if bare_payload.get("schema_version") != 2 or "schema" in bare_payload:
+            failures.append(f"{tag}: schema-less table no longer emits the v2 document")
+        if _canonical(bare_payload) != _canonical(
+            TranslationTable.from_payload(bare_payload).to_payload()
+        ):
+            failures.append(f"{tag}: schema-less table payload not byte-stable")
+
+        table = bare.with_schemas(dataset.left_schema, dataset.right_schema)
+        table_payload = table.to_payload()
+        if _canonical(table_payload) != _canonical(
+            TranslationTable.from_payload(table_payload).to_payload()
+        ):
+            failures.append(f"{tag}: schema table payload not byte-stable")
+
+        artifact = ModelArtifact(
+            name=f"{dataset.name}-lint",
+            table=table,
+            left_names=tuple(dataset.left_names),
+            right_names=tuple(dataset.right_names),
+            created_unix=0.0,
+            library_version="lint",
+            left_schema=dataset.left_schema,
+            right_schema=dataset.right_schema,
+        )
+        artifact_payload = artifact.payload()
+        if _canonical(artifact_payload) != _canonical(
+            ModelArtifact.from_payload(artifact_payload).payload()
+        ):
+            failures.append(f"{tag}: artifact payload not byte-stable")
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "lint.2v"
+            save_dataset(dataset, path)
+            first = path.read_bytes()
+            loaded = load_dataset(path)
+            if loaded.left_schema is None or loaded.right_schema is None:
+                failures.append(f"{tag}: .2v round trip dropped the schemas")
+                continue
+            save_dataset(loaded, path)
+            if path.read_bytes() != first:
+                failures.append(f"{tag}: .2v re-save not byte-stable")
+    return failures
+
+
+def main() -> int:
+    failures = schema_roundtrip_failures()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("schema round-trip lint: all carriers byte-stable")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

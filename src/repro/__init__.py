@@ -36,9 +36,11 @@ mapping, benchmarks, the parallel runtime).
 
 from repro.data import (
     PAPER_DATASETS,
+    ItemSchema,
     Side,
     SyntheticSpec,
     TwoViewDataset,
+    ViewSchema,
     dataset_names,
     generate_planted,
     load_dataset,
@@ -66,8 +68,9 @@ from repro.core import (
     translate_view,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
+from repro.multiview import MultiViewDataset, MultiViewTranslator
 from repro.runtime import (
     ParallelExecutor,
     ResultCache,
@@ -92,9 +95,13 @@ from repro.stream import (
 
 __all__ = [
     "PAPER_DATASETS",
+    "ItemSchema",
+    "MultiViewDataset",
+    "MultiViewTranslator",
     "Side",
     "SyntheticSpec",
     "TwoViewDataset",
+    "ViewSchema",
     "dataset_names",
     "generate_planted",
     "load_dataset",

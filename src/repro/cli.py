@@ -4,6 +4,7 @@ Subcommands mirroring the library's main entry points::
 
     repro-translator stats [dataset ...]          Table 1 statistics
     repro-translator fit DATASET [options]        induce a translation table
+    repro-translator fit-multiview DATASET [opts] pairwise k-view translation
     repro-translator compare DATASET [options]    Table 3 comparison
     repro-translator trace DATASET [options]      Fig. 2 construction trace
     repro-translator predict DATASET [options]    held-out prediction
@@ -83,17 +84,34 @@ from repro.eval.trace import format_trace
 __all__ = ["main", "build_parser"]
 
 
-def _resolve_dataset(spec: str, scale: float | None) -> TwoViewDataset:
+def _resolve_dataset(
+    spec: str,
+    scale: float | None,
+    discretize: str = "mdl",
+    n_bins: int = 5,
+) -> TwoViewDataset:
     if Path(spec).exists():
         return load_dataset(spec)
-    return make_dataset(spec, scale=scale)
+    return make_dataset(spec, scale=scale, discretize=discretize, n_bins=n_bins)
+
+
+def _dataset_from_args(spec: str, args: argparse.Namespace) -> TwoViewDataset:
+    """Resolve a dataset spec honouring the ``--discretize``/``--n-bins``
+    options (used by the mixed-type registry datasets; Boolean datasets
+    ignore them)."""
+    return _resolve_dataset(
+        spec,
+        args.scale,
+        discretize=getattr(args, "discretize", "mdl"),
+        n_bins=getattr(args, "n_bins", 5),
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     names = args.datasets or dataset_names()
     rows = []
     for name in names:
-        dataset = _resolve_dataset(name, args.scale)
+        dataset = _dataset_from_args(name, args)
         codes = CodeLengthModel(dataset)
         row = dataset.summary()
         row["L(D,empty)"] = round(codes.baseline_length(), 0)
@@ -232,7 +250,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_publish(args: argparse.Namespace) -> int:
     from repro.serve import ModelArtifact, ModelRegistry
 
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     if args.table is not None:
         table = TranslationTable.load(args.table)
 
@@ -447,7 +465,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
 
     if args.vocab_from is not None:
-        vocab = _resolve_dataset(args.vocab_from, args.scale)
+        vocab = _dataset_from_args(args.vocab_from, args)
         n_left, n_right = vocab.n_left, vocab.n_right
         left_names, right_names = vocab.left_names, vocab.right_names
     elif args.n_left is not None and args.n_right is not None:
@@ -598,7 +616,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         print(f"# loaded store {args.store} "
               f"({store.n_transactions} rows, {store.n_blocks} block(s))")
     elif args.dataset is not None:
-        dataset = _resolve_dataset(args.dataset, args.scale)
+        dataset = _dataset_from_args(args.dataset, args)
         result = translator.fit(dataset)
     else:
         raise SystemExit("fit needs a dataset argument or --store")
@@ -632,10 +650,101 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_multiview(spec: str, args: argparse.Namespace):
+    """Build a ``k``-view dataset from a registry name or ``.2v`` path.
+
+    ``--views 2`` keeps the dataset's own two views; for ``k > 2`` the
+    joined item matrix is re-partitioned with the greedy density-balanced
+    :func:`~repro.data.preprocessing.split_views` (schema-carrying
+    datasets keep all bins of one source attribute in the same view).
+    """
+    from repro.data.preprocessing import split_views
+    from repro.data.schema import ViewSchema
+    from repro.multiview.dataset import MultiViewDataset
+
+    dataset = _dataset_from_args(spec, args)
+    n_views = args.views
+    if n_views == 2:
+        return MultiViewDataset(
+            [dataset.left, dataset.right],
+            view_names=["left", "right"],
+            item_names=[list(dataset.left_names), list(dataset.right_names)],
+            name=dataset.name,
+            schemas=[dataset.left_schema, dataset.right_schema],
+        )
+    joint, names = dataset.joined()
+    schema = None
+    if dataset.left_schema is not None and dataset.right_schema is not None:
+        schema = ViewSchema(list(dataset.left_schema) + list(dataset.right_schema))
+    origins = [item.source for item in schema] if schema is not None else None
+    parts = split_views(joint, names, origins, rng=args.seed, n_views=n_views)
+    return MultiViewDataset(
+        [joint[:, columns] for columns in parts],
+        item_names=[[names[column] for column in columns] for columns in parts],
+        name=f"{dataset.name}[k={n_views}]",
+        schemas=(
+            [schema.subset(list(columns)) for columns in parts]
+            if schema is not None
+            else None
+        ),
+    )
+
+
+def _cmd_fit_multiview(args: argparse.Namespace) -> int:
+    from repro.multiview.translator import MultiViewTranslator
+
+    if args.method not in ("select", "exact"):
+        raise SystemExit(
+            "fit-multiview supports --method select or exact "
+            "(the pairwise decomposition has no greedy/beam variant)"
+        )
+    dataset = _resolve_multiview(args.dataset, args)
+    translator = MultiViewTranslator(
+        k=args.k,
+        minsup=args.minsup,
+        method=args.method,
+        conditional=args.conditional,
+        max_iterations=args.max_iterations,
+        max_rule_size=args.max_rule_size,
+        kernel=getattr(args, "kernel", "auto"),
+    )
+    result = translator.fit(dataset)
+    print(
+        f"# multiview {result.method} on {dataset.name} "
+        f"({dataset.n_views} views, {len(result.pair_results)} pair(s)"
+        f"{', conditional' if result.conditional else ''})"
+    )
+    print(
+        f"# |T|={result.n_rules}  L%={100 * result.compression_ratio:.2f}  "
+        f"runtime={result.runtime_seconds:.2f}s"
+    )
+    for (first, second), pair_result in result.pair_results.items():
+        pair_name = (
+            f"{dataset.view_names[first]}~{dataset.view_names[second]}"
+        )
+        rows = result.pair_rows.get((first, second), dataset.n_transactions)
+        print(
+            f"\n## pair {pair_name}: |T|={pair_result.n_rules}  "
+            f"L%={100 * pair_result.compression_ratio:.2f}  rows={rows}"
+        )
+        print(pair_result.table.render(pair_result.state.dataset, limit=args.limit))
+    if args.output:
+        summary = result.summary()
+        summary["per_pair"] = {
+            f"{first}~{second}": cells
+            for (first, second), cells in summary["per_pair"].items()
+        }
+        args.output.write_text(
+            json.dumps(summary, indent=2, default=str) + "\n", encoding="utf-8"
+        )
+        print(f"# summary written to {args.output}")
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.corpus import ColumnStore, ingest_dataset
 
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     digest = ingest_dataset(
         dataset,
         args.output,
@@ -661,7 +770,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.data.dataset import Side
 
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     if args.table is not None:
         # Score a saved/published table on a held-out split directly,
         # skipping the (potentially expensive) refit.
@@ -702,7 +811,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_randomize(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     translator = _make_translator(args)
     result = randomization_test(
         dataset, translator, n_permutations=args.permutations, rng=args.seed
@@ -716,7 +825,7 @@ def _cmd_randomize(args: argparse.Namespace) -> int:
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     translator = _make_translator(args)
     result = translator.fit(dataset)
     print(describe_result(dataset, result, max_rules=args.limit))
@@ -724,7 +833,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_stability(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     translator = _make_translator(args)
     report = bootstrap_stability(
         dataset,
@@ -740,7 +849,7 @@ def _cmd_stability(args: argparse.Namespace) -> int:
 
 
 def _cmd_encoding(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     translator = _make_translator(args)
     result = translator.fit(dataset)
     report = refined_lengths(dataset, result.table)
@@ -750,7 +859,7 @@ def _cmd_encoding(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     result = cluster_two_view(
         dataset,
         k=args.k_components,
@@ -795,7 +904,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     results = compare_methods(dataset, minsup=args.minsup)
     print(
         format_table(
@@ -807,7 +916,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    dataset = _resolve_dataset(args.dataset, args.scale)
+    dataset = _dataset_from_args(args.dataset, args)
     result = TranslatorSelect(k=1, minsup=args.minsup).fit(dataset)
     print(f"# construction trace of translator-select(1) on {dataset.name} (Fig. 2)")
     print(format_trace(result, every=args.every))
@@ -826,6 +935,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="transaction-count scale for registry datasets (default: REPRO_SCALE or 1.0)",
+    )
+    common.add_argument(
+        "--discretize",
+        choices=("mdl", "equal-height"),
+        default="mdl",
+        help="binning method for continuous columns of mixed-type registry "
+        "datasets (abalone-mixed, winequality-mixed); Boolean datasets "
+        "ignore it",
+    )
+    common.add_argument(
+        "--n-bins",
+        type=int,
+        default=5,
+        help="bin budget per continuous column for mixed-type datasets "
+        "(the MDL method may merge below it)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -902,6 +1026,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune", action="store_true", help="post-hoc prune the fitted table"
     )
     fit.set_defaults(handler=_cmd_fit)
+
+    fit_multiview = subparsers.add_parser(
+        "fit-multiview",
+        help="pairwise k-view translation over shared packed bitsets",
+        parents=[common, method_options],
+    )
+    fit_multiview.add_argument("dataset", help="registry name or .2v path")
+    fit_multiview.add_argument(
+        "--views",
+        type=int,
+        default=2,
+        help="number of views: 2 keeps the dataset's own split, k > 2 "
+        "re-partitions the joined items density-balanced",
+    )
+    fit_multiview.add_argument(
+        "--conditional",
+        action="store_true",
+        help="score each pair residually on the transactions not yet "
+        "covered by earlier pairs' rules",
+    )
+    fit_multiview.add_argument(
+        "--seed", type=int, default=0, help="re-partition seed (--views > 2)"
+    )
+    fit_multiview.add_argument(
+        "--limit", type=int, default=10, help="rules to print per pair"
+    )
+    fit_multiview.add_argument(
+        "--output", type=Path, default=None, help="write the summary JSON here"
+    )
+    fit_multiview.set_defaults(handler=_cmd_fit_multiview)
 
     ingest = subparsers.add_parser(
         "ingest",

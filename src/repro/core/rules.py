@@ -123,13 +123,17 @@ class TranslationRule:
 
     # ------------------------------------------------------------------
     def render(self, dataset: TwoViewDataset | None = None) -> str:
-        """Human-readable form, with item names when a dataset is given."""
+        """Human-readable form, with item names when a dataset is given.
+
+        When the dataset carries view schemas the items render in
+        original units (``age ∈ [30, 45)`` instead of ``age=bin3``).
+        """
         if dataset is None:
             left = ", ".join(map(str, self.lhs))
             right = ", ".join(map(str, self.rhs))
         else:
-            left = ", ".join(dataset.left_names[item] for item in self.lhs)
-            right = ", ".join(dataset.right_names[item] for item in self.rhs)
+            left = ", ".join(dataset.item_label(Side.LEFT, item) for item in self.lhs)
+            right = ", ".join(dataset.item_label(Side.RIGHT, item) for item in self.rhs)
         return f"{{{left}}} {self.direction} {{{right}}}"
 
     def __str__(self) -> str:

@@ -15,6 +15,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.data.dataset import TwoViewDataset
+from repro.data.schema import ViewSchema
 from repro.core.rules import Direction, TranslationRule
 
 __all__ = ["TABLE_SCHEMA_VERSION", "TranslationTable"]
@@ -22,8 +23,12 @@ __all__ = ["TABLE_SCHEMA_VERSION", "TranslationTable"]
 #: Current on-disk schema version of :meth:`TranslationTable.to_json`.
 #: Version 1 was a bare JSON list of rule dicts; version 2 wraps the
 #: rules in an object carrying this number so serving artifacts (and any
-#: future field) can evolve without breaking old readers.
-TABLE_SCHEMA_VERSION = 2
+#: future field) can evolve without breaking old readers.  Version 3
+#: adds an optional ``"schema"`` section carrying the views'
+#: :class:`~repro.data.schema.ViewSchema` payloads — emitted only when
+#: the table carries schemas, so schema-less tables still serialise as
+#: byte-identical version-2 documents and legacy readers are unaffected.
+TABLE_SCHEMA_VERSION = 3
 
 
 class TranslationTable:
@@ -36,6 +41,9 @@ class TranslationTable:
 
     Args:
         rules: Optional initial rules, added in iteration order.
+        left_schema: Optional :class:`~repro.data.schema.ViewSchema`
+            provenance of the left-view items, carried into the payload.
+        right_schema: Optional right-view schema.
 
     Example::
 
@@ -45,11 +53,24 @@ class TranslationTable:
         1
     """
 
-    def __init__(self, rules: Iterable[TranslationRule] = ()) -> None:
+    def __init__(
+        self,
+        rules: Iterable[TranslationRule] = (),
+        left_schema: ViewSchema | None = None,
+        right_schema: ViewSchema | None = None,
+    ) -> None:
         self._rules: list[TranslationRule] = []
         self._seen: set[TranslationRule] = set()
+        self.left_schema = left_schema
+        self.right_schema = right_schema
         for rule in rules:
             self.add(rule)
+
+    def with_schemas(
+        self, left_schema: ViewSchema | None, right_schema: ViewSchema | None
+    ) -> "TranslationTable":
+        """Copy of the table carrying the given view schemas."""
+        return TranslationTable(self._rules, left_schema, right_schema)
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -135,10 +156,25 @@ class TranslationTable:
         )
 
     def to_payload(self) -> dict[str, object]:
-        """JSON-serialisable dict form (current schema version)."""
+        """JSON-serialisable dict form.
+
+        Schema-less tables emit the version-2 document unchanged (byte
+        stability for existing artifacts and their content hashes);
+        tables carrying view schemas emit version 3 with a ``"schema"``
+        section.
+        """
+        if self.left_schema is None and self.right_schema is None:
+            return {
+                "schema_version": 2,
+                "rules": [rule.to_dict() for rule in self._rules],
+            }
         return {
             "schema_version": TABLE_SCHEMA_VERSION,
             "rules": [rule.to_dict() for rule in self._rules],
+            "schema": {
+                "left": self.left_schema.to_payload() if self.left_schema else None,
+                "right": self.right_schema.to_payload() if self.right_schema else None,
+            },
         }
 
     @classmethod
@@ -150,6 +186,7 @@ class TranslationTable:
         :data:`TABLE_SCHEMA_VERSION` is rejected rather than silently
         misread.
         """
+        left_schema = right_schema = None
         if isinstance(payload, list):  # schema version 1 (legacy)
             entries = payload
         elif isinstance(payload, dict):
@@ -162,11 +199,23 @@ class TranslationTable:
             entries = payload.get("rules")
             if not isinstance(entries, list):
                 raise ValueError("table payload has no 'rules' list")
+            schemas = payload.get("schema")
+            if schemas is not None:
+                if not isinstance(schemas, dict):
+                    raise ValueError("table 'schema' section must be an object")
+                if schemas.get("left") is not None:
+                    left_schema = ViewSchema.from_payload(schemas["left"])
+                if schemas.get("right") is not None:
+                    right_schema = ViewSchema.from_payload(schemas["right"])
         else:
             raise ValueError(
                 f"table payload must be a list or dict, got {type(payload).__name__}"
             )
-        return cls(TranslationRule.from_dict(entry) for entry in entries)
+        return cls(
+            (TranslationRule.from_dict(entry) for entry in entries),
+            left_schema=left_schema,
+            right_schema=right_schema,
+        )
 
     def to_json(self) -> str:
         """Serialise the table to a JSON string."""

@@ -339,12 +339,18 @@ class _CandidateBased:
         closed: bool = True,
         max_candidates: int = 10_000,
         kernel: str = "auto",
+        joint_bits=None,
     ) -> None:
         self.minsup = minsup
         self.candidates = candidates
         self.closed = closed
         self.max_candidates = max_candidates
         self.kernel = kernel
+        #: Optional pre-packed joint-matrix columns (left items first),
+        #: forwarded to the candidate miner so it skips its internal
+        #: repack; candidates are bit-identical either way.  Set by the
+        #: multi-view translator, which packs each view exactly once.
+        self.joint_bits = joint_bits
 
     def _get_candidates(self, dataset: TwoViewDataset) -> list[TwoViewCandidate]:
         if self.candidates is not None:
@@ -365,6 +371,7 @@ class _CandidateBased:
                         closed=self.closed,
                         max_candidates=20 * self.max_candidates,
                         kernel=self.kernel,
+                        bits=self.joint_bits,
                     )
                     break
                 except RuntimeError:
@@ -377,6 +384,7 @@ class _CandidateBased:
             target_candidates=self.max_candidates,
             closed=self.closed,
             kernel=self.kernel,
+            bits=self.joint_bits,
         )
         return candidates
 
@@ -407,8 +415,9 @@ class TranslatorSelect(_CandidateBased):
         max_candidates: int = 10_000,
         max_iterations: int | None = None,
         kernel: str = "auto",
+        joint_bits=None,
     ) -> None:
-        super().__init__(minsup, candidates, closed, max_candidates, kernel)
+        super().__init__(minsup, candidates, closed, max_candidates, kernel, joint_bits)
         if k < 1:
             raise ValueError("k must be at least 1")
         self.k = k

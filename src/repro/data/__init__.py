@@ -10,12 +10,19 @@ reproduction of *Association Discovery in Two-View Data*:
 * :mod:`~repro.data.arff` — ARFF reading/writing (the UCI and MULAN
   interchange format) and the ARFF-to-two-view pipeline.
 * :mod:`~repro.data.preprocessing` — the paper's pre-processing pipeline
-  (equal-height discretisation, one-hot encoding, frequent-item filtering,
-  density-balanced view splitting; Section 6, "Data pre-processing").
+  (equal-height and MDL discretisation, one-hot encoding, frequent-item
+  filtering, density-balanced view splitting; Section 6, "Data
+  pre-processing").
+* :mod:`~repro.data.schema` — invertible per-item provenance
+  (:class:`~repro.data.schema.ViewSchema`): source columns, bin edges and
+  units, so rules render as ``age ∈ [30, 45)`` instead of ``age_bin3``.
 * :mod:`~repro.data.synthetic` — planted-rule generators used as offline
   stand-ins for the paper's benchmark datasets.
 * :mod:`~repro.data.registry` — shape-matched stand-ins for the 14 datasets
   of Table 1, addressable by name.
+* :mod:`~repro.data.mixed` — checksum-pinned mixed-type (continuous +
+  categorical) datasets modelled on the UCI Abalone and Wine Quality
+  tables, exercising the discretisation pipeline end to end.
 """
 
 from repro.data.arff import (
@@ -31,10 +38,15 @@ from repro.data.arff import (
 )
 from repro.data.dataset import Side, TwoViewDataset
 from repro.data.io import load_dataset, save_dataset
+from repro.data.mixed import MIXED_DATASETS, make_mixed_dataset
 from repro.data.preprocessing import (
     boolean_frame,
+    boolean_frame_schema,
     discretize_equal_height,
+    discretize_mdl,
     drop_frequent_items,
+    frame_to_multi_view,
+    frame_to_two_view,
     one_hot,
     split_views,
 )
@@ -44,6 +56,7 @@ from repro.data.registry import (
     make_dataset,
     paper_stats,
 )
+from repro.data.schema import ItemSchema, ViewSchema
 from repro.data.synthetic import PlantedRule, SyntheticSpec, generate_planted
 
 __all__ = [
@@ -61,10 +74,18 @@ __all__ = [
     "load_dataset",
     "save_dataset",
     "boolean_frame",
+    "boolean_frame_schema",
     "discretize_equal_height",
+    "discretize_mdl",
     "drop_frequent_items",
+    "frame_to_multi_view",
+    "frame_to_two_view",
     "one_hot",
     "split_views",
+    "ItemSchema",
+    "ViewSchema",
+    "MIXED_DATASETS",
+    "make_mixed_dataset",
     "PAPER_DATASETS",
     "dataset_names",
     "make_dataset",

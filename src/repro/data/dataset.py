@@ -78,6 +78,12 @@ class TwoViewDataset:
         ``R0, R1, ...``.
     name:
         Optional dataset name used in reports.
+    left_schema, right_schema:
+        Optional :class:`~repro.data.schema.ViewSchema` provenance for the
+        views' items (source column, bin edges, category value, unit),
+        produced by the pre-processing pipeline.  When present, rules
+        render in original units (``age ∈ [30, 45)``); purely Boolean
+        datasets simply leave them ``None``.
 
     Examples
     --------
@@ -95,6 +101,8 @@ class TwoViewDataset:
         left_names: Sequence[str] | None = None,
         right_names: Sequence[str] | None = None,
         name: str = "unnamed",
+        left_schema=None,
+        right_schema=None,
     ) -> None:
         self.left = _as_bool_matrix(left, "left view")
         self.right = _as_bool_matrix(right, "right view")
@@ -121,6 +129,12 @@ class TwoViewDataset:
             raise ValueError("left item names must be unique")
         if len(set(self.right_names)) != len(self.right_names):
             raise ValueError("right item names must be unique")
+        if left_schema is not None and len(left_schema) != self.left.shape[1]:
+            raise ValueError("left_schema length does not match left view width")
+        if right_schema is not None and len(right_schema) != self.right.shape[1]:
+            raise ValueError("right_schema length does not match right view width")
+        self.left_schema = left_schema
+        self.right_schema = right_schema
         self.name = name
 
     # ------------------------------------------------------------------
@@ -215,6 +229,34 @@ class TwoViewDataset:
         """Return the vocabulary size of ``side``."""
         return self.n_left if side is Side.LEFT else self.n_right
 
+    def schema(self, side: Side):
+        """Return the :class:`~repro.data.schema.ViewSchema` of ``side`` (or ``None``)."""
+        return self.left_schema if side is Side.LEFT else self.right_schema
+
+    def item_label(self, side: Side, index: int) -> str:
+        """Human-readable label of one item.
+
+        When the side carries a schema, the label renders in original
+        units (``age ∈ [30, 45)``, ``color = red``); otherwise it is the
+        bare item name.
+        """
+        schema = self.schema(side)
+        if schema is not None:
+            return schema.label(index)
+        return self.names(side)[index]
+
+    def with_schemas(self, left_schema, right_schema) -> "TwoViewDataset":
+        """Return a copy of the dataset carrying the given view schemas."""
+        return TwoViewDataset(
+            self.left,
+            self.right,
+            self.left_names,
+            self.right_names,
+            name=self.name,
+            left_schema=left_schema,
+            right_schema=right_schema,
+        )
+
     # ------------------------------------------------------------------
     # Item-level queries
     # ------------------------------------------------------------------
@@ -291,6 +333,8 @@ class TwoViewDataset:
             self.left_names,
             self.right_names,
             name=name if name is not None else f"{self.name}[subset]",
+            left_schema=self.left_schema,
+            right_schema=self.right_schema,
         )
 
     def sample(
@@ -328,6 +372,8 @@ class TwoViewDataset:
             self.right_names,
             self.left_names,
             name=f"{self.name}[swapped]",
+            left_schema=self.right_schema,
+            right_schema=self.left_schema,
         )
 
     def joined(self) -> tuple[np.ndarray, list[str]]:

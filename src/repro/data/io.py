@@ -13,21 +13,28 @@ The ``.2v`` format::
     #2v <name>
     #left <item> <item> ...
     #right <item> <item> ...
+    #schema-left <json>          (optional, when the dataset carries one)
+    #schema-right <json>         (optional)
     <left indices> | <right indices>
     ...
 
 Indices are 0-based within their view and space-separated; an empty side is
-written as an empty index list.
+written as an empty index list.  The optional ``#schema-*`` lines carry the
+views' :class:`~repro.data.schema.ViewSchema` payloads as compact JSON;
+readers that predate them skip any ``#``-prefixed body line, so schema-less
+and schema-carrying files are mutually compatible.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.dataset import TwoViewDataset
+from repro.data.schema import ViewSchema
 
 __all__ = [
     "save_dataset",
@@ -57,6 +64,15 @@ def save_dataset(dataset: TwoViewDataset, path: str | Path) -> None:
         "#left " + " ".join(dataset.left_names),
         "#right " + " ".join(dataset.right_names),
     ]
+    for prefix, schema in (
+        ("#schema-left ", dataset.left_schema),
+        ("#schema-right ", dataset.right_schema),
+    ):
+        if schema is not None:
+            lines.append(
+                prefix
+                + json.dumps(schema.to_payload(), separators=(",", ":"), sort_keys=True)
+            )
     for row in range(dataset.n_transactions):
         left_part = " ".join(map(str, np.flatnonzero(dataset.left[row]).tolist()))
         right_part = " ".join(map(str, np.flatnonzero(dataset.right[row]).tolist()))
@@ -89,10 +105,21 @@ def load_dataset(path: str | Path) -> TwoViewDataset:
             raise ValueError(f"{path} is missing vocabulary headers")
         left_names = left_line.split()[1:]
         right_names = right_line.split()[1:]
+        left_schema = right_schema = None
         left_rows: list[list[int]] = []
         right_rows: list[list[int]] = []
         for line_number, line in enumerate(handle, start=4):
             line = line.strip()
+            if line.startswith("#schema-left "):
+                left_schema = ViewSchema.from_payload(
+                    json.loads(line[len("#schema-left ") :])
+                )
+                continue
+            if line.startswith("#schema-right "):
+                right_schema = ViewSchema.from_payload(
+                    json.loads(line[len("#schema-right ") :])
+                )
+                continue
             if not line or line.startswith("#"):
                 continue
             if "|" not in line:
@@ -106,7 +133,15 @@ def load_dataset(path: str | Path) -> TwoViewDataset:
         left[row, columns] = True
     for row, columns in enumerate(right_rows):
         right[row, columns] = True
-    return TwoViewDataset(left, right, left_names, right_names, name=name)
+    return TwoViewDataset(
+        left,
+        right,
+        left_names,
+        right_names,
+        name=name,
+        left_schema=left_schema,
+        right_schema=right_schema,
+    )
 
 
 def save_csv(dataset: TwoViewDataset, left_path: str | Path, right_path: str | Path) -> None:

@@ -81,9 +81,12 @@ def dataset_names() -> list[str]:
     """All registry dataset names, sorted.
 
     Returns:
-        The names accepted by :func:`make_dataset`, :func:`paper_stats`
-        and the CLI's ``DATASET`` arguments (``"abalone"`` ...
-        ``"yeast"`` — the paper's Table 1 collection).
+        The names accepted by :func:`make_dataset` and the CLI's
+        ``DATASET`` arguments: the paper's Table 1 collection
+        (``"abalone"`` ... ``"yeast"``) plus the mixed-type datasets of
+        :mod:`repro.data.mixed` (``"abalone-mixed"``,
+        ``"winequality-mixed"``), which carry invertible view schemas.
+        :func:`paper_stats` covers only the Table 1 names.
 
     Example::
 
@@ -91,7 +94,9 @@ def dataset_names() -> list[str]:
         >>> "house" in dataset_names()
         True
     """
-    return sorted(PAPER_DATASETS)
+    from repro.data.mixed import MIXED_DATASETS
+
+    return sorted(PAPER_DATASETS) + sorted(MIXED_DATASETS)
 
 
 def paper_stats(name: str) -> PaperDatasetStats:
@@ -437,22 +442,41 @@ _NAMED_DATASETS = {
 
 
 def make_dataset(
-    name: str, scale: float | None = None, seed: int | None = None
+    name: str,
+    scale: float | None = None,
+    seed: int | None = None,
+    discretize: str = "mdl",
+    n_bins: int = 5,
 ) -> TwoViewDataset:
     """Generate the synthetic stand-in for a paper dataset.
 
     Parameters
     ----------
     name:
-        A Table 1 dataset name (see :func:`dataset_names`).
+        A Table 1 dataset name, or a mixed-type name
+        (``"abalone-mixed"``/``"winequality-mixed"``) routed to
+        :func:`repro.data.mixed.make_mixed_dataset` — those builds are
+        checksum-pinned and return schema-carrying datasets.
     scale:
         Multiplier on the number of transactions (vocabularies are kept at
         the published size).  Defaults to :func:`default_scale`, i.e. the
         ``REPRO_SCALE`` environment variable or 1.0.
     seed:
         RNG seed; defaults to a stable per-dataset seed so repeated calls
-        return identical data.
+        return identical data.  Ignored for the mixed datasets (their
+        generation is pinned).
+    discretize, n_bins:
+        Binning controls for the mixed datasets' continuous columns
+        (ignored for the Boolean Table 1 stand-ins).
     """
+    from repro.data.mixed import MIXED_DATASETS, make_mixed_dataset
+
+    if name in MIXED_DATASETS:
+        if scale is None:
+            scale = default_scale()
+        return make_mixed_dataset(
+            name, discretize=discretize, n_bins=n_bins, scale=scale
+        )
     stats = paper_stats(name)
     if scale is None:
         scale = default_scale()

@@ -1,0 +1,255 @@
+"""Invertible attribute schemas for Booleanised views.
+
+Booleanisation (:mod:`repro.data.preprocessing`) maps every source column
+of a tabular frame onto one or more Boolean items — bins of a numeric
+attribute, one-hot categories, or a passthrough flag.  A
+:class:`ViewSchema` records, per item, *where it came from*: the source
+column, the half-open bin interval ``[lo, hi)`` (closed on the right for
+the last bin), the category value, and an optional measurement unit.
+
+The mapping is **invertible**: from the schema alone one can reconstruct
+the exact bin edges the discretiser produced, so a rule rendered as
+``age ∈ [30, 45)`` can be mapped back to the precise column of the
+Boolean matrix it tests.  Schemas serialise to JSON-stable payloads
+(:meth:`ViewSchema.to_payload` / :meth:`ViewSchema.from_payload` are
+byte-exact inverses, enforced by ``scripts/check_schema.py``) and travel
+with datasets, translation-table payloads, serving artifacts and the
+RPROBIN1 sidecar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+__all__ = ["SCHEMA_VERSION", "ItemSchema", "ViewSchema"]
+
+#: On-disk schema version of :meth:`ViewSchema.to_payload`.
+SCHEMA_VERSION = 1
+
+_KINDS = ("numeric", "category", "flag")
+
+
+def _format_edge(value: float) -> str:
+    """Compact, unambiguous rendering of a bin edge."""
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    text = f"{value:g}"
+    return text
+
+
+@dataclasses.dataclass(frozen=True)
+class ItemSchema:
+    """Provenance of one Boolean item.
+
+    Attributes
+    ----------
+    name:
+        The item name as it appears in the dataset vocabulary
+        (e.g. ``"age=bin3"``).
+    source:
+        The source column the item was derived from (e.g. ``"age"``).
+    kind:
+        ``"numeric"`` (a discretisation bin), ``"category"`` (a one-hot
+        category) or ``"flag"`` (a passthrough Boolean column).
+    lo, hi:
+        Bin edges for numeric items: the item is true iff
+        ``lo <= value < hi`` (``<= hi`` when ``closed_hi``).
+    closed_hi:
+        Whether the right edge is inclusive (true for the last bin of an
+        attribute, so the attribute's bins tile its observed range).
+    value:
+        The category value for ``"category"`` items (any JSON scalar).
+    unit:
+        Optional measurement unit, rendered after the interval.
+    """
+
+    name: str
+    source: str
+    kind: str
+    lo: float | None = None
+    hi: float | None = None
+    closed_hi: bool = False
+    value: object = None
+    unit: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown item kind {self.kind!r}; expected one of {_KINDS}")
+        if self.kind == "numeric" and (self.lo is None or self.hi is None):
+            raise ValueError("numeric items need both lo and hi edges")
+
+    def contains(self, value: float) -> bool:
+        """Whether a numeric ``value`` falls in this item's bin."""
+        if self.kind != "numeric":
+            raise ValueError(f"contains() is only defined for numeric items, not {self.kind!r}")
+        if self.closed_hi:
+            return self.lo <= value <= self.hi
+        return self.lo <= value < self.hi
+
+    def label(self) -> str:
+        """Human-readable rendering in original units.
+
+        Numeric bins render as ``age ∈ [30, 45)`` (``]`` when the right
+        edge is inclusive), categories as ``color = red``, flags as the
+        bare source column name.
+        """
+        if self.kind == "numeric":
+            close = "]" if self.closed_hi else ")"
+            text = f"{self.source} ∈ [{_format_edge(self.lo)}, {_format_edge(self.hi)}{close}"
+            if self.unit:
+                text += f" {self.unit}"
+            return text
+        if self.kind == "category":
+            return f"{self.source} = {self.value}"
+        return self.source
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation; ``None`` fields are omitted."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "source": self.source,
+            "kind": self.kind,
+        }
+        if self.kind == "numeric":
+            payload["lo"] = self.lo
+            payload["hi"] = self.hi
+            payload["closed_hi"] = self.closed_hi
+        if self.kind == "category":
+            payload["value"] = self.value
+        if self.unit is not None:
+            payload["unit"] = self.unit
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ItemSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            source=str(payload["source"]),
+            kind=str(payload["kind"]),
+            lo=payload.get("lo"),
+            hi=payload.get("hi"),
+            closed_hi=bool(payload.get("closed_hi", False)),
+            value=payload.get("value"),
+            unit=payload.get("unit"),
+        )
+
+
+class ViewSchema:
+    """Per-item provenance for one Boolean view.
+
+    Behaves as an immutable sequence of :class:`ItemSchema`, aligned with
+    the view's columns: ``schema[j]`` describes item (column) ``j``.
+
+    Example::
+
+        >>> from repro.data.schema import ItemSchema, ViewSchema
+        >>> schema = ViewSchema([
+        ...     ItemSchema("age=bin0", "age", "numeric", lo=30.0, hi=45.0)])
+        >>> schema.label(0)
+        'age ∈ [30, 45)'
+    """
+
+    def __init__(self, items: Iterable[ItemSchema]) -> None:
+        self._items = tuple(items)
+        for item in self._items:
+            if not isinstance(item, ItemSchema):
+                raise TypeError(f"expected ItemSchema, got {type(item).__name__}")
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> ItemSchema:
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViewSchema):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:
+        return f"ViewSchema({len(self._items)} items, {len(set(self.sources))} sources)"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """Item names in column order (the view's vocabulary)."""
+        return [item.name for item in self._items]
+
+    @property
+    def sources(self) -> list[str]:
+        """Source column of every item, in column order."""
+        return [item.source for item in self._items]
+
+    def label(self, index: int) -> str:
+        """Human-readable label of item ``index`` (original units)."""
+        return self._items[index].label()
+
+    def labels(self) -> list[str]:
+        """Labels of all items, in column order."""
+        return [item.label() for item in self._items]
+
+    def items_for(self, source: str) -> list[int]:
+        """Column indices of the items derived from ``source``."""
+        return [index for index, item in enumerate(self._items) if item.source == source]
+
+    def bin_edges(self, source: str) -> list[float]:
+        """Reconstruct the sorted bin-edge list of a numeric ``source``.
+
+        This is the invertibility guarantee: the edges returned here are
+        exactly the edges the discretiser produced (every ``lo`` and
+        ``hi`` of the source's numeric items, deduplicated and sorted).
+        """
+        edges: set[float] = set()
+        for item in self._items:
+            if item.source == source and item.kind == "numeric":
+                edges.add(float(item.lo))
+                edges.add(float(item.hi))
+        if not edges:
+            raise KeyError(f"no numeric items for source {source!r}")
+        return sorted(edges)
+
+    def subset(self, columns: Sequence[int]) -> "ViewSchema":
+        """Schema restricted to the given columns, in the given order."""
+        return ViewSchema(self._items[column] for column in columns)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, object]:
+        """JSON-serialisable dict; byte-exact inverse of :meth:`from_payload`."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "items": [item.to_dict() for item in self._items],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ViewSchema":
+        """Inverse of :meth:`to_payload`.
+
+        A payload newer than :data:`SCHEMA_VERSION` is rejected rather
+        than silently misread.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"schema payload must be a dict, got {type(payload).__name__}")
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or not 1 <= version <= SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema_version {version!r} "
+                f"(this library reads versions 1..{SCHEMA_VERSION})"
+            )
+        items = payload.get("items")
+        if not isinstance(items, list):
+            raise ValueError("schema payload has no 'items' list")
+        return cls(ItemSchema.from_dict(entry) for entry in items)

@@ -25,6 +25,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.bitset import BitMatrix, popcount
+from repro.mining.eclat import _resolve_packed
 
 __all__ = ["closed_itemsets", "closure"]
 
@@ -62,13 +63,15 @@ def closed_itemsets(
     items: Sequence[int] | None = None,
     max_itemsets: int | None = None,
     kernel: str = "auto",
+    bits: BitMatrix | None = None,
 ) -> list[tuple[Itemset, int]]:
     """Mine all closed frequent itemsets of ``matrix``.
 
     Parameters mirror :func:`repro.mining.eclat.eclat` (including the
-    ``kernel`` selector).  The empty itemset is reported only when it is
-    closed (i.e. no item occurs in every transaction) — callers interested
-    in rules ignore it anyway.
+    ``kernel`` selector and the optional pre-packed ``bits`` injection).
+    The empty itemset is reported only when it is closed (i.e. no item
+    occurs in every transaction) — callers interested in rules ignore it
+    anyway.
 
     Returns ``(itemset, support)`` pairs; itemsets are sorted index tuples.
     """
@@ -85,7 +88,7 @@ def closed_itemsets(
     universe = np.zeros(n_items, dtype=bool)
     universe[list(range(n_items)) if items is None else list(items)] = True
     bitset = kernel != "bool"
-    packed = BitMatrix.from_bool_columns(array) if bitset else None
+    packed = _resolve_packed(array, bitset, bits)
 
     results: list[tuple[Itemset, int]] = []
 

@@ -48,6 +48,22 @@ def _validate(matrix: np.ndarray, minsup: int, kernel: str) -> np.ndarray:
     return array
 
 
+def _resolve_packed(
+    array: np.ndarray, bitset: bool, bits: BitMatrix | None
+) -> BitMatrix | None:
+    """Validate injected pre-packed columns or pack fresh ones."""
+    if bits is None:
+        return BitMatrix.from_bool_columns(array) if bitset else None
+    if not bitset:
+        raise ValueError("pre-packed bits require a bitset kernel")
+    if bits.n_bits != array.shape[0] or bits.n_items != array.shape[1]:
+        raise ValueError(
+            f"bits shape ({bits.n_items} items, {bits.n_bits} bits) does not "
+            f"match matrix shape {array.shape}"
+        )
+    return bits
+
+
 def frequent_items(matrix: np.ndarray, minsup: int) -> list[tuple[int, int]]:
     """Return ``(item, support)`` pairs of frequent single items.
 
@@ -69,6 +85,7 @@ def eclat(
     items: Sequence[int] | None = None,
     max_itemsets: int | None = None,
     kernel: str = "auto",
+    bits: BitMatrix | None = None,
 ) -> list[tuple[Itemset, int]]:
     """Mine all frequent itemsets of ``matrix``.
 
@@ -89,6 +106,13 @@ def eclat(
         Tidset representation: ``"bitset"`` (packed words), ``"bool"``
         (plain Boolean arrays) or ``"auto"``.  The mined itemsets are
         identical either way.
+    bits:
+        Optional pre-packed :class:`BitMatrix` of ``matrix``'s columns,
+        skipping the internal repack (the multi-view translator packs
+        each view once and shares the columns across all pairs).  Must
+        match ``matrix``'s shape; requires a bitset kernel.  Packing is
+        deterministic, so injected bits are bit-identical to a fresh
+        pack.
 
     Returns
     -------
@@ -98,7 +122,7 @@ def eclat(
     array = _validate(matrix, minsup, kernel)
     universe = list(range(array.shape[1])) if items is None else sorted(items)
     bitset = kernel != "bool"
-    packed = BitMatrix.from_bool_columns(array) if bitset else None
+    packed = _resolve_packed(array, bitset, bits)
     results: list[tuple[Itemset, int]] = []
 
     def check_budget() -> None:

@@ -14,11 +14,12 @@ import dataclasses
 
 import numpy as np
 
+from repro.core.bitset import BitMatrix
 from repro.data.dataset import TwoViewDataset
 from repro.mining.closed import closed_itemsets
 from repro.mining.eclat import eclat
 
-__all__ = ["TwoViewCandidate", "two_view_candidates", "auto_minsup"]
+__all__ = ["TwoViewCandidate", "joint_bits", "two_view_candidates", "auto_minsup"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,6 +41,25 @@ class TwoViewCandidate:
         return len(self.lhs) + len(self.rhs)
 
 
+def joint_bits(left_bits: BitMatrix, right_bits: BitMatrix) -> BitMatrix:
+    """Stitch per-view packed columns into the joint item matrix.
+
+    Packing is column-wise, so concatenating the word rows of two views
+    packed over the same transactions is bit-identical to packing
+    ``dataset.joined()`` from scratch — this is what lets the multi-view
+    translator pack each view once and reuse the columns for every pair.
+    """
+    if left_bits.n_bits != right_bits.n_bits:
+        raise ValueError(
+            f"views pack different transaction counts: "
+            f"{left_bits.n_bits} != {right_bits.n_bits}"
+        )
+    return BitMatrix(
+        np.concatenate([left_bits.words, right_bits.words], axis=0),
+        left_bits.n_bits,
+    )
+
+
 def two_view_candidates(
     dataset: TwoViewDataset,
     minsup: int,
@@ -47,6 +67,7 @@ def two_view_candidates(
     max_size: int | None = None,
     max_candidates: int | None = None,
     kernel: str = "auto",
+    bits: BitMatrix | None = None,
 ) -> list[TwoViewCandidate]:
     """Mine frequent two-view itemsets of ``dataset``.
 
@@ -68,6 +89,11 @@ def two_view_candidates(
     kernel:
         Tidset kernel forwarded to the miner (``"auto"``/``"bitset"``/
         ``"bool"``); the candidates are identical either way.
+    bits:
+        Optional pre-packed columns of the *joint* matrix (left items
+        first; see :func:`joint_bits`), forwarded to the miner so it
+        skips its internal repack.  Candidates are bit-identical with or
+        without the injection.
 
     Returns
     -------
@@ -76,7 +102,12 @@ def two_view_candidates(
     joint, __ = dataset.joined()
     miner = closed_itemsets if closed else eclat
     mined = miner(
-        joint, minsup, max_size=max_size, max_itemsets=max_candidates, kernel=kernel
+        joint,
+        minsup,
+        max_size=max_size,
+        max_itemsets=max_candidates,
+        kernel=kernel,
+        bits=bits,
     )
     n_left = dataset.n_left
     candidates: list[TwoViewCandidate] = []
@@ -96,6 +127,7 @@ def auto_minsup(
     max_size: int | None = None,
     start_fraction: float = 0.5,
     kernel: str = "auto",
+    bits: BitMatrix | None = None,
 ) -> tuple[int, list[TwoViewCandidate]]:
     """Find a ``minsup`` yielding at most ``target_candidates`` candidates.
 
@@ -120,6 +152,7 @@ def auto_minsup(
                 max_size=max_size,
                 max_candidates=max(10 * target_candidates, 100_000),
                 kernel=kernel,
+                bits=bits,
             )
         except RuntimeError:
             # Mining itself exploded: stop lowering the threshold.
@@ -136,7 +169,7 @@ def auto_minsup(
         # starting threshold and truncate to the most supported candidates.
         minsup = max(1, int(round(start_fraction * n)))
         candidates = two_view_candidates(
-            dataset, minsup, closed=closed, max_size=max_size, kernel=kernel
+            dataset, minsup, closed=closed, max_size=max_size, kernel=kernel, bits=bits
         )
         return minsup, candidates[:target_candidates]
     return best

@@ -7,6 +7,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.data.dataset import TwoViewDataset
+from repro.data.schema import ViewSchema
 
 __all__ = ["MultiViewDataset"]
 
@@ -24,6 +25,10 @@ class MultiViewDataset:
         Optional per-view item name lists.
     name:
         Dataset name for reports.
+    schemas:
+        Optional per-view :class:`~repro.data.schema.ViewSchema` lists
+        (``None`` entries allowed), carrying item provenance from the
+        pre-processing pipeline into every projected view pair.
     """
 
     def __init__(
@@ -32,6 +37,7 @@ class MultiViewDataset:
         view_names: Sequence[str] | None = None,
         item_names: Sequence[Sequence[str]] | None = None,
         name: str = "multiview",
+        schemas: Sequence[object] | None = None,
     ) -> None:
         if len(views) < 2:
             raise ValueError("a multi-view dataset needs at least two views")
@@ -66,6 +72,15 @@ class MultiViewDataset:
             for index, (names, matrix) in enumerate(zip(self.item_names, matrices)):
                 if len(names) != matrix.shape[1]:
                     raise ValueError(f"item_names[{index}] length mismatch")
+        if schemas is None:
+            self.schemas: list[ViewSchema | None] = [None] * len(matrices)
+        else:
+            if len(schemas) != len(matrices):
+                raise ValueError("schemas length does not match view count")
+            for index, (schema, matrix) in enumerate(zip(schemas, matrices)):
+                if schema is not None and len(schema) != matrix.shape[1]:
+                    raise ValueError(f"schemas[{index}] length mismatch")
+            self.schemas = list(schemas)
         self.name = name
 
     # ------------------------------------------------------------------
@@ -99,6 +114,52 @@ class MultiViewDataset:
             self.item_names[first],
             self.item_names[second],
             name=f"{self.name}[{self.view_names[first]}~{self.view_names[second]}]",
+            left_schema=self.schemas[first],
+            right_schema=self.schemas[second],
+        )
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-serialisable form (sparse rows per view, schemas included).
+
+        Round-trips exactly through :meth:`from_payload`, including any
+        per-view schemas.
+        """
+        return {
+            "name": self.name,
+            "view_names": list(self.view_names),
+            "item_names": [list(names) for names in self.item_names],
+            "n_transactions": self.n_transactions,
+            "rows": [
+                [np.flatnonzero(matrix[row]).tolist() for row in range(matrix.shape[0])]
+                for matrix in self.views
+            ],
+            "schemas": [
+                schema.to_payload() if schema is not None else None
+                for schema in self.schemas
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "MultiViewDataset":
+        """Inverse of :meth:`to_payload`."""
+        item_names = [list(names) for names in payload["item_names"]]
+        n = int(payload["n_transactions"])
+        views = []
+        for names, rows in zip(item_names, payload["rows"]):
+            matrix = np.zeros((n, len(names)), dtype=bool)
+            for row, columns in enumerate(rows):
+                matrix[row, columns] = True
+            views.append(matrix)
+        schemas = [
+            ViewSchema.from_payload(entry) if entry is not None else None
+            for entry in payload.get("schemas", [None] * len(views))
+        ]
+        return cls(
+            views,
+            view_names=list(payload["view_names"]),
+            item_names=item_names,
+            name=str(payload.get("name", "multiview")),
+            schemas=schemas,
         )
 
     def __repr__(self) -> str:

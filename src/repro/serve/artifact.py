@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.core.table import TranslationTable
 from repro.data.dataset import TwoViewDataset
+from repro.data.schema import ViewSchema
 from repro.resilience.faults import fault_point
 from repro.runtime.cache import content_key
 
@@ -83,6 +84,13 @@ class ModelArtifact:
         Registry version number; ``None`` until published.
     created_unix:
         Creation timestamp (seconds since the epoch).
+    left_schema, right_schema:
+        Optional :class:`~repro.data.schema.ViewSchema` item provenance
+        (source columns, bin edges, units) captured from the fitted
+        dataset.  When present, server responses can render predictions
+        in original units; schema-less artifacts serialise exactly as
+        before (the ``"schema"`` field is simply absent, so existing
+        content hashes are unchanged and old readers ignore it).
     """
 
     name: str
@@ -94,6 +102,8 @@ class ModelArtifact:
     version: int | None = None
     created_unix: float | None = None
     library_version: str | None = None
+    left_schema: object = None
+    right_schema: object = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -118,6 +128,8 @@ class ModelArtifact:
             fit_params=dict(fit_params or {}),
             metrics=dict(result.summary()),
             created_unix=time.time(),
+            left_schema=getattr(dataset, "left_schema", None),
+            right_schema=getattr(dataset, "right_schema", None),
         )
 
     @property
@@ -153,6 +165,11 @@ class ModelArtifact:
             "library_version": self.library_version or __version__,
             "created_unix": self.created_unix,
         }
+        if self.left_schema is not None or self.right_schema is not None:
+            body["schema"] = {
+                "left": self.left_schema.to_payload() if self.left_schema else None,
+                "right": self.right_schema.to_payload() if self.right_schema else None,
+            }
         body["content_hash"] = content_key(body)
         return body
 
@@ -193,6 +210,17 @@ class ModelArtifact:
                 )
         try:
             vocab = payload["vocab"]
+            schemas = payload.get("schema") or {}
+            left_schema = (
+                ViewSchema.from_payload(schemas["left"])
+                if schemas.get("left") is not None
+                else None
+            )
+            right_schema = (
+                ViewSchema.from_payload(schemas["right"])
+                if schemas.get("right") is not None
+                else None
+            )
             return cls(
                 name=str(payload["name"]),
                 table=TranslationTable.from_payload(payload["table"]),
@@ -203,6 +231,8 @@ class ModelArtifact:
                 version=payload.get("version"),
                 created_unix=payload.get("created_unix"),
                 library_version=payload.get("library_version"),
+                left_schema=left_schema,
+                right_schema=right_schema,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ArtifactError(f"malformed artifact payload: {error}") from error

@@ -166,6 +166,16 @@ def write_compiled(artifact: ModelArtifact, path: str | Path) -> str:
         "n_right": artifact.n_right,
         "sections": sections,
     }
+    if artifact.left_schema is not None or artifact.right_schema is not None:
+        # Optional item-provenance block.  Readers that predate it parse
+        # only the fields they know, so old deployments map these
+        # sidecars unchanged (covered by tests).
+        header["schema"] = {
+            "left": artifact.left_schema.to_payload() if artifact.left_schema else None,
+            "right": (
+                artifact.right_schema.to_payload() if artifact.right_schema else None
+            ),
+        }
     for __ in range(3):  # offsets may widen the header; re-fit until stable
         encoded = json.dumps(header, sort_keys=True).encode("utf-8")
         offset = _align(_PRELUDE.size + len(encoded))
@@ -289,6 +299,22 @@ class MappedArtifact:
     def n_right(self) -> int:
         """Right vocabulary size."""
         return int(self.meta["n_right"])
+
+    def schema(self, side: Side):
+        """The :class:`~repro.data.schema.ViewSchema` of one view, or ``None``.
+
+        Parsed lazily from the header's optional ``"schema"`` block;
+        sidecars written before the block existed simply return ``None``.
+        """
+        from repro.data.schema import ViewSchema
+
+        block = self.meta.get("schema")
+        if not isinstance(block, dict):
+            return None
+        payload = block.get("left" if side is Side.LEFT else "right")
+        if payload is None:
+            return None
+        return ViewSchema.from_payload(payload)
 
     def section(self, name: str) -> np.ndarray:
         """One named section as a read-only zero-copy view."""

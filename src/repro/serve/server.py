@@ -683,6 +683,9 @@ class PredictionService:
             isinstance(row, list) for row in rows
         ):
             raise ValueError("'rows' must be a list of item-index lists")
+        render = request.get("render", False)
+        if not isinstance(render, bool):
+            raise ValueError("'render' must be a boolean")
         version, stale = self._resolve_version(name, request.get("version"))
         stats = self._stats_for(name)
         stats.requests += 1
@@ -707,6 +710,8 @@ class PredictionService:
             if cached is not None:
                 if stale:
                     cached["stale"] = True
+                if render:
+                    self._attach_rendered(cached, artifact, target)
                 return cached
             # Lazy import: repro.stream's package init reaches back into
             # repro.serve, so a module-level import here would cycle.
@@ -725,6 +730,8 @@ class PredictionService:
             )
             if stale:
                 response["stale"] = True
+            if render:
+                self._attach_rendered(response, artifact, target)
             return response
         except asyncio.CancelledError:
             # Shutdown, not a model failure: propagate untouched and
@@ -758,6 +765,7 @@ class PredictionService:
         if not isinstance(name, str) or not name:
             raise ValueError("packed frame header must name a 'model'")
         target = Side(str(meta.get("target", "R")).upper())
+        render = bool(meta.get("render", False))
         version, stale = self._resolve_version(name, meta.get("version"))
         stats = self._stats_for(name)
         stats.requests += 1
@@ -788,6 +796,8 @@ class PredictionService:
             if cached is not None:
                 if stale:
                     cached["stale"] = True
+                if render:
+                    self._attach_rendered(cached, artifact, target)
                 return cached
             n_source = artifact.n_left if target is Side.RIGHT else artifact.n_right
             if matrix.shape[1] != n_source:
@@ -806,6 +816,8 @@ class PredictionService:
             )
             if stale:
                 response["stale"] = True
+            if render:
+                self._attach_rendered(response, artifact, target)
             return response
         except asyncio.CancelledError:
             raise
@@ -815,6 +827,31 @@ class PredictionService:
         finally:
             if span is not None:
                 span.finish()
+
+    @staticmethod
+    def _attach_rendered(response: dict, artifact, target: Side) -> None:
+        """Add ``"rendered"`` labels for the predicted target items.
+
+        Uses the artifact's target-side :class:`~repro.data.schema.ViewSchema`
+        to express predictions in original units (``age ∈ [30, 45)``),
+        falling back to the bare vocabulary names for schema-less
+        artifacts.  Rendering is a pure function of the predictions, so
+        it is applied after the response cache: the cache key (and the
+        cached document) are identical with or without ``render``.
+        """
+        schema = (
+            artifact.right_schema if target is Side.RIGHT else artifact.left_schema
+        )
+        names = (
+            artifact.right_names if target is Side.RIGHT else artifact.left_names
+        )
+        response["rendered"] = [
+            [
+                schema.label(item) if schema is not None else names[item]
+                for item in row
+            ]
+            for row in response["predictions"]
+        ]
 
     def _cached_response(self, cache_key: object, stats: ModelStats) -> dict | None:
         """Response-cache lookup shared by the JSON and packed paths."""

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -169,3 +171,81 @@ class TestConvertCommand:
         src.write_text("x")
         assert main(["convert", str(src), str(tmp_path / "b.txt")]) == 2
         assert "requires" in capsys.readouterr().err
+
+
+@pytest.mark.multiview_smoke
+class TestMultiviewCommand:
+    def test_fit_multiview_two_views(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert main(["fit-multiview", str(path), "--minsup", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "multiview select" in out
+        assert "pair left~right" in out
+
+    def test_fit_multiview_resplit_with_output(
+        self, planted_dataset, tmp_path, capsys
+    ):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        summary_path = tmp_path / "summary.json"
+        assert (
+            main(
+                [
+                    "fit-multiview",
+                    str(path),
+                    "--views",
+                    "3",
+                    "--minsup",
+                    "2",
+                    "--output",
+                    str(summary_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 views, 3 pair(s)" in out
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        assert summary["n_pairs"] == 3
+        assert set(summary["per_pair"]) == {"0~1", "0~2", "1~2"}
+
+    def test_fit_multiview_conditional(self, planted_dataset, tmp_path, capsys):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        assert (
+            main(["fit-multiview", str(path), "--minsup", "2", "--conditional"]) == 0
+        )
+        assert "conditional" in capsys.readouterr().out
+
+    def test_fit_multiview_rejects_greedy(self, planted_dataset, tmp_path):
+        path = tmp_path / "planted.2v"
+        save_dataset(planted_dataset, path)
+        with pytest.raises(SystemExit, match="select or exact"):
+            main(["fit-multiview", str(path), "--method", "greedy"])
+
+    def test_mixed_dataset_renders_units(self, capsys):
+        assert (
+            main(
+                [
+                    "fit",
+                    "winequality-mixed",
+                    "--scale",
+                    "0.1",
+                    "--minsup",
+                    "20",
+                    "--limit",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "∈ [" in out
+
+    def test_discretize_flag_parses(self):
+        args = build_parser().parse_args(
+            ["fit", "abalone-mixed", "--discretize", "equal-height", "--n-bins", "4"]
+        )
+        assert args.discretize == "equal-height"
+        assert args.n_bins == 4

@@ -1,0 +1,95 @@
+"""Mixed-type registry datasets: determinism, checksums, schema flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.mixed import (
+    MIXED_CHECKSUMS,
+    MIXED_DATASETS,
+    abalone_frames,
+    frame_checksum,
+    make_mixed_dataset,
+    winequality_frames,
+)
+from repro.data.registry import dataset_names, make_dataset
+
+pytestmark = pytest.mark.multiview_smoke
+
+
+class TestFrames:
+    def test_checksums_are_pinned(self):
+        assert frame_checksum(*abalone_frames()) == MIXED_CHECKSUMS["abalone-mixed"]
+        assert (
+            frame_checksum(*winequality_frames())
+            == MIXED_CHECKSUMS["winequality-mixed"]
+        )
+
+    def test_generation_is_deterministic(self):
+        first = abalone_frames(n_rows=100)
+        second = abalone_frames(n_rows=100)
+        assert frame_checksum(*first) == frame_checksum(*second)
+
+    def test_published_shapes(self):
+        left, right = abalone_frames()
+        assert len(left["length"]) == 4177
+        assert set(right) == {"rings", "maturity"}
+        left, right = winequality_frames()
+        assert len(left["alcohol"]) == 1599
+        assert set(right) == {"quality", "style"}
+
+    def test_cross_view_correlations_present(self):
+        left, right = abalone_frames()
+        shell = np.asarray(left["shell_weight"], dtype=float)
+        rings = np.asarray(right["rings"], dtype=float)
+        assert np.corrcoef(shell, rings)[0, 1] > 0.4
+        left, right = winequality_frames()
+        alcohol = np.asarray(left["alcohol"], dtype=float)
+        quality = np.asarray(right["quality"], dtype=float)
+        assert np.corrcoef(alcohol, quality)[0, 1] > 0.3
+
+
+class TestLoader:
+    def test_registry_lists_mixed_names(self):
+        names = dataset_names()
+        for name in MIXED_DATASETS:
+            assert name in names
+
+    def test_make_dataset_routes_to_mixed(self):
+        dataset = make_dataset("abalone-mixed", scale=0.1)
+        assert dataset.name == "abalone-mixed"
+        assert dataset.left_schema is not None
+        assert dataset.right_schema is not None
+
+    def test_checksum_drift_detected(self, monkeypatch):
+        monkeypatch.setitem(MIXED_CHECKSUMS, "abalone-mixed", "0" * 64)
+        with pytest.raises(ValueError, match="drift"):
+            make_mixed_dataset("abalone-mixed")
+
+    def test_scaled_builds_skip_checksum(self):
+        dataset = make_mixed_dataset("winequality-mixed", scale=0.05)
+        assert 40 <= dataset.n_transactions < 1599
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown mixed dataset"):
+            make_mixed_dataset("iris-mixed")
+
+    def test_discretize_methods_change_item_count(self):
+        mdl = make_mixed_dataset("winequality-mixed", discretize="mdl", scale=0.2)
+        eqh = make_mixed_dataset(
+            "winequality-mixed", discretize="equal-height", scale=0.2
+        )
+        assert mdl.n_transactions == eqh.n_transactions
+        # MDL merges uninformative bins, equal-height always emits ~n_bins.
+        assert mdl.n_left != eqh.n_left or mdl.n_right != eqh.n_right
+
+    def test_units_render_in_labels(self):
+        from repro.data.dataset import Side
+
+        dataset = make_mixed_dataset("abalone-mixed", scale=0.1)
+        labels = [
+            dataset.item_label(Side.LEFT, index) for index in range(dataset.n_left)
+        ]
+        assert any("mm" in label for label in labels)
+        assert any(label.startswith("sex = ") for label in labels)

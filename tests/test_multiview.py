@@ -115,3 +115,130 @@ class TestTranslator:
         assert pair_result.compression_ratio == pytest.approx(
             two_view.compression_ratio
         )
+
+
+@pytest.mark.multiview_smoke
+class TestSharedBitsets:
+    """The shared per-view packing must be bit-identical to per-pair fits."""
+
+    def test_select_matches_fresh_per_pair_fits(self, three_view_dataset):
+        from repro.core.translator import TranslatorSelect
+
+        shared = MultiViewTranslator(k=1, minsup=3).fit(three_view_dataset)
+        for pair in three_view_dataset.view_pairs():
+            fresh = TranslatorSelect(k=1, minsup=3).fit(
+                three_view_dataset.pair(*pair)
+            )
+            result = shared.pair_results[pair]
+            assert set(result.table) == set(fresh.table)
+            assert result.total_bits == fresh.total_bits
+
+    def test_exact_matches_fresh_per_pair_fits(self, three_view_dataset):
+        from repro.core.translator import TranslatorExact
+
+        shared = MultiViewTranslator(method="exact", max_rule_size=2).fit(
+            three_view_dataset
+        )
+        for pair in three_view_dataset.view_pairs():
+            fresh = TranslatorExact(max_rule_size=2).fit(
+                three_view_dataset.pair(*pair)
+            )
+            result = shared.pair_results[pair]
+            assert set(result.table) == set(fresh.table)
+            assert result.total_bits == fresh.total_bits
+
+    def test_bool_kernel_matches_bitset_kernel(self, three_view_dataset):
+        packed = MultiViewTranslator(k=1, minsup=3, kernel="bitset").fit(
+            three_view_dataset
+        )
+        reference = MultiViewTranslator(k=1, minsup=3, kernel="bool").fit(
+            three_view_dataset
+        )
+        for pair in three_view_dataset.view_pairs():
+            assert set(packed.pair_results[pair].table) == set(
+                reference.pair_results[pair].table
+            )
+
+    def test_joint_bits_equals_fresh_joint_pack(self, three_view_dataset):
+        from repro.core.bitset import BitMatrix
+        from repro.mining.twoview import joint_bits
+
+        pair = three_view_dataset.pair(0, 1)
+        joint, __ = pair.joined()
+        left_bits = BitMatrix.from_bool_columns(three_view_dataset.views[0])
+        right_bits = BitMatrix.from_bool_columns(three_view_dataset.views[1])
+        stitched = joint_bits(left_bits, right_bits)
+        fresh = BitMatrix.from_bool_columns(joint)
+        np.testing.assert_array_equal(stitched.words, fresh.words)
+        assert stitched.n_bits == fresh.n_bits
+
+    def test_joint_bits_rejects_row_mismatch(self):
+        from repro.core.bitset import BitMatrix
+        from repro.mining.twoview import joint_bits
+
+        with pytest.raises(ValueError, match="transaction counts"):
+            joint_bits(
+                BitMatrix.from_bool_columns(np.zeros((8, 2), bool)),
+                BitMatrix.from_bool_columns(np.zeros((9, 2), bool)),
+            )
+
+
+@pytest.mark.multiview_smoke
+class TestConditionalTranslation:
+    def test_residual_rows_shrink_in_pair_order(self, three_view_dataset):
+        result = MultiViewTranslator(k=1, minsup=3, conditional=True).fit(
+            three_view_dataset
+        )
+        assert result.conditional
+        rows = [result.pair_rows[pair] for pair in three_view_dataset.view_pairs()]
+        assert rows[0] == three_view_dataset.n_transactions
+        assert all(later <= rows[0] for later in rows[1:])
+        # The structured pair (0, 1) fires rules, so later pairs see fewer rows.
+        assert rows[1] < rows[0]
+
+    def test_first_pair_matches_unconditional_fit(self, three_view_dataset):
+        conditional = MultiViewTranslator(k=1, minsup=3, conditional=True).fit(
+            three_view_dataset
+        )
+        unconditional = MultiViewTranslator(k=1, minsup=3).fit(three_view_dataset)
+        assert set(conditional.pair_results[(0, 1)].table) == set(
+            unconditional.pair_results[(0, 1)].table
+        )
+
+    def test_summary_reports_mode_and_rows(self, three_view_dataset):
+        result = MultiViewTranslator(k=1, minsup=3, conditional=True).fit(
+            three_view_dataset
+        )
+        summary = result.summary()
+        assert summary["conditional"] is True
+        assert all("rows" in cells for cells in summary["per_pair"].values())
+
+
+@pytest.mark.multiview_smoke
+class TestPayloadAndSchemas:
+    def test_payload_roundtrip(self, three_view_dataset):
+        payload = three_view_dataset.to_payload()
+        rebuilt = MultiViewDataset.from_payload(payload)
+        assert rebuilt.n_views == three_view_dataset.n_views
+        assert rebuilt.view_names == three_view_dataset.view_names
+        for mine, theirs in zip(three_view_dataset.views, rebuilt.views):
+            np.testing.assert_array_equal(mine, theirs)
+
+    def test_schemas_flow_into_pairs(self):
+        from repro.data.preprocessing import frame_to_multi_view
+
+        rng = np.random.default_rng(23)
+        frame = {
+            "a": rng.normal(0, 1, 80),
+            "b": rng.normal(4, 2, 80),
+            "c": rng.choice(["p", "q"], 80),
+            "d": rng.normal(-2, 1, 80),
+        }
+        dataset = frame_to_multi_view(frame, n_views=3, rng=3)
+        pair = dataset.pair(0, 1)
+        assert pair.left_schema is not None and pair.right_schema is not None
+        payload = dataset.to_payload()
+        rebuilt = MultiViewDataset.from_payload(payload)
+        for original, restored in zip(dataset.schemas, rebuilt.schemas):
+            assert restored is not None
+            assert original.to_payload() == restored.to_payload()

@@ -1,0 +1,144 @@
+"""Edge-case tests for the mixed-type pre-processing pipeline.
+
+Degenerate frames the discretisation/view-splitting path must survive:
+constant columns, all-NaN columns, single-row frames, numeric-looking
+strings, and ``k``-way view splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import (
+    boolean_frame_schema,
+    frame_to_multi_view,
+    frame_to_two_view,
+    split_views,
+)
+
+pytestmark = pytest.mark.multiview_smoke
+
+
+class TestBooleanFrameEdges:
+    def test_constant_column_yields_single_closed_bin(self):
+        matrix, schema = boolean_frame_schema({"x": [3.5] * 10})
+        columns = schema.items_for("x")
+        assert len(columns) == 1
+        item = schema[columns[0]]
+        assert item.lo == item.hi == 3.5 and item.closed_hi
+        assert matrix[:, columns[0]].all()
+        assert item.contains(3.5)
+
+    def test_all_nan_column_contributes_no_items(self):
+        matrix, schema = boolean_frame_schema(
+            {"bad": [float("nan")] * 6, "ok": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]}
+        )
+        assert schema.items_for("bad") == []
+        assert len(schema.items_for("ok")) >= 2
+        assert matrix.shape[1] == len(schema)
+
+    def test_nan_rows_are_all_false_in_their_block(self):
+        values = [1.0, float("nan"), 2.0, 3.0, float("nan"), 4.0]
+        matrix, schema = boolean_frame_schema({"x": values})
+        columns = schema.items_for("x")
+        assert not matrix[1, columns].any()
+        assert not matrix[4, columns].any()
+        for row in (0, 2, 3, 5):
+            assert matrix[row, columns].sum() == 1
+
+    def test_single_row_frame(self):
+        matrix, schema = boolean_frame_schema({"x": [1.5], "c": ["red"]})
+        assert matrix.shape[0] == 1
+        assert matrix[0].sum() == 2  # one numeric bin + one category item
+        labels = [schema.label(column) for column in range(len(schema))]
+        assert "c = red" in labels
+
+    def test_numeric_looking_strings_stay_categorical(self):
+        matrix, schema = boolean_frame_schema({"code": ["1", "2", "1", "2"]})
+        kinds = {schema[column].kind for column in range(len(schema))}
+        assert kinds == {"category"}
+        assert sorted(schema.label(column) for column in range(len(schema))) == [
+            "code = 1",
+            "code = 2",
+        ]
+
+    def test_mdl_matches_equal_height_on_empty_like_frames(self):
+        for discretize in ("equal-height", "mdl"):
+            matrix, schema = boolean_frame_schema(
+                {"x": [2.0] * 3}, discretize=discretize
+            )
+            assert matrix.shape == (3, 1)
+
+
+class TestFrameToTwoViewEdges:
+    def test_single_frame_with_degenerate_columns(self):
+        frame = {
+            "const": [1.0] * 12,
+            "gone": [float("nan")] * 12,
+            "a": list(range(12)),
+            "b": ["x", "y"] * 6,
+            "c": [float(i % 3) for i in range(12)],
+        }
+        dataset = frame_to_two_view(None, single_frame=frame, rng=0)
+        assert dataset.n_transactions == 12
+        sources = {item.source for item in dataset.left_schema} | {
+            item.source for item in dataset.right_schema
+        }
+        assert "gone" not in sources
+        assert "const" in sources
+
+    def test_two_frame_path_single_row(self):
+        dataset = frame_to_two_view({"x": [1.0]}, {"y": ["k"]})
+        assert dataset.n_transactions == 1
+        assert dataset.left_schema is not None
+        assert dataset.item_label(
+            __import__("repro").Side.RIGHT, 0
+        ) == "y = k"
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            frame_to_two_view({"x": [1.0, 2.0]}, {"y": [1.0]})
+
+
+class TestSplitViewsK:
+    def test_three_way_split_partitions_all_columns(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.random((60, 9)) < 0.3
+        names = [f"i{j}" for j in range(9)]
+        parts = split_views(matrix, names, rng=1, n_views=3)
+        assert len(parts) == 3
+        combined = sorted(column for part in parts for column in part)
+        assert combined == list(range(9))
+        assert all(part == sorted(part) for part in parts)
+
+    def test_origin_groups_stay_together(self):
+        rng = np.random.default_rng(6)
+        matrix = rng.random((40, 6)) < 0.4
+        names = [f"i{j}" for j in range(6)]
+        origins = ["a", "a", "b", "b", "c", "c"]
+        parts = split_views(matrix, names, origins, rng=2, n_views=3)
+        for part in parts:
+            part_origins = {origins[column] for column in part}
+            for origin in part_origins:
+                siblings = [c for c in range(6) if origins[c] == origin]
+                assert all(column in part for column in siblings)
+
+    def test_invalid_n_views_rejected(self):
+        matrix = np.zeros((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="n_views"):
+            split_views(matrix, list("abcd"), n_views=1)
+
+    def test_frame_to_multi_view_carries_schemas(self):
+        rng = np.random.default_rng(9)
+        frame = {
+            "a": rng.normal(0, 1, 50),
+            "b": rng.normal(5, 2, 50),
+            "c": rng.choice(["u", "v"], 50),
+            "d": rng.normal(-3, 1, 50),
+        }
+        dataset = frame_to_multi_view(frame, n_views=3, rng=4)
+        assert dataset.n_views == 3
+        assert all(schema is not None for schema in dataset.schemas)
+        for view, schema in zip(dataset.views, dataset.schemas):
+            assert view.shape[1] == len(schema)

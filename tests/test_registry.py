@@ -22,7 +22,11 @@ class TestRegistryContents:
             "elections", "emotions", "house", "mammals", "nursery",
             "tictactoe", "wine", "yeast",
         }
-        assert set(dataset_names()) == expected
+        assert set(PAPER_DATASETS) == expected
+        # dataset_names() additionally lists the mixed-type datasets.
+        assert set(dataset_names()) == expected | {
+            "abalone-mixed", "winequality-mixed",
+        }
 
     def test_paper_stats_values(self):
         house = paper_stats("house")
